@@ -1,0 +1,400 @@
+// Benchmarks, one per experiment of EXPERIMENTS.md (E1–E7, A1–A4) plus
+// engine micro-benchmarks. cmd/benchrunner produces the full sweep tables;
+// these targets pin each experiment's workload into `go test -bench`.
+package pyquery_test
+
+import (
+	"fmt"
+	"testing"
+
+	"pyquery/internal/core"
+	"pyquery/internal/datalog"
+	"pyquery/internal/eval"
+	"pyquery/internal/graph"
+	"pyquery/internal/order"
+	"pyquery/internal/query"
+	"pyquery/internal/reductions"
+	"pyquery/internal/relation"
+	"pyquery/internal/workload"
+	"pyquery/internal/yannakakis"
+)
+
+// turan builds the Turán graph T(n,r) (no (r+1)-clique).
+func turan(n, r int) *graph.Graph {
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if u%r != v%r {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// --- E1: generic evaluation of the k-clique query (parameter in exponent) -
+
+func BenchmarkE1_CliqueQuery(b *testing.B) {
+	for _, tc := range []struct{ k, n int }{{3, 45}, {4, 24}, {5, 14}} {
+		q, db := reductions.CliqueToCQ(turan(tc.n, tc.k-1), tc.k)
+		b.Run(fmt.Sprintf("k=%d/n=%d", tc.k, tc.n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ok, err := eval.ConjunctiveBool(q, db)
+				if err != nil || ok {
+					b.Fatal("negative instance expected")
+				}
+			}
+		})
+	}
+}
+
+// --- E1 upper bound: the CQ → weighted 2-CNF pipeline ---------------------
+
+func BenchmarkE1_CQTo2CNF(b *testing.B) {
+	q, db := reductions.CliqueToCQ(graph.Random(16, 0.5, 3), 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		red, err := reductions.CQToWeighted2CNF(q, db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		red.Formula.WeightedSatisfiable(red.K)
+	}
+}
+
+// --- E2: the four parameterizations on one decision -----------------------
+
+func BenchmarkE2_Parameterizations(b *testing.B) {
+	// The identity reduction means all four parameterizations share the
+	// same instance; this pins the shared decision cost.
+	q, db := reductions.CliqueToCQ(turan(30, 2), 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if ok, err := eval.ConjunctiveBool(q, db); err != nil || ok {
+			b.Fatal("negative instance expected")
+		}
+	}
+}
+
+// --- E3: the Theorem 2 engine ----------------------------------------------
+
+func BenchmarkE3_OrgChart(b *testing.B) {
+	for _, n := range []int{1000, 4000} {
+		db := workload.OrgChart(n, 50, 3, 11)
+		q := workload.MultiProjectQuery()
+		b.Run(fmt.Sprintf("core/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Evaluate(q, db); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("generic/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.Conjunctive(q, db); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE3_SimplePathByK(b *testing.B) {
+	db := workload.LayeredPathDB(10, 40, 3, 13)
+	for k := 2; k <= 5; k++ {
+		q := workload.SimplePathQuery(k)
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.EvaluateBool(q, db); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE3_Registrar(b *testing.B) {
+	db := workload.Registrar(4000, 80, 8, 3, 12)
+	q := workload.OutsideDeptQuery()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Evaluate(q, db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E4: Theorem 3 comparison queries --------------------------------------
+
+func BenchmarkE4_Comparisons(b *testing.B) {
+	for _, tc := range []struct{ k, n int }{{2, 12}, {3, 8}} {
+		q, db := reductions.CliqueToComparisons(turan(tc.n, tc.k-1), tc.k)
+		b.Run(fmt.Sprintf("k=%d/n=%d", tc.k, tc.n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ok, err := order.EvaluateBool(q, db)
+				if err != nil || ok {
+					b.Fatal("negative instance expected")
+				}
+			}
+		})
+	}
+}
+
+// --- E5: Section 5 example queries -----------------------------------------
+
+func BenchmarkE5_Examples(b *testing.B) {
+	org := workload.OrgChart(2000, 40, 3, 21)
+	qOrg := workload.MultiProjectQuery()
+	reg := workload.Registrar(2000, 60, 8, 3, 22)
+	qReg := workload.OutsideDeptQuery()
+	b.Run("orgchart/core", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Evaluate(qOrg, org); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("orgchart/generic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eval.Conjunctive(qOrg, org); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("registrar/core", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Evaluate(qReg, reg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("registrar/generic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eval.Conjunctive(qReg, reg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- E6: Hamiltonian path as a query ---------------------------------------
+
+func BenchmarkE6_HamPath(b *testing.B) {
+	for _, n := range []int{5, 6, 7} {
+		g := graph.Random(n, 0.5, int64(100+n))
+		q, db := reductions.HamPathToIneqCQ(g)
+		b.Run(fmt.Sprintf("engine/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.EvaluateBool(q, db); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("heldkarp/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g.HamiltonianPath()
+			}
+		})
+	}
+}
+
+// --- E7: Vardi's n^k Datalog family -----------------------------------------
+
+func BenchmarkE7_Vardi(b *testing.B) {
+	for _, tc := range []struct{ k, n int }{{1, 40}, {2, 16}, {3, 8}} {
+		p := datalog.VardiFamily(tc.k)
+		db := workload.CompleteDigraphDB(tc.n)
+		b.Run(fmt.Sprintf("k=%d/n=%d", tc.k, tc.n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := datalog.EvalGoal(p, db, datalog.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Ablations ---------------------------------------------------------------
+
+func BenchmarkA1_Pushdown(b *testing.B) {
+	db := workload.LayeredPathDB(8, 25, 3, 31)
+	q := workload.SimplePathQuery(4)
+	b.Run("pushdown", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.EvaluateBool(q, db); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("allhashed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.EvaluateBoolOpts(q, db, core.Options{NoPushdown: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkA2_FullReducer(b *testing.B) {
+	// Multiplier branch merges before selective branch (see cmd/benchrunner).
+	m, fanOut := 150, 25
+	db := a2DB(m, fanOut)
+	q := a2Query()
+	b.Run("reducer", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := yannakakis.Evaluate(q, db); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("noreducer", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := yannakakis.EvaluateOpts(q, db, yannakakis.Options{NoFullReducer: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkA3_JoinOrder(b *testing.B) {
+	db := workload.GraphDB(2000, 8000, 33)
+	l := workload.GraphDB(2, 1, 1).MustRel("E") // tiny relation
+	db.Set("L", relation.Project(l, relation.Schema{0}))
+	q := a3Query()
+	b.Run("greedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eval.ConjunctiveBoolOpts(q, db, eval.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("written", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eval.ConjunctiveBoolOpts(q, db, eval.Options{NoReorder: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkA4_FamilySize(b *testing.B) {
+	db := workload.LayeredPathDB(8, 25, 3, 34)
+	q := workload.SimplePathQuery(3)
+	for _, c := range []float64{1, 4} {
+		b.Run(fmt.Sprintf("mc/c=%v", c), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.EvaluateBoolOpts(q, db,
+					core.Options{Strategy: core.MonteCarlo, C: c, Seed: 7}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	// The relevant domain here is too large for the exact family's subset
+	// enumeration; the whp-perfect family is the deterministic option.
+	b.Run("whp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.EvaluateBoolOpts(q, db, core.Options{Strategy: core.WHP, Seed: 7}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- micro: relational substrate ------------------------------------------
+
+func BenchmarkMicro_NaturalJoin(b *testing.B) {
+	lhs := relation.New(relation.Schema{0, 1})
+	rhs := relation.New(relation.Schema{1, 2})
+	for i := 0; i < 20000; i++ {
+		lhs.Append(relation.Value(i%500), relation.Value(i%1000))
+		rhs.Append(relation.Value(i%1000), relation.Value(i%250))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		relation.NaturalJoin(lhs, rhs)
+	}
+}
+
+func BenchmarkMicro_Semijoin(b *testing.B) {
+	lhs := relation.New(relation.Schema{0, 1})
+	rhs := relation.New(relation.Schema{1, 2})
+	for i := 0; i < 20000; i++ {
+		lhs.Append(relation.Value(i%500), relation.Value(i%1000))
+		rhs.Append(relation.Value(i%300), relation.Value(i%250))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		relation.Semijoin(lhs, rhs)
+	}
+}
+
+func BenchmarkMicro_YannakakisPath(b *testing.B) {
+	db := workload.LayeredPathDB(8, 60, 3, 35)
+	q := workload.PathQuery(5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := yannakakis.EvaluateBool(q, db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- shared fixtures ---------------------------------------------------------
+
+// a2DB builds the A2 instance: an m×m core R, a multiplying branch M
+// (fanOut x0 values per x1), and a selective branch S (only x2 = 0
+// survives).
+func a2DB(m, fanOut int) *query.DB {
+	db := query.NewDB()
+	r := query.NewTable(2)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			r.Append(relation.Value(i), relation.Value(j))
+		}
+	}
+	mul := query.NewTable(2)
+	for i := 0; i < m; i++ {
+		for a := 0; a < fanOut; a++ {
+			mul.Append(relation.Value(i), relation.Value(10_000+a))
+		}
+	}
+	sel := query.NewTable(2)
+	sel.Append(relation.Value(0), relation.Value(99_999))
+	db.Set("R", r)
+	db.Set("M", mul)
+	db.Set("S", sel)
+	return db
+}
+
+func a2Query() *query.CQ {
+	return &query.CQ{
+		Head: []query.Term{query.V(0)},
+		Atoms: []query.Atom{
+			query.NewAtom("R", query.V(1), query.V(2)),
+			query.NewAtom("M", query.V(1), query.V(0)),
+			query.NewAtom("S", query.V(2), query.V(3)),
+		},
+	}
+}
+
+// a3Query writes the selective atom last, so the written order is
+// adversarial and the greedy reorder pays off.
+func a3Query() *query.CQ {
+	return &query.CQ{
+		Atoms: []query.Atom{
+			query.NewAtom("E", query.V(0), query.V(1)),
+			query.NewAtom("E", query.V(1), query.V(2)),
+			query.NewAtom("L", query.V(0)),
+		},
+	}
+}

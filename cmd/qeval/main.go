@@ -1,0 +1,140 @@
+// Command qeval evaluates a query against CSV relations.
+//
+//	qeval -query 'G(e) :- EP(e,p), EP(e,q), p != q.' -rel EP=assignments.csv
+//	qeval -query '{ (x) | forall y (!E(x,y)) }' -fo -rel E=edges.csv
+//
+// Each -rel flag names a relation and a CSV file; integer fields stay
+// numeric, other fields are interned symbols. The engine is chosen
+// automatically (see -explain) or forced with -engine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pyquery"
+	"pyquery/internal/eval"
+	"pyquery/internal/order"
+	"pyquery/internal/parser"
+	"pyquery/internal/relation"
+	"pyquery/internal/yannakakis"
+
+	"pyquery/internal/core"
+)
+
+type relFlags []string
+
+func (r *relFlags) String() string { return strings.Join(*r, ",") }
+func (r *relFlags) Set(s string) error {
+	*r = append(*r, s)
+	return nil
+}
+
+func main() {
+	var rels relFlags
+	queryText := flag.String("query", "", "query in rule syntax (or FO syntax with -fo)")
+	fo := flag.Bool("fo", false, "parse the query as a first-order query { (head) | formula }")
+	engine := flag.String("engine", "auto", "auto | generic | yannakakis | colorcoding | comparisons")
+	boolOnly := flag.Bool("bool", false, "only decide emptiness")
+	explain := flag.Bool("explain", false, "print the plan explanation before evaluating")
+	flag.Var(&rels, "rel", "NAME=FILE.csv (repeatable)")
+	flag.Parse()
+
+	if *queryText == "" {
+		fmt.Fprintln(os.Stderr, "qeval: -query is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	syms := parser.NewSymbols()
+	p := parser.NewWithSymbols(syms)
+	db := pyquery.NewDB()
+	for _, spec := range rels {
+		parts := strings.SplitN(spec, "=", 2)
+		if len(parts) != 2 {
+			fatal(fmt.Errorf("bad -rel %q (want NAME=FILE)", spec))
+		}
+		f, err := os.Open(parts[1])
+		if err != nil {
+			fatal(err)
+		}
+		err = parser.LoadCSV(db, parts[0], f, syms)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *fo {
+		q, err := p.ParseFOQuery(*queryText)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := pyquery.EvaluateFO(q, db)
+		if err != nil {
+			fatal(err)
+		}
+		printResult(res, syms, *boolOnly)
+		return
+	}
+
+	q, err := p.ParseCQ(*queryText)
+	if err != nil {
+		fatal(err)
+	}
+	if *explain {
+		fmt.Println(pyquery.Explain(q))
+	}
+
+	var res *relation.Relation
+	switch *engine {
+	case "auto":
+		if *boolOnly {
+			ok, err := pyquery.EvaluateBool(q, db)
+			if err != nil {
+				fatal(err)
+			}
+			printBool(ok)
+			return
+		}
+		res, err = pyquery.Evaluate(q, db)
+	case "generic":
+		res, err = eval.Conjunctive(q, db)
+	case "yannakakis":
+		res, err = yannakakis.Evaluate(q, db)
+	case "colorcoding":
+		res, err = core.Evaluate(q, db)
+	case "comparisons":
+		res, err = order.Evaluate(q, db)
+	default:
+		fatal(fmt.Errorf("unknown engine %q", *engine))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	printResult(res, syms, *boolOnly)
+}
+
+func printResult(res *relation.Relation, syms *parser.Symbols, boolOnly bool) {
+	if boolOnly || res.Width() == 0 {
+		printBool(res.Bool())
+		return
+	}
+	fmt.Printf("%d tuple(s)\n", res.Len())
+	fmt.Print(parser.FormatRelation(res.Sort(), syms))
+}
+
+func printBool(ok bool) {
+	if ok {
+		fmt.Println("true")
+	} else {
+		fmt.Println("false")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qeval:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,115 @@
+// Command wsat solves weighted satisfiability — the W-hierarchy's defining
+// problem family. Input is a DIMACS-like format on stdin or a file:
+//
+//	p wcnf 4 2
+//	1 -2 0
+//	3 4 0
+//
+// declares 4 variables, target weight 2 (exactly two variables true), and
+// clauses terminated by 0 (positive literal i means variable i, 1-based).
+// The solver is the exact DPLL engine from internal/cnf.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"pyquery/internal/cnf"
+)
+
+func main() {
+	file := flag.String("f", "", "input file (default stdin)")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	formula, k, err := parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	assign, ok := formula.WeightedSatisfiable(k)
+	if !ok {
+		fmt.Printf("UNSAT at weight %d (%d vars, %d clauses)\n", k, formula.NumVars, len(formula.Clauses))
+		os.Exit(1)
+	}
+	fmt.Printf("SAT at weight %d; true variables:", k)
+	for v, b := range assign {
+		if b {
+			fmt.Printf(" %d", v+1)
+		}
+	}
+	fmt.Println()
+}
+
+func parse(r io.Reader) (*cnf.Formula, int, error) {
+	sc := bufio.NewScanner(r)
+	var formula *cnf.Formula
+	k := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] == "p" {
+			if len(fields) != 4 || fields[1] != "wcnf" {
+				return nil, 0, fmt.Errorf("wsat: bad header %q (want 'p wcnf <vars> <k>')", line)
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, 0, err
+			}
+			k, err = strconv.Atoi(fields[3])
+			if err != nil {
+				return nil, 0, err
+			}
+			formula = cnf.New(n)
+			continue
+		}
+		if formula == nil {
+			return nil, 0, fmt.Errorf("wsat: clause before header")
+		}
+		var clause []cnf.Lit
+		for _, f := range fields {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, 0, fmt.Errorf("wsat: bad literal %q", f)
+			}
+			if v == 0 {
+				break
+			}
+			if v > 0 {
+				clause = append(clause, cnf.PosLit(v-1))
+			} else {
+				clause = append(clause, cnf.NegLit(-v-1))
+			}
+		}
+		if len(clause) > 0 {
+			formula.AddClause(clause...)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	if formula == nil {
+		return nil, 0, fmt.Errorf("wsat: missing 'p wcnf' header")
+	}
+	return formula, k, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wsat:", err)
+	os.Exit(2)
+}

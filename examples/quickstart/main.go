@@ -1,0 +1,49 @@
+// Quickstart: build a database, parse a query with inequalities, let the
+// planner pick the Theorem 2 engine, and read the answer.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pyquery"
+)
+
+func main() {
+	// A tiny project database: EP(employee, project).
+	db := pyquery.NewDB()
+	db.Set("EP", pyquery.Table(2,
+		[]pyquery.Value{1, 100}, // alice → kernel
+		[]pyquery.Value{1, 101}, // alice → compiler
+		[]pyquery.Value{2, 100}, // bob   → kernel
+		[]pyquery.Value{3, 102}, // carol → docs
+	))
+
+	// "Employees that work on more than one project" — the paper's own
+	// Section 5 example of an acyclic conjunctive query with ≠.
+	p := pyquery.NewParser()
+	q, err := p.ParseCQ(`G(e) :- EP(e, p1), EP(e, p2), p1 != p2.`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(pyquery.Explain(q))
+
+	res, err := pyquery.Evaluate(q, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nanswers (%d):\n", res.Len())
+	for i := 0; i < res.Len(); i++ {
+		fmt.Printf("  employee %d\n", res.Row(i)[0])
+	}
+
+	// The decision problem t ∈ Q(d).
+	for _, emp := range []pyquery.Value{1, 2} {
+		ok, err := pyquery.Decide(q, db, []pyquery.Value{emp})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("employee %d on >1 project: %v\n", emp, ok)
+	}
+}

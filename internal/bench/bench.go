@@ -1,0 +1,154 @@
+// Package bench provides the experiment harness shared by cmd/benchrunner
+// and bench_test.go: wall-clock measurement, series collection, log–log
+// slope estimation (the empirical scaling exponent that experiments E1/E3/
+// E4/E7 report), and plain-text table rendering.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// Point is one measurement: X is the swept parameter (n, k, …), Y the
+// measured quantity (seconds, tuples, …).
+type Point struct {
+	X, Y float64
+}
+
+// Series is a named sequence of measurements.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a measurement.
+func (s *Series) Add(x, y float64) {
+	s.Points = append(s.Points, Point{x, y})
+}
+
+// Slope returns the least-squares slope of log Y against log X — the
+// empirical exponent b in Y ≈ a·X^b. Points with non-positive coordinates
+// are skipped; fewer than two usable points yield NaN.
+func (s *Series) Slope() float64 {
+	var xs, ys []float64
+	for _, p := range s.Points {
+		if p.X > 0 && p.Y > 0 {
+			xs = append(xs, math.Log(p.X))
+			ys = append(ys, math.Log(p.Y))
+		}
+	}
+	n := float64(len(xs))
+	if n < 2 {
+		return math.NaN()
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return math.NaN()
+	}
+	return (n*sxy - sx*sy) / den
+}
+
+// GrowthRatio returns the mean ratio Y_{i+1}/Y_i — the per-step
+// multiplicative growth, useful for exponential-in-k series where a log-log
+// slope is the wrong model.
+func (s *Series) GrowthRatio() float64 {
+	var ratios []float64
+	for i := 1; i < len(s.Points); i++ {
+		if s.Points[i-1].Y > 0 {
+			ratios = append(ratios, s.Points[i].Y/s.Points[i-1].Y)
+		}
+	}
+	if len(ratios) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, r := range ratios {
+		sum += r
+	}
+	return sum / float64(len(ratios))
+}
+
+// Seconds measures the wall-clock seconds of f, running it at least once
+// and repeating until minDuration is reached for stable small measurements;
+// the mean per-run time is returned.
+func Seconds(minDuration time.Duration, f func()) float64 {
+	start := time.Now()
+	runs := 0
+	for {
+		f()
+		runs++
+		if time.Since(start) >= minDuration {
+			break
+		}
+	}
+	return time.Since(start).Seconds() / float64(runs)
+}
+
+// Table renders a fixed-width text table.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			for p := len(c); p < widths[i]; p++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// FmtSeconds renders a duration in engineering style.
+func FmtSeconds(s float64) string {
+	switch {
+	case s < 1e-6:
+		return fmt.Sprintf("%.0fns", s*1e9)
+	case s < 1e-3:
+		return fmt.Sprintf("%.1fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.3fs", s)
+	}
+}
+
+// FmtFloat renders a float compactly.
+func FmtFloat(f float64) string {
+	if math.IsNaN(f) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f", f)
+}

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSlopeRecoversExponent(t *testing.T) {
+	// Y = 3·X² → slope 2.
+	var s Series
+	for _, x := range []float64{10, 20, 40, 80} {
+		s.Add(x, 3*x*x)
+	}
+	if got := s.Slope(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("slope = %v, want 2", got)
+	}
+	// Linear.
+	var l Series
+	for _, x := range []float64{10, 100, 1000} {
+		l.Add(x, 5*x)
+	}
+	if got := l.Slope(); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("slope = %v, want 1", got)
+	}
+}
+
+func TestSlopeDegenerate(t *testing.T) {
+	var s Series
+	if !math.IsNaN(s.Slope()) {
+		t.Fatal("empty series must be NaN")
+	}
+	s.Add(1, 1)
+	if !math.IsNaN(s.Slope()) {
+		t.Fatal("single point must be NaN")
+	}
+	s.Add(-1, 5) // skipped
+	if !math.IsNaN(s.Slope()) {
+		t.Fatal("non-positive points must be skipped")
+	}
+	s.Add(1, 7) // same X twice → zero denominator
+	if !math.IsNaN(s.Slope()) {
+		t.Fatal("vertical series must be NaN")
+	}
+}
+
+func TestGrowthRatio(t *testing.T) {
+	var s Series
+	for k := 1; k <= 5; k++ {
+		s.Add(float64(k), math.Pow(3, float64(k)))
+	}
+	if got := s.GrowthRatio(); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("growth = %v, want 3", got)
+	}
+	var empty Series
+	if !math.IsNaN(empty.GrowthRatio()) {
+		t.Fatal("empty growth must be NaN")
+	}
+}
+
+func TestSecondsRepeatsShortFunctions(t *testing.T) {
+	calls := 0
+	got := Seconds(5*time.Millisecond, func() {
+		calls++
+		time.Sleep(200 * time.Microsecond)
+	})
+	if calls < 2 {
+		t.Fatalf("short function should repeat, ran %d times", calls)
+	}
+	if got <= 0 {
+		t.Fatalf("mean seconds = %v", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	out := Table([]string{"n", "time"}, [][]string{{"10", "1ms"}, {"100000", "2ms"}})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines: %q", out)
+	}
+	if !strings.HasPrefix(lines[0], "n ") || !strings.Contains(lines[0], "time") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	// Column alignment: all rows same prefix width before "time" column.
+	if len(lines[2]) < len("100000") {
+		t.Fatalf("row too short: %q", lines[2])
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := map[float64]string{
+		5e-9:  "5ns",
+		5e-6:  "5.0µs",
+		5e-3:  "5.00ms",
+		5.123: "5.123s",
+	}
+	for in, want := range cases {
+		if got := FmtSeconds(in); got != want {
+			t.Errorf("FmtSeconds(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if FmtFloat(math.NaN()) != "n/a" || FmtFloat(2.345) != "2.35" {
+		t.Fatal("FmtFloat")
+	}
+}

@@ -1,0 +1,157 @@
+package boolcirc
+
+import "fmt"
+
+// Leveled is a strictly alternating monotone circuit: level 0 holds the
+// inputs, odd levels hold AND gates, even levels ≥ 2 hold OR gates, every
+// gate reads only from the level directly below, and the output is the
+// unique gate at the (even) top level. This is the exact normal form the
+// paper assumes in the W[P]-hardness reduction of Theorem 1(3).
+type Leveled struct {
+	Circuit *Circuit
+	Level   []int // Level[g] for every gate of Circuit
+	Top     int   // the even top level 2t
+}
+
+// Alternate converts a monotone circuit into an equivalent Leveled circuit.
+// Each original gate g with gate-depth d(g) is placed at level 2·d(g)
+// (OR gates) or 2·d(g)−1 (AND gates); pass-through chains of single-input
+// gates lift each wire to the level directly below its reader. Pass-through
+// gates are shared, so the output has O(gates × depth) size.
+func Alternate(c *Circuit) *Leveled {
+	if !c.IsMonotone() {
+		panic("boolcirc: Alternate requires a monotone circuit")
+	}
+	if c.Output < 0 {
+		panic("boolcirc: circuit has no output")
+	}
+
+	// Gate-depth of each original gate (inputs at 0).
+	depth := make([]int, len(c.Gates))
+	for i := c.NumInputs; i < len(c.Gates); i++ {
+		max := 0
+		for _, in := range c.Gates[i].In {
+			if depth[in] > max {
+				max = depth[in]
+			}
+		}
+		depth[i] = max + 1
+	}
+
+	// Natural level of each original gate.
+	level := func(g int) int {
+		switch c.Gates[g].Kind {
+		case Input:
+			return 0
+		case And:
+			return 2*depth[g] - 1
+		default: // Or
+			return 2 * depth[g]
+		}
+	}
+
+	out := New(c.NumInputs)
+	lvl := make([]int, c.NumInputs) // level per new gate
+	newID := make([]int, len(c.Gates))
+	for i := 0; i < c.NumInputs; i++ {
+		newID[i] = i
+	}
+
+	kindAt := func(l int) Kind {
+		if l%2 == 1 {
+			return And
+		}
+		return Or
+	}
+
+	// lift[g][l] caches the pass-through of new gate g at level l.
+	lift := make(map[[2]int]int)
+	var liftTo func(g, l int) int
+	liftTo = func(g, l int) int {
+		if lvl[g] == l {
+			return g
+		}
+		if lvl[g] > l {
+			panic("boolcirc: cannot lower a gate")
+		}
+		key := [2]int{g, l}
+		if id, ok := lift[key]; ok {
+			return id
+		}
+		below := liftTo(g, l-1)
+		id := out.AddGate(kindAt(l), below)
+		lvl = append(lvl, l)
+		lift[key] = id
+		return id
+	}
+
+	// Rebuild original gates in order (inputs already placed).
+	for g := c.NumInputs; g < len(c.Gates); g++ {
+		l := level(g)
+		in := make([]int, len(c.Gates[g].In))
+		for i, src := range c.Gates[g].In {
+			in[i] = liftTo(newID[src], l-1)
+		}
+		newID[g] = out.AddGate(kindAt(l), in...)
+		lvl = append(lvl, l)
+	}
+
+	top := lvl[newID[c.Output]]
+	outGate := newID[c.Output]
+	if top == 0 {
+		// The output is an input gate: wrap in AND then OR pass-throughs.
+		outGate = liftTo(outGate, 2)
+		top = 2
+	} else if top%2 == 1 {
+		// AND output: one OR pass-through above.
+		outGate = liftTo(outGate, top+1)
+		top++
+	}
+	out.SetOutput(outGate)
+	return &Leveled{Circuit: out, Level: lvl, Top: top}
+}
+
+// Check verifies the Leveled invariants: parity/kind agreement, strict
+// level-(l−1) wiring, even top with the output there. It is used by tests
+// and by consumers that want a hard guarantee before reducing.
+func (lc *Leveled) Check() error {
+	c := lc.Circuit
+	if len(lc.Level) != len(c.Gates) {
+		return fmt.Errorf("boolcirc: level table has %d entries for %d gates", len(lc.Level), len(c.Gates))
+	}
+	if lc.Top%2 != 0 || lc.Top < 2 {
+		return fmt.Errorf("boolcirc: top level %d is not an even level ≥ 2", lc.Top)
+	}
+	if lc.Level[c.Output] != lc.Top {
+		return fmt.Errorf("boolcirc: output at level %d, top is %d", lc.Level[c.Output], lc.Top)
+	}
+	if c.Gates[c.Output].Kind != Or {
+		return fmt.Errorf("boolcirc: output gate is %v, want or", c.Gates[c.Output].Kind)
+	}
+	for g, gate := range c.Gates {
+		l := lc.Level[g]
+		switch gate.Kind {
+		case Input:
+			if l != 0 {
+				return fmt.Errorf("boolcirc: input %d at level %d", g, l)
+			}
+		case And:
+			if l%2 != 1 {
+				return fmt.Errorf("boolcirc: AND gate %d at even level %d", g, l)
+			}
+		case Or:
+			if l%2 != 0 || l == 0 {
+				return fmt.Errorf("boolcirc: OR gate %d at level %d", g, l)
+			}
+		case Not:
+			return fmt.Errorf("boolcirc: NOT gate %d in monotone normal form", g)
+		}
+		for _, in := range gate.In {
+			if lc.Level[in] != l-1 {
+				return fmt.Errorf("boolcirc: gate %d at level %d reads gate %d at level %d",
+					g, l, in, lc.Level[in])
+			}
+		}
+	}
+	return nil
+}

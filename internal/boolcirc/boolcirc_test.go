@@ -1,0 +1,287 @@
+package boolcirc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// xorCircuit builds x0 XOR x1 with NOT gates.
+func xorCircuit() *Circuit {
+	c := New(2)
+	n0 := c.AddGate(Not, 0)
+	n1 := c.AddGate(Not, 1)
+	a := c.AddGate(And, 0, n1)
+	b := c.AddGate(And, n0, 1)
+	c.SetOutput(c.AddGate(Or, a, b))
+	return c
+}
+
+func TestEvalXor(t *testing.T) {
+	c := xorCircuit()
+	cases := []struct {
+		in   []bool
+		want bool
+	}{
+		{[]bool{false, false}, false},
+		{[]bool{true, false}, true},
+		{[]bool{false, true}, true},
+		{[]bool{true, true}, false},
+	}
+	for _, tc := range cases {
+		if got := c.Eval(tc.in); got != tc.want {
+			t.Fatalf("xor(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestMonotoneAndDepth(t *testing.T) {
+	c := xorCircuit()
+	if c.IsMonotone() {
+		t.Fatal("xor circuit has NOTs")
+	}
+	// Depth: NOTs on inputs are free; AND then OR → depth 2.
+	if d := c.Depth(); d != 2 {
+		t.Fatalf("Depth = %d, want 2", d)
+	}
+	m := New(3)
+	a := m.AddGate(And, 0, 1)
+	m.SetOutput(m.AddGate(Or, a, 2))
+	if !m.IsMonotone() {
+		t.Fatal("AND/OR circuit is monotone")
+	}
+	if m.Depth() != 2 {
+		t.Fatalf("Depth = %d, want 2", m.Depth())
+	}
+	// NOT above a gate counts.
+	n := New(2)
+	g := n.AddGate(And, 0, 1)
+	n.SetOutput(n.AddGate(Not, g))
+	if n.Depth() != 2 {
+		t.Fatalf("internal NOT should count: depth = %d", n.Depth())
+	}
+}
+
+func TestGateValidation(t *testing.T) {
+	c := New(1)
+	mustPanic(t, func() { c.AddGate(Input) })
+	mustPanic(t, func() { c.AddGate(Not, 0, 0) })
+	mustPanic(t, func() { c.AddGate(And) })
+	mustPanic(t, func() { c.AddGate(And, 5) })
+	mustPanic(t, func() { c.SetOutput(9) })
+	mustPanic(t, func() { c.Eval([]bool{true, false}) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestWeightedSatisfiableCircuit(t *testing.T) {
+	// AND(x0,x1,x2): only weight 3 works.
+	c := New(3)
+	c.SetOutput(c.AddGate(And, 0, 1, 2))
+	for k := 0; k <= 3; k++ {
+		_, ok := c.WeightedSatisfiable(k)
+		if ok != (k == 3) {
+			t.Fatalf("weight %d: got %v", k, ok)
+		}
+	}
+	if _, ok := c.WeightedSatisfiable(4); ok {
+		t.Fatal("weight beyond inputs")
+	}
+	a, ok := c.WeightedSatisfiable(3)
+	if !ok || !c.Eval(a) {
+		t.Fatal("witness invalid")
+	}
+}
+
+func TestAlternateRequiresMonotone(t *testing.T) {
+	mustPanic(t, func() { Alternate(xorCircuit()) })
+	mustPanic(t, func() { Alternate(New(2)) }) // no output
+}
+
+func TestAlternateSimple(t *testing.T) {
+	// OR(AND(x0,x1), x2)
+	c := New(3)
+	a := c.AddGate(And, 0, 1)
+	c.SetOutput(c.AddGate(Or, a, 2))
+	lc := Alternate(c)
+	if err := lc.Check(); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	// Equivalence on all inputs.
+	for mask := 0; mask < 8; mask++ {
+		in := []bool{mask&1 != 0, mask&2 != 0, mask&4 != 0}
+		if c.Eval(in) != lc.Circuit.Eval(in) {
+			t.Fatalf("alternate changed semantics on %v", in)
+		}
+	}
+}
+
+func TestAlternateAndOutput(t *testing.T) {
+	// Output is an AND: must gain an OR pass-through on top.
+	c := New(2)
+	c.SetOutput(c.AddGate(And, 0, 1))
+	lc := Alternate(c)
+	if err := lc.Check(); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	for mask := 0; mask < 4; mask++ {
+		in := []bool{mask&1 != 0, mask&2 != 0}
+		if c.Eval(in) != lc.Circuit.Eval(in) {
+			t.Fatalf("semantics changed on %v", in)
+		}
+	}
+}
+
+func TestAlternateInputOutput(t *testing.T) {
+	// Output is a bare input: needs lifting to level 2.
+	c := New(1)
+	c.SetOutput(0)
+	lc := Alternate(c)
+	if err := lc.Check(); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if lc.Circuit.Eval([]bool{true}) != true || lc.Circuit.Eval([]bool{false}) != false {
+		t.Fatal("identity semantics broken")
+	}
+}
+
+// randMonotone builds a random monotone circuit.
+func randMonotone(rnd *rand.Rand, inputs, extra int) *Circuit {
+	c := New(inputs)
+	for i := 0; i < extra; i++ {
+		kind := And
+		if rnd.Intn(2) == 0 {
+			kind = Or
+		}
+		fanin := 1 + rnd.Intn(3)
+		in := make([]int, fanin)
+		for j := range in {
+			in[j] = rnd.Intn(len(c.Gates))
+		}
+		c.AddGate(kind, in...)
+	}
+	c.SetOutput(len(c.Gates) - 1)
+	return c
+}
+
+// Property: Alternate preserves semantics on every input and always yields
+// a structure passing Check.
+func TestQuickAlternateEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		inputs := 1 + rnd.Intn(4)
+		c := randMonotone(rnd, inputs, 1+rnd.Intn(6))
+		lc := Alternate(c)
+		if err := lc.Check(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for mask := 0; mask < 1<<inputs; mask++ {
+			in := make([]bool, inputs)
+			for b := range in {
+				in[b] = mask&(1<<b) != 0
+			}
+			if c.Eval(in) != lc.Circuit.Eval(in) {
+				t.Logf("seed %d mask %d: semantics differ", seed, mask)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(31))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormulaEvalAndNNF(t *testing.T) {
+	// ~( (x0 | ~x1) & x2 )
+	f := FNot{Sub: FAnd{Subs: []Formula{
+		FOr{Subs: []Formula{FVar{V: 0}, FVar{V: 1, Neg: true}}},
+		FVar{V: 2},
+	}}}
+	g := NNF(f)
+	if !IsNNF(g) {
+		t.Fatal("NNF left a negation")
+	}
+	if IsNNF(f) {
+		t.Fatal("IsNNF missed the top-level negation")
+	}
+	for mask := 0; mask < 8; mask++ {
+		in := []bool{mask&1 != 0, mask&2 != 0, mask&4 != 0}
+		if EvalFormula(f, in) != EvalFormula(g, in) {
+			t.Fatalf("NNF changed semantics on %v", in)
+		}
+	}
+	if FormulaVars(f) != 3 {
+		t.Fatalf("FormulaVars = %d", FormulaVars(f))
+	}
+}
+
+func TestWeightedSatFormula(t *testing.T) {
+	// (x0 | x1) & (x2 | x3) needs ≥... with weight exactly 1 it is unsat;
+	// weight 2 sat (one from each pair).
+	f := FAnd{Subs: []Formula{
+		FOr{Subs: []Formula{FVar{V: 0}, FVar{V: 1}}},
+		FOr{Subs: []Formula{FVar{V: 2}, FVar{V: 3}}},
+	}}
+	if _, ok := WeightedSatFormula(f, 4, 1); ok {
+		t.Fatal("weight 1 should fail")
+	}
+	a, ok := WeightedSatFormula(f, 4, 2)
+	if !ok || !EvalFormula(f, a) {
+		t.Fatal("weight 2 should succeed")
+	}
+	if _, ok := WeightedSatFormula(f, 4, 5); ok {
+		t.Fatal("weight beyond n")
+	}
+}
+
+// Property: NNF is semantics-preserving on random formulas.
+func TestQuickNNF(t *testing.T) {
+	var build func(rnd *rand.Rand, depth, vars int) Formula
+	build = func(rnd *rand.Rand, depth, vars int) Formula {
+		if depth == 0 || rnd.Intn(3) == 0 {
+			return FVar{V: rnd.Intn(vars), Neg: rnd.Intn(2) == 0}
+		}
+		switch rnd.Intn(3) {
+		case 0:
+			return FNot{Sub: build(rnd, depth-1, vars)}
+		case 1:
+			return FAnd{Subs: []Formula{build(rnd, depth-1, vars), build(rnd, depth-1, vars)}}
+		default:
+			return FOr{Subs: []Formula{build(rnd, depth-1, vars), build(rnd, depth-1, vars)}}
+		}
+	}
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		vars := 1 + rnd.Intn(4)
+		fm := build(rnd, 4, vars)
+		g := NNF(fm)
+		if !IsNNF(g) {
+			return false
+		}
+		for mask := 0; mask < 1<<vars; mask++ {
+			in := make([]bool, vars)
+			for b := range in {
+				in[b] = mask&(1<<b) != 0
+			}
+			if EvalFormula(fm, in) != EvalFormula(g, in) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(33))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

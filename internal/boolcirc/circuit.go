@@ -1,0 +1,182 @@
+// Package boolcirc implements Boolean formulas and circuits with the
+// operations the paper's reductions need: evaluation, monotonicity and
+// depth checks (NOT gates on inputs are not counted, per the W-hierarchy
+// convention), weighted satisfiability solvers, and the alternating-level
+// normalization that the W[P]-hardness reduction to first-order queries
+// assumes ("the circuit alternates between OR and AND gates and the output
+// is an OR gate at level 2t").
+package boolcirc
+
+import "fmt"
+
+// Kind is a gate kind.
+type Kind int8
+
+// Gate kinds.
+const (
+	Input Kind = iota
+	And
+	Or
+	Not
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Input:
+		return "in"
+	case And:
+		return "and"
+	case Or:
+		return "or"
+	case Not:
+		return "not"
+	}
+	return "?"
+}
+
+// Gate is one node of a circuit. In refers to earlier gates only, so every
+// circuit is a DAG by construction.
+type Gate struct {
+	Kind Kind
+	In   []int
+}
+
+// Circuit is a Boolean circuit with unbounded fan-in AND/OR and optional
+// NOT gates. Gates 0…NumInputs−1 are the inputs.
+type Circuit struct {
+	Gates     []Gate
+	NumInputs int
+	Output    int
+}
+
+// New returns a circuit with n input gates and no output set.
+func New(n int) *Circuit {
+	c := &Circuit{NumInputs: n, Output: -1}
+	for i := 0; i < n; i++ {
+		c.Gates = append(c.Gates, Gate{Kind: Input})
+	}
+	return c
+}
+
+// AddGate appends a gate of the given kind over the given earlier gates and
+// returns its id. NOT gates take exactly one input; AND/OR at least one.
+func (c *Circuit) AddGate(kind Kind, in ...int) int {
+	if kind == Input {
+		panic("boolcirc: cannot add inputs after construction")
+	}
+	if kind == Not && len(in) != 1 {
+		panic("boolcirc: NOT takes exactly one input")
+	}
+	if kind != Not && len(in) == 0 {
+		panic("boolcirc: AND/OR need at least one input")
+	}
+	id := len(c.Gates)
+	for _, g := range in {
+		if g < 0 || g >= id {
+			panic(fmt.Sprintf("boolcirc: gate input %d out of range [0,%d)", g, id))
+		}
+	}
+	c.Gates = append(c.Gates, Gate{Kind: kind, In: append([]int(nil), in...)})
+	return id
+}
+
+// SetOutput designates the output gate.
+func (c *Circuit) SetOutput(g int) {
+	if g < 0 || g >= len(c.Gates) {
+		panic("boolcirc: output gate out of range")
+	}
+	c.Output = g
+}
+
+// Eval evaluates the circuit on the given input assignment.
+func (c *Circuit) Eval(input []bool) bool {
+	if len(input) != c.NumInputs {
+		panic(fmt.Sprintf("boolcirc: %d inputs given, circuit has %d", len(input), c.NumInputs))
+	}
+	val := make([]bool, len(c.Gates))
+	copy(val, input)
+	for i := c.NumInputs; i < len(c.Gates); i++ {
+		g := c.Gates[i]
+		switch g.Kind {
+		case And:
+			v := true
+			for _, in := range g.In {
+				v = v && val[in]
+			}
+			val[i] = v
+		case Or:
+			v := false
+			for _, in := range g.In {
+				v = v || val[in]
+			}
+			val[i] = v
+		case Not:
+			val[i] = !val[g.In[0]]
+		}
+	}
+	return val[c.Output]
+}
+
+// IsMonotone reports whether the circuit has no NOT gates.
+func (c *Circuit) IsMonotone() bool {
+	for _, g := range c.Gates {
+		if g.Kind == Not {
+			return false
+		}
+	}
+	return true
+}
+
+// Depth returns the number of gates on the longest input→output path, not
+// counting NOT gates applied directly to inputs (the paper's convention).
+func (c *Circuit) Depth() int {
+	d := make([]int, len(c.Gates))
+	for i := c.NumInputs; i < len(c.Gates); i++ {
+		g := c.Gates[i]
+		max := 0
+		for _, in := range g.In {
+			if d[in] > max {
+				max = d[in]
+			}
+		}
+		if g.Kind == Not && g.In[0] < c.NumInputs {
+			d[i] = max // uncounted input-level NOT
+		} else {
+			d[i] = max + 1
+		}
+	}
+	return d[c.Output]
+}
+
+// WeightedSatisfiable reports whether some input assignment with exactly k
+// true inputs satisfies the circuit, returning one if so. It enumerates
+// k-subsets of the inputs — an exact exponential oracle for validating the
+// W[P] reductions.
+func (c *Circuit) WeightedSatisfiable(k int) ([]bool, bool) {
+	if k < 0 || k > c.NumInputs {
+		return nil, false
+	}
+	assign := make([]bool, c.NumInputs)
+	var rec func(pos, start int) bool
+	rec = func(pos, start int) bool {
+		if pos == k {
+			return c.Eval(assign)
+		}
+		for v := start; v <= c.NumInputs-(k-pos); v++ {
+			assign[v] = true
+			if rec(pos+1, v+1) {
+				return true
+			}
+			assign[v] = false
+		}
+		return false
+	}
+	if rec(0, 0) {
+		return assign, true
+	}
+	return nil, false
+}
+
+func (c *Circuit) String() string {
+	return fmt.Sprintf("circuit{inputs=%d gates=%d out=%d}", c.NumInputs, len(c.Gates), c.Output)
+}

@@ -1,0 +1,193 @@
+package boolcirc
+
+import "fmt"
+
+// Formula is a Boolean formula tree (a fan-out-1 circuit) over variables
+// 0…n−1 — the object of the weighted formula satisfiability
+// problem that defines W[SAT] and that Theorem 1(2) reduces to positive
+// queries. Negations are permitted anywhere; NNF pushes them onto leaves,
+// which is the form the W[SAT]→positive-query reduction consumes.
+type Formula interface {
+	isFormula()
+	String() string
+}
+
+// FVar is a literal leaf: variable V, possibly negated.
+type FVar struct {
+	V   int
+	Neg bool
+}
+
+// FAnd is a conjunction.
+type FAnd struct{ Subs []Formula }
+
+// FOr is a disjunction.
+type FOr struct{ Subs []Formula }
+
+// FNot is a negation.
+type FNot struct{ Sub Formula }
+
+func (FVar) isFormula() {}
+func (FAnd) isFormula() {}
+func (FOr) isFormula()  {}
+func (FNot) isFormula() {}
+
+func (f FVar) String() string {
+	if f.Neg {
+		return fmt.Sprintf("~x%d", f.V)
+	}
+	return fmt.Sprintf("x%d", f.V)
+}
+
+func (f FAnd) String() string { return nary("&", f.Subs) }
+func (f FOr) String() string  { return nary("|", f.Subs) }
+func (f FNot) String() string { return "~" + f.Sub.String() }
+
+func nary(op string, subs []Formula) string {
+	s := "("
+	for i, sub := range subs {
+		if i > 0 {
+			s += " " + op + " "
+		}
+		s += sub.String()
+	}
+	return s + ")"
+}
+
+// EvalFormula evaluates f under assign.
+func EvalFormula(f Formula, assign []bool) bool {
+	switch g := f.(type) {
+	case FVar:
+		return assign[g.V] != g.Neg
+	case FAnd:
+		for _, s := range g.Subs {
+			if !EvalFormula(s, assign) {
+				return false
+			}
+		}
+		return true
+	case FOr:
+		for _, s := range g.Subs {
+			if EvalFormula(s, assign) {
+				return true
+			}
+		}
+		return false
+	case FNot:
+		return !EvalFormula(g.Sub, assign)
+	}
+	panic(fmt.Sprintf("boolcirc: unknown formula node %T", f))
+}
+
+// NNF pushes negations down to the leaves (negation normal form).
+func NNF(f Formula) Formula {
+	return nnf(f, false)
+}
+
+func nnf(f Formula, neg bool) Formula {
+	switch g := f.(type) {
+	case FVar:
+		return FVar{V: g.V, Neg: g.Neg != neg}
+	case FNot:
+		return nnf(g.Sub, !neg)
+	case FAnd:
+		subs := make([]Formula, len(g.Subs))
+		for i, s := range g.Subs {
+			subs[i] = nnf(s, neg)
+		}
+		if neg {
+			return FOr{Subs: subs}
+		}
+		return FAnd{Subs: subs}
+	case FOr:
+		subs := make([]Formula, len(g.Subs))
+		for i, s := range g.Subs {
+			subs[i] = nnf(s, neg)
+		}
+		if neg {
+			return FAnd{Subs: subs}
+		}
+		return FOr{Subs: subs}
+	}
+	panic(fmt.Sprintf("boolcirc: unknown formula node %T", f))
+}
+
+// IsNNF reports whether f contains no FNot nodes.
+func IsNNF(f Formula) bool {
+	switch g := f.(type) {
+	case FVar:
+		return true
+	case FNot:
+		return false
+	case FAnd:
+		for _, s := range g.Subs {
+			if !IsNNF(s) {
+				return false
+			}
+		}
+		return true
+	case FOr:
+		for _, s := range g.Subs {
+			if !IsNNF(s) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// FormulaVars returns the number of variables: 1 + the largest variable id
+// occurring in f (0 for a variable-free formula, which cannot exist here
+// since leaves are variables).
+func FormulaVars(f Formula) int {
+	max := -1
+	var walk func(Formula)
+	walk = func(f Formula) {
+		switch g := f.(type) {
+		case FVar:
+			if g.V > max {
+				max = g.V
+			}
+		case FNot:
+			walk(g.Sub)
+		case FAnd:
+			for _, s := range g.Subs {
+				walk(s)
+			}
+		case FOr:
+			for _, s := range g.Subs {
+				walk(s)
+			}
+		}
+	}
+	walk(f)
+	return max + 1
+}
+
+// WeightedSatFormula reports whether f has a satisfying assignment over n
+// variables with exactly k true, returning one if so (subset enumeration).
+func WeightedSatFormula(f Formula, n, k int) ([]bool, bool) {
+	if k < 0 || k > n {
+		return nil, false
+	}
+	assign := make([]bool, n)
+	var rec func(pos, start int) bool
+	rec = func(pos, start int) bool {
+		if pos == k {
+			return EvalFormula(f, assign)
+		}
+		for v := start; v <= n-(k-pos); v++ {
+			assign[v] = true
+			if rec(pos+1, v+1) {
+				return true
+			}
+			assign[v] = false
+		}
+		return false
+	}
+	if rec(0, 0) {
+		return assign, true
+	}
+	return nil, false
+}

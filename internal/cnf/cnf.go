@@ -1,0 +1,296 @@
+// Package cnf implements CNF formulas and the weighted satisfiability
+// problem at the heart of the W hierarchy: does a formula have a satisfying
+// assignment with exactly k variables set to true? The 2-CNF case is the
+// target of the paper's Theorem 1(1) upper-bound reduction, and the 3-CNF
+// case defines W[1].
+package cnf
+
+import "fmt"
+
+// Lit is a literal: +(v+1) for variable v, −(v+1) for its negation.
+// Variables are 0-based.
+type Lit int32
+
+// PosLit and NegLit build literals for variable v.
+func PosLit(v int) Lit { return Lit(v + 1) }
+
+// NegLit returns the negative literal of variable v.
+func NegLit(v int) Lit { return Lit(-(v + 1)) }
+
+// Var returns the 0-based variable of l.
+func (l Lit) Var() int {
+	if l < 0 {
+		return int(-l) - 1
+	}
+	return int(l) - 1
+}
+
+// Positive reports whether l is a positive literal.
+func (l Lit) Positive() bool { return l > 0 }
+
+func (l Lit) String() string {
+	if l.Positive() {
+		return fmt.Sprintf("z%d", l.Var())
+	}
+	return fmt.Sprintf("~z%d", l.Var())
+}
+
+// Clause is a disjunction of literals.
+type Clause []Lit
+
+// Formula is a conjunction of clauses over NumVars variables.
+type Formula struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// New returns an empty formula over n variables.
+func New(n int) *Formula { return &Formula{NumVars: n} }
+
+// AddClause appends the clause with the given literals.
+func (f *Formula) AddClause(lits ...Lit) {
+	for _, l := range lits {
+		v := l.Var()
+		if v < 0 || v >= f.NumVars {
+			panic(fmt.Sprintf("cnf: literal %v out of range (%d vars)", l, f.NumVars))
+		}
+	}
+	f.Clauses = append(f.Clauses, append(Clause(nil), lits...))
+}
+
+// MaxClauseWidth returns the width of the widest clause.
+func (f *Formula) MaxClauseWidth() int {
+	w := 0
+	for _, c := range f.Clauses {
+		if len(c) > w {
+			w = len(c)
+		}
+	}
+	return w
+}
+
+// Eval evaluates the formula under a full assignment.
+func (f *Formula) Eval(assign []bool) bool {
+	for _, c := range f.Clauses {
+		sat := false
+		for _, l := range c {
+			if assign[l.Var()] == l.Positive() {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+// Weight returns the number of true variables in assign.
+func Weight(assign []bool) int {
+	n := 0
+	for _, b := range assign {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+const (
+	unknown int8 = iota
+	fTrue
+	fFalse
+)
+
+// WeightedSatisfiable reports whether the formula has a satisfying
+// assignment with exactly k true variables, returning one if so. It runs a
+// DPLL search with unit propagation and weight-window pruning; this is an
+// exact exponential solver — the whole point of the paper is that no
+// f(k)·poly algorithm is expected.
+func (f *Formula) WeightedSatisfiable(k int) ([]bool, bool) {
+	if k < 0 || k > f.NumVars {
+		return nil, false
+	}
+	s := &solver{f: f, assign: make([]int8, f.NumVars), want: k}
+	if !s.search() {
+		return nil, false
+	}
+	out := make([]bool, f.NumVars)
+	for v, a := range s.assign {
+		out[v] = a == fTrue
+	}
+	return out, true
+}
+
+type solver struct {
+	f      *Formula
+	assign []int8
+	trues  int
+	nset   int
+	want   int
+}
+
+// propagate runs unit propagation and weight pruning to a fixpoint.
+// It returns false on conflict and appends every assignment it makes to
+// trail.
+func (s *solver) propagate(trail *[]int) bool {
+	for {
+		if s.trues > s.want || s.trues+(s.f.NumVars-s.nset) < s.want {
+			return false
+		}
+		// Weight forcing: if the window is closed, force the remainder.
+		if s.trues == s.want {
+			forced := false
+			for v := range s.assign {
+				if s.assign[v] == unknown {
+					s.set(v, fFalse, trail)
+					forced = true
+				}
+			}
+			if forced {
+				continue
+			}
+		}
+		if s.trues+(s.f.NumVars-s.nset) == s.want {
+			forced := false
+			for v := range s.assign {
+				if s.assign[v] == unknown {
+					s.set(v, fTrue, trail)
+					forced = true
+				}
+			}
+			if forced {
+				continue
+			}
+		}
+		unitFound := false
+		for _, c := range s.f.Clauses {
+			sat := false
+			unassigned := 0
+			var unit Lit
+			for _, l := range c {
+				switch s.assign[l.Var()] {
+				case unknown:
+					unassigned++
+					unit = l
+				case fTrue:
+					if l.Positive() {
+						sat = true
+					}
+				case fFalse:
+					if !l.Positive() {
+						sat = true
+					}
+				}
+				if sat {
+					break
+				}
+			}
+			if sat {
+				continue
+			}
+			if unassigned == 0 {
+				return false // falsified clause
+			}
+			if unassigned == 1 {
+				val := fFalse
+				if unit.Positive() {
+					val = fTrue
+				}
+				s.set(unit.Var(), val, trail)
+				unitFound = true
+			}
+		}
+		if !unitFound {
+			return true
+		}
+	}
+}
+
+func (s *solver) set(v int, val int8, trail *[]int) {
+	s.assign[v] = val
+	s.nset++
+	if val == fTrue {
+		s.trues++
+	}
+	*trail = append(*trail, v)
+}
+
+func (s *solver) unset(trail []int) {
+	for _, v := range trail {
+		if s.assign[v] == fTrue {
+			s.trues--
+		}
+		s.assign[v] = unknown
+		s.nset--
+	}
+}
+
+func (s *solver) search() bool {
+	var trail []int
+	if !s.propagate(&trail) {
+		s.unset(trail)
+		return false
+	}
+	// Pick the first unassigned variable.
+	branch := -1
+	for v := range s.assign {
+		if s.assign[v] == unknown {
+			branch = v
+			break
+		}
+	}
+	if branch == -1 {
+		if s.trues == s.want {
+			return true
+		}
+		s.unset(trail)
+		return false
+	}
+	for _, val := range []int8{fTrue, fFalse} {
+		var sub []int
+		s.set(branch, val, &sub)
+		if s.search() {
+			return true
+		}
+		s.unset(sub)
+	}
+	s.unset(trail)
+	return false
+}
+
+// WeightedSatisfiableBrute enumerates all k-subsets of variables — the
+// reference oracle for the DPLL solver in tests. Practical only for small
+// formulas.
+func (f *Formula) WeightedSatisfiableBrute(k int) ([]bool, bool) {
+	if k < 0 || k > f.NumVars {
+		return nil, false
+	}
+	assign := make([]bool, f.NumVars)
+	idx := make([]int, k)
+	var rec func(pos, start int) bool
+	rec = func(pos, start int) bool {
+		if pos == k {
+			return f.Eval(assign)
+		}
+		for v := start; v <= f.NumVars-(k-pos); v++ {
+			assign[v] = true
+			idx[pos] = v
+			if rec(pos+1, v+1) {
+				return true
+			}
+			assign[v] = false
+		}
+		return false
+	}
+	if rec(0, 0) {
+		return assign, true
+	}
+	return nil, false
+}
+
+func (f *Formula) String() string {
+	s := fmt.Sprintf("cnf{%d vars, %d clauses}", f.NumVars, len(f.Clauses))
+	return s
+}

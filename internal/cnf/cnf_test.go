@@ -1,0 +1,154 @@
+package cnf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLit(t *testing.T) {
+	p, n := PosLit(3), NegLit(3)
+	if p.Var() != 3 || n.Var() != 3 {
+		t.Fatalf("Var: %d %d", p.Var(), n.Var())
+	}
+	if !p.Positive() || n.Positive() {
+		t.Fatal("sign wrong")
+	}
+	if p.String() != "z3" || n.String() != "~z3" {
+		t.Fatalf("String: %q %q", p, n)
+	}
+}
+
+func TestAddClauseRangePanics(t *testing.T) {
+	f := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f.AddClause(PosLit(5))
+}
+
+func TestEval(t *testing.T) {
+	f := New(3)
+	f.AddClause(PosLit(0), NegLit(1))
+	f.AddClause(PosLit(2))
+	if !f.Eval([]bool{true, true, true}) {
+		t.Fatal("satisfying assignment rejected")
+	}
+	if f.Eval([]bool{false, true, true}) {
+		t.Fatal("falsifying assignment accepted")
+	}
+	if f.Eval([]bool{true, true, false}) {
+		t.Fatal("unit clause ignored")
+	}
+}
+
+func TestWeightedSimple(t *testing.T) {
+	// (z0 ∨ z1) ∧ (¬z0 ∨ ¬z1): exactly one of z0,z1. Solutions have weight 1.
+	f := New(2)
+	f.AddClause(PosLit(0), PosLit(1))
+	f.AddClause(NegLit(0), NegLit(1))
+	if _, ok := f.WeightedSatisfiable(0); ok {
+		t.Fatal("weight 0 should fail")
+	}
+	a, ok := f.WeightedSatisfiable(1)
+	if !ok || Weight(a) != 1 || !f.Eval(a) {
+		t.Fatalf("weight 1 should succeed, got %v %v", a, ok)
+	}
+	if _, ok := f.WeightedSatisfiable(2); ok {
+		t.Fatal("weight 2 should fail")
+	}
+}
+
+func TestWeightedOutOfRange(t *testing.T) {
+	f := New(2)
+	if _, ok := f.WeightedSatisfiable(-1); ok {
+		t.Fatal("negative weight")
+	}
+	if _, ok := f.WeightedSatisfiable(3); ok {
+		t.Fatal("weight beyond variables")
+	}
+	if a, ok := f.WeightedSatisfiable(2); !ok || Weight(a) != 2 {
+		t.Fatal("empty formula with full weight should succeed")
+	}
+}
+
+func TestWeightedAtMostOneGroups(t *testing.T) {
+	// Three groups of three variables, at most one true per group, and a
+	// conflict: picking z0 forbids z3.
+	f := New(9)
+	for g := 0; g < 3; g++ {
+		for i := 0; i < 3; i++ {
+			for j := i + 1; j < 3; j++ {
+				f.AddClause(NegLit(3*g+i), NegLit(3*g+j))
+			}
+		}
+	}
+	f.AddClause(NegLit(0), NegLit(3))
+	a, ok := f.WeightedSatisfiable(3)
+	if !ok {
+		t.Fatal("should be satisfiable with one per group")
+	}
+	if Weight(a) != 3 || !f.Eval(a) {
+		t.Fatalf("bad witness %v", a)
+	}
+	if _, ok := f.WeightedSatisfiable(4); ok {
+		t.Fatal("weight 4 impossible with at-most-one groups")
+	}
+}
+
+func TestMaxClauseWidth(t *testing.T) {
+	f := New(4)
+	f.AddClause(PosLit(0))
+	f.AddClause(PosLit(0), NegLit(1), PosLit(2))
+	if f.MaxClauseWidth() != 3 {
+		t.Fatalf("width = %d", f.MaxClauseWidth())
+	}
+}
+
+func randFormula(rnd *rand.Rand) *Formula {
+	n := 3 + rnd.Intn(8)
+	f := New(n)
+	m := rnd.Intn(12)
+	for i := 0; i < m; i++ {
+		w := 1 + rnd.Intn(3)
+		var c []Lit
+		for j := 0; j < w; j++ {
+			v := rnd.Intn(n)
+			if rnd.Intn(2) == 0 {
+				c = append(c, PosLit(v))
+			} else {
+				c = append(c, NegLit(v))
+			}
+		}
+		f.AddClause(c...)
+	}
+	return f
+}
+
+// Property: the DPLL weighted solver agrees with brute-force subset
+// enumeration, and its witnesses are valid.
+func TestQuickDPLLAgreesWithBrute(t *testing.T) {
+	fcheck := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		f := randFormula(rnd)
+		for k := 0; k <= f.NumVars; k++ {
+			a1, ok1 := f.WeightedSatisfiable(k)
+			_, ok2 := f.WeightedSatisfiableBrute(k)
+			if ok1 != ok2 {
+				t.Logf("seed %d k %d: dpll=%v brute=%v (%v)", seed, k, ok1, ok2, f)
+				return false
+			}
+			if ok1 && (Weight(a1) != k || !f.Eval(a1)) {
+				t.Logf("seed %d k %d: invalid witness", seed, k)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(21))}
+	if err := quick.Check(fcheck, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,302 @@
+// Package colorcoding provides the hash families behind Theorem 2's
+// evaluation algorithm: functions h: D → {0,…,k−1} used to check the I₁
+// inequalities on hashed color columns. Three constructions are offered:
+//
+//   - Trials: the paper's Monte-Carlo driver — ⌈c·eᵏ⌉ independent random
+//     functions; if a satisfying instantiation exists, some trial is
+//     consistent with it with probability ≥ 1 − e^{−c}.
+//   - ExactPerfect: a certified k-perfect family built by covering every
+//     k-subset of the (small) domain — the fully deterministic option, used
+//     when (|D| choose k) is enumerable.
+//   - WHPPerfect: a seeded family of the size shape 2^{O(k)}·log|D| the
+//     paper cites from Alon–Yuster–Zwick [3]; it is k-perfect except with
+//     probability ≤ δ over the fixed seed (union bound). This replaces the
+//     explicit Schmidt–Siegel construction; see DESIGN.md (substitutions).
+package colorcoding
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pyquery/internal/relation"
+)
+
+// Func is a hash function from domain values to colors {0,…,K−1}.
+type Func interface {
+	K() int
+	Color(v relation.Value) int
+}
+
+// seededFunc hashes through a 64-bit mixer.
+type seededFunc struct {
+	seed uint64
+	k    int
+}
+
+func (f seededFunc) K() int { return f.k }
+
+func (f seededFunc) Color(v relation.Value) int {
+	return int(mix64(uint64(v)+f.seed) % uint64(f.k))
+}
+
+// tableFunc is an explicit lookup table (values outside the table get
+// color 0; the engine only ever hashes active-domain values).
+type tableFunc struct {
+	m map[relation.Value]int
+	k int
+}
+
+func (f tableFunc) K() int { return f.k }
+
+func (f tableFunc) Color(v relation.Value) int { return f.m[v] }
+
+// constFunc colors everything 0 — the trivial k ≤ 1 family.
+type constFunc struct{ k int }
+
+func (f constFunc) K() int                     { return f.k }
+func (f constFunc) Color(v relation.Value) int { return 0 }
+
+// mix64 is the splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Seeded returns a single seeded hash function with k colors.
+func Seeded(k int, seed int64) Func {
+	if k <= 1 {
+		return constFunc{k: max(1, k)}
+	}
+	return seededFunc{seed: mix64(uint64(seed)), k: k}
+}
+
+// Trials returns the paper's Monte-Carlo family: ⌈c·eᵏ⌉ independent seeded
+// functions. A fixed k-subset of the domain is hashed injectively by one
+// trial with probability > e^{−k}, so the family misses it with probability
+// at most (1−e^{−k})^{c·eᵏ} ≤ e^{−c}.
+func Trials(k int, c float64, seed int64) []Func {
+	if k <= 1 {
+		return []Func{constFunc{k: max(1, k)}}
+	}
+	n := int(math.Ceil(c * math.Exp(float64(k))))
+	if n < 1 {
+		n = 1
+	}
+	rnd := rand.New(rand.NewSource(seed))
+	fam := make([]Func, n)
+	for i := range fam {
+		fam[i] = seededFunc{seed: rnd.Uint64(), k: k}
+	}
+	return fam
+}
+
+// WHPPerfect returns a seeded family of ⌈eᵏ·(k·ln|D| + ln(1/δ))⌉ functions.
+// For any fixed k-subset S, Pr[no member is injective on S] ≤
+// (1−e^{−k})^T ≤ exp(−T·e^{−k}) ≤ δ·|D|^{−k}; a union bound over the at
+// most |D|ᵏ subsets makes the whole family k-perfect except with
+// probability ≤ δ over the seed. Size shape matches the explicit
+// 2^{O(k)}·log|D| construction the paper cites.
+func WHPPerfect(domainSize, k int, delta float64, seed int64) []Func {
+	if k <= 1 {
+		return []Func{constFunc{k: max(1, k)}}
+	}
+	if domainSize < 2 {
+		domainSize = 2
+	}
+	if delta <= 0 {
+		delta = 1e-9
+	}
+	t := int(math.Ceil(math.Exp(float64(k)) *
+		(float64(k)*math.Log(float64(domainSize)) + math.Log(1/delta))))
+	if t < 1 {
+		t = 1
+	}
+	rnd := rand.New(rand.NewSource(seed))
+	fam := make([]Func, t)
+	for i := range fam {
+		fam[i] = seededFunc{seed: rnd.Uint64(), k: k}
+	}
+	return fam
+}
+
+// ExactPerfect builds a certified k-perfect family on the given domain by
+// explicitly covering every k-subset: candidate seeded functions are drawn
+// and kept whenever they hash some still-uncovered subset injectively;
+// construction ends when no subset remains. Requires (|domain| choose k)
+// ≤ MaxSubsets and k ≤ MaxK.
+func ExactPerfect(domain []relation.Value, k int) ([]Func, error) {
+	if k <= 1 {
+		return []Func{constFunc{k: max(1, k)}}, nil
+	}
+	if len(domain) <= k {
+		// Rank coloring is injective on the whole domain.
+		m := make(map[relation.Value]int, len(domain))
+		for i, v := range domain {
+			m[v] = i % k
+		}
+		// If |domain| ≤ k the ranks are all distinct.
+		return []Func{tableFunc{m: m, k: k}}, nil
+	}
+	if k > MaxK {
+		return nil, fmt.Errorf("colorcoding: ExactPerfect supports k ≤ %d (got %d); use WHPPerfect", MaxK, k)
+	}
+	nsub := binomial(len(domain), k)
+	if nsub < 0 || nsub > MaxSubsets {
+		return nil, fmt.Errorf("colorcoding: (%d choose %d) k-subsets exceed the enumeration budget %d",
+			len(domain), k, MaxSubsets)
+	}
+
+	// uncovered holds the still-uncovered subsets; each accepted candidate
+	// compacts it, so the total scan work is O(Σ remaining) rather than
+	// O(subsets × candidates).
+	uncovered := combinations(len(domain), k)
+	var fam []Func
+	rnd := rand.New(rand.NewSource(0x1e3779b97f4a7c15))
+	tries := 0
+	for len(uncovered) > 0 {
+		tries++
+		if tries > maxCandidateTries {
+			return nil, fmt.Errorf("colorcoding: gave up after %d candidate functions (%d subsets uncovered)",
+				tries, len(uncovered))
+		}
+		f := seededFunc{seed: rnd.Uint64(), k: k}
+		next := uncovered[:0]
+		for _, sub := range uncovered {
+			var mask uint64
+			inj := true
+			for _, di := range sub {
+				c := f.Color(domain[di])
+				if mask&(1<<uint(c)) != 0 {
+					inj = false
+					break
+				}
+				mask |= 1 << uint(c)
+			}
+			if !inj {
+				next = append(next, sub)
+			}
+		}
+		if len(next) < len(uncovered) {
+			fam = append(fam, f)
+		}
+		uncovered = next
+	}
+	return fam, nil
+}
+
+// Budgets for ExactPerfect.
+const (
+	MaxK              = 8
+	MaxSubsets        = 2_000_000
+	maxCandidateTries = 5_000_000
+)
+
+// ExactFeasible reports whether ExactPerfect would fit within the given
+// subset-enumeration budget (use MaxSubsets for the hard limit; smaller
+// budgets make sensible Auto-strategy thresholds).
+func ExactFeasible(domainSize, k, budget int) bool {
+	if k <= 1 || domainSize <= k {
+		return true
+	}
+	if k > MaxK {
+		return false
+	}
+	n := binomial(domainSize, k)
+	return n >= 0 && n <= budget
+}
+
+// InjectiveOn reports whether f assigns pairwise distinct colors to vals.
+func InjectiveOn(f Func, vals []relation.Value) bool {
+	seen := make(map[int]bool, len(vals))
+	for _, v := range vals {
+		c := f.Color(v)
+		if seen[c] {
+			return false
+		}
+		seen[c] = true
+	}
+	return true
+}
+
+// IsPerfect verifies by enumeration that the family hashes every k-subset
+// of domain injectively for some member. Exponential; for tests.
+func IsPerfect(fam []Func, domain []relation.Value, k int) bool {
+	if k <= 1 {
+		return len(fam) > 0
+	}
+	if len(domain) <= k {
+		vals := append([]relation.Value(nil), domain...)
+		for _, f := range fam {
+			if InjectiveOn(f, vals) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, sub := range combinations(len(domain), k) {
+		vals := make([]relation.Value, k)
+		for i, di := range sub {
+			vals[i] = domain[di]
+		}
+		ok := false
+		for _, f := range fam {
+			if InjectiveOn(f, vals) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// combinations enumerates all k-subsets of {0,…,n−1}.
+func combinations(n, k int) [][]int {
+	var out [][]int
+	idx := make([]int, k)
+	var rec func(pos, start int)
+	rec = func(pos, start int) {
+		if pos == k {
+			out = append(out, append([]int(nil), idx...))
+			return
+		}
+		for i := start; i <= n-(k-pos); i++ {
+			idx[pos] = i
+			rec(pos+1, i+1)
+		}
+	}
+	rec(0, 0)
+	return out
+}
+
+// binomial returns C(n,k), or −1 on overflow past MaxSubsets·8.
+func binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	res := 1
+	for i := 0; i < k; i++ {
+		res = res * (n - i) / (i + 1)
+		if res > MaxSubsets*8 {
+			return -1
+		}
+	}
+	return res
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,190 @@
+package colorcoding
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pyquery/internal/relation"
+)
+
+func domainOf(n int) []relation.Value {
+	d := make([]relation.Value, n)
+	for i := range d {
+		d[i] = relation.Value(i * 7) // non-contiguous values
+	}
+	return d
+}
+
+func TestSeededDeterministicAndInRange(t *testing.T) {
+	f := Seeded(5, 42)
+	for v := relation.Value(0); v < 100; v++ {
+		c := f.Color(v)
+		if c < 0 || c >= 5 {
+			t.Fatalf("color %d out of range", c)
+		}
+		if c != f.Color(v) {
+			t.Fatal("hash not deterministic")
+		}
+	}
+	if Seeded(5, 1).Color(17) == Seeded(5, 2).Color(17) &&
+		Seeded(5, 1).Color(18) == Seeded(5, 2).Color(18) &&
+		Seeded(5, 1).Color(19) == Seeded(5, 2).Color(19) {
+		t.Fatal("different seeds look identical on three points (suspicious)")
+	}
+}
+
+func TestTrivialKFamilies(t *testing.T) {
+	for _, k := range []int{0, 1} {
+		for _, fam := range [][]Func{
+			Trials(k, 2, 1),
+			WHPPerfect(100, k, 1e-6, 1),
+		} {
+			if len(fam) != 1 {
+				t.Fatalf("k=%d: family size %d, want 1", k, len(fam))
+			}
+			if fam[0].Color(33) != 0 {
+				t.Fatal("trivial family must color 0")
+			}
+		}
+		fam, err := ExactPerfect(domainOf(10), k)
+		if err != nil || len(fam) != 1 {
+			t.Fatalf("k=%d exact: %v %v", k, fam, err)
+		}
+	}
+}
+
+func TestTrialsSize(t *testing.T) {
+	k, c := 4, 2.0
+	fam := Trials(k, c, 7)
+	want := int(math.Ceil(c * math.Exp(float64(k))))
+	if len(fam) != want {
+		t.Fatalf("Trials size = %d, want %d", len(fam), want)
+	}
+}
+
+func TestTrialsHitRate(t *testing.T) {
+	// For a fixed k-subset, the fraction of random functions injective on it
+	// must exceed e^{-k} substantially (the paper uses l!/l^k > e^{-k}).
+	k := 4
+	vals := []relation.Value{3, 17, 91, 204}
+	fam := Trials(k, 20, 99) // plenty of functions to estimate the rate
+	hits := 0
+	for _, f := range fam {
+		if InjectiveOn(f, vals) {
+			hits++
+		}
+	}
+	rate := float64(hits) / float64(len(fam))
+	if rate < math.Exp(-float64(k))/2 {
+		t.Fatalf("injective rate %.4f far below e^-k = %.4f", rate, math.Exp(-float64(k)))
+	}
+}
+
+func TestExactPerfectSmall(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{
+		{6, 2}, {8, 3}, {10, 3}, {7, 4}, {12, 2},
+	} {
+		dom := domainOf(tc.n)
+		fam, err := ExactPerfect(dom, tc.k)
+		if err != nil {
+			t.Fatalf("n=%d k=%d: %v", tc.n, tc.k, err)
+		}
+		if !IsPerfect(fam, dom, tc.k) {
+			t.Fatalf("n=%d k=%d: family of size %d is not perfect", tc.n, tc.k, len(fam))
+		}
+	}
+}
+
+func TestExactPerfectTinyDomain(t *testing.T) {
+	// |domain| ≤ k: single injective table function.
+	dom := domainOf(3)
+	fam, err := ExactPerfect(dom, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fam) != 1 || !InjectiveOn(fam[0], dom) {
+		t.Fatalf("tiny domain family broken: %v", fam)
+	}
+	if !IsPerfect(fam, dom, 5) {
+		t.Fatal("tiny-domain family not perfect")
+	}
+}
+
+func TestExactPerfectBudgets(t *testing.T) {
+	if _, err := ExactPerfect(domainOf(100), MaxK+1); err == nil {
+		t.Fatal("k beyond MaxK accepted")
+	}
+	// (200 choose 8) is astronomically beyond MaxSubsets.
+	if _, err := ExactPerfect(domainOf(200), 8); err == nil {
+		t.Fatal("oversized enumeration accepted")
+	}
+}
+
+func TestWHPPerfectCoversRandomSubsets(t *testing.T) {
+	dom := domainOf(60)
+	k := 4
+	fam := WHPPerfect(len(dom), k, 1e-9, 5)
+	rnd := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 200; trial++ {
+		perm := rnd.Perm(len(dom))
+		vals := make([]relation.Value, k)
+		for i := 0; i < k; i++ {
+			vals[i] = dom[perm[i]]
+		}
+		ok := false
+		for _, f := range fam {
+			if InjectiveOn(f, vals) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("whp family missed subset %v", vals)
+		}
+	}
+}
+
+func TestWHPPerfectSizeShape(t *testing.T) {
+	// Size must grow linearly in log|D| and exponentially in k.
+	s1 := len(WHPPerfect(100, 3, 1e-9, 1))
+	s2 := len(WHPPerfect(10000, 3, 1e-9, 1))
+	if s2 <= s1 {
+		t.Fatalf("size must grow with |D|: %d vs %d", s1, s2)
+	}
+	s3 := len(WHPPerfect(100, 5, 1e-9, 1))
+	if float64(s3) < float64(s1)*math.E {
+		t.Fatalf("size must grow ~e^k: k=3→%d k=5→%d", s1, s3)
+	}
+}
+
+func TestInjectiveOn(t *testing.T) {
+	f := Seeded(3, 3)
+	if !InjectiveOn(f, nil) {
+		t.Fatal("empty set is injective")
+	}
+	// Same value twice can never be injective (same color).
+	if InjectiveOn(f, []relation.Value{5, 5}) {
+		t.Fatal("duplicate values cannot be injectively colored")
+	}
+}
+
+func TestIsPerfectRejectsBadFamily(t *testing.T) {
+	dom := domainOf(8)
+	// A single function cannot be 3-perfect on 8 values (pigeonhole across
+	// subsets — some subset must collide).
+	fam := []Func{Seeded(3, 1)}
+	if IsPerfect(fam, dom, 3) {
+		t.Fatal("single hash function reported perfect")
+	}
+}
+
+func TestCombinationsAndBinomial(t *testing.T) {
+	combos := combinations(5, 3)
+	if len(combos) != 10 || binomial(5, 3) != 10 {
+		t.Fatalf("C(5,3): %d combos, binom %d", len(combos), binomial(5, 3))
+	}
+	if binomial(10, 0) != 1 || binomial(3, 5) != 0 {
+		t.Fatal("binomial edge cases")
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+
+	"pyquery/internal/colorcoding"
+	"pyquery/internal/query"
+	"pyquery/internal/relation"
+)
+
+// Evaluate computes Q(d) for an acyclic conjunctive query with inequalities
+// using the default (Auto) deterministic hash family. The result uses the
+// positional schema 0…len(head)−1.
+func Evaluate(q *query.CQ, db *query.DB) (*relation.Relation, error) {
+	res, _, err := EvaluateStats(q, db, Options{})
+	return res, err
+}
+
+// EvaluateOpts is Evaluate with explicit options.
+func EvaluateOpts(q *query.CQ, db *query.DB, opts Options) (*relation.Relation, error) {
+	res, _, err := EvaluateStats(q, db, opts)
+	return res, err
+}
+
+// EvaluateStats evaluates and reports run statistics.
+func EvaluateStats(q *query.CQ, db *query.DB, opts Options) (*relation.Relation, Stats, error) {
+	opts = opts.withDefaults()
+	p, err := prepare(q, db, opts)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	stats := Stats{K: p.k, I1: len(p.i1), I2: len(p.i2)}
+	if p.trivialEmpty {
+		return query.NewTable(len(q.Head)), stats, nil
+	}
+	fam, err := family(p, opts)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.FamilySize = len(fam)
+
+	// Union of Q_h over the family, deduplicated on head-variable tuples.
+	var acc *relation.Relation
+	for _, h := range fam {
+		pstar, ok := p.runHash(h, true)
+		if !ok {
+			continue
+		}
+		stats.Successes++
+		if acc == nil {
+			acc = pstar
+		} else {
+			acc = relation.Union(acc, pstar)
+		}
+	}
+	if acc == nil {
+		return query.NewTable(len(q.Head)), stats, nil
+	}
+	return p.headTuples(acc), stats, nil
+}
+
+// EvaluateBool decides Q(d) ≠ ∅ (Algorithm 1 only), stopping at the first
+// hash function that succeeds.
+func EvaluateBool(q *query.CQ, db *query.DB) (bool, error) {
+	ok, _, err := EvaluateBoolStats(q, db, Options{})
+	return ok, err
+}
+
+// EvaluateBoolOpts is EvaluateBool with explicit options.
+func EvaluateBoolOpts(q *query.CQ, db *query.DB, opts Options) (bool, error) {
+	ok, _, err := EvaluateBoolStats(q, db, opts)
+	return ok, err
+}
+
+// EvaluateBoolStats decides emptiness and reports run statistics.
+func EvaluateBoolStats(q *query.CQ, db *query.DB, opts Options) (bool, Stats, error) {
+	opts = opts.withDefaults()
+	p, err := prepare(q, db, opts)
+	if err != nil {
+		return false, Stats{}, err
+	}
+	stats := Stats{K: p.k, I1: len(p.i1), I2: len(p.i2)}
+	if p.trivialEmpty {
+		return false, stats, nil
+	}
+	fam, err := family(p, opts)
+	if err != nil {
+		return false, stats, err
+	}
+	stats.FamilySize = len(fam)
+	for _, h := range fam {
+		if _, ok := p.runHash(h, false); ok {
+			stats.Successes = 1
+			return true, stats, nil
+		}
+	}
+	return false, stats, nil
+}
+
+// family constructs the hash family for a prepared query per the options.
+func family(p *prepared, opts Options) ([]colorcoding.Func, error) {
+	k := p.k
+	switch opts.Strategy {
+	case MonteCarlo:
+		return colorcoding.Trials(k, opts.C, opts.Seed), nil
+	case Exact:
+		return colorcoding.ExactPerfect(p.relevant, k)
+	case WHP:
+		return colorcoding.WHPPerfect(len(p.relevant), k, opts.Delta, opts.Seed), nil
+	case Auto:
+		// Keep the exact family for genuinely small instances; beyond the
+		// budget its construction cost dwarfs the evaluation.
+		const autoBudget = 50_000
+		if colorcoding.ExactFeasible(len(p.relevant), k, autoBudget) {
+			return colorcoding.ExactPerfect(p.relevant, k)
+		}
+		return colorcoding.WHPPerfect(len(p.relevant), k, opts.Delta, opts.Seed), nil
+	}
+	return nil, fmt.Errorf("core: unknown strategy %d", opts.Strategy)
+}
+
+// RunSingleHash runs Algorithm 1 with exactly one hash function h and
+// reports whether Q_h(d) ≠ ∅. The function's color count should equal the
+// query's hash range (|V₁|, from Partition). This is the probe behind the
+// Monte-Carlo success-rate experiments (E3c, A4): the paper guarantees a
+// single random h succeeds with probability > e^{−k} on satisfiable
+// instances.
+func RunSingleHash(q *query.CQ, db *query.DB, h colorcoding.Func) (bool, error) {
+	p, err := prepare(q, db, Options{}.withDefaults())
+	if err != nil {
+		return false, err
+	}
+	if p.trivialEmpty {
+		return false, nil
+	}
+	_, ok := p.runHash(h, false)
+	return ok, nil
+}
+
+// Decide answers the decision problem t ∈ Q(d) in the paper's sense:
+// substitute the constants of t into the body, then run the emptiness test.
+func Decide(q *query.CQ, db *query.DB, t []relation.Value, opts Options) (bool, error) {
+	bound, err := q.BindHead(t)
+	if query.IsTrivialMismatch(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return EvaluateBoolOpts(bound, db, opts)
+}

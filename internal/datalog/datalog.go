@@ -1,0 +1,393 @@
+// Package datalog implements positive Datalog with naive and semi-naive
+// bottom-up evaluation. It supports two of the paper's Section 4 points:
+// with all EDB and IDB arities bounded, each bottom-up stage is a bounded
+// conjunctive query, placing fixed-arity Datalog in W[1]; and Vardi's
+// observation that an IDB of arity k inherently materializes Θ(nᵏ) tuples —
+// the parameter provably in the exponent (experiment E7).
+package datalog
+
+import (
+	"fmt"
+
+	"pyquery/internal/eval"
+	"pyquery/internal/query"
+	"pyquery/internal/relation"
+)
+
+// Rule is a positive Datalog rule Head ← Body.
+type Rule struct {
+	Head query.Atom
+	Body []query.Atom
+}
+
+func (r Rule) String() string {
+	s := r.Head.String() + " :- "
+	for i, a := range r.Body {
+		if i > 0 {
+			s += ", "
+		}
+		s += a.String()
+	}
+	return s
+}
+
+// Program is a set of rules with a distinguished goal (output) relation.
+type Program struct {
+	Rules []Rule
+	Goal  string
+}
+
+// IDB returns the intensional relations (those appearing in rule heads)
+// with their arities.
+func (p *Program) IDB() map[string]int {
+	out := make(map[string]int)
+	for _, r := range p.Rules {
+		out[r.Head.Rel] = len(r.Head.Args)
+	}
+	return out
+}
+
+// MaxArity returns the largest arity over the program's IDB and the given
+// database's EDB — the quantity that must stay bounded for the W[1]
+// membership argument of Section 4.
+func (p *Program) MaxArity(db *query.DB) int {
+	m := 0
+	for _, ar := range p.IDB() {
+		if ar > m {
+			m = ar
+		}
+	}
+	for _, name := range db.Names() {
+		if w := db.MustRel(name).Width(); w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// Validate checks the program against the database: IDB names must not
+// collide with EDB names, arities must be consistent, every body atom must
+// reference a known relation, head variables must occur in the body, and
+// head terms must be variables or constants (no arithmetic).
+func (p *Program) Validate(db *query.DB) error {
+	idb := p.IDB()
+	for name := range idb {
+		if _, ok := db.Rel(name); ok {
+			return fmt.Errorf("datalog: IDB relation %q collides with an EDB relation", name)
+		}
+	}
+	if _, ok := idb[p.Goal]; !ok {
+		return fmt.Errorf("datalog: goal %q is not defined by any rule", p.Goal)
+	}
+	for _, r := range p.Rules {
+		if len(r.Head.Args) != idb[r.Head.Rel] {
+			return fmt.Errorf("datalog: relation %q used with inconsistent arities", r.Head.Rel)
+		}
+		headVars := make(map[query.Var]bool)
+		for _, t := range r.Head.Args {
+			if t.IsVar {
+				headVars[t.Var] = true
+			}
+		}
+		bodyVars := make(map[query.Var]bool)
+		for _, a := range r.Body {
+			if ar, ok := idb[a.Rel]; ok {
+				if len(a.Args) != ar {
+					return fmt.Errorf("datalog: IDB atom %v has wrong arity", a)
+				}
+			} else if rel, ok := db.Rel(a.Rel); ok {
+				if len(a.Args) != rel.Width() {
+					return fmt.Errorf("datalog: EDB atom %v has wrong arity", a)
+				}
+			} else {
+				return fmt.Errorf("datalog: unknown relation %q in rule body", a.Rel)
+			}
+			for _, t := range a.Args {
+				if t.IsVar {
+					bodyVars[t.Var] = true
+				}
+			}
+		}
+		for v := range headVars {
+			if !bodyVars[v] {
+				return fmt.Errorf("datalog: unsafe rule %v: head variable x%d not in body", r, v)
+			}
+		}
+	}
+	return nil
+}
+
+// Stats reports evaluation work.
+type Stats struct {
+	Rounds  int
+	Derived int // total tuples across all IDB relations at fixpoint
+}
+
+// Options selects the evaluation strategy.
+type Options struct {
+	// Naive re-fires every rule on the full relations each round
+	// (the textbook fixpoint); the default is semi-naive with deltas.
+	Naive bool
+}
+
+// Eval computes the fixpoint and returns every IDB relation (keyed by name)
+// plus statistics. The database is not modified.
+func Eval(p *Program, db *query.DB, opts Options) (map[string]*relation.Relation, Stats, error) {
+	if err := p.Validate(db); err != nil {
+		return nil, Stats{}, err
+	}
+	idb := p.IDB()
+
+	// Working database: EDB + current IDB (+ delta names for semi-naive).
+	work := query.NewDB()
+	for _, name := range db.Names() {
+		work.Set(name, db.MustRel(name))
+	}
+	cur := make(map[string]*table, len(idb))
+	for name, ar := range idb {
+		cur[name] = newTable(ar)
+		work.Set(name, cur[name].rel)
+	}
+
+	var stats Stats
+	if opts.Naive {
+		for {
+			stats.Rounds++
+			grew := false
+			for _, r := range p.Rules {
+				out, err := fireRule(r, r.Body, work)
+				if err != nil {
+					return nil, stats, err
+				}
+				dst := cur[r.Head.Rel]
+				for i := 0; i < out.Len(); i++ {
+					if dst.add(out.Row(i)) {
+						grew = true
+					}
+				}
+			}
+			if !grew {
+				break
+			}
+		}
+	} else {
+		// Semi-naive: deltas per IDB relation.
+		delta := make(map[string]*relation.Relation, len(idb))
+		for name, ar := range idb {
+			delta[name] = query.NewTable(ar)
+			work.Set(deltaName(name), delta[name])
+		}
+		// Round 0: rules with no IDB body atoms seed the deltas.
+		stats.Rounds++
+		for _, r := range p.Rules {
+			if countIDBAtoms(r, idb) > 0 {
+				continue
+			}
+			out, err := fireRule(r, r.Body, work)
+			if err != nil {
+				return nil, stats, err
+			}
+			for i := 0; i < out.Len(); i++ {
+				row := out.Row(i)
+				if cur[r.Head.Rel].add(row) {
+					delta[r.Head.Rel].Append(row...)
+				}
+			}
+		}
+		for {
+			total := 0
+			for _, d := range delta {
+				total += d.Len()
+			}
+			if total == 0 {
+				break
+			}
+			stats.Rounds++
+			next := make(map[string]*table, len(idb))
+			for name, ar := range idb {
+				next[name] = newTable(ar)
+			}
+			for _, r := range p.Rules {
+				if countIDBAtoms(r, idb) == 0 {
+					continue
+				}
+				// Fire once per IDB body position, substituting the delta
+				// there (the standard semi-naive rewriting; duplicates
+				// across versions are removed by the keyed add).
+				for pos, a := range r.Body {
+					if _, ok := idb[a.Rel]; !ok {
+						continue
+					}
+					body := make([]query.Atom, len(r.Body))
+					copy(body, r.Body)
+					body[pos] = query.Atom{Rel: deltaName(a.Rel), Args: a.Args}
+					out, err := fireRule(r, body, work)
+					if err != nil {
+						return nil, stats, err
+					}
+					for i := 0; i < out.Len(); i++ {
+						row := out.Row(i)
+						if !cur[r.Head.Rel].has(row) {
+							next[r.Head.Rel].add(row)
+						}
+					}
+				}
+			}
+			for name := range idb {
+				// Promote: cur += next; delta := next.
+				nd := query.NewTable(next[name].rel.Width())
+				for i := 0; i < next[name].rel.Len(); i++ {
+					row := next[name].rel.Row(i)
+					cur[name].add(row)
+					nd.Append(row...)
+				}
+				*delta[name] = *nd
+			}
+		}
+	}
+	out := make(map[string]*relation.Relation, len(cur))
+	for name, t := range cur {
+		out[name] = t.rel
+		stats.Derived += t.rel.Len()
+	}
+	return out, stats, nil
+}
+
+// table is a relation with a keyed membership set for O(1) dedup.
+type table struct {
+	rel *relation.Relation
+	set map[string]bool
+}
+
+func newTable(arity int) *table {
+	return &table{rel: query.NewTable(arity), set: make(map[string]bool)}
+}
+
+func (t *table) has(row []relation.Value) bool { return t.set[rowKey(row)] }
+
+// add inserts the row if new, reporting whether it was added.
+func (t *table) add(row []relation.Value) bool {
+	k := rowKey(row)
+	if t.set[k] {
+		return false
+	}
+	t.set[k] = true
+	t.rel.Append(row...)
+	return true
+}
+
+func rowKey(row []relation.Value) string {
+	b := make([]byte, 8*len(row))
+	for i, v := range row {
+		u := uint64(v)
+		for j := 0; j < 8; j++ {
+			b[8*i+j] = byte(u >> (8 * j))
+		}
+	}
+	return string(b)
+}
+
+// EvalGoal evaluates the program and returns just the goal relation.
+func EvalGoal(p *Program, db *query.DB, opts Options) (*relation.Relation, Stats, error) {
+	rels, stats, err := Eval(p, db, opts)
+	if err != nil {
+		return nil, stats, err
+	}
+	return rels[p.Goal], stats, nil
+}
+
+func deltaName(name string) string { return "Δ" + name }
+
+func countIDBAtoms(r Rule, idb map[string]int) int {
+	n := 0
+	for _, a := range r.Body {
+		if _, ok := idb[a.Rel]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// fireRule evaluates the rule body as a conjunctive query with the rule
+// head as output over the working database.
+func fireRule(r Rule, body []query.Atom, work *query.DB) (*relation.Relation, error) {
+	q := &query.CQ{Head: r.Head.Args, Atoms: body}
+	return eval.Conjunctive(q, work)
+}
+
+// VardiFamily returns the arity-k Datalog program of experiment E7:
+//
+//	T(x₁,…,x_k) ← E(x₁,x₂), …, E(x_{k−1},x_k)
+//	T(x₂,…,x_k,y) ← T(x₁,…,x_k), E(x_k,y)
+//
+// On the complete digraph with self-loops the IDB holds exactly nᵏ tuples,
+// exhibiting Vardi's point that arity-k recursion puts k in the exponent of
+// the data complexity. k = 1 degenerates to T(x) ← E(x,x) plus the slide.
+func VardiFamily(k int) *Program {
+	if k < 1 {
+		panic("datalog: VardiFamily needs k ≥ 1")
+	}
+	head := make([]query.Term, k)
+	for i := range head {
+		head[i] = query.V(query.Var(i))
+	}
+	var base []query.Atom
+	if k == 1 {
+		base = []query.Atom{query.NewAtom("E", query.V(0), query.V(0))}
+	} else {
+		for i := 0; i+1 < k; i++ {
+			base = append(base, query.NewAtom("E", query.V(query.Var(i)), query.V(query.Var(i+1))))
+		}
+	}
+	slideHead := make([]query.Term, k)
+	for i := 1; i < k; i++ {
+		slideHead[i-1] = query.V(query.Var(i))
+	}
+	slideHead[k-1] = query.V(query.Var(k))
+	slideBody := []query.Atom{
+		{Rel: "T", Args: head},
+		query.NewAtom("E", query.V(query.Var(k-1)), query.V(query.Var(k))),
+	}
+	return &Program{
+		Rules: []Rule{
+			{Head: query.Atom{Rel: "T", Args: head}, Body: base},
+			{Head: query.Atom{Rel: "T", Args: slideHead}, Body: slideBody},
+		},
+		Goal: "T",
+	}
+}
+
+// Reachability returns the textbook transitive-closure program over EDB E.
+func Reachability() *Program {
+	return &Program{
+		Rules: []Rule{
+			{Head: query.NewAtom("Reach", query.V(0), query.V(1)),
+				Body: []query.Atom{query.NewAtom("E", query.V(0), query.V(1))}},
+			{Head: query.NewAtom("Reach", query.V(0), query.V(2)),
+				Body: []query.Atom{
+					query.NewAtom("Reach", query.V(0), query.V(1)),
+					query.NewAtom("E", query.V(1), query.V(2))}},
+		},
+		Goal: "Reach",
+	}
+}
+
+// SameGeneration returns the classic same-generation program over EDB Par.
+func SameGeneration() *Program {
+	return &Program{
+		Rules: []Rule{
+			// Every person mentioned (as child or parent) is in their own
+			// generation.
+			{Head: query.NewAtom("SG", query.V(0), query.V(0)),
+				Body: []query.Atom{query.NewAtom("Par", query.V(0), query.V(1))}},
+			{Head: query.NewAtom("SG", query.V(1), query.V(1)),
+				Body: []query.Atom{query.NewAtom("Par", query.V(0), query.V(1))}},
+			{Head: query.NewAtom("SG", query.V(0), query.V(1)),
+				Body: []query.Atom{
+					query.NewAtom("Par", query.V(0), query.V(2)),
+					query.NewAtom("SG", query.V(2), query.V(3)),
+					query.NewAtom("Par", query.V(1), query.V(3))}},
+		},
+		Goal: "SG",
+	}
+}

@@ -1,0 +1,108 @@
+package eval
+
+import (
+	"pyquery/internal/query"
+	"pyquery/internal/relation"
+)
+
+// ConjunctiveBrute evaluates a conjunctive query (with ≠ and comparisons)
+// by enumerating every assignment of its variables over the active domain —
+// |D|^v work. It is the reference oracle every faster engine is
+// property-tested against.
+func ConjunctiveBrute(q *query.CQ, db *query.DB) (*relation.Relation, error) {
+	if err := q.Validate(db); err != nil {
+		return nil, err
+	}
+	domain := db.ActiveDomain()
+	vars := q.BodyVars()
+	slot := make(map[query.Var]int, len(vars))
+	for i, v := range vars {
+		slot[v] = i
+	}
+	assign := make([]relation.Value, len(vars))
+
+	// Membership sets per relation for O(1) atom checks.
+	member := make(map[string]map[string]bool)
+	for _, name := range db.Names() {
+		r := db.MustRel(name)
+		set := make(map[string]bool, r.Len())
+		for i := 0; i < r.Len(); i++ {
+			set[rowKey(r.Row(i))] = true
+		}
+		member[name] = set
+	}
+
+	holds := func() bool {
+		buf := make([]relation.Value, 0, 8)
+		for _, a := range q.Atoms {
+			buf = buf[:0]
+			for _, t := range a.Args {
+				if t.IsVar {
+					buf = append(buf, assign[slot[t.Var]])
+				} else {
+					buf = append(buf, t.Const)
+				}
+			}
+			if !member[a.Rel][rowKey(buf)] {
+				return false
+			}
+		}
+		for _, iq := range q.Ineqs {
+			x := assign[slot[iq.X]]
+			if iq.YIsVar {
+				if x == assign[slot[iq.Y]] {
+					return false
+				}
+			} else if x == iq.C {
+				return false
+			}
+		}
+		for _, c := range q.Cmps {
+			l, r := c.Left.Const, c.Right.Const
+			if c.Left.IsVar {
+				l = assign[slot[c.Left.Var]]
+			}
+			if c.Right.IsVar {
+				r = assign[slot[c.Right.Var]]
+			}
+			if !c.Holds(l, r) {
+				return false
+			}
+		}
+		return true
+	}
+
+	out := query.NewTable(len(q.Head))
+	seen := make(map[string]bool)
+	emit := func() {
+		tuple := make([]relation.Value, len(q.Head))
+		for i, t := range q.Head {
+			if t.IsVar {
+				tuple[i] = assign[slot[t.Var]]
+			} else {
+				tuple[i] = t.Const
+			}
+		}
+		k := rowKey(tuple)
+		if !seen[k] {
+			seen[k] = true
+			out.Append(tuple...)
+		}
+	}
+
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(vars) {
+			if holds() {
+				emit()
+			}
+			return
+		}
+		for _, v := range domain {
+			assign[i] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out, nil
+}

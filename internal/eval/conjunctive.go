@@ -1,0 +1,385 @@
+// Package eval implements the paper's baseline evaluators: generic
+// backtracking conjunctive-query evaluation (data complexity n^{O(q)} —
+// exactly the exponent Theorem 1 argues is inherent), brute-force
+// enumeration oracles, recursive first-order evaluation over the active
+// domain, and Chandra–Merlin homomorphism/containment checks.
+package eval
+
+import (
+	"pyquery/internal/query"
+	"pyquery/internal/relation"
+)
+
+// Options controls the conjunctive evaluator.
+type Options struct {
+	// NoReorder disables the greedy join-order heuristic and evaluates the
+	// atoms in the order written (ablation A3).
+	NoReorder bool
+}
+
+// Conjunctive evaluates a conjunctive query (with optional ≠ and comparison
+// atoms) by backtracking search, returning the answer relation over the
+// positional schema 0…len(head)−1. This is the generic evaluator whose
+// running time is n^{O(q)}; it exists both as a baseline and as a general
+// fallback for cyclic queries.
+func Conjunctive(q *query.CQ, db *query.DB) (*relation.Relation, error) {
+	return ConjunctiveOpts(q, db, Options{})
+}
+
+// ConjunctiveOpts is Conjunctive with explicit options.
+func ConjunctiveOpts(q *query.CQ, db *query.DB, opts Options) (*relation.Relation, error) {
+	e, err := newBacktracker(q, db, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := query.NewTable(len(q.Head))
+	if e.trivialFalse {
+		return out, nil
+	}
+	seen := make(map[string]bool)
+	tuple := make([]relation.Value, len(q.Head))
+	e.run(func() bool {
+		for i, t := range q.Head {
+			if t.IsVar {
+				tuple[i] = e.assign[e.slot[t.Var]]
+			} else {
+				tuple[i] = t.Const
+			}
+		}
+		k := rowKey(tuple)
+		if !seen[k] {
+			seen[k] = true
+			out.Append(tuple...)
+		}
+		return true // keep searching
+	})
+	return out, nil
+}
+
+// ConjunctiveBool decides whether Q(d) is nonempty, stopping at the first
+// witness. For the decision problem t ∈ Q(d), bind the head first with
+// CQ.BindHead.
+func ConjunctiveBool(q *query.CQ, db *query.DB) (bool, error) {
+	return ConjunctiveBoolOpts(q, db, Options{})
+}
+
+// ConjunctiveBoolOpts is ConjunctiveBool with explicit options.
+func ConjunctiveBoolOpts(q *query.CQ, db *query.DB, opts Options) (bool, error) {
+	e, err := newBacktracker(q, db, opts)
+	if err != nil {
+		return false, err
+	}
+	if e.trivialFalse {
+		return false, nil
+	}
+	found := false
+	e.run(func() bool {
+		found = true
+		return false // stop
+	})
+	return found, nil
+}
+
+// backtracker holds the compiled plan for one (query, database) pair.
+type backtracker struct {
+	q    *query.CQ
+	db   *query.DB
+	opts Options
+
+	vars []query.Var       // dense variable universe (body vars)
+	slot map[query.Var]int // var → index into assign
+	mark []bool            // assigned?
+	// assign[slot] is the current value of each variable.
+	assign []relation.Value
+
+	plan         []planStep
+	groundChecks []query.Cmp // comparisons with no variables
+	trivialFalse bool
+}
+
+type planStep struct {
+	rel       *relation.Relation // S_j over distinct vars of the atom
+	vars      []query.Var        // S_j's columns, as variables
+	keyVars   []query.Var        // vars bound before this step
+	newVars   []query.Var        // vars this step binds
+	keyPos    []int              // positions of keyVars in S_j's schema
+	newPos    []int              // positions of newVars
+	index     *relation.Index
+	ineqs     []query.Ineq // ≠ checks that become ready after this step
+	cmps      []query.Cmp  // comparison checks that become ready after this step
+	tautology bool         // ground atom already verified; skip at run time
+}
+
+func newBacktracker(q *query.CQ, db *query.DB, opts Options) (*backtracker, error) {
+	if err := q.Validate(db); err != nil {
+		return nil, err
+	}
+	e := &backtracker{q: q, db: db, opts: opts, slot: make(map[query.Var]int)}
+	for _, v := range q.BodyVars() {
+		e.slot[v] = len(e.vars)
+		e.vars = append(e.vars, v)
+	}
+	e.assign = make([]relation.Value, len(e.vars))
+	e.mark = make([]bool, len(e.vars))
+
+	// Reduce each atom to S_j = π_{U_j} σ_{F_j}(R_j) over its distinct vars.
+	type reduced struct {
+		rel  *relation.Relation
+		vars []query.Var
+	}
+	reds := make([]reduced, len(q.Atoms))
+	for i, a := range q.Atoms {
+		s, vars := ReduceAtom(a, db)
+		if s.Empty() {
+			e.trivialFalse = true
+			return e, nil
+		}
+		reds[i] = reduced{rel: s, vars: vars}
+	}
+
+	// Ground comparisons (markers from substitution, or user-written).
+	for _, c := range q.Cmps {
+		if !c.Left.IsVar && !c.Right.IsVar {
+			if !c.Holds(c.Left.Const, c.Right.Const) {
+				e.trivialFalse = true
+				return e, nil
+			}
+		}
+	}
+
+	// Order atoms: greedily pick the atom with the fewest unbound variables,
+	// breaking ties by relation size.
+	order := make([]int, 0, len(q.Atoms))
+	used := make([]bool, len(q.Atoms))
+	bound := make(map[query.Var]bool)
+	for len(order) < len(q.Atoms) {
+		best, bestUnbound, bestSize := -1, 0, 0
+		for i := range q.Atoms {
+			if used[i] {
+				continue
+			}
+			if opts.NoReorder {
+				best = i
+				break
+			}
+			unbound := 0
+			for _, v := range reds[i].vars {
+				if !bound[v] {
+					unbound++
+				}
+			}
+			size := reds[i].rel.Len()
+			if best == -1 || unbound < bestUnbound ||
+				(unbound == bestUnbound && size < bestSize) {
+				best, bestUnbound, bestSize = i, unbound, size
+			}
+		}
+		used[best] = true
+		order = append(order, best)
+		for _, v := range reds[best].vars {
+			bound[v] = true
+		}
+	}
+
+	// Build plan steps.
+	bound = make(map[query.Var]bool)
+	for _, ai := range order {
+		rd := reds[ai]
+		step := planStep{rel: rd.rel, vars: rd.vars}
+		for _, v := range rd.vars {
+			p := rd.rel.Pos(relation.Attr(v))
+			if bound[v] {
+				step.keyVars = append(step.keyVars, v)
+				step.keyPos = append(step.keyPos, p)
+			} else {
+				step.newVars = append(step.newVars, v)
+				step.newPos = append(step.newPos, p)
+				bound[v] = true
+			}
+		}
+		if len(rd.vars) == 0 {
+			step.tautology = true // ground atom, already checked nonempty
+		} else {
+			keySchema := make(relation.Schema, len(step.keyVars))
+			for i, v := range step.keyVars {
+				keySchema[i] = relation.Attr(v)
+			}
+			step.index = relation.NewIndex(rd.rel, keySchema)
+		}
+		e.plan = append(e.plan, step)
+	}
+
+	// Attach each ≠/comparison to the earliest step after which all its
+	// variables are bound.
+	readyAt := func(vs []query.Var) int {
+		last := -1
+		pos := make(map[query.Var]int)
+		for si, st := range e.plan {
+			for _, v := range st.newVars {
+				pos[v] = si
+			}
+		}
+		for _, v := range vs {
+			p, ok := pos[v]
+			if !ok {
+				return -1
+			}
+			if p > last {
+				last = p
+			}
+		}
+		return last
+	}
+	for _, iq := range q.Ineqs {
+		vs := []query.Var{iq.X}
+		if iq.YIsVar {
+			vs = append(vs, iq.Y)
+		}
+		at := readyAt(vs)
+		e.plan[at].ineqs = append(e.plan[at].ineqs, iq)
+	}
+	for _, c := range q.Cmps {
+		var vs []query.Var
+		if c.Left.IsVar {
+			vs = append(vs, c.Left.Var)
+		}
+		if c.Right.IsVar {
+			vs = append(vs, c.Right.Var)
+		}
+		if len(vs) == 0 {
+			continue // ground, already checked
+		}
+		at := readyAt(vs)
+		e.plan[at].cmps = append(e.plan[at].cmps, c)
+	}
+	return e, nil
+}
+
+// run backtracks through the plan, invoking emit at every full solution.
+// emit returns false to stop the search.
+func (e *backtracker) run(emit func() bool) {
+	if len(e.plan) == 0 {
+		// No atoms: validation guarantees no variables anywhere.
+		emit()
+		return
+	}
+	var rec func(step int) bool
+	key := make([][]relation.Value, len(e.plan))
+	for i, st := range e.plan {
+		key[i] = make([]relation.Value, len(st.keyVars))
+	}
+	rec = func(step int) bool {
+		if step == len(e.plan) {
+			return emit()
+		}
+		st := &e.plan[step]
+		if st.tautology {
+			return rec(step + 1)
+		}
+		for i, v := range st.keyVars {
+			key[step][i] = e.assign[e.slot[v]]
+		}
+		cont := true
+		st.index.Each(key[step], func(row []relation.Value) bool {
+			for i, v := range st.newVars {
+				e.assign[e.slot[v]] = row[st.newPos[i]]
+			}
+			if !e.checkStep(st) {
+				return true // constraint failed; next tuple
+			}
+			cont = rec(step + 1)
+			return cont
+		})
+		return cont
+	}
+	rec(0)
+}
+
+func (e *backtracker) checkStep(st *planStep) bool {
+	for _, iq := range st.ineqs {
+		x := e.assign[e.slot[iq.X]]
+		if iq.YIsVar {
+			if x == e.assign[e.slot[iq.Y]] {
+				return false
+			}
+		} else if x == iq.C {
+			return false
+		}
+	}
+	for _, c := range st.cmps {
+		l, r := c.Left.Const, c.Right.Const
+		if c.Left.IsVar {
+			l = e.assign[e.slot[c.Left.Var]]
+		}
+		if c.Right.IsVar {
+			r = e.assign[e.slot[c.Right.Var]]
+		}
+		if !c.Holds(l, r) {
+			return false
+		}
+	}
+	return true
+}
+
+// ReduceAtom computes S = π_U σ_F (R) for one atom: F selects the tuples
+// matching the atom's constants and repeated variables, and the projection
+// keeps one column per distinct variable, keyed by variable id (attribute
+// Attr(v)). The returned vars list is the atom's distinct variables in
+// first-occurrence order, matching S's schema.
+func ReduceAtom(a query.Atom, db *query.DB) (*relation.Relation, []query.Var) {
+	r := db.MustRel(a.Rel)
+	vars := a.Vars()
+	firstPos := make(map[query.Var]int)
+	for i, t := range a.Args {
+		if t.IsVar {
+			if _, ok := firstPos[t.Var]; !ok {
+				firstPos[t.Var] = i
+			}
+		}
+	}
+	schema := make(relation.Schema, len(vars))
+	for i, v := range vars {
+		schema[i] = relation.Attr(v)
+	}
+	out := relation.New(schema)
+	seen := make(map[string]bool)
+	buf := make([]relation.Value, len(vars))
+	for i := 0; i < r.Len(); i++ {
+		row := r.Row(i)
+		ok := true
+		for j, t := range a.Args {
+			if t.IsVar {
+				if row[firstPos[t.Var]] != row[j] {
+					ok = false
+					break
+				}
+			} else if row[j] != t.Const {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for j, v := range vars {
+			buf[j] = row[firstPos[v]]
+		}
+		k := rowKey(buf)
+		if !seen[k] {
+			seen[k] = true
+			out.Append(buf...)
+		}
+	}
+	return out, vars
+}
+
+func rowKey(row []relation.Value) string {
+	b := make([]byte, 8*len(row))
+	for i, v := range row {
+		u := uint64(v)
+		for j := 0; j < 8; j++ {
+			b[8*i+j] = byte(u >> (8 * j))
+		}
+	}
+	return string(b)
+}

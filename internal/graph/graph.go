@@ -1,0 +1,353 @@
+// Package graph provides the simple-graph substrate used by the paper's
+// reductions and their validation oracles: exact k-clique search (the
+// canonical W[1]-complete problem the lower bounds reduce from), maximum
+// clique, Hamiltonian path (Held–Karp), and seeded random generators.
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Graph is an undirected simple graph on vertices 0…N−1, stored as bitset
+// adjacency rows for fast candidate-set intersection during clique search.
+type Graph struct {
+	N    int
+	rows [][]uint64 // rows[v] is the adjacency bitset of v
+	m    int        // number of edges
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	words := (n + 63) / 64
+	rows := make([][]uint64, n)
+	backing := make([]uint64, n*words)
+	for v := range rows {
+		rows[v] = backing[v*words : (v+1)*words]
+	}
+	return &Graph{N: n, rows: rows}
+}
+
+// AddEdge inserts the undirected edge {u,v}. Self-loops and duplicates are
+// ignored.
+func (g *Graph) AddEdge(u, v int) {
+	if u == v || u < 0 || v < 0 || u >= g.N || v >= g.N {
+		return
+	}
+	if g.HasEdge(u, v) {
+		return
+	}
+	g.rows[u][v/64] |= 1 << (v % 64)
+	g.rows[v][u/64] |= 1 << (u % 64)
+	g.m++
+}
+
+// HasEdge reports whether {u,v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || v < 0 || u >= g.N || v >= g.N {
+		return false
+	}
+	return g.rows[u][v/64]&(1<<(v%64)) != 0
+}
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return g.m }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int {
+	d := 0
+	for _, w := range g.rows[v] {
+		d += popcount(w)
+	}
+	return d
+}
+
+// Edges returns all edges as ordered pairs (u < v).
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, g.m)
+	for u := 0; u < g.N; u++ {
+		for v := u + 1; v < g.N; v++ {
+			if g.HasEdge(u, v) {
+				out = append(out, [2]int{u, v})
+			}
+		}
+	}
+	return out
+}
+
+// Neighbors returns the neighbor list of v.
+func (g *Graph) Neighbors(v int) []int {
+	var out []int
+	for u := 0; u < g.N; u++ {
+		if g.HasEdge(v, u) {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d}", g.N, g.m)
+}
+
+// FindClique returns the vertices of some clique of size k, or nil if none
+// exists. k ≤ 0 yields the empty clique. The search branches on the lowest
+// candidate vertex and intersects candidate bitsets, pruning when the
+// candidate set is too small — exact, worst case n^k (the point of the
+// paper's Theorem 1).
+func (g *Graph) FindClique(k int) []int {
+	if k <= 0 {
+		return []int{}
+	}
+	if k == 1 {
+		if g.N == 0 {
+			return nil
+		}
+		return []int{0}
+	}
+	words := (g.N + 63) / 64
+	full := make([]uint64, words)
+	for v := 0; v < g.N; v++ {
+		full[v/64] |= 1 << (v % 64)
+	}
+	clique := make([]int, 0, k)
+	var rec func(cand []uint64, need int) bool
+	rec = func(cand []uint64, need int) bool {
+		if need == 0 {
+			return true
+		}
+		if bitCount(cand) < need {
+			return false
+		}
+		buf := make([]uint64, words)
+		for w := 0; w < words; w++ {
+			bits := cand[w]
+			for bits != 0 {
+				b := bits & (-bits)
+				bits ^= b
+				v := w*64 + trailingZeros(b)
+				// Candidates after v only (canonical ordering avoids
+				// revisiting permutations).
+				for x := 0; x < words; x++ {
+					buf[x] = cand[x] & g.rows[v][x]
+				}
+				clearUpTo(buf, v)
+				clique = append(clique, v)
+				if rec(buf, need-1) {
+					return true
+				}
+				clique = clique[:len(clique)-1]
+				// Remove v from cand for subsequent branches.
+				cand[w] &^= b
+				if bitCount(cand) < need {
+					return false
+				}
+			}
+		}
+		return false
+	}
+	cand := append([]uint64(nil), full...)
+	if rec(cand, k) {
+		out := append([]int(nil), clique...)
+		return out
+	}
+	return nil
+}
+
+// HasClique reports whether the graph contains a clique of size k.
+func (g *Graph) HasClique(k int) bool { return g.FindClique(k) != nil }
+
+// IsClique reports whether vs are pairwise adjacent and distinct.
+func (g *Graph) IsClique(vs []int) bool {
+	for i := 0; i < len(vs); i++ {
+		for j := i + 1; j < len(vs); j++ {
+			if vs[i] == vs[j] || !g.HasEdge(vs[i], vs[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MaxClique returns the size of a maximum clique (exact branch and bound
+// with a greedy bound). Intended for the modest sizes of the experiments.
+func (g *Graph) MaxClique() int {
+	best := 0
+	for k := 1; k <= g.N; k++ {
+		if !g.HasClique(k) {
+			break
+		}
+		best = k
+	}
+	return best
+}
+
+// HamiltonianPath reports whether the graph has a Hamiltonian path, and
+// returns one if so, via Held–Karp dynamic programming over subsets
+// (O(2ⁿ·n²); n ≤ 24 enforced).
+func (g *Graph) HamiltonianPath() ([]int, bool) {
+	n := g.N
+	if n == 0 {
+		return []int{}, true
+	}
+	if n == 1 {
+		return []int{0}, true
+	}
+	if n > 24 {
+		panic("graph: HamiltonianPath limited to n ≤ 24")
+	}
+	size := 1 << n
+	// reach[mask][v]: path visiting exactly mask, ending at v.
+	reach := make([][]bool, size)
+	prev := make([][]int8, size)
+	for v := 0; v < n; v++ {
+		m := 1 << v
+		if reach[m] == nil {
+			reach[m] = make([]bool, n)
+			prev[m] = make([]int8, n)
+		}
+		reach[m][v] = true
+		prev[m][v] = -1
+	}
+	for mask := 1; mask < size; mask++ {
+		if reach[mask] == nil {
+			continue
+		}
+		for v := 0; v < n; v++ {
+			if !reach[mask][v] {
+				continue
+			}
+			for u := 0; u < n; u++ {
+				if mask&(1<<u) != 0 || !g.HasEdge(v, u) {
+					continue
+				}
+				nm := mask | 1<<u
+				if reach[nm] == nil {
+					reach[nm] = make([]bool, n)
+					prev[nm] = make([]int8, n)
+				}
+				if !reach[nm][u] {
+					reach[nm][u] = true
+					prev[nm][u] = int8(v)
+				}
+			}
+		}
+	}
+	fullMask := size - 1
+	if reach[fullMask] == nil {
+		return nil, false
+	}
+	for v := 0; v < n; v++ {
+		if !reach[fullMask][v] {
+			continue
+		}
+		// Reconstruct.
+		path := make([]int, 0, n)
+		mask, cur := fullMask, v
+		for cur >= 0 {
+			path = append(path, cur)
+			p := int(prev[mask][cur])
+			mask &^= 1 << cur
+			cur = p
+		}
+		// Reverse.
+		for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+			path[i], path[j] = path[j], path[i]
+		}
+		return path, true
+	}
+	return nil, false
+}
+
+// Random returns a G(n,p) random graph with the given seed.
+func Random(n int, p float64, seed int64) *Graph {
+	rnd := rand.New(rand.NewSource(seed))
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rnd.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// PlantedClique returns a G(n,p) graph with a clique planted on k random
+// vertices, plus the planted vertex set.
+func PlantedClique(n int, p float64, k int, seed int64) (*Graph, []int) {
+	g := Random(n, p, seed)
+	rnd := rand.New(rand.NewSource(seed + 1))
+	perm := rnd.Perm(n)
+	planted := perm[:k]
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			g.AddEdge(planted[i], planted[j])
+		}
+	}
+	return g, planted
+}
+
+// Path returns the path graph 0−1−…−(n−1).
+func Path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// Complete returns the complete graph Kₙ.
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+func bitCount(bs []uint64) int {
+	n := 0
+	for _, w := range bs {
+		n += popcount(w)
+	}
+	return n
+}
+
+func trailingZeros(x uint64) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// clearUpTo clears bits 0…v (inclusive) of bs.
+func clearUpTo(bs []uint64, v int) {
+	w := v / 64
+	for i := 0; i < w; i++ {
+		bs[i] = 0
+	}
+	if w < len(bs) {
+		sh := uint(v%64) + 1
+		var mask uint64
+		if sh >= 64 {
+			mask = ^uint64(0)
+		} else {
+			mask = uint64(1)<<sh - 1
+		}
+		bs[w] &^= mask
+	}
+}

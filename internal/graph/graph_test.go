@@ -1,0 +1,242 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddHasEdge(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0) // duplicate
+	g.AddEdge(2, 2) // self-loop ignored
+	g.AddEdge(0, 9) // out of range ignored
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("edge missing")
+	}
+	if g.HasEdge(2, 2) || g.HasEdge(0, 2) {
+		t.Fatal("phantom edge")
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if g.Degree(0) != 1 || g.Degree(2) != 0 {
+		t.Fatal("degree wrong")
+	}
+}
+
+func TestEdgesAndNeighbors(t *testing.T) {
+	g := Path(4)
+	es := g.Edges()
+	if len(es) != 3 {
+		t.Fatalf("Edges = %v", es)
+	}
+	nb := g.Neighbors(1)
+	if len(nb) != 2 || nb[0] != 0 || nb[1] != 2 {
+		t.Fatalf("Neighbors(1) = %v", nb)
+	}
+}
+
+func TestCompleteGraphCliques(t *testing.T) {
+	g := Complete(6)
+	for k := 0; k <= 6; k++ {
+		c := g.FindClique(k)
+		if c == nil {
+			t.Fatalf("K6 must have a %d-clique", k)
+		}
+		if len(c) != k || !g.IsClique(c) {
+			t.Fatalf("FindClique(%d) = %v not a clique", k, c)
+		}
+	}
+	if g.HasClique(7) {
+		t.Fatal("K6 cannot have a 7-clique")
+	}
+	if g.MaxClique() != 6 {
+		t.Fatalf("MaxClique = %d, want 6", g.MaxClique())
+	}
+}
+
+func TestPathGraphCliques(t *testing.T) {
+	g := Path(10)
+	if !g.HasClique(2) {
+		t.Fatal("path has edges")
+	}
+	if g.HasClique(3) {
+		t.Fatal("path has no triangle")
+	}
+	if g.MaxClique() != 2 {
+		t.Fatalf("MaxClique = %d, want 2", g.MaxClique())
+	}
+}
+
+func TestEmptyAndTinyGraphs(t *testing.T) {
+	g := New(0)
+	if c := g.FindClique(0); c == nil || len(c) != 0 {
+		t.Fatal("empty clique always exists")
+	}
+	if g.HasClique(1) {
+		t.Fatal("no vertices → no 1-clique")
+	}
+	g1 := New(1)
+	if !g1.HasClique(1) || g1.HasClique(2) {
+		t.Fatal("singleton clique logic")
+	}
+}
+
+func TestPlantedClique(t *testing.T) {
+	g, planted := PlantedClique(40, 0.1, 6, 7)
+	if !g.IsClique(planted) {
+		t.Fatal("planted set is not a clique")
+	}
+	if !g.HasClique(6) {
+		t.Fatal("planted clique not found")
+	}
+	got := g.FindClique(6)
+	if !g.IsClique(got) {
+		t.Fatalf("found non-clique %v", got)
+	}
+}
+
+func TestCliqueBoundary64(t *testing.T) {
+	// Clique straddling the word boundary (vertices 62,63,64,65).
+	g := New(70)
+	vs := []int{62, 63, 64, 65}
+	for i := range vs {
+		for j := i + 1; j < len(vs); j++ {
+			g.AddEdge(vs[i], vs[j])
+		}
+	}
+	c := g.FindClique(4)
+	if c == nil || !g.IsClique(c) || len(c) != 4 {
+		t.Fatalf("word-boundary clique not found: %v", c)
+	}
+}
+
+func TestHamiltonianPath(t *testing.T) {
+	p, ok := Path(6).HamiltonianPath()
+	if !ok || len(p) != 6 {
+		t.Fatalf("path graph must have a Hamiltonian path, got %v %v", p, ok)
+	}
+	// Star K1,3 has no Hamiltonian path.
+	star := New(4)
+	star.AddEdge(0, 1)
+	star.AddEdge(0, 2)
+	star.AddEdge(0, 3)
+	if _, ok := star.HamiltonianPath(); ok {
+		t.Fatal("K1,3 has no Hamiltonian path")
+	}
+	// Complete graph has one.
+	if _, ok := Complete(5).HamiltonianPath(); !ok {
+		t.Fatal("K5 has a Hamiltonian path")
+	}
+	// Disconnected graph does not.
+	disc := New(4)
+	disc.AddEdge(0, 1)
+	disc.AddEdge(2, 3)
+	if _, ok := disc.HamiltonianPath(); ok {
+		t.Fatal("disconnected graph cannot have a Hamiltonian path")
+	}
+	// Trivial sizes.
+	if _, ok := New(0).HamiltonianPath(); !ok {
+		t.Fatal("empty graph trivially has one")
+	}
+	if _, ok := New(1).HamiltonianPath(); !ok {
+		t.Fatal("singleton trivially has one")
+	}
+}
+
+func TestHamiltonianPathIsValid(t *testing.T) {
+	g := Random(10, 0.5, 3)
+	p, ok := g.HamiltonianPath()
+	if !ok {
+		t.Skip("random instance has no Hamiltonian path; seed-dependent")
+	}
+	seen := make(map[int]bool)
+	for i, v := range p {
+		if seen[v] {
+			t.Fatalf("vertex %d repeated in %v", v, p)
+		}
+		seen[v] = true
+		if i > 0 && !g.HasEdge(p[i-1], v) {
+			t.Fatalf("non-edge in path %v", p)
+		}
+	}
+	if len(p) != g.N {
+		t.Fatalf("path %v does not cover all vertices", p)
+	}
+}
+
+// naiveHasClique checks all vertex subsets of size k.
+func naiveHasClique(g *Graph, k int) bool {
+	var rec func(start int, cur []int) bool
+	rec = func(start int, cur []int) bool {
+		if len(cur) == k {
+			return true
+		}
+		for v := start; v < g.N; v++ {
+			ok := true
+			for _, u := range cur {
+				if !g.HasEdge(u, v) {
+					ok = false
+					break
+				}
+			}
+			if ok && rec(v+1, append(cur, v)) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(0, nil)
+}
+
+// Property: bitset clique search agrees with naive subset enumeration.
+func TestQuickCliqueAgreesWithNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		n := 1 + rnd.Intn(12)
+		g := Random(n, 0.4+0.3*rnd.Float64(), seed)
+		for k := 1; k <= 5; k++ {
+			if g.HasClique(k) != naiveHasClique(g, k) {
+				t.Logf("disagreement n=%d k=%d seed=%d", n, k, seed)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FindClique witnesses are always cliques of the right size.
+func TestQuickCliqueWitness(t *testing.T) {
+	f := func(seed int64) bool {
+		g := Random(14, 0.6, seed)
+		for k := 2; k <= 5; k++ {
+			c := g.FindClique(k)
+			if c == nil {
+				continue
+			}
+			if len(c) != k || !g.IsClique(c) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(13))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHamPathTooBigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n > 24")
+		}
+	}()
+	New(25).HamiltonianPath()
+}

@@ -1,0 +1,367 @@
+// Package hypergraph implements query hypergraphs and the two classical
+// acyclicity algorithms the paper relies on: GYO ear reduction (for the
+// acyclicity test) and maximal-weight spanning forests over the atom
+// intersection graph (Bernstein–Goodman/Maier), which directly yield the
+// join forest consumed by the Yannakakis and Theorem 2 engines.
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Hypergraph has vertices 0…NumVertices−1 and a list of hyperedges, each a
+// set of vertices. In query terms: vertices are variables, edges are the
+// variable sets of the relational atoms. Edges may be empty (ground atoms)
+// and may repeat.
+type Hypergraph struct {
+	NumVertices int
+	Edges       [][]int
+}
+
+// New builds a hypergraph, normalizing each edge to a sorted duplicate-free
+// vertex list and validating vertex bounds.
+func New(numVertices int, edges [][]int) *Hypergraph {
+	h := &Hypergraph{NumVertices: numVertices, Edges: make([][]int, len(edges))}
+	for i, e := range edges {
+		seen := make(map[int]bool, len(e))
+		var norm []int
+		for _, v := range e {
+			if v < 0 || v >= numVertices {
+				panic(fmt.Sprintf("hypergraph: vertex %d out of range [0,%d)", v, numVertices))
+			}
+			if !seen[v] {
+				seen[v] = true
+				norm = append(norm, v)
+			}
+		}
+		sort.Ints(norm)
+		h.Edges[i] = norm
+	}
+	return h
+}
+
+// occurrences returns, per vertex, the indices of edges containing it.
+func (h *Hypergraph) occurrences() [][]int {
+	occ := make([][]int, h.NumVertices)
+	for ei, e := range h.Edges {
+		for _, v := range e {
+			occ[v] = append(occ[v], ei)
+		}
+	}
+	return occ
+}
+
+// IsAcyclicGYO runs the GYO ear-reduction algorithm: repeatedly delete
+// vertices occurring in exactly one edge and edges contained in another
+// edge; the hypergraph is α-acyclic iff everything reduces away (at most
+// one, empty, edge survives per component — equivalently, all edges become
+// empty).
+func (h *Hypergraph) IsAcyclicGYO() bool {
+	// Work on copies of edge sets.
+	edges := make([]map[int]bool, 0, len(h.Edges))
+	for _, e := range h.Edges {
+		m := make(map[int]bool, len(e))
+		for _, v := range e {
+			m[v] = true
+		}
+		edges = append(edges, m)
+	}
+	alive := make([]bool, len(edges))
+	for i := range alive {
+		alive[i] = true
+	}
+	for {
+		changed := false
+		// Count vertex occurrences among live edges.
+		occ := make(map[int]int)
+		for i, e := range edges {
+			if !alive[i] {
+				continue
+			}
+			for v := range e {
+				occ[v]++
+			}
+		}
+		// Rule 1: delete vertices in exactly one edge.
+		for i, e := range edges {
+			if !alive[i] {
+				continue
+			}
+			for v := range e {
+				if occ[v] == 1 {
+					delete(e, v)
+					changed = true
+				}
+			}
+		}
+		// Rule 2: delete edges contained in another live edge.
+		for i, e := range edges {
+			if !alive[i] {
+				continue
+			}
+			for j, f := range edges {
+				if i == j || !alive[j] {
+					continue
+				}
+				if containsAll(f, e) {
+					// Tie-break so exactly one of two equal edges dies.
+					if len(e) == len(f) && i < j {
+						continue
+					}
+					alive[i] = false
+					changed = true
+					break
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for i, e := range edges {
+		if alive[i] && len(e) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func containsAll(super, sub map[int]bool) bool {
+	if len(sub) > len(super) {
+		return false
+	}
+	for v := range sub {
+		if !super[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// Forest is a join forest over the hyperedges: Parent[i] is the parent edge
+// of edge i (−1 for roots), Order lists edges children-before-parents, and
+// Children is the inverse adjacency.
+type Forest struct {
+	Parent   []int
+	Children [][]int
+	Roots    []int
+	Order    []int // bottom-up: every edge appears after all its descendants? (children first)
+}
+
+// JoinForest computes a join forest via Kruskal's algorithm on the edge
+// intersection graph with weights |eᵢ ∩ eⱼ|, keeping only positive-weight
+// links. By the Bernstein–Goodman/Maier theorem the hypergraph is acyclic
+// iff the resulting maximal spanning forest achieves total weight
+// Σ_v (occ(v) − 1); in that case the forest is a join forest (for every
+// vertex the edges containing it form a connected subtree). Returns ok =
+// false for cyclic hypergraphs.
+func (h *Hypergraph) JoinForest() (*Forest, bool) {
+	m := len(h.Edges)
+	type link struct {
+		a, b, w int
+	}
+	var links []link
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			w := intersectSize(h.Edges[i], h.Edges[j])
+			if w > 0 {
+				links = append(links, link{i, j, w})
+			}
+		}
+	}
+	sort.Slice(links, func(a, b int) bool { return links[a].w > links[b].w })
+
+	parentDS := make([]int, m) // union-find
+	for i := range parentDS {
+		parentDS[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parentDS[x] != x {
+			parentDS[x] = parentDS[parentDS[x]]
+			x = parentDS[x]
+		}
+		return x
+	}
+
+	adj := make([][]int, m)
+	total := 0
+	for _, l := range links {
+		ra, rb := find(l.a), find(l.b)
+		if ra == rb {
+			continue
+		}
+		parentDS[ra] = rb
+		adj[l.a] = append(adj[l.a], l.b)
+		adj[l.b] = append(adj[l.b], l.a)
+		total += l.w
+	}
+
+	want := 0
+	for _, occ := range h.occurrences() {
+		if len(occ) > 0 {
+			want += len(occ) - 1
+		}
+	}
+	if total != want {
+		return nil, false
+	}
+
+	// Root each component at its smallest edge index and orient.
+	f := &Forest{
+		Parent:   make([]int, m),
+		Children: make([][]int, m),
+	}
+	for i := range f.Parent {
+		f.Parent[i] = -2 // unvisited
+	}
+	for i := 0; i < m; i++ {
+		if f.Parent[i] != -2 {
+			continue
+		}
+		f.Roots = append(f.Roots, i)
+		f.Parent[i] = -1
+		// Iterative DFS; record post-order (children before parents).
+		type frame struct{ node, next int }
+		stack := []frame{{i, 0}}
+		for len(stack) > 0 {
+			fr := &stack[len(stack)-1]
+			if fr.next < len(adj[fr.node]) {
+				nb := adj[fr.node][fr.next]
+				fr.next++
+				if f.Parent[nb] == -2 {
+					f.Parent[nb] = fr.node
+					f.Children[fr.node] = append(f.Children[fr.node], nb)
+					stack = append(stack, frame{nb, 0})
+				}
+				continue
+			}
+			f.Order = append(f.Order, fr.node)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return f, true
+}
+
+// JoinTree links the forest into a single tree by attaching every root
+// after the first as a child of the first root (the paper: "we can add
+// additional edges to form a tree"). The cross links share no vertices, so
+// downstream joins across them are cross products, which the Theorem 2
+// engine requires in order to check inequalities spanning components.
+func (f *Forest) JoinTree() *Forest {
+	if len(f.Roots) <= 1 {
+		return f
+	}
+	out := &Forest{
+		Parent:   append([]int(nil), f.Parent...),
+		Children: make([][]int, len(f.Children)),
+		Roots:    []int{f.Roots[0]},
+	}
+	for i, c := range f.Children {
+		out.Children[i] = append([]int(nil), c...)
+	}
+	r0 := f.Roots[0]
+	for _, r := range f.Roots[1:] {
+		out.Parent[r] = r0
+		out.Children[r0] = append(out.Children[r0], r)
+	}
+	// Recompute a children-first order: process roots last.
+	out.Order = nil
+	var post func(int)
+	post = func(u int) {
+		for _, c := range out.Children[u] {
+			post(c)
+		}
+		out.Order = append(out.Order, u)
+	}
+	post(r0)
+	return out
+}
+
+// IsJoinForest verifies the defining property directly: for every vertex,
+// the set of edges containing it induces a connected subgraph of the
+// forest. Used to cross-check JoinForest in tests.
+func (h *Hypergraph) IsJoinForest(f *Forest) bool {
+	if len(f.Parent) != len(h.Edges) {
+		return false
+	}
+	for v := 0; v < h.NumVertices; v++ {
+		var holders []int
+		for ei, e := range h.Edges {
+			if contains(e, v) {
+				holders = append(holders, ei)
+			}
+		}
+		if len(holders) <= 1 {
+			continue
+		}
+		inSet := make(map[int]bool, len(holders))
+		for _, ei := range holders {
+			inSet[ei] = true
+		}
+		// BFS within the holder set via forest adjacency.
+		seen := map[int]bool{holders[0]: true}
+		queue := []int{holders[0]}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			var nbrs []int
+			if p := f.Parent[u]; p >= 0 {
+				nbrs = append(nbrs, p)
+			}
+			nbrs = append(nbrs, f.Children[u]...)
+			for _, w := range nbrs {
+				if inSet[w] && !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+		if len(seen) != len(holders) {
+			return false
+		}
+	}
+	return true
+}
+
+// SubtreeVertices returns, for each edge index, the union of vertices over
+// its subtree (the paper's at(T[j])).
+func (h *Hypergraph) SubtreeVertices(f *Forest) []map[int]bool {
+	out := make([]map[int]bool, len(h.Edges))
+	for _, j := range f.Order { // children first
+		s := make(map[int]bool, len(h.Edges[j]))
+		for _, v := range h.Edges[j] {
+			s[v] = true
+		}
+		for _, c := range f.Children[j] {
+			for v := range out[c] {
+				s[v] = true
+			}
+		}
+		out[j] = s
+	}
+	return out
+}
+
+func intersectSize(a, b []int) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+func contains(sorted []int, v int) bool {
+	i := sort.SearchInts(sorted, v)
+	return i < len(sorted) && sorted[i] == v
+}

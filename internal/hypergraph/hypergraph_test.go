@@ -1,0 +1,194 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPathIsAcyclic(t *testing.T) {
+	// R(x0,x1), R(x1,x2), R(x2,x3) — a path query.
+	h := New(4, [][]int{{0, 1}, {1, 2}, {2, 3}})
+	if !h.IsAcyclicGYO() {
+		t.Fatal("path hypergraph should be acyclic (GYO)")
+	}
+	f, ok := h.JoinForest()
+	if !ok {
+		t.Fatal("path hypergraph should be acyclic (MST)")
+	}
+	if !h.IsJoinForest(f) {
+		t.Fatal("returned forest violates the join property")
+	}
+	if len(f.Roots) != 1 {
+		t.Fatalf("path should be one component, got %d roots", len(f.Roots))
+	}
+}
+
+func TestTriangleIsCyclic(t *testing.T) {
+	h := New(3, [][]int{{0, 1}, {1, 2}, {0, 2}})
+	if h.IsAcyclicGYO() {
+		t.Fatal("triangle should be cyclic (GYO)")
+	}
+	if _, ok := h.JoinForest(); ok {
+		t.Fatal("triangle should be cyclic (MST)")
+	}
+}
+
+func TestStarIsAcyclic(t *testing.T) {
+	h := New(4, [][]int{{0, 1}, {0, 2}, {0, 3}})
+	if !h.IsAcyclicGYO() {
+		t.Fatal("star should be acyclic")
+	}
+	if _, ok := h.JoinForest(); !ok {
+		t.Fatal("star should be acyclic (MST)")
+	}
+}
+
+func TestBigHyperedgeCoversCycle(t *testing.T) {
+	// Triangle plus an edge covering it: acyclic (the big edge absorbs it).
+	h := New(3, [][]int{{0, 1}, {1, 2}, {0, 2}, {0, 1, 2}})
+	if !h.IsAcyclicGYO() {
+		t.Fatal("covered triangle should be acyclic (GYO)")
+	}
+	f, ok := h.JoinForest()
+	if !ok {
+		t.Fatal("covered triangle should be acyclic (MST)")
+	}
+	if !h.IsJoinForest(f) {
+		t.Fatal("forest violates join property")
+	}
+}
+
+func TestCycleFourIsCyclic(t *testing.T) {
+	h := New(4, [][]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if h.IsAcyclicGYO() {
+		t.Fatal("4-cycle should be cyclic")
+	}
+	if _, ok := h.JoinForest(); ok {
+		t.Fatal("4-cycle should be cyclic (MST)")
+	}
+}
+
+func TestDuplicateAndEmptyEdges(t *testing.T) {
+	h := New(2, [][]int{{0, 1}, {0, 1}, {}, {1}})
+	if !h.IsAcyclicGYO() {
+		t.Fatal("duplicates/empties should stay acyclic")
+	}
+	f, ok := h.JoinForest()
+	if !ok {
+		t.Fatal("duplicates/empties should stay acyclic (MST)")
+	}
+	if !h.IsJoinForest(f) {
+		t.Fatal("forest violates join property")
+	}
+}
+
+func TestDisconnectedComponentsAndJoinTree(t *testing.T) {
+	h := New(4, [][]int{{0, 1}, {2, 3}})
+	f, ok := h.JoinForest()
+	if !ok {
+		t.Fatal("two disjoint edges are acyclic")
+	}
+	if len(f.Roots) != 2 {
+		t.Fatalf("want 2 roots, got %d", len(f.Roots))
+	}
+	tr := f.JoinTree()
+	if len(tr.Roots) != 1 {
+		t.Fatalf("JoinTree should leave one root, got %d", len(tr.Roots))
+	}
+	if !h.IsJoinForest(tr) {
+		t.Fatal("linking roots must not break the join property")
+	}
+	// Order must list children before parents.
+	pos := make(map[int]int)
+	for i, e := range tr.Order {
+		pos[e] = i
+	}
+	for e, p := range tr.Parent {
+		if p >= 0 && pos[e] > pos[p] {
+			t.Fatalf("order is not children-first: %v parents %v", tr.Order, tr.Parent)
+		}
+	}
+}
+
+func TestSubtreeVertices(t *testing.T) {
+	h := New(4, [][]int{{0, 1}, {1, 2}, {2, 3}})
+	f, ok := h.JoinForest()
+	if !ok {
+		t.Fatal("acyclic expected")
+	}
+	sub := h.SubtreeVertices(f)
+	// The root's subtree must contain all vertices of its component.
+	root := f.Roots[0]
+	if len(sub[root]) != 4 {
+		t.Fatalf("root subtree has %d vertices, want 4", len(sub[root]))
+	}
+	// Each edge's own vertices are in its subtree set.
+	for ei, e := range h.Edges {
+		for _, v := range e {
+			if !sub[ei][v] {
+				t.Fatalf("edge %d subtree missing own vertex %d", ei, v)
+			}
+		}
+	}
+	// A leaf's subtree is exactly its own vertex set.
+	for ei := range h.Edges {
+		if len(f.Children[ei]) == 0 && len(sub[ei]) != len(h.Edges[ei]) {
+			t.Fatalf("leaf %d subtree %v != own edge %v", ei, sub[ei], h.Edges[ei])
+		}
+	}
+}
+
+func TestVertexOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, [][]int{{0, 5}})
+}
+
+// randHypergraph generates a small random hypergraph.
+func randHypergraph(rnd *rand.Rand) *Hypergraph {
+	n := 1 + rnd.Intn(6)
+	m := 1 + rnd.Intn(6)
+	edges := make([][]int, m)
+	for i := range edges {
+		sz := rnd.Intn(4)
+		for j := 0; j < sz; j++ {
+			edges[i] = append(edges[i], rnd.Intn(n))
+		}
+	}
+	return New(n, edges)
+}
+
+// Property: the two acyclicity algorithms agree, and when acyclic the
+// produced forest satisfies the join property.
+func TestQuickGYOAgreesWithMST(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		h := randHypergraph(rnd)
+		gyo := h.IsAcyclicGYO()
+		forest, mst := h.JoinForest()
+		if gyo != mst {
+			t.Logf("disagreement on %v: gyo=%v mst=%v", h.Edges, gyo, mst)
+			return false
+		}
+		if mst && !h.IsJoinForest(forest) {
+			t.Logf("forest for %v violates join property", h.Edges)
+			return false
+		}
+		if mst {
+			tr := forest.JoinTree()
+			if len(tr.Roots) != 1 || !h.IsJoinForest(tr) {
+				t.Logf("JoinTree for %v broken", h.Edges)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(42))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

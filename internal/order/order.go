@@ -1,0 +1,226 @@
+// Package order implements comparison-constraint reasoning for conjunctive
+// queries with < and ≤ atoms, following Klug ([10] in the paper): the
+// constraints form a directed graph over variables and constants; the
+// system is consistent (over a dense order) iff no strongly connected
+// component contains a strict arc, and all members of a strong component
+// are implied equal and may be collapsed. This is the preprocessing
+// Theorem 3 assumes before asking whether the collapsed query is acyclic.
+package order
+
+import (
+	"fmt"
+	"sort"
+
+	"pyquery/internal/query"
+	"pyquery/internal/relation"
+)
+
+// node identifies a variable or a constant in the constraint graph.
+type node struct {
+	isConst bool
+	v       query.Var
+	c       relation.Value
+}
+
+func varNode(v query.Var) node        { return node{v: v} }
+func constNode(c relation.Value) node { return node{isConst: true, c: c} }
+func (n node) String() string {
+	if n.isConst {
+		return fmt.Sprintf("%d", n.c)
+	}
+	return fmt.Sprintf("x%d", n.v)
+}
+
+// System is a set of comparison constraints closed for analysis.
+type System struct {
+	nodes []node
+	index map[node]int
+	// arcs[u] = list of (v, strict): u < v or u ≤ v.
+	arcs [][]arc
+}
+
+type arc struct {
+	to     int
+	strict bool
+}
+
+// NewSystem builds the constraint graph from comparison atoms, adding the
+// implicit order between every pair of constants mentioned.
+func NewSystem(cmps []query.Cmp) *System {
+	s := &System{index: make(map[node]int)}
+	id := func(n node) int {
+		if i, ok := s.index[n]; ok {
+			return i
+		}
+		i := len(s.nodes)
+		s.index[n] = i
+		s.nodes = append(s.nodes, n)
+		s.arcs = append(s.arcs, nil)
+		return i
+	}
+	termNode := func(t query.Term) int {
+		if t.IsVar {
+			return id(varNode(t.Var))
+		}
+		return id(constNode(t.Const))
+	}
+	for _, c := range cmps {
+		u, v := termNode(c.Left), termNode(c.Right)
+		s.arcs[u] = append(s.arcs[u], arc{to: v, strict: c.Strict})
+	}
+	// Implicit constant order: c < c′ for mentioned constants.
+	var consts []int
+	for i, n := range s.nodes {
+		if n.isConst {
+			consts = append(consts, i)
+		}
+	}
+	sort.Slice(consts, func(a, b int) bool { return s.nodes[consts[a]].c < s.nodes[consts[b]].c })
+	for i := 0; i+1 < len(consts); i++ {
+		s.arcs[consts[i]] = append(s.arcs[consts[i]], arc{to: consts[i+1], strict: true})
+	}
+	return s
+}
+
+// sccs computes strongly connected components (Tarjan, iterative).
+func (s *System) sccs() [][]int {
+	n := len(s.nodes)
+	indexOf := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range indexOf {
+		indexOf[i] = -1
+	}
+	var compStack []int
+	var comps [][]int
+	next := 0
+
+	type frame struct{ v, ai int }
+	for start := 0; start < n; start++ {
+		if indexOf[start] != -1 {
+			continue
+		}
+		frames := []frame{{start, 0}}
+		indexOf[start] = next
+		low[start] = next
+		next++
+		compStack = append(compStack, start)
+		onStack[start] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.ai < len(s.arcs[f.v]) {
+				w := s.arcs[f.v][f.ai].to
+				f.ai++
+				if indexOf[w] == -1 {
+					indexOf[w] = next
+					low[w] = next
+					next++
+					compStack = append(compStack, w)
+					onStack[w] = true
+					frames = append(frames, frame{w, 0})
+				} else if onStack[w] && indexOf[w] < low[f.v] {
+					low[f.v] = indexOf[w]
+				}
+				continue
+			}
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == indexOf[v] {
+				var comp []int
+				for {
+					w := compStack[len(compStack)-1]
+					compStack = compStack[:len(compStack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}
+
+// Consistent reports whether the system has a solution over a dense order:
+// no strongly connected component may contain a strict arc, and no
+// component may identify two distinct constants.
+func (s *System) Consistent() bool {
+	comp := make([]int, len(s.nodes))
+	comps := s.sccs()
+	for ci, c := range comps {
+		for _, v := range c {
+			comp[v] = ci
+		}
+	}
+	for ci, c := range comps {
+		var sawConst bool
+		var constVal relation.Value
+		for _, v := range c {
+			n := s.nodes[v]
+			if n.isConst {
+				if sawConst && n.c != constVal {
+					return false
+				}
+				sawConst = true
+				constVal = n.c
+			}
+			for _, a := range s.arcs[v] {
+				if a.strict && comp[a.to] == ci {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// ImpliedEqualities returns, for each variable that the constraints force
+// equal to another node, its canonical representative: a constant when its
+// component contains one, otherwise the smallest variable of the component.
+// Inconsistent systems yield ok = false.
+func (s *System) ImpliedEqualities() (varToVar map[query.Var]query.Var, varToConst map[query.Var]relation.Value, ok bool) {
+	if !s.Consistent() {
+		return nil, nil, false
+	}
+	varToVar = make(map[query.Var]query.Var)
+	varToConst = make(map[query.Var]relation.Value)
+	for _, c := range s.sccs() {
+		if len(c) <= 1 {
+			continue
+		}
+		var constVal relation.Value
+		hasConst := false
+		var minVar query.Var
+		hasVar := false
+		for _, v := range c {
+			n := s.nodes[v]
+			if n.isConst {
+				hasConst = true
+				constVal = n.c
+			} else if !hasVar || n.v < minVar {
+				hasVar = true
+				minVar = n.v
+			}
+		}
+		for _, v := range c {
+			n := s.nodes[v]
+			if n.isConst {
+				continue
+			}
+			if hasConst {
+				varToConst[n.v] = constVal
+			} else if n.v != minVar {
+				varToVar[n.v] = minVar
+			}
+		}
+	}
+	return varToVar, varToConst, true
+}

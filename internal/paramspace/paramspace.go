@@ -1,0 +1,110 @@
+// Package paramspace encodes Figure 1 of the paper: the four
+// parameterizations of the query evaluation problem — parameter q (query
+// size) or v (number of variables), each with fixed or variable database
+// schema — and Proposition 1's identity-map reductions between them.
+// Hardness propagates up the partial order; membership propagates down.
+package paramspace
+
+import "pyquery/internal/query"
+
+// Parameterization identifies one of the four parametric problems.
+type Parameterization int
+
+// The four parameterizations of Figure 1.
+const (
+	// QFixed: parameter q, fixed schema — the bottom of the order.
+	QFixed Parameterization = iota
+	// QVar: parameter q, variable schema.
+	QVar
+	// VFixed: parameter v, fixed schema.
+	VFixed
+	// VVar: parameter v, variable schema — the top of the order.
+	VVar
+)
+
+func (p Parameterization) String() string {
+	switch p {
+	case QFixed:
+		return "q/fixed-schema"
+	case QVar:
+		return "q/variable-schema"
+	case VFixed:
+		return "v/fixed-schema"
+	case VVar:
+		return "v/variable-schema"
+	}
+	return "unknown"
+}
+
+// Arcs are Figure 1's four identity-map reductions, each from the easier
+// problem to the harder one. q-parameterized problems reduce to
+// v-parameterized ones because v ≤ q on every query; fixed-schema problems
+// reduce to variable-schema ones because a fixed-schema instance is a
+// variable-schema instance.
+var Arcs = [][2]Parameterization{
+	{QFixed, QVar},
+	{QFixed, VFixed},
+	{QVar, VVar},
+	{VFixed, VVar},
+}
+
+// LessOrEqual reports whether a reduces to b through the reflexive-
+// transitive closure of Arcs (a is at most as hard as b).
+func LessOrEqual(a, b Parameterization) bool {
+	if a == b {
+		return true
+	}
+	for _, arc := range Arcs {
+		if arc[0] == a && LessOrEqual(arc[1], b) {
+			return true
+		}
+	}
+	return false
+}
+
+// Above returns every parameterization reachable from p (inclusive):
+// hardness of p implies hardness of all of these.
+func Above(p Parameterization) []Parameterization {
+	var out []Parameterization
+	for _, q := range []Parameterization{QFixed, QVar, VFixed, VVar} {
+		if LessOrEqual(p, q) {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// Below returns every parameterization that reduces to p (inclusive):
+// membership of p in a W class implies membership for all of these.
+func Below(p Parameterization) []Parameterization {
+	var out []Parameterization
+	for _, q := range []Parameterization{QFixed, QVar, VFixed, VVar} {
+		if LessOrEqual(q, p) {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// Parameter returns the parameter value of a query under p: its size proxy
+// for the q parameterizations, its variable count for the v ones.
+func Parameter(q *query.CQ, p Parameterization) int {
+	switch p {
+	case QFixed, QVar:
+		return q.Size()
+	default:
+		return q.NumVars()
+	}
+}
+
+// IdentityReductionValid checks Proposition 1 on a concrete instance: the
+// identity map is a parametric reduction from `from` to `to` iff the target
+// parameter is bounded by the source parameter (g = identity suffices,
+// since v ≤ q for every query and fixed-schema instances are variable-
+// schema instances).
+func IdentityReductionValid(q *query.CQ, from, to Parameterization) bool {
+	if !LessOrEqual(from, to) {
+		return false
+	}
+	return Parameter(q, to) <= Parameter(q, from)
+}

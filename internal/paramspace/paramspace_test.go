@@ -1,0 +1,103 @@
+package paramspace
+
+import (
+	"testing"
+
+	"pyquery/internal/query"
+)
+
+var all = []Parameterization{QFixed, QVar, VFixed, VVar}
+
+func TestPartialOrderShape(t *testing.T) {
+	// Reflexive.
+	for _, p := range all {
+		if !LessOrEqual(p, p) {
+			t.Fatalf("%v not ≤ itself", p)
+		}
+	}
+	// Bottom and top.
+	for _, p := range all {
+		if !LessOrEqual(QFixed, p) {
+			t.Fatalf("QFixed must be the bottom (vs %v)", p)
+		}
+		if !LessOrEqual(p, VVar) {
+			t.Fatalf("VVar must be the top (vs %v)", p)
+		}
+	}
+	// The middle pair is incomparable.
+	if LessOrEqual(QVar, VFixed) || LessOrEqual(VFixed, QVar) {
+		t.Fatal("q/variable and v/fixed must be incomparable")
+	}
+	// Antisymmetry on distinct elements.
+	for _, a := range all {
+		for _, b := range all {
+			if a != b && LessOrEqual(a, b) && LessOrEqual(b, a) {
+				t.Fatalf("%v and %v mutually ≤", a, b)
+			}
+		}
+	}
+}
+
+func TestAboveBelow(t *testing.T) {
+	if got := Above(QFixed); len(got) != 4 {
+		t.Fatalf("Above(bottom) = %v", got)
+	}
+	if got := Below(QFixed); len(got) != 1 {
+		t.Fatalf("Below(bottom) = %v", got)
+	}
+	if got := Above(VVar); len(got) != 1 {
+		t.Fatalf("Above(top) = %v", got)
+	}
+	if got := Below(VVar); len(got) != 4 {
+		t.Fatalf("Below(top) = %v", got)
+	}
+	if got := Above(QVar); len(got) != 2 {
+		t.Fatalf("Above(QVar) = %v", got)
+	}
+}
+
+func TestParameterValues(t *testing.T) {
+	q := &query.CQ{
+		Head: []query.Term{query.V(0)},
+		Atoms: []query.Atom{
+			query.NewAtom("E", query.V(0), query.V(1)),
+			query.NewAtom("E", query.V(1), query.V(0)),
+		},
+	}
+	if Parameter(q, QFixed) != q.Size() || Parameter(q, QVar) != q.Size() {
+		t.Fatal("q parameterizations must use Size")
+	}
+	if Parameter(q, VFixed) != 2 || Parameter(q, VVar) != 2 {
+		t.Fatal("v parameterizations must use NumVars")
+	}
+}
+
+func TestIdentityReductionValid(t *testing.T) {
+	q := &query.CQ{
+		Atoms: []query.Atom{query.NewAtom("E", query.V(0), query.V(1))},
+	}
+	// Along every arc the identity reduction must hold (v ≤ q).
+	for _, arc := range Arcs {
+		if !IdentityReductionValid(q, arc[0], arc[1]) {
+			t.Fatalf("identity reduction fails on arc %v→%v", arc[0], arc[1])
+		}
+	}
+	// Against the order it must be rejected.
+	if IdentityReductionValid(q, VVar, QFixed) {
+		t.Fatal("downward identity accepted")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range all {
+		s := p.String()
+		if s == "unknown" || seen[s] {
+			t.Fatalf("bad String %q", s)
+		}
+		seen[s] = true
+	}
+	if Parameterization(99).String() != "unknown" {
+		t.Fatal("out-of-range String")
+	}
+}

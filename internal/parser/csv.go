@@ -1,0 +1,64 @@
+package parser
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"pyquery/internal/query"
+	"pyquery/internal/relation"
+)
+
+// LoadCSV reads comma-separated rows into a relation and installs it in the
+// database under name. Integer fields become numeric values; everything
+// else is interned through the symbol table. All rows must have the same
+// width; duplicates are removed.
+func LoadCSV(db *query.DB, name string, r io.Reader, syms *Symbols) error {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	var rel *relation.Relation
+	for {
+		record, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("parser: csv %q: %w", name, err)
+		}
+		if rel == nil {
+			rel = query.NewTable(len(record))
+		}
+		if len(record) != rel.Width() {
+			return fmt.Errorf("parser: csv %q: row with %d fields, want %d", name, len(record), rel.Width())
+		}
+		row := make([]relation.Value, len(record))
+		for i, f := range record {
+			row[i] = syms.Value(f)
+		}
+		rel.Append(row...)
+	}
+	if rel == nil {
+		rel = query.NewTable(0)
+	}
+	rel.Dedup()
+	db.Set(name, rel)
+	return nil
+}
+
+// FormatRelation renders a relation using the symbol table, one row per
+// line, for the CLIs.
+func FormatRelation(r *relation.Relation, syms *Symbols) string {
+	out := ""
+	for i := 0; i < r.Len(); i++ {
+		row := r.Row(i)
+		line := ""
+		for j, v := range row {
+			if j > 0 {
+				line += ","
+			}
+			line += syms.String(v)
+		}
+		out += line + "\n"
+	}
+	return out
+}

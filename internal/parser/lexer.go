@@ -1,0 +1,202 @@
+// Package parser provides the textual front end: a rule-notation parser for
+// conjunctive queries with ≠ and comparison atoms, a first-order formula
+// parser, a Datalog program parser, and a CSV relation loader. Symbolic
+// constants are interned into the numeric value space above StringBase so
+// they can never collide with numeric literals (whose order the comparison
+// atoms must respect).
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+	tokTurnstile // :-
+	tokNeq       // !=
+	tokLt        // <
+	tokLe        // <=
+	tokAnd       // &
+	tokOr        // |
+	tokNot       // !
+	tokPipe      // | inside {h | body} — contextual, same as tokOr
+	tokLBrace
+	tokRBrace
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokDot:
+		return "'.'"
+	case tokTurnstile:
+		return "':-'"
+	case tokNeq:
+		return "'!='"
+	case tokLt:
+		return "'<'"
+	case tokLe:
+		return "'<='"
+	case tokAnd:
+		return "'&'"
+	case tokOr, tokPipe:
+		return "'|'"
+	case tokNot:
+		return "'!'"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	}
+	return "?"
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '%' || (c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/'):
+			// Comment to end of line.
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '(':
+			l.emit(tokLParen, "(")
+		case c == ')':
+			l.emit(tokRParen, ")")
+		case c == ',':
+			l.emit(tokComma, ",")
+		case c == '.':
+			l.emit(tokDot, ".")
+		case c == '{':
+			l.emit(tokLBrace, "{")
+		case c == '}':
+			l.emit(tokRBrace, "}")
+		case c == '&':
+			l.emit(tokAnd, "&")
+		case c == '|':
+			l.emit(tokOr, "|")
+		case c == ':':
+			if l.peek(1) != '-' {
+				return nil, fmt.Errorf("parser: stray ':' at offset %d", l.pos)
+			}
+			l.emitN(tokTurnstile, ":-", 2)
+		case c == '!':
+			if l.peek(1) == '=' {
+				l.emitN(tokNeq, "!=", 2)
+			} else {
+				l.emit(tokNot, "!")
+			}
+		case c == '<':
+			if l.peek(1) == '=' {
+				l.emitN(tokLe, "<=", 2)
+			} else {
+				l.emit(tokLt, "<")
+			}
+		case c == '"' || c == '\'':
+			quote := c
+			end := l.pos + 1
+			for end < len(l.src) && l.src[end] != quote {
+				end++
+			}
+			if end >= len(l.src) {
+				return nil, fmt.Errorf("parser: unterminated string at offset %d", l.pos)
+			}
+			l.toks = append(l.toks, token{tokString, l.src[l.pos+1 : end], l.pos})
+			l.pos = end + 1
+		case c == '-' || (c >= '0' && c <= '9'):
+			end := l.pos
+			if c == '-' {
+				end++
+				if end >= len(l.src) || l.src[end] < '0' || l.src[end] > '9' {
+					return nil, fmt.Errorf("parser: stray '-' at offset %d", l.pos)
+				}
+			}
+			for end < len(l.src) && l.src[end] >= '0' && l.src[end] <= '9' {
+				end++
+			}
+			l.toks = append(l.toks, token{tokNumber, l.src[l.pos:end], l.pos})
+			l.pos = end
+		case isIdentStart(rune(c)):
+			end := l.pos
+			for end < len(l.src) && isIdentPart(rune(l.src[end])) {
+				end++
+			}
+			l.toks = append(l.toks, token{tokIdent, l.src[l.pos:end], l.pos})
+			l.pos = end
+		default:
+			return nil, fmt.Errorf("parser: unexpected character %q at offset %d", c, l.pos)
+		}
+	}
+	l.toks = append(l.toks, token{tokEOF, "", l.pos})
+	return l.toks, nil
+}
+
+func (l *lexer) emit(k tokenKind, text string) { l.emitN(k, text, 1) }
+func (l *lexer) emitN(k tokenKind, text string, n int) {
+	l.toks = append(l.toks, token{k, text, l.pos})
+	l.pos += n
+}
+
+func (l *lexer) peek(ahead int) byte {
+	if l.pos+ahead < len(l.src) {
+		return l.src[l.pos+ahead]
+	}
+	return 0
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+// isKeyword reports reserved identifiers of the formula syntax.
+func isKeyword(s string) bool {
+	switch strings.ToLower(s) {
+	case "exists", "forall", "true", "false":
+		return true
+	}
+	return false
+}

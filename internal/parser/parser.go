@@ -1,0 +1,518 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pyquery/internal/datalog"
+	"pyquery/internal/query"
+	"pyquery/internal/relation"
+)
+
+// StringBase is where interned symbolic constants live in the value space;
+// numeric literals stay below it, so "42" the number and "alice" the symbol
+// can never collide and numeric comparisons keep their meaning.
+const StringBase = relation.Value(1) << 40
+
+// Symbols interns symbolic constants for one database/query universe.
+type Symbols struct{ d *relation.Dict }
+
+// NewSymbols returns an empty symbol table.
+func NewSymbols() *Symbols { return &Symbols{d: relation.NewDict()} }
+
+// Value converts a literal token: integers map to themselves, anything else
+// is interned above StringBase.
+func (s *Symbols) Value(tok string) relation.Value {
+	if n, err := strconv.ParseInt(tok, 10, 64); err == nil {
+		return relation.Value(n)
+	}
+	return StringBase + s.d.ID(tok)
+}
+
+// String renders a value: interned symbols by name, numbers numerically.
+func (s *Symbols) String(v relation.Value) string {
+	if v >= StringBase {
+		return s.d.String(v - StringBase)
+	}
+	return strconv.FormatInt(int64(v), 10)
+}
+
+// Parser parses queries and programs, accumulating a variable-name table
+// shared across calls so that multi-query sessions agree on ids.
+type Parser struct {
+	Syms *Symbols
+	vars map[string]query.Var
+	// names[v] is the source name of variable v.
+	names []string
+}
+
+// New returns a parser with a fresh symbol table.
+func New() *Parser { return NewWithSymbols(NewSymbols()) }
+
+// NewWithSymbols returns a parser sharing an existing symbol table.
+func NewWithSymbols(s *Symbols) *Parser {
+	return &Parser{Syms: s, vars: make(map[string]query.Var)}
+}
+
+// VarNames returns the variable-name table accumulated so far.
+func (p *Parser) VarNames() []string { return p.names }
+
+func (p *Parser) varID(name string) query.Var {
+	if v, ok := p.vars[name]; ok {
+		return v
+	}
+	v := query.Var(len(p.names))
+	p.vars[name] = v
+	p.names = append(p.names, name)
+	return v
+}
+
+type tokenStream struct {
+	toks []token
+	i    int
+}
+
+func (ts *tokenStream) peek() token { return ts.toks[ts.i] }
+func (ts *tokenStream) next() token {
+	t := ts.toks[ts.i]
+	if t.kind != tokEOF {
+		ts.i++
+	}
+	return t
+}
+
+func (ts *tokenStream) expect(k tokenKind) (token, error) {
+	t := ts.next()
+	if t.kind != k {
+		return t, fmt.Errorf("parser: expected %v, found %v %q at offset %d", k, t.kind, t.text, t.pos)
+	}
+	return t, nil
+}
+
+// ParseCQ parses rule notation:
+//
+//	G(x, y) :- R(x, z), S(z, y), x != y, z != "lyon", x < 10, x <= y.
+//
+// Identifiers are variables; numbers and quoted strings are constants. The
+// head may be empty — G() — for Boolean queries. The trailing period is
+// optional.
+func (p *Parser) ParseCQ(src string) (*query.CQ, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	ts := &tokenStream{toks: toks}
+	q := &query.CQ{}
+
+	// Head.
+	if _, err := ts.expect(tokIdent); err != nil {
+		return nil, err
+	}
+	if _, err := ts.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	if ts.peek().kind != tokRParen {
+		for {
+			t, err := p.parseTerm(ts)
+			if err != nil {
+				return nil, err
+			}
+			q.Head = append(q.Head, t)
+			if ts.peek().kind != tokComma {
+				break
+			}
+			ts.next()
+		}
+	}
+	if _, err := ts.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := ts.expect(tokTurnstile); err != nil {
+		return nil, err
+	}
+
+	// Body: comma-separated atoms / constraints.
+	for {
+		if err := p.parseBodyItem(ts, q); err != nil {
+			return nil, err
+		}
+		if ts.peek().kind == tokComma {
+			ts.next()
+			continue
+		}
+		break
+	}
+	if ts.peek().kind == tokDot {
+		ts.next()
+	}
+	if t := ts.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("parser: trailing input %q at offset %d", t.text, t.pos)
+	}
+	q.VarNames = p.names
+	return q, nil
+}
+
+func (p *Parser) parseBodyItem(ts *tokenStream, q *query.CQ) error {
+	first, err := p.parseTermOrAtomStart(ts, q)
+	if err != nil {
+		return err
+	}
+	if first == nil {
+		return nil // it was a relational atom, already appended
+	}
+	// Constraint: term op term.
+	op := ts.next()
+	switch op.kind {
+	case tokNeq:
+		second, err := p.parseTerm(ts)
+		if err != nil {
+			return err
+		}
+		return appendIneq(q, *first, second)
+	case tokLt, tokLe:
+		second, err := p.parseTerm(ts)
+		if err != nil {
+			return err
+		}
+		q.Cmps = append(q.Cmps, query.Cmp{Left: *first, Right: second, Strict: op.kind == tokLt})
+		return nil
+	}
+	return fmt.Errorf("parser: expected '!=', '<' or '<=' after term, found %v at offset %d", op.kind, op.pos)
+}
+
+// parseTermOrAtomStart distinguishes a relational atom R(…) from the left
+// term of a constraint. It returns (nil, nil) after consuming an atom, or
+// the parsed left-hand term.
+func (p *Parser) parseTermOrAtomStart(ts *tokenStream, q *query.CQ) (*query.Term, error) {
+	t := ts.peek()
+	if t.kind == tokIdent && ts.toks[ts.i+1].kind == tokLParen {
+		atom, err := p.parseAtom(ts)
+		if err != nil {
+			return nil, err
+		}
+		q.Atoms = append(q.Atoms, atom)
+		return nil, nil
+	}
+	term, err := p.parseTerm(ts)
+	if err != nil {
+		return nil, err
+	}
+	return &term, nil
+}
+
+func appendIneq(q *query.CQ, l, r query.Term) error {
+	switch {
+	case l.IsVar && r.IsVar:
+		q.Ineqs = append(q.Ineqs, query.NeqVars(l.Var, r.Var))
+	case l.IsVar:
+		q.Ineqs = append(q.Ineqs, query.NeqConst(l.Var, r.Const))
+	case r.IsVar:
+		q.Ineqs = append(q.Ineqs, query.NeqConst(r.Var, l.Const))
+	default:
+		if l.Const == r.Const {
+			// Ground-false inequality: encode as unsatisfiable comparison.
+			q.Cmps = append(q.Cmps, query.Lt(query.C(0), query.C(0)))
+		}
+	}
+	return nil
+}
+
+func (p *Parser) parseAtom(ts *tokenStream) (query.Atom, error) {
+	name, err := ts.expect(tokIdent)
+	if err != nil {
+		return query.Atom{}, err
+	}
+	if isKeyword(name.text) {
+		return query.Atom{}, fmt.Errorf("parser: %q is a reserved word (offset %d)", name.text, name.pos)
+	}
+	if _, err := ts.expect(tokLParen); err != nil {
+		return query.Atom{}, err
+	}
+	atom := query.Atom{Rel: name.text}
+	if ts.peek().kind != tokRParen {
+		for {
+			t, err := p.parseTerm(ts)
+			if err != nil {
+				return query.Atom{}, err
+			}
+			atom.Args = append(atom.Args, t)
+			if ts.peek().kind != tokComma {
+				break
+			}
+			ts.next()
+		}
+	}
+	if _, err := ts.expect(tokRParen); err != nil {
+		return query.Atom{}, err
+	}
+	return atom, nil
+}
+
+func (p *Parser) parseTerm(ts *tokenStream) (query.Term, error) {
+	t := ts.next()
+	switch t.kind {
+	case tokIdent:
+		if isKeyword(t.text) {
+			return query.Term{}, fmt.Errorf("parser: %q is a reserved word (offset %d)", t.text, t.pos)
+		}
+		return query.V(p.varID(t.text)), nil
+	case tokNumber:
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return query.Term{}, fmt.Errorf("parser: bad number %q: %v", t.text, err)
+		}
+		return query.C(relation.Value(n)), nil
+	case tokString:
+		return query.C(p.Syms.Value(t.text)), nil
+	}
+	return query.Term{}, fmt.Errorf("parser: expected a term, found %v at offset %d", t.kind, t.pos)
+}
+
+// ParseFOQuery parses { (t, …) | formula } with the grammar
+//
+//	formula := "exists" var formula | "forall" var formula | disj
+//	disj    := conj ('|' conj)*
+//	conj    := unary ('&' unary)*
+//	unary   := '!' unary | atom | '(' formula ')' | "true" | "false"
+//
+// For Boolean queries the head is ().
+func (p *Parser) ParseFOQuery(src string) (*query.FOQuery, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	ts := &tokenStream{toks: toks}
+	if _, err := ts.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	q := &query.FOQuery{}
+	if _, err := ts.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	if ts.peek().kind != tokRParen {
+		for {
+			t, err := p.parseTerm(ts)
+			if err != nil {
+				return nil, err
+			}
+			q.Head = append(q.Head, t)
+			if ts.peek().kind != tokComma {
+				break
+			}
+			ts.next()
+		}
+	}
+	if _, err := ts.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := ts.expect(tokOr); err != nil { // the separating '|'
+		return nil, err
+	}
+	body, err := p.parseFormula(ts)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := ts.expect(tokRBrace); err != nil {
+		return nil, err
+	}
+	if t := ts.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("parser: trailing input %q at offset %d", t.text, t.pos)
+	}
+	q.Body = body
+	q.VarNames = p.names
+	return q, nil
+}
+
+func (p *Parser) parseFormula(ts *tokenStream) (query.Formula, error) {
+	t := ts.peek()
+	if t.kind == tokIdent {
+		switch strings.ToLower(t.text) {
+		case "exists", "forall":
+			ts.next()
+			v, err := ts.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			sub, err := p.parseFormula(ts)
+			if err != nil {
+				return nil, err
+			}
+			if strings.ToLower(t.text) == "exists" {
+				return query.Exists{V: p.varID(v.text), Sub: sub}, nil
+			}
+			return query.Forall{V: p.varID(v.text), Sub: sub}, nil
+		}
+	}
+	return p.parseDisj(ts)
+}
+
+func (p *Parser) parseDisj(ts *tokenStream) (query.Formula, error) {
+	left, err := p.parseConj(ts)
+	if err != nil {
+		return nil, err
+	}
+	subs := []query.Formula{left}
+	for ts.peek().kind == tokOr {
+		ts.next()
+		next, err := p.parseConj(ts)
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, next)
+	}
+	if len(subs) == 1 {
+		return subs[0], nil
+	}
+	return query.Or{Subs: subs}, nil
+}
+
+func (p *Parser) parseConj(ts *tokenStream) (query.Formula, error) {
+	left, err := p.parseUnary(ts)
+	if err != nil {
+		return nil, err
+	}
+	subs := []query.Formula{left}
+	for ts.peek().kind == tokAnd {
+		ts.next()
+		next, err := p.parseUnary(ts)
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, next)
+	}
+	if len(subs) == 1 {
+		return subs[0], nil
+	}
+	return query.And{Subs: subs}, nil
+}
+
+func (p *Parser) parseUnary(ts *tokenStream) (query.Formula, error) {
+	t := ts.peek()
+	switch t.kind {
+	case tokNot:
+		ts.next()
+		sub, err := p.parseUnary(ts)
+		if err != nil {
+			return nil, err
+		}
+		return query.Not{Sub: sub}, nil
+	case tokLParen:
+		ts.next()
+		sub, err := p.parseFormula(ts)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := ts.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return sub, nil
+	case tokIdent:
+		switch strings.ToLower(t.text) {
+		case "true":
+			ts.next()
+			return query.And{}, nil
+		case "false":
+			ts.next()
+			return query.Or{}, nil
+		case "exists", "forall":
+			return p.parseFormula(ts)
+		}
+		atom, err := p.parseAtom(ts)
+		if err != nil {
+			return nil, err
+		}
+		return query.FAtom{Atom: atom}, nil
+	}
+	return nil, fmt.Errorf("parser: expected a formula, found %v at offset %d", t.kind, t.pos)
+}
+
+// ParseProgram parses a Datalog program: a sequence of rules and ground
+// facts, each terminated by a period. The goal is the head relation of the
+// first rule unless a line "goal Name." appears.
+//
+//	E(1,2).  E(2,3).
+//	Reach(x,y) :- E(x,y).
+//	Reach(x,z) :- Reach(x,y), E(y,z).
+//	goal Reach.
+//
+// Facts populate the EDB database returned alongside the program.
+func (p *Parser) ParseProgram(src string) (*datalog.Program, *query.DB, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	ts := &tokenStream{toks: toks}
+	prog := &datalog.Program{}
+	db := query.NewDB()
+	db.Dict = p.Syms.d
+
+	for ts.peek().kind != tokEOF {
+		// goal directive?
+		if t := ts.peek(); t.kind == tokIdent && strings.ToLower(t.text) == "goal" &&
+			ts.toks[ts.i+1].kind == tokIdent {
+			ts.next()
+			name, _ := ts.expect(tokIdent)
+			prog.Goal = name.text
+			if _, err := ts.expect(tokDot); err != nil {
+				return nil, nil, err
+			}
+			continue
+		}
+		head, err := p.parseAtom(ts)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch ts.peek().kind {
+		case tokDot: // ground fact
+			ts.next()
+			row := make([]relation.Value, len(head.Args))
+			for i, t := range head.Args {
+				if t.IsVar {
+					return nil, nil, fmt.Errorf("parser: fact %v has a variable", head)
+				}
+				row[i] = t.Const
+			}
+			rel, ok := db.Rel(head.Rel)
+			if !ok {
+				rel = query.NewTable(len(row))
+				db.Set(head.Rel, rel)
+			}
+			if rel.Width() != len(row) {
+				return nil, nil, fmt.Errorf("parser: fact %v conflicts with arity %d", head, rel.Width())
+			}
+			rel.Append(row...)
+		case tokTurnstile:
+			ts.next()
+			rule := datalog.Rule{Head: head}
+			for {
+				atom, err := p.parseAtom(ts)
+				if err != nil {
+					return nil, nil, err
+				}
+				rule.Body = append(rule.Body, atom)
+				if ts.peek().kind == tokComma {
+					ts.next()
+					continue
+				}
+				break
+			}
+			if _, err := ts.expect(tokDot); err != nil {
+				return nil, nil, err
+			}
+			prog.Rules = append(prog.Rules, rule)
+			if prog.Goal == "" {
+				prog.Goal = rule.Head.Rel
+			}
+		default:
+			t := ts.peek()
+			return nil, nil, fmt.Errorf("parser: expected '.' or ':-' after %v, found %v at offset %d",
+				head, t.kind, t.pos)
+		}
+	}
+	// Dedup fact relations.
+	for _, name := range db.Names() {
+		db.MustRel(name).Dedup()
+	}
+	return prog, db, nil
+}

@@ -1,0 +1,299 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pyquery/internal/relation"
+)
+
+// CQ is a conjunctive query in rule form,
+//
+//	G(t₀) ← R₁(t₁), …, Rₛ(tₛ), x≠y, …, x<y, …
+//
+// with optional inequality (≠) and comparison (<, ≤) atoms — the two
+// extensions the paper studies in Section 5. A CQ with an empty head is a
+// Boolean query. All body variables are implicitly existentially
+// quantified.
+type CQ struct {
+	Head  []Term
+	Atoms []Atom
+	Ineqs []Ineq
+	Cmps  []Cmp
+	// VarNames optionally maps Var → source-level name, for printing.
+	VarNames []string
+}
+
+// IsBoolean reports whether the query has an empty head.
+func (q *CQ) IsBoolean() bool { return len(q.Head) == 0 }
+
+// Vars returns all distinct variables appearing anywhere in the query,
+// sorted.
+func (q *CQ) Vars() []Var {
+	seen := make(map[Var]bool)
+	add := func(t Term) {
+		if t.IsVar {
+			seen[t.Var] = true
+		}
+	}
+	for _, t := range q.Head {
+		add(t)
+	}
+	for _, a := range q.Atoms {
+		for _, t := range a.Args {
+			add(t)
+		}
+	}
+	for _, iq := range q.Ineqs {
+		seen[iq.X] = true
+		if iq.YIsVar {
+			seen[iq.Y] = true
+		}
+	}
+	for _, c := range q.Cmps {
+		add(c.Left)
+		add(c.Right)
+	}
+	return sortedVars(seen)
+}
+
+// BodyVars returns the distinct variables appearing in relational atoms,
+// sorted. Safety requires every other variable occurrence to be among them.
+func (q *CQ) BodyVars() []Var {
+	seen := make(map[Var]bool)
+	for _, a := range q.Atoms {
+		for _, t := range a.Args {
+			if t.IsVar {
+				seen[t.Var] = true
+			}
+		}
+	}
+	return sortedVars(seen)
+}
+
+// HeadVars returns the distinct head variables in first-occurrence order.
+func (q *CQ) HeadVars() []Var {
+	var out []Var
+	seen := make(map[Var]bool)
+	for _, t := range q.Head {
+		if t.IsVar && !seen[t.Var] {
+			seen[t.Var] = true
+			out = append(out, t.Var)
+		}
+	}
+	return out
+}
+
+// NumVars returns v, the number of distinct variables — one of the paper's
+// two parameters.
+func (q *CQ) NumVars() int { return len(q.Vars()) }
+
+// Size returns q, a proxy for the query's encoding length — the paper's
+// other parameter: one unit per atom plus one per argument, plus the head
+// and three per (in)equality or comparison atom.
+func (q *CQ) Size() int {
+	n := len(q.Head)
+	for _, a := range q.Atoms {
+		n += 1 + len(a.Args)
+	}
+	n += 3 * len(q.Ineqs)
+	n += 3 * len(q.Cmps)
+	return n
+}
+
+// Hyperedges returns, per relational atom, its set of distinct variables —
+// the hypergraph of the query in the sense of Section 5.
+func (q *CQ) Hyperedges() [][]Var {
+	out := make([][]Var, len(q.Atoms))
+	for i, a := range q.Atoms {
+		out[i] = a.Vars()
+	}
+	return out
+}
+
+// Validate checks the query against the database: every atom's relation
+// must exist with matching arity, head variables must occur in the body
+// (range restriction), and every ≠/comparison variable must occur in some
+// relational atom (safety).
+func (q *CQ) Validate(db *DB) error {
+	for _, a := range q.Atoms {
+		r, ok := db.Rel(a.Rel)
+		if !ok {
+			return fmt.Errorf("query: unknown relation %q", a.Rel)
+		}
+		if r.Width() != len(a.Args) {
+			return fmt.Errorf("query: atom %v has %d arguments but relation %q has arity %d",
+				a, len(a.Args), a.Rel, r.Width())
+		}
+	}
+	body := make(map[Var]bool)
+	for _, v := range q.BodyVars() {
+		body[v] = true
+	}
+	for _, t := range q.Head {
+		if t.IsVar && !body[t.Var] {
+			return fmt.Errorf("query: head variable %v does not occur in the body", t)
+		}
+	}
+	for _, iq := range q.Ineqs {
+		if !body[iq.X] {
+			return fmt.Errorf("query: inequality variable x%d does not occur in a relational atom", iq.X)
+		}
+		if iq.YIsVar && !body[iq.Y] {
+			return fmt.Errorf("query: inequality variable x%d does not occur in a relational atom", iq.Y)
+		}
+	}
+	for _, c := range q.Cmps {
+		for _, t := range []Term{c.Left, c.Right} {
+			if t.IsVar && !body[t.Var] {
+				return fmt.Errorf("query: comparison variable %v does not occur in a relational atom", t)
+			}
+		}
+	}
+	return nil
+}
+
+// BindHead substitutes the constants of tuple for the head terms throughout
+// the query, returning the Boolean query that decides t ∈ Q(d). Constant
+// head positions must match the tuple; repeated head variables must receive
+// equal values.
+func (q *CQ) BindHead(tuple []relation.Value) (*CQ, error) {
+	if len(tuple) != len(q.Head) {
+		return nil, fmt.Errorf("query: tuple arity %d does not match head arity %d", len(tuple), len(q.Head))
+	}
+	sub := make(map[Var]relation.Value)
+	for i, t := range q.Head {
+		if !t.IsVar {
+			if t.Const != tuple[i] {
+				// The decision is trivially false; encode as an
+				// unsatisfiable query over an always-empty pattern: an
+				// inequality c ≠ c is not expressible, so return a marker.
+				return nil, errHeadConstMismatch
+			}
+			continue
+		}
+		if prev, ok := sub[t.Var]; ok && prev != tuple[i] {
+			return nil, errHeadConstMismatch
+		}
+		sub[t.Var] = tuple[i]
+	}
+	out := q.substitute(sub)
+	out.Head = nil
+	return out, nil
+}
+
+var errHeadConstMismatch = fmt.Errorf("query: tuple cannot match head constants")
+
+// IsTrivialMismatch reports whether err is the BindHead marker for a tuple
+// that cannot match the head pattern (the decision answer is false).
+func IsTrivialMismatch(err error) bool { return err == errHeadConstMismatch }
+
+// substitute replaces variables by constants per sub.
+func (q *CQ) substitute(sub map[Var]relation.Value) *CQ {
+	mapTerm := func(t Term) Term {
+		if t.IsVar {
+			if c, ok := sub[t.Var]; ok {
+				return C(c)
+			}
+		}
+		return t
+	}
+	out := &CQ{VarNames: q.VarNames}
+	out.Head = make([]Term, len(q.Head))
+	for i, t := range q.Head {
+		out.Head[i] = mapTerm(t)
+	}
+	out.Atoms = make([]Atom, len(q.Atoms))
+	for i, a := range q.Atoms {
+		args := make([]Term, len(a.Args))
+		for j, t := range a.Args {
+			args[j] = mapTerm(t)
+		}
+		out.Atoms[i] = Atom{Rel: a.Rel, Args: args}
+	}
+	// ≠ atoms: substituted variable sides become constant sides; a fully
+	// constant ≠ is dropped if true (both sides differ) — a false one is
+	// kept as an impossible x≠x marker only when expressible, so instead we
+	// keep such queries correct by turning them into an unsatisfiable
+	// comparison pair below.
+	for _, iq := range q.Ineqs {
+		xc, xBound := sub[iq.X]
+		if iq.YIsVar {
+			yc, yBound := sub[iq.Y]
+			switch {
+			case !xBound && !yBound:
+				out.Ineqs = append(out.Ineqs, iq)
+			case xBound && !yBound:
+				out.Ineqs = append(out.Ineqs, NeqConst(iq.Y, xc))
+			case !xBound && yBound:
+				out.Ineqs = append(out.Ineqs, NeqConst(iq.X, yc))
+			default:
+				if xc == yc {
+					out.Cmps = append(out.Cmps, unsatisfiableCmp())
+				}
+			}
+			continue
+		}
+		if !xBound {
+			out.Ineqs = append(out.Ineqs, iq)
+		} else if xc == iq.C {
+			out.Cmps = append(out.Cmps, unsatisfiableCmp())
+		}
+	}
+	for _, c := range q.Cmps {
+		out.Cmps = append(out.Cmps, Cmp{Left: mapTerm(c.Left), Right: mapTerm(c.Right), Strict: c.Strict})
+	}
+	return out
+}
+
+// unsatisfiableCmp is a ground comparison 0 < 0, used to mark queries made
+// unsatisfiable by substitution.
+func unsatisfiableCmp() Cmp { return Lt(C(0), C(0)) }
+
+// Clone returns a deep copy.
+func (q *CQ) Clone() *CQ {
+	out := &CQ{VarNames: q.VarNames}
+	out.Head = append([]Term(nil), q.Head...)
+	out.Atoms = make([]Atom, len(q.Atoms))
+	for i, a := range q.Atoms {
+		out.Atoms[i] = Atom{Rel: a.Rel, Args: append([]Term(nil), a.Args...)}
+	}
+	out.Ineqs = append([]Ineq(nil), q.Ineqs...)
+	out.Cmps = append([]Cmp(nil), q.Cmps...)
+	return out
+}
+
+// String renders the query in rule notation.
+func (q *CQ) String() string {
+	var b strings.Builder
+	b.WriteString("G(")
+	for i, t := range q.Head {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteString(") :- ")
+	var parts []string
+	for _, a := range q.Atoms {
+		parts = append(parts, a.String())
+	}
+	for _, iq := range q.Ineqs {
+		parts = append(parts, iq.String())
+	}
+	for _, c := range q.Cmps {
+		parts = append(parts, c.String())
+	}
+	b.WriteString(strings.Join(parts, ", "))
+	return b.String()
+}
+
+func sortedVars(set map[Var]bool) []Var {
+	out := make([]Var, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

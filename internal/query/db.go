@@ -1,0 +1,89 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"pyquery/internal/relation"
+)
+
+// DB is a database instance: a set of named relations over a shared domain.
+// Base relations use positional schemas (attributes 0…arity−1); engines
+// re-key columns by query variable as they build intermediate relations.
+type DB struct {
+	rels map[string]*relation.Relation
+	// Dict, when set, interns the symbolic constants of this database; the
+	// CLIs and parsers use it to print values back as strings.
+	Dict *relation.Dict
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB { return &DB{rels: make(map[string]*relation.Relation)} }
+
+// Set installs (or replaces) relation name. The relation should use the
+// positional schema produced by NewTable.
+func (db *DB) Set(name string, r *relation.Relation) { db.rels[name] = r }
+
+// Rel returns the named relation.
+func (db *DB) Rel(name string) (*relation.Relation, bool) {
+	r, ok := db.rels[name]
+	return r, ok
+}
+
+// MustRel returns the named relation or panics; for tests and workloads
+// where absence is a programming error.
+func (db *DB) MustRel(name string) *relation.Relation {
+	r, ok := db.rels[name]
+	if !ok {
+		panic(fmt.Sprintf("query: no relation %q in database", name))
+	}
+	return r
+}
+
+// Names returns the relation names in sorted order.
+func (db *DB) Names() []string {
+	out := make([]string, 0, len(db.rels))
+	for n := range db.rels {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the total number of tuples across all relations — the
+// paper's n, the size of the database.
+func (db *DB) Size() int {
+	n := 0
+	for _, r := range db.rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// ActiveDomain returns the sorted set of values appearing in any relation.
+func (db *DB) ActiveDomain() []relation.Value {
+	rels := make([]*relation.Relation, 0, len(db.rels))
+	for _, r := range db.rels {
+		rels = append(rels, r)
+	}
+	return relation.ActiveDomain(rels...)
+}
+
+// NewTable returns an empty base relation of the given arity with the
+// positional schema 0…arity−1.
+func NewTable(arity int) *relation.Relation {
+	schema := make(relation.Schema, arity)
+	for i := range schema {
+		schema[i] = relation.Attr(i)
+	}
+	return relation.New(schema)
+}
+
+// Table builds a base relation of the given arity from rows.
+func Table(arity int, rows ...[]relation.Value) *relation.Relation {
+	r := NewTable(arity)
+	for _, row := range rows {
+		r.Append(row...)
+	}
+	return r
+}

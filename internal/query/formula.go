@@ -1,0 +1,324 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Formula is a first-order formula over relational atoms. Positive queries
+// are formulas without Not and Forall; conjunctive queries are additionally
+// without Or. Quantifiers may reuse variable ids with the usual shadowing
+// semantics — the paper's bounded-variable results (parameter v) depend on
+// such reuse.
+type Formula interface {
+	isFormula()
+	String() string
+}
+
+// FAtom is a relational atom used as a formula.
+type FAtom struct{ Atom Atom }
+
+// And is an n-ary conjunction. An empty conjunction is true.
+type And struct{ Subs []Formula }
+
+// Or is an n-ary disjunction. An empty disjunction is false.
+type Or struct{ Subs []Formula }
+
+// Not is negation.
+type Not struct{ Sub Formula }
+
+// Exists binds V existentially in Sub.
+type Exists struct {
+	V   Var
+	Sub Formula
+}
+
+// Forall binds V universally in Sub.
+type Forall struct {
+	V   Var
+	Sub Formula
+}
+
+func (FAtom) isFormula()  {}
+func (And) isFormula()    {}
+func (Or) isFormula()     {}
+func (Not) isFormula()    {}
+func (Exists) isFormula() {}
+func (Forall) isFormula() {}
+
+func (f FAtom) String() string { return f.Atom.String() }
+
+func (f And) String() string {
+	if len(f.Subs) == 0 {
+		return "true"
+	}
+	parts := make([]string, len(f.Subs))
+	for i, s := range f.Subs {
+		parts[i] = s.String()
+	}
+	return "(" + strings.Join(parts, " & ") + ")"
+}
+
+func (f Or) String() string {
+	if len(f.Subs) == 0 {
+		return "false"
+	}
+	parts := make([]string, len(f.Subs))
+	for i, s := range f.Subs {
+		parts[i] = s.String()
+	}
+	return "(" + strings.Join(parts, " | ") + ")"
+}
+
+func (f Not) String() string    { return "!" + f.Sub.String() }
+func (f Exists) String() string { return fmt.Sprintf("exists x%d %v", f.V, f.Sub) }
+func (f Forall) String() string { return fmt.Sprintf("forall x%d %v", f.V, f.Sub) }
+
+// Conj builds an And; Disj builds an Or.
+func Conj(subs ...Formula) Formula { return And{Subs: subs} }
+
+// Disj builds an Or.
+func Disj(subs ...Formula) Formula { return Or{Subs: subs} }
+
+// FreeVars returns the free variables of f, sorted.
+func FreeVars(f Formula) []Var {
+	seen := make(map[Var]bool)
+	var walk func(f Formula, bound map[Var]int)
+	walk = func(f Formula, bound map[Var]int) {
+		switch g := f.(type) {
+		case FAtom:
+			for _, t := range g.Atom.Args {
+				if t.IsVar && bound[t.Var] == 0 {
+					seen[t.Var] = true
+				}
+			}
+		case And:
+			for _, s := range g.Subs {
+				walk(s, bound)
+			}
+		case Or:
+			for _, s := range g.Subs {
+				walk(s, bound)
+			}
+		case Not:
+			walk(g.Sub, bound)
+		case Exists:
+			bound[g.V]++
+			walk(g.Sub, bound)
+			bound[g.V]--
+		case Forall:
+			bound[g.V]++
+			walk(g.Sub, bound)
+			bound[g.V]--
+		default:
+			panic(fmt.Sprintf("query: unknown formula node %T", f))
+		}
+	}
+	walk(f, make(map[Var]int))
+	return sortedVars(seen)
+}
+
+// AllVars returns every variable id mentioned in f (free or bound), sorted.
+// Its length is the paper's parameter v for formula queries.
+func AllVars(f Formula) []Var {
+	seen := make(map[Var]bool)
+	var walk func(f Formula)
+	walk = func(f Formula) {
+		switch g := f.(type) {
+		case FAtom:
+			for _, t := range g.Atom.Args {
+				if t.IsVar {
+					seen[t.Var] = true
+				}
+			}
+		case And:
+			for _, s := range g.Subs {
+				walk(s)
+			}
+		case Or:
+			for _, s := range g.Subs {
+				walk(s)
+			}
+		case Not:
+			walk(g.Sub)
+		case Exists:
+			seen[g.V] = true
+			walk(g.Sub)
+		case Forall:
+			seen[g.V] = true
+			walk(g.Sub)
+		}
+	}
+	walk(f)
+	return sortedVars(seen)
+}
+
+// FormulaSize returns a proxy for the formula's encoding length (the
+// parameter q): one unit per connective, quantifier, and atom argument.
+func FormulaSize(f Formula) int {
+	switch g := f.(type) {
+	case FAtom:
+		return 1 + len(g.Atom.Args)
+	case And:
+		n := 1
+		for _, s := range g.Subs {
+			n += FormulaSize(s)
+		}
+		return n
+	case Or:
+		n := 1
+		for _, s := range g.Subs {
+			n += FormulaSize(s)
+		}
+		return n
+	case Not:
+		return 1 + FormulaSize(g.Sub)
+	case Exists:
+		return 2 + FormulaSize(g.Sub)
+	case Forall:
+		return 2 + FormulaSize(g.Sub)
+	}
+	panic(fmt.Sprintf("query: unknown formula node %T", f))
+}
+
+// IsPositive reports whether f uses only atoms, ∧, ∨, and ∃ — the paper's
+// positive queries.
+func IsPositive(f Formula) bool {
+	switch g := f.(type) {
+	case FAtom:
+		return true
+	case And:
+		for _, s := range g.Subs {
+			if !IsPositive(s) {
+				return false
+			}
+		}
+		return true
+	case Or:
+		for _, s := range g.Subs {
+			if !IsPositive(s) {
+				return false
+			}
+		}
+		return true
+	case Exists:
+		return IsPositive(g.Sub)
+	default:
+		return false
+	}
+}
+
+// ValidateFormula checks atom arities against the database.
+func ValidateFormula(f Formula, db *DB) error {
+	switch g := f.(type) {
+	case FAtom:
+		r, ok := db.Rel(g.Atom.Rel)
+		if !ok {
+			return fmt.Errorf("query: unknown relation %q", g.Atom.Rel)
+		}
+		if r.Width() != len(g.Atom.Args) {
+			return fmt.Errorf("query: atom %v has %d arguments but relation %q has arity %d",
+				g.Atom, len(g.Atom.Args), g.Atom.Rel, r.Width())
+		}
+		return nil
+	case And:
+		for _, s := range g.Subs {
+			if err := ValidateFormula(s, db); err != nil {
+				return err
+			}
+		}
+		return nil
+	case Or:
+		for _, s := range g.Subs {
+			if err := ValidateFormula(s, db); err != nil {
+				return err
+			}
+		}
+		return nil
+	case Not:
+		return ValidateFormula(g.Sub, db)
+	case Exists:
+		return ValidateFormula(g.Sub, db)
+	case Forall:
+		return ValidateFormula(g.Sub, db)
+	}
+	return fmt.Errorf("query: unknown formula node %T", f)
+}
+
+// FOQuery is a first-order query {t₀ | φ}: the head lists output terms whose
+// variables must be exactly the free variables of the body.
+type FOQuery struct {
+	Head []Term
+	Body Formula
+	// VarNames optionally maps Var → source-level name.
+	VarNames []string
+}
+
+// IsBoolean reports whether the query has an empty head.
+func (q *FOQuery) IsBoolean() bool { return len(q.Head) == 0 }
+
+// Validate checks arities and that head variables are exactly the free
+// variables of the body.
+func (q *FOQuery) Validate(db *DB) error {
+	if err := ValidateFormula(q.Body, db); err != nil {
+		return err
+	}
+	free := FreeVars(q.Body)
+	headVars := make(map[Var]bool)
+	for _, t := range q.Head {
+		if t.IsVar {
+			headVars[t.Var] = true
+		}
+	}
+	for _, v := range free {
+		if !headVars[v] {
+			return fmt.Errorf("query: free variable x%d of the body is not in the head", v)
+		}
+	}
+	for v := range headVars {
+		if !containsVar(free, v) {
+			return fmt.Errorf("query: head variable x%d is not free in the body", v)
+		}
+	}
+	return nil
+}
+
+func (q *FOQuery) String() string {
+	var parts []string
+	for _, t := range q.Head {
+		parts = append(parts, t.String())
+	}
+	return "{(" + strings.Join(parts, ",") + ") | " + q.Body.String() + "}"
+}
+
+func containsVar(vs []Var, v Var) bool {
+	i := sort.Search(len(vs), func(i int) bool { return vs[i] >= v })
+	return i < len(vs) && vs[i] == v
+}
+
+// CQToFormula converts a pure conjunctive query (no ≠, no comparisons) into
+// an existentially quantified conjunction — the formula form used by the
+// positive/FO machinery.
+func CQToFormula(q *CQ) (Formula, error) {
+	if len(q.Ineqs) > 0 || len(q.Cmps) > 0 {
+		return nil, fmt.Errorf("query: CQ with ≠/comparison atoms has no pure formula form")
+	}
+	subs := make([]Formula, len(q.Atoms))
+	for i, a := range q.Atoms {
+		subs[i] = FAtom{Atom: a}
+	}
+	var f Formula = And{Subs: subs}
+	head := make(map[Var]bool)
+	for _, v := range q.HeadVars() {
+		head[v] = true
+	}
+	// Quantify body-only variables, in reverse sorted order for stable output.
+	body := q.BodyVars()
+	for i := len(body) - 1; i >= 0; i-- {
+		if !head[body[i]] {
+			f = Exists{V: body[i], Sub: f}
+		}
+	}
+	return f, nil
+}

@@ -1,0 +1,305 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"pyquery/internal/relation"
+)
+
+func testDB() *DB {
+	db := NewDB()
+	db.Set("E", Table(2, []relation.Value{0, 1}, []relation.Value{1, 2}))
+	db.Set("L", Table(1, []relation.Value{0}))
+	return db
+}
+
+func TestTermEqualAndString(t *testing.T) {
+	if !V(1).Equal(V(1)) || V(1).Equal(V(2)) || V(1).Equal(C(1)) || !C(3).Equal(C(3)) {
+		t.Fatal("Term.Equal misbehaves")
+	}
+	if V(1).String() != "x1" || C(7).String() != "7" {
+		t.Fatalf("Term.String: %q %q", V(1).String(), C(7).String())
+	}
+}
+
+func TestAtomVarsDistinctInOrder(t *testing.T) {
+	a := NewAtom("R", V(2), C(5), V(1), V(2))
+	vars := a.Vars()
+	if len(vars) != 2 || vars[0] != 2 || vars[1] != 1 {
+		t.Fatalf("Atom.Vars = %v, want [2 1]", vars)
+	}
+}
+
+func TestCQVarsAndParams(t *testing.T) {
+	q := &CQ{
+		Head:  []Term{V(0)},
+		Atoms: []Atom{NewAtom("E", V(0), V(1)), NewAtom("E", V(1), V(2))},
+		Ineqs: []Ineq{NeqVars(0, 2)},
+		Cmps:  []Cmp{Lt(V(1), C(9))},
+	}
+	vars := q.Vars()
+	if len(vars) != 3 {
+		t.Fatalf("Vars = %v, want 3 vars", vars)
+	}
+	if q.NumVars() != 3 {
+		t.Fatalf("NumVars = %d", q.NumVars())
+	}
+	// size: head 1 + atoms 2*(1+2) + ineq 3 + cmp 3 = 13
+	if q.Size() != 13 {
+		t.Fatalf("Size = %d, want 13", q.Size())
+	}
+	if q.IsBoolean() {
+		t.Fatal("query with head is not boolean")
+	}
+}
+
+func TestCQValidate(t *testing.T) {
+	db := testDB()
+	good := &CQ{Head: []Term{V(0)}, Atoms: []Atom{NewAtom("E", V(0), V(1))}}
+	if err := good.Validate(db); err != nil {
+		t.Fatalf("valid query rejected: %v", err)
+	}
+	unknown := &CQ{Atoms: []Atom{NewAtom("Z", V(0))}}
+	if err := unknown.Validate(db); err == nil {
+		t.Fatal("unknown relation accepted")
+	}
+	arity := &CQ{Atoms: []Atom{NewAtom("E", V(0))}}
+	if err := arity.Validate(db); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	unsafeHead := &CQ{Head: []Term{V(5)}, Atoms: []Atom{NewAtom("E", V(0), V(1))}}
+	if err := unsafeHead.Validate(db); err == nil {
+		t.Fatal("unsafe head accepted")
+	}
+	unsafeIneq := &CQ{Atoms: []Atom{NewAtom("E", V(0), V(1))}, Ineqs: []Ineq{NeqVars(0, 9)}}
+	if err := unsafeIneq.Validate(db); err == nil {
+		t.Fatal("unsafe inequality accepted")
+	}
+	unsafeCmp := &CQ{Atoms: []Atom{NewAtom("E", V(0), V(1))}, Cmps: []Cmp{Lt(V(9), C(1))}}
+	if err := unsafeCmp.Validate(db); err == nil {
+		t.Fatal("unsafe comparison accepted")
+	}
+}
+
+func TestBindHead(t *testing.T) {
+	q := &CQ{
+		Head:  []Term{V(0), V(1)},
+		Atoms: []Atom{NewAtom("E", V(0), V(1))},
+		Ineqs: []Ineq{NeqVars(0, 1)},
+	}
+	b, err := q.BindHead([]relation.Value{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.IsBoolean() {
+		t.Fatal("bound query should be boolean")
+	}
+	if len(b.Atoms) != 1 || b.Atoms[0].Args[0].IsVar {
+		t.Fatalf("constants not substituted: %v", b)
+	}
+	// x0≠x1 with both bound to distinct values: inequality disappears.
+	if len(b.Ineqs) != 0 || len(b.Cmps) != 0 {
+		t.Fatalf("satisfied ground inequality should vanish: %v", b)
+	}
+	// Binding both head vars to equal values makes the ≠ unsatisfiable.
+	b2, err := q.BindHead([]relation.Value{3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b2.Cmps) != 1 {
+		t.Fatalf("unsatisfiable marker missing: %v", b2)
+	}
+	if b2.Cmps[0].Holds(0, 0) {
+		t.Fatal("marker comparison should be unsatisfiable")
+	}
+}
+
+func TestBindHeadRepeatedVarsAndConsts(t *testing.T) {
+	q := &CQ{
+		Head:  []Term{V(0), V(0), C(7)},
+		Atoms: []Atom{NewAtom("E", V(0), V(0))},
+	}
+	if _, err := q.BindHead([]relation.Value{1, 2, 7}); !IsTrivialMismatch(err) {
+		t.Fatal("repeated head var bound to distinct values must mismatch")
+	}
+	if _, err := q.BindHead([]relation.Value{1, 1, 8}); !IsTrivialMismatch(err) {
+		t.Fatal("head constant mismatch must be detected")
+	}
+	if _, err := q.BindHead([]relation.Value{1, 1, 7}); err != nil {
+		t.Fatalf("valid binding rejected: %v", err)
+	}
+	if _, err := q.BindHead([]relation.Value{1}); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestBindHeadPartialIneqSubstitution(t *testing.T) {
+	q := &CQ{
+		Head:  []Term{V(0)},
+		Atoms: []Atom{NewAtom("E", V(0), V(1))},
+		Ineqs: []Ineq{NeqVars(0, 1), NeqConst(0, 5)},
+	}
+	b, err := q.BindHead([]relation.Value{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x0≠x1 becomes x1≠5; x0≠5 becomes ground-false → marker.
+	if len(b.Ineqs) != 1 || b.Ineqs[0].YIsVar || b.Ineqs[0].X != 1 || b.Ineqs[0].C != 5 {
+		t.Fatalf("partial substitution wrong: %v", b.Ineqs)
+	}
+	if len(b.Cmps) != 1 {
+		t.Fatalf("ground-false x0≠5 under x0=5 should add marker: %v", b)
+	}
+}
+
+func TestCQString(t *testing.T) {
+	q := &CQ{
+		Head:  []Term{V(0)},
+		Atoms: []Atom{NewAtom("E", V(0), V(1))},
+		Ineqs: []Ineq{NeqVars(0, 1)},
+		Cmps:  []Cmp{Lt(V(0), V(1))},
+	}
+	s := q.String()
+	for _, want := range []string{"G(x0)", "E(x0,x1)", "x0 != x1", "x0 < x1"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestHyperedges(t *testing.T) {
+	q := &CQ{Atoms: []Atom{NewAtom("E", V(0), V(1)), NewAtom("L", C(3))}}
+	h := q.Hyperedges()
+	if len(h) != 2 || len(h[0]) != 2 || len(h[1]) != 0 {
+		t.Fatalf("Hyperedges = %v", h)
+	}
+}
+
+func TestFreeVarsWithShadowing(t *testing.T) {
+	// exists x0 (E(x0,x1)) — x1 free, x0 bound.
+	f := Exists{V: 0, Sub: FAtom{NewAtom("E", V(0), V(1))}}
+	free := FreeVars(f)
+	if len(free) != 1 || free[0] != 1 {
+		t.Fatalf("FreeVars = %v, want [1]", free)
+	}
+	// Reuse: E(x0,x0) & exists x0 E(x0,x1): outer x0 free in first conjunct.
+	g := Conj(FAtom{NewAtom("E", V(0), V(0))}, Exists{V: 0, Sub: FAtom{NewAtom("E", V(0), V(1))}})
+	free = FreeVars(g)
+	if len(free) != 2 {
+		t.Fatalf("FreeVars with shadowing = %v, want [0 1]", free)
+	}
+	all := AllVars(g)
+	if len(all) != 2 {
+		t.Fatalf("AllVars = %v, want [0 1]", all)
+	}
+}
+
+func TestIsPositive(t *testing.T) {
+	pos := Disj(FAtom{NewAtom("E", V(0), V(1))}, Exists{V: 2, Sub: FAtom{NewAtom("L", V(2))}})
+	if !IsPositive(pos) {
+		t.Fatal("positive formula rejected")
+	}
+	if IsPositive(Not{Sub: pos}) {
+		t.Fatal("negation accepted as positive")
+	}
+	if IsPositive(Forall{V: 0, Sub: FAtom{NewAtom("L", V(0))}}) {
+		t.Fatal("forall accepted as positive")
+	}
+}
+
+func TestFormulaSizeAndString(t *testing.T) {
+	f := Exists{V: 0, Sub: Conj(FAtom{NewAtom("E", V(0), V(1))}, Not{Sub: FAtom{NewAtom("L", V(0))}})}
+	if FormulaSize(f) < 6 {
+		t.Fatalf("FormulaSize = %d, too small", FormulaSize(f))
+	}
+	s := f.String()
+	for _, want := range []string{"exists x0", "E(x0,x1)", "!L(x0)"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+	if (And{}).String() != "true" || (Or{}).String() != "false" {
+		t.Fatal("empty conjunction/disjunction rendering")
+	}
+}
+
+func TestFOQueryValidate(t *testing.T) {
+	db := testDB()
+	q := &FOQuery{
+		Head: []Term{V(1)},
+		Body: Exists{V: 0, Sub: FAtom{NewAtom("E", V(0), V(1))}},
+	}
+	if err := q.Validate(db); err != nil {
+		t.Fatalf("valid FO query rejected: %v", err)
+	}
+	// Free variable not in head.
+	bad := &FOQuery{Head: nil, Body: FAtom{NewAtom("E", V(0), V(1))}}
+	if err := bad.Validate(db); err == nil {
+		t.Fatal("free variables outside head accepted")
+	}
+	// Head var not free in body.
+	bad2 := &FOQuery{Head: []Term{V(5)}, Body: Exists{V: 0, Sub: Exists{V: 5, Sub: FAtom{NewAtom("E", V(0), V(5))}}}}
+	if err := bad2.Validate(db); err == nil {
+		t.Fatal("head var not free accepted")
+	}
+	// Unknown relation.
+	bad3 := &FOQuery{Body: FAtom{NewAtom("Z", V(0))}}
+	if err := bad3.Validate(db); err == nil {
+		t.Fatal("unknown relation accepted")
+	}
+}
+
+func TestCQToFormula(t *testing.T) {
+	q := &CQ{
+		Head:  []Term{V(0)},
+		Atoms: []Atom{NewAtom("E", V(0), V(1)), NewAtom("E", V(1), V(2))},
+	}
+	f, err := CQToFormula(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free := FreeVars(f)
+	if len(free) != 1 || free[0] != 0 {
+		t.Fatalf("formula free vars = %v, want [0]", free)
+	}
+	if !IsPositive(f) {
+		t.Fatal("CQ formula should be positive")
+	}
+	if _, err := CQToFormula(&CQ{Ineqs: []Ineq{NeqVars(0, 1)}}); err == nil {
+		t.Fatal("CQ with ≠ must not convert")
+	}
+}
+
+func TestDBBasics(t *testing.T) {
+	db := testDB()
+	if db.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", db.Size())
+	}
+	names := db.Names()
+	if len(names) != 2 || names[0] != "E" || names[1] != "L" {
+		t.Fatalf("Names = %v", names)
+	}
+	dom := db.ActiveDomain()
+	if len(dom) != 3 {
+		t.Fatalf("ActiveDomain = %v", dom)
+	}
+	if _, ok := db.Rel("nope"); ok {
+		t.Fatal("phantom relation")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustRel should panic on missing relation")
+		}
+	}()
+	db.MustRel("nope")
+}
+
+func TestCloneIndependence(t *testing.T) {
+	q := &CQ{Head: []Term{V(0)}, Atoms: []Atom{NewAtom("E", V(0), V(1))}}
+	c := q.Clone()
+	c.Atoms[0].Args[0] = C(9)
+	if q.Atoms[0].Args[0].IsVar == false {
+		t.Fatal("clone aliases atom args")
+	}
+}

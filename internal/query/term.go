@@ -1,0 +1,136 @@
+// Package query defines the query abstract syntax shared by every engine:
+// terms, relational atoms, conjunctive queries with inequality (≠) and
+// comparison (<, ≤) atoms, positive and first-order formulas, and the
+// database type they are evaluated against.
+//
+// The language hierarchy follows the paper exactly: conjunctive queries
+// (∃, ∧), positive queries (adds ∨), first-order queries (adds ¬, ∀), and
+// the two extensions studied in Section 5: ≠ atoms (Theorem 2) and order
+// comparisons (Theorem 3).
+package query
+
+import (
+	"fmt"
+
+	"pyquery/internal/relation"
+)
+
+// Var identifies a query variable. Variables are dense small integers; the
+// optional VarNames table on a query maps them back to source names.
+type Var int
+
+// Term is either a variable or a constant.
+type Term struct {
+	Const relation.Value
+	Var   Var
+	IsVar bool
+}
+
+// V returns a variable term.
+func V(v Var) Term { return Term{Var: v, IsVar: true} }
+
+// C returns a constant term.
+func C(c relation.Value) Term { return Term{Const: c} }
+
+// Equal reports whether two terms are syntactically identical.
+func (t Term) Equal(u Term) bool {
+	if t.IsVar != u.IsVar {
+		return false
+	}
+	if t.IsVar {
+		return t.Var == u.Var
+	}
+	return t.Const == u.Const
+}
+
+func (t Term) String() string {
+	if t.IsVar {
+		return fmt.Sprintf("x%d", t.Var)
+	}
+	return fmt.Sprintf("%d", t.Const)
+}
+
+// Atom is a relational atom R(t₁,…,tₙ).
+type Atom struct {
+	Rel  string
+	Args []Term
+}
+
+// NewAtom builds an atom.
+func NewAtom(rel string, args ...Term) Atom { return Atom{Rel: rel, Args: args} }
+
+// Vars returns the distinct variables of the atom, in first-occurrence order.
+func (a Atom) Vars() []Var {
+	var out []Var
+	seen := make(map[Var]bool, len(a.Args))
+	for _, t := range a.Args {
+		if t.IsVar && !seen[t.Var] {
+			seen[t.Var] = true
+			out = append(out, t.Var)
+		}
+	}
+	return out
+}
+
+func (a Atom) String() string {
+	s := a.Rel + "("
+	for i, t := range a.Args {
+		if i > 0 {
+			s += ","
+		}
+		s += t.String()
+	}
+	return s + ")"
+}
+
+// Ineq is an inequality atom: x ≠ y (both variables) or x ≠ c.
+type Ineq struct {
+	X Var
+	// Y is the right-hand side; meaningful when YIsVar.
+	Y Var
+	C relation.Value
+	// YIsVar selects between the x≠y and x≠c forms.
+	YIsVar bool
+}
+
+// NeqVars returns the x ≠ y form.
+func NeqVars(x, y Var) Ineq { return Ineq{X: x, Y: y, YIsVar: true} }
+
+// NeqConst returns the x ≠ c form.
+func NeqConst(x Var, c relation.Value) Ineq { return Ineq{X: x, C: c} }
+
+func (iq Ineq) String() string {
+	if iq.YIsVar {
+		return fmt.Sprintf("x%d != x%d", iq.X, iq.Y)
+	}
+	return fmt.Sprintf("x%d != %d", iq.X, iq.C)
+}
+
+// Cmp is a comparison atom between two terms: Left < Right (Strict) or
+// Left ≤ Right. Terms may be variables or constants.
+type Cmp struct {
+	Left, Right Term
+	Strict      bool
+}
+
+// Lt returns the strict comparison l < r.
+func Lt(l, r Term) Cmp { return Cmp{Left: l, Right: r, Strict: true} }
+
+// Le returns the weak comparison l ≤ r.
+func Le(l, r Term) Cmp { return Cmp{Left: l, Right: r} }
+
+// Holds evaluates the comparison on concrete values.
+func (c Cmp) Holds(l, r relation.Value) bool {
+	if c.Strict {
+		return l < r
+	}
+	return l <= r
+}
+
+func (c Cmp) String() string {
+	op := "<="
+	if c.Strict {
+		op = "<"
+	}
+	return fmt.Sprintf("%v %s %v", c.Left, op, c.Right)
+}

@@ -1,0 +1,83 @@
+package reductions
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pyquery/internal/eval"
+	"pyquery/internal/query"
+	"pyquery/internal/relation"
+)
+
+// BoundedVars is the Theorem 1(1) upper bound for parameter v: transform a
+// conjunctive query over an arbitrary schema into an equivalent query with
+// at most 2^v atoms over a new database. For each set S of variables
+// carried by at least one atom, the new relation R_S is the intersection
+// ⋂_{a ∈ A_S} P_a of the atoms' reduced relations, and the new query has
+// the single atom R_S(S) per such set. Both query size and schema are now
+// bounded by a function of v alone.
+func BoundedVars(q *query.CQ, db *query.DB) (*query.CQ, *query.DB, error) {
+	if len(q.Ineqs) > 0 || len(q.Cmps) > 0 {
+		return nil, nil, fmt.Errorf("reductions: BoundedVars covers pure conjunctive queries")
+	}
+	if err := q.Validate(db); err != nil {
+		return nil, nil, err
+	}
+
+	// Group atoms by their variable set.
+	groups := make(map[string][]int) // canonical var-set key → atom indices
+	keyVars := make(map[string][]query.Var)
+	for i, a := range q.Atoms {
+		vars := append([]query.Var(nil), a.Vars()...)
+		sort.Slice(vars, func(x, y int) bool { return vars[x] < vars[y] })
+		parts := make([]string, len(vars))
+		for j, v := range vars {
+			parts[j] = fmt.Sprintf("x%d", v)
+		}
+		key := strings.Join(parts, ",")
+		groups[key] = append(groups[key], i)
+		keyVars[key] = vars
+	}
+
+	out := &query.CQ{Head: append([]query.Term(nil), q.Head...), VarNames: q.VarNames}
+	newDB := query.NewDB()
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	for gi, key := range keys {
+		vars := keyVars[key]
+		name := fmt.Sprintf("RS%d", gi)
+		schema := make(relation.Schema, len(vars))
+		for i, v := range vars {
+			schema[i] = relation.Attr(v)
+		}
+		var acc *relation.Relation
+		for _, ai := range groups[key] {
+			s, _ := eval.ReduceAtom(q.Atoms[ai], db)
+			// Reorder columns of s to the canonical var order.
+			s = relation.Project(s, schema)
+			if acc == nil {
+				acc = s
+			} else {
+				// Intersection = difference of differences.
+				acc = relation.Difference(acc, relation.Difference(acc, s))
+			}
+		}
+		// Store positionally like any base table.
+		table := query.NewTable(len(vars))
+		for i := 0; i < acc.Len(); i++ {
+			table.Append(acc.Row(i)...)
+		}
+		newDB.Set(name, table)
+		args := make([]query.Term, len(vars))
+		for i, v := range vars {
+			args[i] = query.V(v)
+		}
+		out.Atoms = append(out.Atoms, query.Atom{Rel: name, Args: args})
+	}
+	return out, newDB, nil
+}

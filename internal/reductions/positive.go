@@ -1,0 +1,175 @@
+package reductions
+
+import (
+	"fmt"
+
+	"pyquery/internal/graph"
+	"pyquery/internal/query"
+)
+
+// PositiveToUCQ is the Theorem 1(2) upper bound for parameter q: a positive
+// query is equivalent to a union of (up to exponentially many) conjunctive
+// queries. Quantified variables are renamed apart so the implicit
+// existential closure of each CQ body is correct; the head is preserved.
+func PositiveToUCQ(q *query.FOQuery) ([]*query.CQ, error) {
+	if !query.IsPositive(q.Body) {
+		return nil, fmt.Errorf("reductions: query body is not positive")
+	}
+	next := maxVarIn(q.Body)
+	for _, t := range q.Head {
+		if t.IsVar && t.Var >= next {
+			next = t.Var + 1
+		}
+	}
+	fresh := func() query.Var {
+		v := next
+		next++
+		return v
+	}
+
+	// disjuncts returns the DNF of the formula as lists of atoms, with
+	// quantified variables renamed via env.
+	var disjuncts func(f query.Formula, env map[query.Var]query.Var) [][]query.Atom
+	disjuncts = func(f query.Formula, env map[query.Var]query.Var) [][]query.Atom {
+		switch g := f.(type) {
+		case query.FAtom:
+			args := make([]query.Term, len(g.Atom.Args))
+			for i, t := range g.Atom.Args {
+				if t.IsVar {
+					if r, ok := env[t.Var]; ok {
+						args[i] = query.V(r)
+						continue
+					}
+				}
+				args[i] = t
+			}
+			return [][]query.Atom{{query.Atom{Rel: g.Atom.Rel, Args: args}}}
+		case query.Or:
+			var out [][]query.Atom
+			for _, s := range g.Subs {
+				out = append(out, disjuncts(s, env)...)
+			}
+			return out
+		case query.And:
+			// Cartesian product of the children's disjunct lists.
+			acc := [][]query.Atom{nil}
+			for _, s := range g.Subs {
+				ds := disjuncts(s, env)
+				var merged [][]query.Atom
+				for _, left := range acc {
+					for _, right := range ds {
+						row := make([]query.Atom, 0, len(left)+len(right))
+						row = append(row, left...)
+						row = append(row, right...)
+						merged = append(merged, row)
+					}
+				}
+				acc = merged
+			}
+			return acc
+		case query.Exists:
+			saved, had := env[g.V]
+			env[g.V] = fresh()
+			out := disjuncts(g.Sub, env)
+			if had {
+				env[g.V] = saved
+			} else {
+				delete(env, g.V)
+			}
+			return out
+		}
+		panic(fmt.Sprintf("reductions: unexpected node %T in positive query", f))
+	}
+
+	var cqs []*query.CQ
+	for _, atoms := range disjuncts(q.Body, map[query.Var]query.Var{}) {
+		cqs = append(cqs, &query.CQ{
+			Head:  append([]query.Term(nil), q.Head...),
+			Atoms: atoms,
+		})
+	}
+	return cqs, nil
+}
+
+func maxVarIn(f query.Formula) query.Var {
+	var m query.Var
+	for _, v := range query.AllVars(f) {
+		if v >= m {
+			m = v + 1
+		}
+	}
+	return m
+}
+
+// PositiveToClique is the footnote-2 transformation: a Boolean positive
+// query decision becomes a single clique question. Each CQ of the union
+// turns into the compatibility graph of its 2-CNF construction — one vertex
+// per (atom, consistent tuple) pair, edges between pairs that neither share
+// an atom nor conflict on a shared variable — which has a clique of size kᵢ
+// = #atoms iff the CQ is satisfiable. Graphs are padded to the common
+// k = max kᵢ with universal vertices and unioned disjointly.
+func PositiveToClique(q *query.FOQuery, db *query.DB) (*graph.Graph, int, error) {
+	if len(q.Head) != 0 {
+		return nil, 0, fmt.Errorf("reductions: Boolean positive query expected")
+	}
+	cqs, err := PositiveToUCQ(q)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := query.ValidateFormula(q.Body, db); err != nil {
+		return nil, 0, err
+	}
+
+	// First pass: per-CQ 2-CNF reductions and the common k.
+	reds := make([]*CQTo2CNF, len(cqs))
+	k := 1
+	for i, cq := range cqs {
+		r, err := CQToWeighted2CNF(cq, db)
+		if err != nil {
+			return nil, 0, err
+		}
+		reds[i] = r
+		if r.K > k {
+			k = r.K
+		}
+	}
+
+	// Count vertices: z-variables plus padding per CQ.
+	total := 0
+	for _, r := range reds {
+		total += len(r.VarAtom) + (k - r.K)
+	}
+	g := graph.New(total)
+	base := 0
+	for _, r := range reds {
+		nz := len(r.VarAtom)
+		// Edges between compatible z-pairs: different atoms, no shared-
+		// variable conflict — i.e. no 2-CNF clause between them.
+		conflict := make(map[[2]int]bool)
+		for _, c := range r.Formula.Clauses {
+			if len(c) == 2 && !c[0].Positive() && !c[1].Positive() {
+				a, b := c[0].Var(), c[1].Var()
+				if a > b {
+					a, b = b, a
+				}
+				conflict[[2]int{a, b}] = true
+			}
+		}
+		for i := 0; i < nz; i++ {
+			for j := i + 1; j < nz; j++ {
+				if !conflict[[2]int{i, j}] {
+					g.AddEdge(base+i, base+j)
+				}
+			}
+		}
+		// Padding vertices: adjacent to everything in this component.
+		for p := 0; p < k-r.K; p++ {
+			pv := base + nz + p
+			for i := 0; i < nz+p; i++ {
+				g.AddEdge(pv, base+i)
+			}
+		}
+		base += nz + (k - r.K)
+	}
+	return g, k, nil
+}

@@ -1,0 +1,187 @@
+package reductions
+
+import (
+	"fmt"
+
+	"pyquery/internal/boolcirc"
+	"pyquery/internal/query"
+	"pyquery/internal/relation"
+)
+
+// PrenexPositiveToWeightedFormula is the paper's converse upper bound for
+// Theorem 1(2), parameter v: a Boolean positive query in prenex normal
+// form, Q = ∃y₁…∃y_k ψ with ψ quantifier-free, reduces to weighted formula
+// satisfiability — establishing W[SAT]-completeness for prenex positive
+// queries under the variable-count parameter.
+//
+// One Boolean variable z_{ic} per quantified variable y_i and domain
+// constant c encodes "y_i ↦ c". The output formula conjoins the pairwise
+// exclusions ¬z_{ic} ∨ ¬z_{ic′} with ψ̂, where each atom a = R(τ) becomes
+//
+//	θ_a = ⋁_{s ∈ R, s matches τ's constants} ⋀_{j : τ[j] = y_i} z_{i, s[j]}
+//
+// Q is true on the database iff the formula has a satisfying assignment
+// with exactly k true variables (one z per quantified variable).
+//
+// It returns the formula, the number of Boolean variables, and the weight k.
+func PrenexPositiveToWeightedFormula(q *query.FOQuery, db *query.DB) (boolcirc.Formula, int, int, error) {
+	if len(q.Head) != 0 {
+		return nil, 0, 0, fmt.Errorf("reductions: Boolean prenex query expected (bind the head first)")
+	}
+	if err := query.ValidateFormula(q.Body, db); err != nil {
+		return nil, 0, 0, err
+	}
+
+	// Peel the quantifier prefix.
+	var ys []query.Var
+	body := q.Body
+	for {
+		ex, ok := body.(query.Exists)
+		if !ok {
+			break
+		}
+		for _, y := range ys {
+			if y == ex.V {
+				return nil, 0, 0, fmt.Errorf("reductions: prenex prefix repeats variable x%d", ex.V)
+			}
+		}
+		ys = append(ys, ex.V)
+		body = ex.Sub
+	}
+	if err := checkQuantifierFreePositive(body); err != nil {
+		return nil, 0, 0, err
+	}
+	yIndex := make(map[query.Var]int, len(ys))
+	for i, y := range ys {
+		yIndex[y] = i
+	}
+
+	domain := db.ActiveDomain()
+	cIndex := make(map[relation.Value]int, len(domain))
+	for i, c := range domain {
+		cIndex[c] = i
+	}
+	k := len(ys)
+	nBool := k * len(domain)
+	z := func(i, c int) int { return i*len(domain) + c }
+
+	// Pairwise exclusion: at most one constant per quantified variable.
+	var conj []boolcirc.Formula
+	for i := 0; i < k; i++ {
+		for a := 0; a < len(domain); a++ {
+			for b := a + 1; b < len(domain); b++ {
+				conj = append(conj, boolcirc.FOr{Subs: []boolcirc.Formula{
+					boolcirc.FVar{V: z(i, a), Neg: true},
+					boolcirc.FVar{V: z(i, b), Neg: true},
+				}})
+			}
+		}
+	}
+
+	var translate func(f query.Formula) (boolcirc.Formula, error)
+	translate = func(f query.Formula) (boolcirc.Formula, error) {
+		switch g := f.(type) {
+		case query.FAtom:
+			rel, ok := db.Rel(g.Atom.Rel)
+			if !ok {
+				return nil, fmt.Errorf("reductions: unknown relation %q", g.Atom.Rel)
+			}
+			var disj []boolcirc.Formula
+			for r := 0; r < rel.Len(); r++ {
+				row := rel.Row(r)
+				match := true
+				var lits []boolcirc.Formula
+				for j, t := range g.Atom.Args {
+					if t.IsVar {
+						i, bound := yIndex[t.Var]
+						if !bound {
+							return nil, fmt.Errorf("reductions: free variable x%d in prenex body", t.Var)
+						}
+						lits = append(lits, boolcirc.FVar{V: z(i, cIndex[row[j]])})
+					} else if row[j] != t.Const {
+						match = false
+						break
+					}
+				}
+				if match {
+					disj = append(disj, boolcirc.FAnd{Subs: lits})
+				}
+			}
+			return boolcirc.FOr{Subs: disj}, nil
+		case query.And:
+			subs := make([]boolcirc.Formula, len(g.Subs))
+			for i, s := range g.Subs {
+				t, err := translate(s)
+				if err != nil {
+					return nil, err
+				}
+				subs[i] = t
+			}
+			return boolcirc.FAnd{Subs: subs}, nil
+		case query.Or:
+			subs := make([]boolcirc.Formula, len(g.Subs))
+			for i, s := range g.Subs {
+				t, err := translate(s)
+				if err != nil {
+					return nil, err
+				}
+				subs[i] = t
+			}
+			return boolcirc.FOr{Subs: subs}, nil
+		}
+		return nil, fmt.Errorf("reductions: unexpected node %T in prenex body", f)
+	}
+	psi, err := translate(body)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	conj = append(conj, psi)
+	return boolcirc.FAnd{Subs: conj}, nBool, k, nil
+}
+
+// checkQuantifierFreePositive rejects quantifiers and negation inside the
+// matrix of a prenex positive query.
+func checkQuantifierFreePositive(f query.Formula) error {
+	switch g := f.(type) {
+	case query.FAtom:
+		return nil
+	case query.And:
+		for _, s := range g.Subs {
+			if err := checkQuantifierFreePositive(s); err != nil {
+				return err
+			}
+		}
+		return nil
+	case query.Or:
+		for _, s := range g.Subs {
+			if err := checkQuantifierFreePositive(s); err != nil {
+				return err
+			}
+		}
+		return nil
+	case query.Exists, query.Forall:
+		return fmt.Errorf("reductions: query is not in prenex normal form (inner quantifier)")
+	case query.Not:
+		return fmt.Errorf("reductions: query is not positive (negation)")
+	}
+	return fmt.Errorf("reductions: unknown node %T", f)
+}
+
+// Prenex reports whether a positive query is in prenex normal form
+// (a quantifier prefix over a quantifier-free positive matrix).
+func Prenex(q *query.FOQuery) bool {
+	body := q.Body
+	seen := map[query.Var]bool{}
+	for {
+		ex, ok := body.(query.Exists)
+		if !ok {
+			break
+		}
+		if seen[ex.V] {
+			return false
+		}
+		seen[ex.V] = true
+		body = ex.Sub
+	}
+	return checkQuantifierFreePositive(body) == nil
+}

@@ -1,0 +1,142 @@
+package reductions
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pyquery/internal/boolcirc"
+	"pyquery/internal/eval"
+	"pyquery/internal/query"
+	"pyquery/internal/relation"
+)
+
+func prenexDB() *query.DB {
+	db := query.NewDB()
+	db.Set("E", query.Table(2,
+		[]relation.Value{0, 1}, []relation.Value{1, 2}, []relation.Value{2, 0}))
+	return db
+}
+
+func TestPrenexDetection(t *testing.T) {
+	good := &query.FOQuery{Body: query.Exists{V: 0, Sub: query.Exists{V: 1,
+		Sub: query.Conj(query.FAtom{Atom: query.NewAtom("E", query.V(0), query.V(1))})}}}
+	if !Prenex(good) {
+		t.Fatal("prenex query rejected")
+	}
+	inner := &query.FOQuery{Body: query.Exists{V: 0,
+		Sub: query.Conj(query.Exists{V: 1, Sub: query.FAtom{Atom: query.NewAtom("E", query.V(0), query.V(1))}})}}
+	if Prenex(inner) {
+		t.Fatal("inner quantifier accepted as prenex")
+	}
+	neg := &query.FOQuery{Body: query.Not{Sub: query.FAtom{Atom: query.NewAtom("E", query.C(0), query.C(1))}}}
+	if Prenex(neg) {
+		t.Fatal("negation accepted as positive prenex")
+	}
+	repeat := &query.FOQuery{Body: query.Exists{V: 0, Sub: query.Exists{V: 0,
+		Sub: query.FAtom{Atom: query.NewAtom("E", query.V(0), query.V(0))}}}}
+	if Prenex(repeat) {
+		t.Fatal("repeated prefix variable accepted")
+	}
+}
+
+func TestPrenexToWeightedFormulaKnown(t *testing.T) {
+	db := prenexDB()
+	// ∃y0∃y1 E(y0,y1): true (edges exist). k=2, domain {0,1,2}.
+	q := &query.FOQuery{Body: query.Exists{V: 0, Sub: query.Exists{V: 1,
+		Sub: query.FAtom{Atom: query.NewAtom("E", query.V(0), query.V(1))}}}}
+	f, n, k, err := PrenexPositiveToWeightedFormula(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 6 || k != 2 {
+		t.Fatalf("n=%d k=%d, want 6/2", n, k)
+	}
+	if _, ok := boolcirc.WeightedSatFormula(f, n, k); !ok {
+		t.Fatal("satisfiable query must give weight-k-satisfiable formula")
+	}
+	// ∃y0 E(y0,y0): false (no self-loops).
+	q2 := &query.FOQuery{Body: query.Exists{V: 0,
+		Sub: query.FAtom{Atom: query.NewAtom("E", query.V(0), query.V(0))}}}
+	f2, n2, k2, err := PrenexPositiveToWeightedFormula(q2, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := boolcirc.WeightedSatFormula(f2, n2, k2); ok {
+		t.Fatal("unsatisfiable query must give weight-unsat formula")
+	}
+}
+
+func TestPrenexRejections(t *testing.T) {
+	db := prenexDB()
+	headed := &query.FOQuery{Head: []query.Term{query.V(0)},
+		Body: query.FAtom{Atom: query.NewAtom("E", query.V(0), query.V(0))}}
+	if _, _, _, err := PrenexPositiveToWeightedFormula(headed, db); err == nil {
+		t.Fatal("non-Boolean accepted")
+	}
+	free := &query.FOQuery{Body: query.FAtom{Atom: query.NewAtom("E", query.V(0), query.V(1))}}
+	if _, _, _, err := PrenexPositiveToWeightedFormula(free, db); err == nil {
+		t.Fatal("free variable accepted")
+	}
+	notPrenex := &query.FOQuery{Body: query.Exists{V: 0,
+		Sub: query.Exists{V: 1, Sub: query.Not{Sub: query.FAtom{Atom: query.NewAtom("E", query.V(0), query.V(1))}}}}}
+	if _, _, _, err := PrenexPositiveToWeightedFormula(notPrenex, db); err == nil {
+		t.Fatal("negation accepted")
+	}
+}
+
+// Property: the prenex reduction agrees with direct positive evaluation —
+// the converse (membership) direction of the W[SAT] classification.
+func TestQuickPrenexMatchesEvaluation(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		db := query.NewDB()
+		r := query.NewTable(2)
+		for i := 0; i < rnd.Intn(8); i++ {
+			r.Append(relation.Value(rnd.Intn(3)), relation.Value(rnd.Intn(3)))
+		}
+		r.Dedup()
+		db.Set("E", r)
+
+		// Random quantifier-free positive matrix over y0..y_{k-1}.
+		k := 1 + rnd.Intn(3)
+		var matrix func(depth int) query.Formula
+		matrix = func(depth int) query.Formula {
+			if depth == 0 || rnd.Intn(3) == 0 {
+				return query.FAtom{Atom: query.NewAtom("E",
+					query.V(query.Var(rnd.Intn(k))), query.V(query.Var(rnd.Intn(k))))}
+			}
+			if rnd.Intn(2) == 0 {
+				return query.And{Subs: []query.Formula{matrix(depth - 1), matrix(depth - 1)}}
+			}
+			return query.Or{Subs: []query.Formula{matrix(depth - 1), matrix(depth - 1)}}
+		}
+		body := matrix(3)
+		for i := k - 1; i >= 0; i-- {
+			body = query.Exists{V: query.Var(i), Sub: body}
+		}
+		q := &query.FOQuery{Body: body}
+
+		want, err := eval.PositiveBool(q, db)
+		if err != nil {
+			return true
+		}
+		f, n, kk, err := PrenexPositiveToWeightedFormula(q, db)
+		if err != nil {
+			// Empty database → no domain constants; the query is false and
+			// the reduction yields k quantified vars over 0 constants.
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		_, got := boolcirc.WeightedSatFormula(f, n, kk)
+		if got != want {
+			t.Logf("seed %d: formula %v, query %v", seed, got, want)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(111))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,260 @@
+package reductions
+
+import (
+	"fmt"
+
+	"pyquery/internal/boolcirc"
+	"pyquery/internal/cnf"
+	"pyquery/internal/eval"
+	"pyquery/internal/query"
+	"pyquery/internal/relation"
+)
+
+// CQTo2CNF is the result of the Theorem 1(1) upper-bound reduction for
+// parameter q: a weighted 2-CNF instance equivalent to a Boolean
+// conjunctive query decision, plus the bookkeeping to decode witnesses.
+type CQTo2CNF struct {
+	Formula *cnf.Formula
+	// K is the target weight — the number of atoms of the query.
+	K int
+	// VarAtom and VarTuple identify each Boolean variable z_{as}: the atom
+	// index a and the matching tuple (as values over the atom's distinct
+	// variables, aligned with VarVars[a]).
+	VarAtom  []int
+	VarTuple [][]relation.Value
+	// AtomVars lists each atom's distinct variables in schema order.
+	AtomVars [][]query.Var
+}
+
+// CQToWeighted2CNF reduces the decision problem of a Boolean pure
+// conjunctive query to weighted 2-CNF satisfiability: one variable z_{as}
+// per atom a and consistent tuple s; clauses ¬z_{as} ∨ ¬z_{as′} force at
+// most one tuple per atom, and ¬z_{as} ∨ ¬z_{a′s′} forbids pairs that
+// disagree on a shared query variable. The query is true iff the formula
+// has a satisfying assignment of weight exactly K = #atoms.
+func CQToWeighted2CNF(q *query.CQ, db *query.DB) (*CQTo2CNF, error) {
+	if len(q.Head) != 0 {
+		return nil, fmt.Errorf("reductions: bind the head first (Boolean decision expected)")
+	}
+	if len(q.Ineqs) > 0 || len(q.Cmps) > 0 {
+		return nil, fmt.Errorf("reductions: the 2-CNF reduction covers pure conjunctive queries")
+	}
+	if err := q.Validate(db); err != nil {
+		return nil, err
+	}
+	red := &CQTo2CNF{K: len(q.Atoms)}
+
+	// Enumerate consistent tuples per atom (ReduceAtom already enforces the
+	// constants and repeated variables of the atom).
+	firstVar := make([]int, len(q.Atoms)) // first z-variable id of each atom
+	for a, atom := range q.Atoms {
+		s, vars := eval.ReduceAtom(atom, db)
+		red.AtomVars = append(red.AtomVars, vars)
+		firstVar[a] = len(red.VarAtom)
+		for i := 0; i < s.Len(); i++ {
+			red.VarAtom = append(red.VarAtom, a)
+			red.VarTuple = append(red.VarTuple, append([]relation.Value(nil), s.Row(i)...))
+		}
+	}
+	f := cnf.New(len(red.VarAtom))
+
+	// At most one tuple per atom.
+	for a := range q.Atoms {
+		lo := firstVar[a]
+		hi := len(red.VarAtom)
+		if a+1 < len(q.Atoms) {
+			hi = firstVar[a+1]
+		}
+		for i := lo; i < hi; i++ {
+			for j := i + 1; j < hi; j++ {
+				f.AddClause(cnf.NegLit(i), cnf.NegLit(j))
+			}
+		}
+	}
+
+	// Conflicts across atoms sharing variables.
+	varPos := make([]map[query.Var]int, len(q.Atoms))
+	for a, vars := range red.AtomVars {
+		varPos[a] = make(map[query.Var]int, len(vars))
+		for p, v := range vars {
+			varPos[a][v] = p
+		}
+	}
+	for i := 0; i < len(red.VarAtom); i++ {
+		for j := i + 1; j < len(red.VarAtom); j++ {
+			a, b := red.VarAtom[i], red.VarAtom[j]
+			if a == b {
+				continue // covered by at-most-one clauses
+			}
+			conflict := false
+			for v, pa := range varPos[a] {
+				if pb, ok := varPos[b][v]; ok {
+					if red.VarTuple[i][pa] != red.VarTuple[j][pb] {
+						conflict = true
+						break
+					}
+				}
+			}
+			if conflict {
+				f.AddClause(cnf.NegLit(i), cnf.NegLit(j))
+			}
+		}
+	}
+	red.Formula = f
+	return red, nil
+}
+
+// Decode maps a weight-K satisfying assignment back to a variable
+// instantiation of the query (the homomorphism witness).
+func (r *CQTo2CNF) Decode(assign []bool) map[query.Var]relation.Value {
+	out := make(map[query.Var]relation.Value)
+	for z, set := range assign {
+		if !set {
+			continue
+		}
+		a := r.VarAtom[z]
+		for p, v := range r.AtomVars[a] {
+			out[v] = r.VarTuple[z][p]
+		}
+	}
+	return out
+}
+
+// WeightedFormulaToPositive is the Theorem 1(2) lower bound for parameter
+// v: weighted satisfiability of a Boolean formula φ over n variables
+// reduces to a Boolean positive query with k variables over the fixed
+// database
+//
+//	EQ  = {(i,i)   : 0 ≤ i < n}
+//	NEQ = {(i,j)   : 0 ≤ i ≠ j < n}
+//
+// The query is ∃y₁…y_k [⋀_{i<j} NEQ(y_i,y_j)] ∧ ψ, where ψ replaces each
+// positive literal x_i by ⋁_j EQ(i, y_j) and each negative literal by
+// ⋀_j NEQ(i, y_j). φ is converted to NNF first.
+func WeightedFormulaToPositive(phi boolcirc.Formula, n, k int) (*query.FOQuery, *query.DB) {
+	db := query.NewDB()
+	eq := query.NewTable(2)
+	neq := query.NewTable(2)
+	for i := 0; i < n; i++ {
+		eq.Append(relation.Value(i), relation.Value(i))
+		for j := 0; j < n; j++ {
+			if i != j {
+				neq.Append(relation.Value(i), relation.Value(j))
+			}
+		}
+	}
+	db.Set("EQ", eq)
+	db.Set("NEQ", neq)
+
+	nnf := boolcirc.NNF(phi)
+	var translate func(f boolcirc.Formula) query.Formula
+	translate = func(f boolcirc.Formula) query.Formula {
+		switch g := f.(type) {
+		case boolcirc.FVar:
+			subs := make([]query.Formula, k)
+			rel := "EQ"
+			if g.Neg {
+				rel = "NEQ"
+			}
+			for j := 0; j < k; j++ {
+				subs[j] = query.FAtom{Atom: query.NewAtom(rel, query.C(relation.Value(g.V)), query.V(query.Var(j)))}
+			}
+			if g.Neg {
+				return query.And{Subs: subs}
+			}
+			return query.Or{Subs: subs}
+		case boolcirc.FAnd:
+			subs := make([]query.Formula, len(g.Subs))
+			for i, s := range g.Subs {
+				subs[i] = translate(s)
+			}
+			return query.And{Subs: subs}
+		case boolcirc.FOr:
+			subs := make([]query.Formula, len(g.Subs))
+			for i, s := range g.Subs {
+				subs[i] = translate(s)
+			}
+			return query.Or{Subs: subs}
+		}
+		panic(fmt.Sprintf("reductions: non-NNF node %T", f))
+	}
+
+	var conj []query.Formula
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			conj = append(conj, query.FAtom{Atom: query.NewAtom("NEQ", query.V(query.Var(i)), query.V(query.Var(j)))})
+		}
+	}
+	conj = append(conj, translate(nnf))
+	var body query.Formula = query.And{Subs: conj}
+	for i := k - 1; i >= 0; i-- {
+		body = query.Exists{V: query.Var(i), Sub: body}
+	}
+	return &query.FOQuery{Body: body}, db
+}
+
+// MonotoneCircuitToFO is the Theorem 1(3) reduction: weighted satisfiability
+// of a monotone circuit reduces to a Boolean first-order query over the
+// fixed schema {C(·,·)} — the circuit's wiring relation with self-loops on
+// the inputs. The circuit is first normalized to alternating OR/AND levels
+// with an OR output at level 2t (boolcirc.Alternate); the query is
+//
+//	Q = ∃x₁…∃x_k θ_{2t}(o)
+//	θ₀(x)   = C(x,x₁) ∨ … ∨ C(x,x_k)
+//	θ_{2i}(x) = ∃y[C(x,y) ∧ ∀x(¬C(y,x) ∨ θ_{2i−2}(x))]
+//
+// with the work variables x and y reused through shadowing, so the query
+// has k+2 variables and size O(t+k). Requires k ≤ #inputs (the paper's
+// monotone-augmentation step needs k distinct inputs to exist).
+func MonotoneCircuitToFO(c *boolcirc.Circuit, k int) (*query.FOQuery, *query.DB, error) {
+	if k > c.NumInputs {
+		return nil, nil, fmt.Errorf("reductions: k=%d exceeds the %d circuit inputs", k, c.NumInputs)
+	}
+	lc := boolcirc.Alternate(c)
+	if err := lc.Check(); err != nil {
+		return nil, nil, fmt.Errorf("reductions: alternation failed: %w", err)
+	}
+	db := query.NewDB()
+	wiring := query.NewTable(2)
+	for g, gate := range lc.Circuit.Gates {
+		if gate.Kind == boolcirc.Input {
+			wiring.Append(relation.Value(g), relation.Value(g))
+			continue
+		}
+		for _, in := range gate.In {
+			wiring.Append(relation.Value(g), relation.Value(in))
+		}
+	}
+	db.Set("C", wiring)
+
+	// Work variables reused with shadowing.
+	xVar := query.Var(k)
+	yVar := query.Var(k + 1)
+
+	// theta builds θ_level with the given term for the free position.
+	var theta func(level int, x query.Term) query.Formula
+	theta = func(level int, x query.Term) query.Formula {
+		if level == 0 {
+			subs := make([]query.Formula, k)
+			for i := 0; i < k; i++ {
+				subs[i] = query.FAtom{Atom: query.NewAtom("C", x, query.V(query.Var(i)))}
+			}
+			return query.Or{Subs: subs}
+		}
+		inner := query.Forall{V: xVar, Sub: query.Or{Subs: []query.Formula{
+			query.Not{Sub: query.FAtom{Atom: query.NewAtom("C", query.V(yVar), query.V(xVar))}},
+			theta(level-2, query.V(xVar)),
+		}}}
+		return query.Exists{V: yVar, Sub: query.And{Subs: []query.Formula{
+			query.FAtom{Atom: query.NewAtom("C", x, query.V(yVar))},
+			inner,
+		}}}
+	}
+
+	o := query.C(relation.Value(lc.Circuit.Output))
+	var body query.Formula = theta(lc.Top, o)
+	for i := k - 1; i >= 0; i-- {
+		body = query.Exists{V: query.Var(i), Sub: body}
+	}
+	return &query.FOQuery{Body: body}, db, nil
+}

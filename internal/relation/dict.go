@@ -1,0 +1,67 @@
+package relation
+
+// Dict interns strings as Values. The parser and the CSV loader use one
+// dictionary per database so that symbolic constants ("alice", "cs101")
+// become small integers before reaching the engines, which all operate on
+// Values only.
+type Dict struct {
+	toID  map[string]Value
+	toStr []string
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{toID: make(map[string]Value)}
+}
+
+// ID interns s, returning its Value. Repeated calls with the same string
+// return the same Value.
+func (d *Dict) ID(s string) Value {
+	if v, ok := d.toID[s]; ok {
+		return v
+	}
+	v := Value(len(d.toStr))
+	d.toID[s] = v
+	d.toStr = append(d.toStr, s)
+	return v
+}
+
+// Lookup returns the Value for s without interning, and whether it exists.
+func (d *Dict) Lookup(s string) (Value, bool) {
+	v, ok := d.toID[s]
+	return v, ok
+}
+
+// String returns the string for v, or a numeric rendering if v was never
+// interned (plain integer constants share the value space).
+func (d *Dict) String(v Value) string {
+	if v >= 0 && int(v) < len(d.toStr) {
+		return d.toStr[v]
+	}
+	return itoa(int64(v))
+}
+
+// Len returns the number of interned strings.
+func (d *Dict) Len() int { return len(d.toStr) }
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [24]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,66 @@
+package relation
+
+// Index is a hash index on a subset of a relation's columns, mapping each
+// key to the row numbers holding it. It is the workhorse behind hash joins
+// and the backtracking evaluator's per-atom lookups.
+type Index struct {
+	rel  *Relation
+	cols []int // column positions forming the key
+	m    map[string][]int32
+}
+
+// NewIndex builds an index of r on the given attributes (all must occur in
+// r's schema).
+func NewIndex(r *Relation, attrs Schema) *Index {
+	cols := make([]int, len(attrs))
+	for i, a := range attrs {
+		p := r.Pos(a)
+		if p < 0 {
+			panic("relation: index attribute not in schema")
+		}
+		cols[i] = p
+	}
+	return newIndexOn(r, cols)
+}
+
+func newIndexOn(r *Relation, cols []int) *Index {
+	idx := &Index{rel: r, cols: cols, m: make(map[string][]int32, r.n)}
+	buf := make([]Value, len(cols))
+	for i := 0; i < r.n; i++ {
+		row := r.Row(i)
+		for j, c := range cols {
+			buf[j] = row[c]
+		}
+		k := rowKeyFull(buf)
+		idx.m[k] = append(idx.m[k], int32(i))
+	}
+	return idx
+}
+
+// Lookup returns the row numbers whose key columns equal key. The returned
+// slice must not be modified.
+func (ix *Index) Lookup(key []Value) []int {
+	rows := ix.lookup(key)
+	out := make([]int, len(rows))
+	for i, r := range rows {
+		out[i] = int(r)
+	}
+	return out
+}
+
+func (ix *Index) lookup(key []Value) []int32 {
+	return ix.m[rowKeyFull(key)]
+}
+
+// Each calls fn with the row view of every row matching key, stopping early
+// if fn returns false. This is the allocation-free lookup path.
+func (ix *Index) Each(key []Value, fn func(row []Value) bool) {
+	for _, ri := range ix.m[rowKeyFull(key)] {
+		if !fn(ix.rel.Row(int(ri))) {
+			return
+		}
+	}
+}
+
+// Distinct returns the number of distinct keys in the index.
+func (ix *Index) Distinct() int { return len(ix.m) }

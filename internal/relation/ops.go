@@ -1,0 +1,212 @@
+package relation
+
+import "fmt"
+
+// Select returns the tuples of r satisfying pred. The predicate receives a
+// row view and must not retain it.
+func Select(r *Relation, pred func(row []Value) bool) *Relation {
+	out := New(r.schema)
+	for i := 0; i < r.n; i++ {
+		row := r.Row(i)
+		if pred(row) {
+			out.Append(row...)
+		}
+	}
+	return out
+}
+
+// Project returns the projection of r onto attrs (which must all occur in
+// r's schema), deduplicated.
+func Project(r *Relation, attrs Schema) *Relation {
+	pos := make([]int, len(attrs))
+	for i, a := range attrs {
+		p := r.Pos(a)
+		if p < 0 {
+			panic(fmt.Sprintf("relation: projection attribute a%d not in schema %v", a, r.schema))
+		}
+		pos[i] = p
+	}
+	out := New(attrs)
+	if len(attrs) == 0 {
+		if r.n > 0 {
+			out.Append()
+		}
+		return out
+	}
+	seen := make(map[string]bool, r.n)
+	buf := make([]Value, len(attrs))
+	for i := 0; i < r.n; i++ {
+		row := r.Row(i)
+		for j, p := range pos {
+			buf[j] = row[p]
+		}
+		k := rowKeyFull(buf)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out.Append(buf...)
+	}
+	return out
+}
+
+// Rename returns a copy of r with attributes substituted according to m.
+// Attributes absent from m are kept. The resulting schema must not repeat
+// attributes.
+func Rename(r *Relation, m map[Attr]Attr) *Relation {
+	schema := make(Schema, r.width)
+	for i, a := range r.schema {
+		if b, ok := m[a]; ok {
+			schema[i] = b
+		} else {
+			schema[i] = a
+		}
+	}
+	out := New(schema)
+	out.rows = append(out.rows, r.rows...)
+	out.n = r.n
+	return out
+}
+
+// NaturalJoin returns r ⋈ s: tuples agreeing on all common attributes. With
+// no common attributes it is the cross product. The output schema is r's
+// schema followed by s's private attributes.
+func NaturalJoin(r, s *Relation) *Relation {
+	common := r.schema.Intersect(s.schema)
+	sPrivate := s.schema.Minus(r.schema)
+	out := New(r.schema.Union(s.schema))
+
+	// Positions of common attrs in each side, and of s's private attrs.
+	rc := make([]int, len(common))
+	sc := make([]int, len(common))
+	for i, a := range common {
+		rc[i] = r.Pos(a)
+		sc[i] = s.Pos(a)
+	}
+	sp := make([]int, len(sPrivate))
+	for i, a := range sPrivate {
+		sp[i] = s.Pos(a)
+	}
+
+	// Build hash table on the smaller side keyed by common attrs; probe with
+	// the other. To keep output column order stable we always probe with r.
+	buildIdx := newIndexOn(s, sc)
+	keyBuf := make([]Value, len(common))
+	outRow := make([]Value, out.width)
+	for i := 0; i < r.n; i++ {
+		row := r.Row(i)
+		for j, p := range rc {
+			keyBuf[j] = row[p]
+		}
+		for _, si := range buildIdx.lookup(keyBuf) {
+			srow := s.Row(int(si))
+			copy(outRow, row)
+			for j, p := range sp {
+				outRow[r.width+j] = srow[p]
+			}
+			out.Append(outRow...)
+		}
+	}
+	return out
+}
+
+// Semijoin returns r ⋉ s: the tuples of r that join with at least one tuple
+// of s on their common attributes. With no common attributes, it is r if s
+// is nonempty and empty otherwise.
+func Semijoin(r, s *Relation) *Relation {
+	common := r.schema.Intersect(s.schema)
+	if len(common) == 0 {
+		if s.n > 0 {
+			return r.Clone()
+		}
+		return New(r.schema)
+	}
+	rc := make([]int, len(common))
+	sc := make([]int, len(common))
+	for i, a := range common {
+		rc[i] = r.Pos(a)
+		sc[i] = s.Pos(a)
+	}
+	set := make(map[string]bool, s.n)
+	keyBuf := make([]Value, len(common))
+	for i := 0; i < s.n; i++ {
+		row := s.Row(i)
+		for j, p := range sc {
+			keyBuf[j] = row[p]
+		}
+		set[rowKeyFull(keyBuf)] = true
+	}
+	out := New(r.schema)
+	for i := 0; i < r.n; i++ {
+		row := r.Row(i)
+		for j, p := range rc {
+			keyBuf[j] = row[p]
+		}
+		if set[rowKeyFull(keyBuf)] {
+			out.Append(row...)
+		}
+	}
+	return out
+}
+
+// Union returns r ∪ s, deduplicated. The schemas must contain the same
+// attribute set; s's columns are reordered to r's layout.
+func Union(r, s *Relation) *Relation {
+	if !r.schema.SameSet(s.schema) {
+		panic(fmt.Sprintf("relation: union of incompatible schemas %v and %v", r.schema, s.schema))
+	}
+	out := r.Clone()
+	perm := make([]int, r.width)
+	for i, a := range r.schema {
+		perm[i] = s.Pos(a)
+	}
+	buf := make([]Value, r.width)
+	for i := 0; i < s.n; i++ {
+		row := s.Row(i)
+		for c := range perm {
+			buf[c] = row[perm[c]]
+		}
+		out.Append(buf...)
+	}
+	return out.Dedup()
+}
+
+// Difference returns r − s (set difference). The schemas must contain the
+// same attribute set.
+func Difference(r, s *Relation) *Relation {
+	if !r.schema.SameSet(s.schema) {
+		panic(fmt.Sprintf("relation: difference of incompatible schemas %v and %v", r.schema, s.schema))
+	}
+	if r.width == 0 {
+		return NewBool(r.n > 0 && s.n == 0)
+	}
+	perm := make([]int, r.width)
+	for i, a := range r.schema {
+		perm[i] = s.Pos(a)
+	}
+	set := make(map[string]bool, s.n)
+	buf := make([]Value, r.width)
+	for i := 0; i < s.n; i++ {
+		row := s.Row(i)
+		for c := range perm {
+			buf[c] = row[perm[c]]
+		}
+		set[rowKeyFull(buf)] = true
+	}
+	out := New(r.schema)
+	for i := 0; i < r.n; i++ {
+		row := r.Row(i)
+		if !set[rowKeyFull(row)] {
+			out.Append(row...)
+		}
+	}
+	return out.Dedup()
+}
+
+// CrossProduct returns r × s. The schemas must be disjoint.
+func CrossProduct(r, s *Relation) *Relation {
+	if len(r.schema.Intersect(s.schema)) != 0 {
+		panic("relation: cross product of overlapping schemas")
+	}
+	return NaturalJoin(r, s)
+}

@@ -1,0 +1,362 @@
+// Package relation implements the in-memory relational substrate used by
+// every engine in this repository: values, schemas, relations with flat
+// tuple storage, and the relational-algebra operators (selection,
+// projection, natural join, semijoin, union, difference, rename) in the
+// exact vocabulary of the paper's algorithms.
+//
+// Relations are multiset-free: Append performs no deduplication, but every
+// operator that can introduce duplicates (projection, union) deduplicates
+// its output, and Dedup is available for callers that build relations row
+// by row.
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Value is a single domain element. Domains are integers; strings entering
+// through the parser or CSV loader are interned to Values by a Dict.
+type Value int64
+
+// Attr identifies a column. Attributes are plain integers so that engines
+// can map query variables to attributes directly; the core engine reserves
+// a disjoint range for hashed color columns.
+type Attr int32
+
+// Schema is an ordered list of attributes. Attribute order determines the
+// physical column layout; set-wise equality of schemas is what matters for
+// union/difference, and operators reorder columns as needed.
+type Schema []Attr
+
+// Clone returns a copy of s.
+func (s Schema) Clone() Schema {
+	out := make(Schema, len(s))
+	copy(out, s)
+	return out
+}
+
+// Pos returns the position of a in s, or -1 if absent.
+func (s Schema) Pos(a Attr) int {
+	for i, x := range s {
+		if x == a {
+			return i
+		}
+	}
+	return -1
+}
+
+// Has reports whether a occurs in s.
+func (s Schema) Has(a Attr) bool { return s.Pos(a) >= 0 }
+
+// Equal reports whether s and t are identical as ordered lists.
+func (s Schema) Equal(t Schema) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SameSet reports whether s and t contain the same attributes, in any order.
+func (s Schema) SameSet(t Schema) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	seen := make(map[Attr]bool, len(s))
+	for _, a := range s {
+		seen[a] = true
+	}
+	for _, a := range t {
+		if !seen[a] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect returns the attributes common to s and t, in s's order.
+func (s Schema) Intersect(t Schema) Schema {
+	var out Schema
+	for _, a := range s {
+		if t.Has(a) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Minus returns the attributes of s not in t, in s's order.
+func (s Schema) Minus(t Schema) Schema {
+	var out Schema
+	for _, a := range s {
+		if !t.Has(a) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Union returns s followed by the attributes of t not already in s.
+func (s Schema) Union(t Schema) Schema {
+	out := s.Clone()
+	for _, a := range t {
+		if !s.Has(a) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func (s Schema) String() string {
+	parts := make([]string, len(s))
+	for i, a := range s {
+		parts[i] = fmt.Sprintf("a%d", a)
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// Relation is a set of tuples over a schema. Tuples are stored flattened in
+// a single backing slice; the zero-width relation is valid and represents a
+// Boolean: empty means false, one (empty) tuple means true.
+type Relation struct {
+	schema Schema
+	width  int
+	n      int // number of tuples; needed explicitly because width may be 0
+	rows   []Value
+}
+
+// New returns an empty relation over schema. The schema must not repeat
+// attributes.
+func New(schema Schema) *Relation {
+	seen := make(map[Attr]bool, len(schema))
+	for _, a := range schema {
+		if seen[a] {
+			panic(fmt.Sprintf("relation: duplicate attribute a%d in schema %v", a, schema))
+		}
+		seen[a] = true
+	}
+	return &Relation{schema: schema.Clone(), width: len(schema)}
+}
+
+// NewBool returns a zero-ary relation holding the given truth value.
+func NewBool(truth bool) *Relation {
+	r := New(nil)
+	if truth {
+		r.Append()
+	}
+	return r
+}
+
+// Schema returns the relation's schema. Callers must not modify it.
+func (r *Relation) Schema() Schema { return r.schema }
+
+// Width returns the number of columns.
+func (r *Relation) Width() int { return r.width }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return r.n }
+
+// Empty reports whether the relation has no tuples.
+func (r *Relation) Empty() bool { return r.n == 0 }
+
+// Bool interprets a zero-ary relation as a truth value: nonempty is true.
+// It is also meaningful for wider relations ("is the answer nonempty?").
+func (r *Relation) Bool() bool { return r.n > 0 }
+
+// Row returns the i-th tuple as a view into the backing store. Callers must
+// not modify or retain it across Appends.
+func (r *Relation) Row(i int) []Value {
+	return r.rows[i*r.width : (i+1)*r.width : (i+1)*r.width]
+}
+
+// Append adds one tuple. The number of values must equal the width.
+func (r *Relation) Append(tuple ...Value) {
+	if len(tuple) != r.width {
+		panic(fmt.Sprintf("relation: appended tuple has %d values, schema %v has width %d",
+			len(tuple), r.schema, r.width))
+	}
+	r.rows = append(r.rows, tuple...)
+	r.n++
+}
+
+// Pos returns the column position of a, or -1.
+func (r *Relation) Pos(a Attr) int { return r.schema.Pos(a) }
+
+// Clone returns a deep copy of r.
+func (r *Relation) Clone() *Relation {
+	out := New(r.schema)
+	out.rows = append(out.rows, r.rows...)
+	out.n = r.n
+	return out
+}
+
+// Dedup removes duplicate tuples in place and returns r.
+func (r *Relation) Dedup() *Relation {
+	if r.n <= 1 {
+		return r
+	}
+	if r.width == 0 {
+		r.n = 1
+		return r
+	}
+	seen := make(map[string]bool, r.n)
+	w := 0
+	for i := 0; i < r.n; i++ {
+		k := rowKeyFull(r.Row(i))
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		copy(r.rows[w*r.width:(w+1)*r.width], r.Row(i))
+		w++
+	}
+	r.rows = r.rows[:w*r.width]
+	r.n = w
+	return r
+}
+
+// Contains reports whether tuple is present in r (linear scan; use an Index
+// for repeated membership tests).
+func (r *Relation) Contains(tuple []Value) bool {
+	if len(tuple) != r.width {
+		return false
+	}
+	if r.width == 0 {
+		return r.n > 0
+	}
+	k := rowKeyFull(tuple)
+	for i := 0; i < r.n; i++ {
+		if rowKeyFull(r.Row(i)) == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Sort orders tuples lexicographically in place and returns r. Useful for
+// canonical output and set comparison.
+func (r *Relation) Sort() *Relation {
+	if r.width == 0 || r.n <= 1 {
+		return r
+	}
+	idx := make([]int, r.n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ra, rb := r.Row(idx[a]), r.Row(idx[b])
+		for c := 0; c < r.width; c++ {
+			if ra[c] != rb[c] {
+				return ra[c] < rb[c]
+			}
+		}
+		return false
+	})
+	out := make([]Value, 0, len(r.rows))
+	for _, i := range idx {
+		out = append(out, r.Row(i)...)
+	}
+	r.rows = out
+	return r
+}
+
+// EqualSet reports whether r and s hold the same set of tuples over the same
+// attribute set (column order may differ). Both are deduplicated conceptually:
+// duplicates do not affect the answer.
+func EqualSet(r, s *Relation) bool {
+	if !r.schema.SameSet(s.schema) {
+		return false
+	}
+	if r.width == 0 {
+		return (r.n > 0) == (s.n > 0)
+	}
+	// Reorder s's columns to r's schema and compare key sets.
+	perm := make([]int, r.width)
+	for i, a := range r.schema {
+		perm[i] = s.Pos(a)
+	}
+	rk := make(map[string]bool, r.n)
+	for i := 0; i < r.n; i++ {
+		rk[rowKeyFull(r.Row(i))] = true
+	}
+	sk := make(map[string]bool, s.n)
+	buf := make([]Value, r.width)
+	for i := 0; i < s.n; i++ {
+		row := s.Row(i)
+		for c := 0; c < r.width; c++ {
+			buf[c] = row[perm[c]]
+		}
+		k := rowKeyFull(buf)
+		if !rk[k] {
+			return false
+		}
+		sk[k] = true
+	}
+	return len(rk) == len(sk)
+}
+
+// ActiveDomain returns the sorted set of values appearing anywhere in the
+// given relations.
+func ActiveDomain(rels ...*Relation) []Value {
+	seen := make(map[Value]bool)
+	for _, r := range rels {
+		for _, v := range r.rows {
+			seen[v] = true
+		}
+	}
+	out := make([]Value, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String renders the relation as a small table, for debugging and the CLIs.
+func (r *Relation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v #%d\n", r.schema, r.n)
+	limit := r.n
+	if limit > 20 {
+		limit = 20
+	}
+	for i := 0; i < limit; i++ {
+		row := r.Row(i)
+		parts := make([]string, len(row))
+		for j, v := range row {
+			parts[j] = fmt.Sprintf("%d", v)
+		}
+		b.WriteString("  [" + strings.Join(parts, " ") + "]\n")
+	}
+	if limit < r.n {
+		fmt.Fprintf(&b, "  ... (%d more)\n", r.n-limit)
+	}
+	return b.String()
+}
+
+// rowKeyFull encodes a full row as a compact string map key.
+func rowKeyFull(row []Value) string {
+	buf := make([]byte, 8*len(row))
+	for i, v := range row {
+		putValue(buf[8*i:], v)
+	}
+	return string(buf)
+}
+
+func putValue(b []byte, v Value) {
+	u := uint64(v)
+	b[0] = byte(u)
+	b[1] = byte(u >> 8)
+	b[2] = byte(u >> 16)
+	b[3] = byte(u >> 24)
+	b[4] = byte(u >> 32)
+	b[5] = byte(u >> 40)
+	b[6] = byte(u >> 48)
+	b[7] = byte(u >> 56)
+}

@@ -1,0 +1,198 @@
+package relation
+
+import (
+	"testing"
+)
+
+func rel(t *testing.T, schema Schema, rows ...[]Value) *Relation {
+	t.Helper()
+	r := New(schema)
+	for _, row := range rows {
+		r.Append(row...)
+	}
+	return r
+}
+
+func TestNewPanicsOnDuplicateAttr(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate attribute")
+		}
+	}()
+	New(Schema{1, 2, 1})
+}
+
+func TestAppendWidthMismatchPanics(t *testing.T) {
+	r := New(Schema{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on width mismatch")
+		}
+	}()
+	r.Append(1)
+}
+
+func TestZeroAryRelation(t *testing.T) {
+	f := NewBool(false)
+	if f.Bool() || f.Len() != 0 || f.Width() != 0 {
+		t.Fatalf("NewBool(false) = %v", f)
+	}
+	tr := NewBool(true)
+	if !tr.Bool() || tr.Len() != 1 {
+		t.Fatalf("NewBool(true) = %v", tr)
+	}
+	tr.Append()
+	tr.Dedup()
+	if tr.Len() != 1 {
+		t.Fatalf("dedup of 0-ary relation: len=%d, want 1", tr.Len())
+	}
+	if !tr.Contains(nil) {
+		t.Fatal("0-ary true relation should contain the empty tuple")
+	}
+}
+
+func TestRowAndLen(t *testing.T) {
+	r := rel(t, Schema{10, 20}, []Value{1, 2}, []Value{3, 4})
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	if got := r.Row(1); got[0] != 3 || got[1] != 4 {
+		t.Fatalf("Row(1) = %v", got)
+	}
+}
+
+func TestDedup(t *testing.T) {
+	r := rel(t, Schema{1, 2},
+		[]Value{1, 2}, []Value{1, 2}, []Value{3, 4}, []Value{1, 2}, []Value{3, 4})
+	r.Dedup()
+	if r.Len() != 2 {
+		t.Fatalf("after dedup Len = %d, want 2", r.Len())
+	}
+	if !r.Contains([]Value{1, 2}) || !r.Contains([]Value{3, 4}) {
+		t.Fatalf("dedup lost tuples: %v", r)
+	}
+}
+
+func TestContains(t *testing.T) {
+	r := rel(t, Schema{1}, []Value{5}, []Value{7})
+	if !r.Contains([]Value{5}) {
+		t.Fatal("missing 5")
+	}
+	if r.Contains([]Value{6}) {
+		t.Fatal("spurious 6")
+	}
+	if r.Contains([]Value{5, 5}) {
+		t.Fatal("wrong-width tuple should not be contained")
+	}
+}
+
+func TestSortIsLexicographic(t *testing.T) {
+	r := rel(t, Schema{1, 2}, []Value{2, 1}, []Value{1, 9}, []Value{1, 2}, []Value{2, 0})
+	r.Sort()
+	want := [][]Value{{1, 2}, {1, 9}, {2, 0}, {2, 1}}
+	for i, w := range want {
+		got := r.Row(i)
+		if got[0] != w[0] || got[1] != w[1] {
+			t.Fatalf("row %d = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestEqualSetIgnoresColumnOrderAndDuplicates(t *testing.T) {
+	a := rel(t, Schema{1, 2}, []Value{1, 2}, []Value{3, 4}, []Value{1, 2})
+	b := rel(t, Schema{2, 1}, []Value{4, 3}, []Value{2, 1})
+	if !EqualSet(a, b) {
+		t.Fatal("EqualSet should hold across column order and duplicates")
+	}
+	c := rel(t, Schema{2, 1}, []Value{4, 3})
+	if EqualSet(a, c) {
+		t.Fatal("EqualSet should fail on missing tuple")
+	}
+	d := rel(t, Schema{1, 3}, []Value{1, 2})
+	if EqualSet(a, d) {
+		t.Fatal("EqualSet should fail on different attribute sets")
+	}
+}
+
+func TestActiveDomain(t *testing.T) {
+	a := rel(t, Schema{1}, []Value{3}, []Value{1})
+	b := rel(t, Schema{2, 3}, []Value{1, 7})
+	dom := ActiveDomain(a, b)
+	want := []Value{1, 3, 7}
+	if len(dom) != len(want) {
+		t.Fatalf("domain = %v, want %v", dom, want)
+	}
+	for i := range want {
+		if dom[i] != want[i] {
+			t.Fatalf("domain = %v, want %v", dom, want)
+		}
+	}
+}
+
+func TestSchemaSetOps(t *testing.T) {
+	s := Schema{1, 2, 3}
+	u := Schema{3, 4}
+	if got := s.Intersect(u); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Intersect = %v", got)
+	}
+	if got := s.Minus(u); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Minus = %v", got)
+	}
+	if got := s.Union(u); len(got) != 4 || got[3] != 4 {
+		t.Fatalf("Union = %v", got)
+	}
+	if !s.SameSet(Schema{3, 1, 2}) {
+		t.Fatal("SameSet failed on permutation")
+	}
+	if s.SameSet(Schema{1, 2, 4}) {
+		t.Fatal("SameSet accepted different set")
+	}
+	if s.SameSet(Schema{1, 2}) {
+		t.Fatal("SameSet accepted shorter set")
+	}
+}
+
+func TestClone(t *testing.T) {
+	a := rel(t, Schema{1}, []Value{1})
+	b := a.Clone()
+	b.Append(2)
+	if a.Len() != 1 || b.Len() != 2 {
+		t.Fatalf("clone aliasing: a=%d b=%d", a.Len(), b.Len())
+	}
+}
+
+func TestDict(t *testing.T) {
+	d := NewDict()
+	a := d.ID("alice")
+	b := d.ID("bob")
+	if a == b {
+		t.Fatal("distinct strings interned to same value")
+	}
+	if d.ID("alice") != a {
+		t.Fatal("re-interning changed value")
+	}
+	if d.String(a) != "alice" || d.String(b) != "bob" {
+		t.Fatalf("round trip failed: %q %q", d.String(a), d.String(b))
+	}
+	if got := d.String(Value(999)); got != "999" {
+		t.Fatalf("un-interned value renders as %q, want \"999\"", got)
+	}
+	if got := d.String(Value(-5)); got != "-5" {
+		t.Fatalf("negative renders as %q", got)
+	}
+	if _, ok := d.Lookup("carol"); ok {
+		t.Fatal("Lookup invented an entry")
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+}
+
+func TestItoa(t *testing.T) {
+	cases := map[int64]string{0: "0", 7: "7", -7: "-7", 1234567: "1234567"}
+	for in, want := range cases {
+		if got := itoa(in); got != want {
+			t.Errorf("itoa(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

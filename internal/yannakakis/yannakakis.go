@@ -1,0 +1,271 @@
+// Package yannakakis evaluates acyclic conjunctive queries by Yannakakis'
+// algorithm ([18] in the paper): reduce each atom to S_j = π σ (R), build a
+// join tree, run the full reducer (bottom-up then top-down semijoins) to
+// eliminate dangling tuples, and finally join bottom-up while projecting
+// onto the head variables — time polynomial in input + output. Theorem 2's
+// engine (internal/core) generalizes this pass structure with hashed color
+// columns; this package is both a standalone engine and the I₁ = ∅ fast
+// path.
+package yannakakis
+
+import (
+	"errors"
+	"fmt"
+
+	"pyquery/internal/eval"
+	"pyquery/internal/hypergraph"
+	"pyquery/internal/query"
+	"pyquery/internal/relation"
+)
+
+// ErrCyclic is returned when the query hypergraph is not α-acyclic.
+var ErrCyclic = errors.New("yannakakis: query hypergraph is cyclic")
+
+// Options controls the evaluator.
+type Options struct {
+	// NoFullReducer skips the semijoin passes (ablation A2). Results are
+	// identical; intermediate join sizes may blow up.
+	NoFullReducer bool
+}
+
+// IsAcyclic reports whether the hypergraph of the query's relational atoms
+// is α-acyclic (≠/comparison atoms are ignored, per Section 5's definition
+// of acyclic queries with inequalities).
+func IsAcyclic(q *query.CQ) bool {
+	h, _ := buildHypergraph(q)
+	_, ok := h.JoinForest()
+	return ok
+}
+
+// buildHypergraph maps the query's variables to dense vertex ids and
+// returns the atom hypergraph plus the var↔vertex mapping.
+func buildHypergraph(q *query.CQ) (*hypergraph.Hypergraph, map[query.Var]int) {
+	vars := q.BodyVars()
+	id := make(map[query.Var]int, len(vars))
+	for i, v := range vars {
+		id[v] = i
+	}
+	edges := make([][]int, len(q.Atoms))
+	for i, a := range q.Atoms {
+		for _, v := range a.Vars() {
+			edges[i] = append(edges[i], id[v])
+		}
+	}
+	return hypergraph.New(len(vars), edges), id
+}
+
+// Evaluate computes Q(d) for an acyclic pure conjunctive query (no ≠, no
+// comparisons — those belong to the Theorem 2 engine). The result uses the
+// positional schema 0…len(head)−1.
+func Evaluate(q *query.CQ, db *query.DB) (*relation.Relation, error) {
+	return EvaluateOpts(q, db, Options{})
+}
+
+// EvaluateOpts is Evaluate with explicit options.
+func EvaluateOpts(q *query.CQ, db *query.DB, opts Options) (*relation.Relation, error) {
+	st, err := prepare(q, db)
+	if err != nil {
+		return nil, err
+	}
+	if st == nil { // trivially empty
+		return query.NewTable(len(q.Head)), nil
+	}
+	if !opts.NoFullReducer {
+		if empty := st.fullReduce(); empty {
+			return query.NewTable(len(q.Head)), nil
+		}
+	}
+	pstar := st.joinProject()
+	return headTuples(q, pstar), nil
+}
+
+// EvaluateBool decides Q(d) ≠ ∅ for an acyclic pure conjunctive query using
+// only the bottom-up semijoin pass — the O(n·q) decision procedure.
+func EvaluateBool(q *query.CQ, db *query.DB) (bool, error) {
+	st, err := prepare(q, db)
+	if err != nil {
+		return false, err
+	}
+	if st == nil {
+		return false, nil
+	}
+	return !st.bottomUpSemijoin(), nil
+}
+
+type state struct {
+	q    *query.CQ
+	tree *hypergraph.Forest
+	// rels[j] is the current P_j relation of tree node j (schema keyed by
+	// variable ids as attributes).
+	rels []*relation.Relation
+	// subtreeVars[j] is at(T[j]) as variable attributes.
+	subtreeVars []map[query.Var]bool
+	headVars    map[query.Var]bool
+}
+
+// prepare validates, reduces atoms, and builds the join tree. It returns
+// (nil, nil) when some atom reduces to the empty relation (the answer is
+// trivially empty) and an error for cyclic or malformed queries.
+func prepare(q *query.CQ, db *query.DB) (*state, error) {
+	if len(q.Ineqs) > 0 || len(q.Cmps) > 0 {
+		return nil, fmt.Errorf("yannakakis: query has ≠/comparison atoms; use the core engine")
+	}
+	if err := q.Validate(db); err != nil {
+		return nil, err
+	}
+	if len(q.Atoms) == 0 {
+		// No atoms: the head is all constants; treat as single-node tree of
+		// the 0-ary true relation.
+		h := hypergraph.New(0, [][]int{{}})
+		f, _ := h.JoinForest()
+		st := &state{q: q, tree: f.JoinTree(),
+			rels:        []*relation.Relation{relation.NewBool(true)},
+			subtreeVars: []map[query.Var]bool{{}},
+			headVars:    map[query.Var]bool{}}
+		return st, nil
+	}
+
+	h, id := buildHypergraph(q)
+	forest, ok := h.JoinForest()
+	if !ok {
+		return nil, ErrCyclic
+	}
+	tree := forest.JoinTree()
+
+	rels := make([]*relation.Relation, len(q.Atoms))
+	for i, a := range q.Atoms {
+		s, _ := eval.ReduceAtom(a, db)
+		if s.Empty() {
+			return nil, nil
+		}
+		rels[i] = s
+	}
+
+	// Subtree variable sets, translated back from vertex ids to Vars.
+	backTo := make([]query.Var, len(id))
+	for v, i := range id {
+		backTo[i] = v
+	}
+	subtreeVerts := h.SubtreeVertices(tree)
+	subtreeVars := make([]map[query.Var]bool, len(subtreeVerts))
+	for j, set := range subtreeVerts {
+		m := make(map[query.Var]bool, len(set))
+		for vert := range set {
+			m[backTo[vert]] = true
+		}
+		subtreeVars[j] = m
+	}
+
+	headVars := make(map[query.Var]bool)
+	for _, v := range q.HeadVars() {
+		headVars[v] = true
+	}
+	return &state{q: q, tree: tree, rels: rels, subtreeVars: subtreeVars, headVars: headVars}, nil
+}
+
+// bottomUpSemijoin runs the upward semijoin pass (children filter parents);
+// it returns true if some relation became empty (the query is false).
+func (st *state) bottomUpSemijoin() bool {
+	for _, j := range st.tree.Order {
+		u := st.tree.Parent[j]
+		if u < 0 {
+			continue
+		}
+		st.rels[u] = relation.Semijoin(st.rels[u], st.rels[j])
+		if st.rels[u].Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// fullReduce runs the full reducer: bottom-up semijoins, then top-down
+// semijoins, leaving the relations globally consistent (every remaining
+// tuple participates in some full join result).
+func (st *state) fullReduce() bool {
+	if st.bottomUpSemijoin() {
+		return true
+	}
+	// Top-down: parents filter children, in reverse bottom-up order.
+	for i := len(st.tree.Order) - 1; i >= 0; i-- {
+		j := st.tree.Order[i]
+		u := st.tree.Parent[j]
+		if u < 0 {
+			continue
+		}
+		st.rels[j] = relation.Semijoin(st.rels[j], st.rels[u])
+		if st.rels[j].Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// joinProject performs the upward join pass, carrying only join attributes
+// and head variables, and returns π_Z(⋈ all) over the head variables.
+func (st *state) joinProject() *relation.Relation {
+	for _, j := range st.tree.Order {
+		u := st.tree.Parent[j]
+		if u < 0 {
+			continue
+		}
+		// Z_j = (vars(P_j) ∩ vars(P_u)) ∪ (head vars in subtree of j).
+		proj := st.rels[j].Schema().Intersect(st.rels[u].Schema())
+		for v := range st.subtreeVars[j] {
+			if st.headVars[v] {
+				a := relation.Attr(v)
+				if !proj.Has(a) && st.rels[j].Schema().Has(a) {
+					proj = append(proj, a)
+				}
+			}
+		}
+		st.rels[u] = relation.NaturalJoin(st.rels[u], relation.Project(st.rels[j], proj))
+	}
+	root := st.tree.Roots[0]
+	zs := make(relation.Schema, 0, len(st.headVars))
+	for v := range st.headVars {
+		zs = append(zs, relation.Attr(v))
+	}
+	// Sort for determinism.
+	for i := 0; i < len(zs); i++ {
+		for j := i + 1; j < len(zs); j++ {
+			if zs[j] < zs[i] {
+				zs[i], zs[j] = zs[j], zs[i]
+			}
+		}
+	}
+	return relation.Project(st.rels[root], zs)
+}
+
+// headTuples maps the head-variable relation pstar onto the positional head
+// tuple layout {τ(t₀) | τ ∈ P*}.
+func headTuples(q *query.CQ, pstar *relation.Relation) *relation.Relation {
+	out := query.NewTable(len(q.Head))
+	if len(q.Head) == 0 {
+		if pstar.Bool() {
+			out.Append()
+		}
+		return out
+	}
+	pos := make([]int, len(q.Head))
+	for i, t := range q.Head {
+		if t.IsVar {
+			pos[i] = pstar.Pos(relation.Attr(t.Var))
+		} else {
+			pos[i] = -1
+		}
+	}
+	tuple := make([]relation.Value, len(q.Head))
+	for r := 0; r < pstar.Len(); r++ {
+		row := pstar.Row(r)
+		for i, t := range q.Head {
+			if pos[i] >= 0 {
+				tuple[i] = row[pos[i]]
+			} else {
+				tuple[i] = t.Const
+			}
+		}
+		out.Append(tuple...)
+	}
+	return out.Dedup()
+}

@@ -1,0 +1,234 @@
+// Package pyquery is a library for parameterized-complexity-aware database
+// query evaluation, reproducing Papadimitriou & Yannakakis, "On the
+// Complexity of Database Queries" (PODS 1997 / JCSS 1999).
+//
+// The package exposes four engines behind one Evaluate call:
+//
+//   - Yannakakis' acyclic-join algorithm for pure acyclic conjunctive
+//     queries (polynomial in input + output);
+//   - the paper's Theorem 2 color-coding engine for acyclic conjunctive
+//     queries with ≠ atoms (fixed-parameter tractable: f(k)·n log n);
+//   - Klug-style preprocessing plus generic evaluation for queries with
+//     order comparisons (W[1]-complete even when acyclic — Theorem 3);
+//   - generic backtracking join for everything else (the n^{O(q)} baseline
+//     whose exponent Theorem 1 classifies as inherent).
+//
+// Plan reports which engine a query gets and why. The reductions behind the
+// paper's W-hierarchy classification live in internal/reductions and are
+// exercised by cmd/reduce and cmd/benchrunner.
+package pyquery
+
+import (
+	"fmt"
+
+	"pyquery/internal/core"
+	"pyquery/internal/eval"
+	"pyquery/internal/order"
+	"pyquery/internal/parser"
+	"pyquery/internal/query"
+	"pyquery/internal/relation"
+	"pyquery/internal/yannakakis"
+)
+
+// Re-exported core types. Downstream code uses pyquery.CQ etc.; the
+// internal packages stay encapsulated.
+type (
+	// CQ is a conjunctive query with optional ≠ and comparison atoms.
+	CQ = query.CQ
+	// FOQuery is a first-order query.
+	FOQuery = query.FOQuery
+	// DB is a database instance.
+	DB = query.DB
+	// Relation is a set of tuples.
+	Relation = relation.Relation
+	// Value is a domain element.
+	Value = relation.Value
+	// Term is a variable or constant in a query.
+	Term = query.Term
+	// Var identifies a query variable.
+	Var = query.Var
+	// Atom is a relational atom.
+	Atom = query.Atom
+	// Ineq is an inequality (≠) atom.
+	Ineq = query.Ineq
+	// Cmp is a comparison (<, ≤) atom.
+	Cmp = query.Cmp
+	// Parser parses the textual query syntax.
+	Parser = parser.Parser
+	// Symbols interns symbolic constants.
+	Symbols = parser.Symbols
+	// Stats reports what the Theorem 2 engine did.
+	Stats = core.Stats
+	// Options configures the Theorem 2 engine.
+	Options = core.Options
+)
+
+// Constructors re-exported for query building.
+var (
+	// V builds a variable term.
+	V = query.V
+	// C builds a constant term.
+	C = query.C
+	// NewAtom builds a relational atom.
+	NewAtom = query.NewAtom
+	// NeqVars builds x ≠ y.
+	NeqVars = query.NeqVars
+	// NeqConst builds x ≠ c.
+	NeqConst = query.NeqConst
+	// Lt builds a strict comparison.
+	Lt = query.Lt
+	// Le builds a weak comparison.
+	Le = query.Le
+	// NewDB returns an empty database.
+	NewDB = query.NewDB
+	// NewTable returns an empty base relation of the given arity.
+	NewTable = query.NewTable
+	// Table builds a base relation from rows.
+	Table = query.Table
+	// NewParser returns a parser with a fresh symbol table.
+	NewParser = parser.New
+	// NewSymbols returns an empty symbol table.
+	NewSymbols = parser.NewSymbols
+	// LoadCSV loads a CSV stream as a relation.
+	LoadCSV = parser.LoadCSV
+)
+
+// Engine identifies which evaluation algorithm Plan selects.
+type Engine int
+
+// Engines, in dispatch order.
+const (
+	// EngineYannakakis: pure acyclic conjunctive query.
+	EngineYannakakis Engine = iota
+	// EngineColorCoding: acyclic conjunctive query with ≠ atoms (Theorem 2).
+	EngineColorCoding
+	// EngineComparisons: comparison atoms present — consistency check,
+	// equality collapse, then generic evaluation (Theorem 3 says no FPT
+	// algorithm is expected).
+	EngineComparisons
+	// EngineGeneric: cyclic query — backtracking join, n^{O(q)}.
+	EngineGeneric
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineYannakakis:
+		return "yannakakis (acyclic, poly input+output)"
+	case EngineColorCoding:
+		return "color-coding (Theorem 2, f(k)·n log n)"
+	case EngineComparisons:
+		return "comparisons (Theorem 3 territory, generic join)"
+	case EngineGeneric:
+		return "generic backtracking join (n^O(q))"
+	}
+	return "unknown"
+}
+
+// Plan selects the engine for a query.
+func Plan(q *CQ) Engine {
+	if len(q.Cmps) > 0 {
+		for _, c := range q.Cmps {
+			if c.Left.IsVar || c.Right.IsVar {
+				return EngineComparisons
+			}
+		}
+	}
+	if !core.IsAcyclicWithIneqs(q) {
+		return EngineGeneric
+	}
+	if len(q.Ineqs) > 0 {
+		return EngineColorCoding
+	}
+	return EngineYannakakis
+}
+
+// Evaluate computes Q(d), dispatching to the best engine for the query's
+// class. The answer uses the positional schema 0…len(head)−1.
+func Evaluate(q *CQ, db *DB) (*Relation, error) {
+	switch Plan(q) {
+	case EngineYannakakis:
+		return yannakakis.Evaluate(q, db)
+	case EngineColorCoding:
+		return core.Evaluate(q, db)
+	case EngineComparisons:
+		return order.Evaluate(q, db)
+	default:
+		return eval.Conjunctive(q, db)
+	}
+}
+
+// EvaluateBool decides Q(d) ≠ ∅ with the dispatched engine.
+func EvaluateBool(q *CQ, db *DB) (bool, error) {
+	switch Plan(q) {
+	case EngineYannakakis:
+		return yannakakis.EvaluateBool(q, db)
+	case EngineColorCoding:
+		return core.EvaluateBool(q, db)
+	case EngineComparisons:
+		return order.EvaluateBool(q, db)
+	default:
+		return eval.ConjunctiveBool(q, db)
+	}
+}
+
+// Decide answers the decision problem t ∈ Q(d): substitute the tuple into
+// the head and test emptiness.
+func Decide(q *CQ, db *DB, t []Value) (bool, error) {
+	bound, err := q.BindHead(t)
+	if query.IsTrivialMismatch(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return EvaluateBool(bound, db)
+}
+
+// EvaluateFO evaluates a first-order query under active-domain semantics.
+func EvaluateFO(q *FOQuery, db *DB) (*Relation, error) {
+	return eval.FirstOrder(q, db)
+}
+
+// Explain describes the dispatch decision and, for the color-coding
+// engine, the parameter split the paper's Theorem 2 works with.
+func Explain(q *CQ) string {
+	e := Plan(q)
+	s := fmt.Sprintf("engine: %v\nquery size q=%d, variables v=%d", e, q.Size(), q.NumVars())
+	if e == EngineColorCoding {
+		i1, i2, v1, ok := core.Partition(q)
+		if !ok {
+			return s + "\nunsatisfiable inequality (x≠x): empty answer"
+		}
+		s += fmt.Sprintf("\nI1 (hashed) inequalities: %d, I2 (pushed-down): %d, |V1|=k=%d",
+			len(i1), len(i2), len(v1))
+	}
+	return s
+}
+
+// EvaluateStats runs the Theorem 2 engine explicitly with options and
+// returns its statistics; the query must be acyclic with inequalities.
+func EvaluateStats(q *CQ, db *DB, opts Options) (*Relation, Stats, error) {
+	return core.EvaluateStats(q, db, opts)
+}
+
+// IneqFormula is a positive ∧/∨ combination of ≠ atoms — the Section 5
+// extension evaluated by EvaluateIneqFormula.
+type IneqFormula = core.IneqFormula
+
+// Inequality formula constructors.
+type (
+	// IneqAtom wraps one ≠ atom as a formula leaf.
+	IneqAtom = core.IneqAtom
+	// IneqAnd is a conjunction of inequality formulas.
+	IneqAnd = core.IneqAnd
+	// IneqOr is a disjunction of inequality formulas.
+	IneqOr = core.IneqOr
+)
+
+// EvaluateIneqFormula evaluates an acyclic pure conjunctive query under an
+// arbitrary ∧/∨ formula of inequality atoms (the paper's parameter-q
+// extension of Theorem 2). The query must carry no ≠/comparison atoms of
+// its own — the constraints live in φ.
+func EvaluateIneqFormula(q *CQ, phi IneqFormula, db *DB, opts Options) (*Relation, error) {
+	return core.EvaluateIneqFormula(q, phi, db, opts)
+}

@@ -1,0 +1,207 @@
+package pyquery_test
+
+import (
+	"strings"
+	"testing"
+
+	"pyquery"
+	"pyquery/internal/relation"
+)
+
+func orgDB() *pyquery.DB {
+	db := pyquery.NewDB()
+	db.Set("EP", pyquery.Table(2,
+		[]pyquery.Value{1, 100}, []pyquery.Value{1, 101},
+		[]pyquery.Value{2, 100}))
+	return db
+}
+
+func TestPlanDispatch(t *testing.T) {
+	pure := &pyquery.CQ{Atoms: []pyquery.Atom{pyquery.NewAtom("EP", pyquery.V(0), pyquery.V(1))}}
+	if pyquery.Plan(pure) != pyquery.EngineYannakakis {
+		t.Fatalf("pure acyclic → yannakakis, got %v", pyquery.Plan(pure))
+	}
+	ineq := &pyquery.CQ{
+		Atoms: []pyquery.Atom{
+			pyquery.NewAtom("EP", pyquery.V(0), pyquery.V(1)),
+			pyquery.NewAtom("EP", pyquery.V(0), pyquery.V(2)),
+		},
+		Ineqs: []pyquery.Ineq{pyquery.NeqVars(1, 2)},
+	}
+	if pyquery.Plan(ineq) != pyquery.EngineColorCoding {
+		t.Fatalf("acyclic+≠ → color coding, got %v", pyquery.Plan(ineq))
+	}
+	cmp := &pyquery.CQ{
+		Atoms: []pyquery.Atom{pyquery.NewAtom("EP", pyquery.V(0), pyquery.V(1))},
+		Cmps:  []pyquery.Cmp{pyquery.Lt(pyquery.V(0), pyquery.V(1))},
+	}
+	if pyquery.Plan(cmp) != pyquery.EngineComparisons {
+		t.Fatalf("comparisons → comparisons engine, got %v", pyquery.Plan(cmp))
+	}
+	cyc := &pyquery.CQ{Atoms: []pyquery.Atom{
+		pyquery.NewAtom("EP", pyquery.V(0), pyquery.V(1)),
+		pyquery.NewAtom("EP", pyquery.V(1), pyquery.V(2)),
+		pyquery.NewAtom("EP", pyquery.V(2), pyquery.V(0)),
+	}}
+	if pyquery.Plan(cyc) != pyquery.EngineGeneric {
+		t.Fatalf("cyclic → generic, got %v", pyquery.Plan(cyc))
+	}
+}
+
+func TestEvaluateThroughFacade(t *testing.T) {
+	db := orgDB()
+	p := pyquery.NewParser()
+	q, err := p.ParseCQ(`G(e) :- EP(e, p1), EP(e, p2), p1 != p2.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pyquery.Evaluate(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || res.Row(0)[0] != 1 {
+		t.Fatalf("employee on two projects: %v", res)
+	}
+	ok, err := pyquery.EvaluateBool(q, db)
+	if err != nil || !ok {
+		t.Fatalf("bool: %v %v", ok, err)
+	}
+	ok, err = pyquery.Decide(q, db, []pyquery.Value{1})
+	if err != nil || !ok {
+		t.Fatalf("decide(1): %v %v", ok, err)
+	}
+	ok, err = pyquery.Decide(q, db, []pyquery.Value{2})
+	if err != nil || ok {
+		t.Fatalf("decide(2): %v %v", ok, err)
+	}
+}
+
+func TestEvaluateAllEnginesAgree(t *testing.T) {
+	db := orgDB()
+	// A query every engine can answer: pure single atom.
+	q := &pyquery.CQ{
+		Head:  []pyquery.Term{pyquery.V(0)},
+		Atoms: []pyquery.Atom{pyquery.NewAtom("EP", pyquery.V(0), pyquery.V(1))},
+	}
+	res, err := pyquery.Evaluate(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pyquery.Table(1, []pyquery.Value{1}, []pyquery.Value{2})
+	if !relation.EqualSet(res, want) {
+		t.Fatalf("projection: %v", res)
+	}
+}
+
+func TestComparisonsAndGenericPaths(t *testing.T) {
+	db := pyquery.NewDB()
+	db.Set("E", pyquery.Table(2,
+		[]pyquery.Value{1, 2}, []pyquery.Value{2, 3}, []pyquery.Value{3, 1}))
+	// Comparisons path.
+	inc := &pyquery.CQ{
+		Head: []pyquery.Term{pyquery.V(0), pyquery.V(1)},
+		Atoms: []pyquery.Atom{
+			pyquery.NewAtom("E", pyquery.V(0), pyquery.V(1)),
+		},
+		Cmps: []pyquery.Cmp{pyquery.Lt(pyquery.V(0), pyquery.V(1))},
+	}
+	res, err := pyquery.Evaluate(inc, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("increasing edges: %v", res)
+	}
+	// Generic path: triangle query.
+	tri := &pyquery.CQ{Atoms: []pyquery.Atom{
+		pyquery.NewAtom("E", pyquery.V(0), pyquery.V(1)),
+		pyquery.NewAtom("E", pyquery.V(1), pyquery.V(2)),
+		pyquery.NewAtom("E", pyquery.V(2), pyquery.V(0)),
+	}}
+	ok, err := pyquery.EvaluateBool(tri, db)
+	if err != nil || !ok {
+		t.Fatalf("directed triangle exists: %v %v", ok, err)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	q := &pyquery.CQ{
+		Atoms: []pyquery.Atom{
+			pyquery.NewAtom("EP", pyquery.V(0), pyquery.V(1)),
+			pyquery.NewAtom("EP", pyquery.V(0), pyquery.V(2)),
+		},
+		Ineqs: []pyquery.Ineq{pyquery.NeqVars(1, 2)},
+	}
+	s := pyquery.Explain(q)
+	for _, want := range []string{"color-coding", "I1", "k=2"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Explain = %q missing %q", s, want)
+		}
+	}
+	bad := &pyquery.CQ{
+		Atoms: []pyquery.Atom{pyquery.NewAtom("EP", pyquery.V(0), pyquery.V(1))},
+		Ineqs: []pyquery.Ineq{pyquery.NeqVars(0, 0)},
+	}
+	if !strings.Contains(pyquery.Explain(bad), "unsatisfiable") {
+		t.Fatal("Explain must flag x≠x")
+	}
+}
+
+func TestEvaluateFO(t *testing.T) {
+	db := orgDB()
+	p := pyquery.NewParser()
+	q, err := p.ParseFOQuery(`{ (e) | exists p EP(e, p) }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pyquery.EvaluateFO(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("FO projection: %v", res)
+	}
+}
+
+func TestEvaluateIneqFormulaFacade(t *testing.T) {
+	db := orgDB()
+	q := &pyquery.CQ{
+		Head: []pyquery.Term{pyquery.V(0)},
+		Atoms: []pyquery.Atom{
+			pyquery.NewAtom("EP", pyquery.V(0), pyquery.V(1)),
+			pyquery.NewAtom("EP", pyquery.V(0), pyquery.V(2)),
+		},
+	}
+	phi := pyquery.IneqOr{Subs: []pyquery.IneqFormula{
+		pyquery.IneqAtom{Ineq: pyquery.NeqVars(1, 2)},
+		pyquery.IneqAtom{Ineq: pyquery.NeqConst(0, 1)},
+	}}
+	res, err := pyquery.EvaluateIneqFormula(q, phi, db, pyquery.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Employee 1 qualifies via two projects; employee 2 via e≠1.
+	want := pyquery.Table(1, []pyquery.Value{1}, []pyquery.Value{2})
+	if !relation.EqualSet(res, want) {
+		t.Fatalf("formula facade = %v, want %v", res, want)
+	}
+}
+
+func TestEvaluateStatsFacade(t *testing.T) {
+	db := orgDB()
+	q := &pyquery.CQ{
+		Head: []pyquery.Term{pyquery.V(0)},
+		Atoms: []pyquery.Atom{
+			pyquery.NewAtom("EP", pyquery.V(0), pyquery.V(1)),
+			pyquery.NewAtom("EP", pyquery.V(0), pyquery.V(2)),
+		},
+		Ineqs: []pyquery.Ineq{pyquery.NeqVars(1, 2)},
+	}
+	res, stats, err := pyquery.EvaluateStats(q, db, pyquery.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || stats.K != 2 {
+		t.Fatalf("stats facade: %v %+v", res, stats)
+	}
+}
