@@ -1,0 +1,3 @@
+module pyquery
+
+go 1.24

@@ -256,35 +256,22 @@ func Eval(p *Program, db *query.DB, opts Options) (map[string]*relation.Relation
 // table is a relation with a keyed membership set for O(1) dedup.
 type table struct {
 	rel *relation.Relation
-	set map[string]bool
+	set *relation.TupleSet
 }
 
 func newTable(arity int) *table {
-	return &table{rel: query.NewTable(arity), set: make(map[string]bool)}
+	return &table{rel: query.NewTable(arity), set: relation.NewTupleSet(arity)}
 }
 
-func (t *table) has(row []relation.Value) bool { return t.set[rowKey(row)] }
+func (t *table) has(row []relation.Value) bool { return t.set.Contains(row) }
 
 // add inserts the row if new, reporting whether it was added.
 func (t *table) add(row []relation.Value) bool {
-	k := rowKey(row)
-	if t.set[k] {
+	if !t.set.Add(row) {
 		return false
 	}
-	t.set[k] = true
 	t.rel.Append(row...)
 	return true
-}
-
-func rowKey(row []relation.Value) string {
-	b := make([]byte, 8*len(row))
-	for i, v := range row {
-		u := uint64(v)
-		for j := 0; j < 8; j++ {
-			b[8*i+j] = byte(u >> (8 * j))
-		}
-	}
-	return string(b)
 }
 
 // EvalGoal evaluates the program and returns just the goal relation.

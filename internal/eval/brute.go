@@ -22,18 +22,10 @@ func ConjunctiveBrute(q *query.CQ, db *query.DB) (*relation.Relation, error) {
 	assign := make([]relation.Value, len(vars))
 
 	// Membership sets per relation for O(1) atom checks.
-	member := make(map[string]map[string]bool)
-	for _, name := range db.Names() {
-		r := db.MustRel(name)
-		set := make(map[string]bool, r.Len())
-		for i := 0; i < r.Len(); i++ {
-			set[rowKey(r.Row(i))] = true
-		}
-		member[name] = set
-	}
+	member := makeMemberSets(db)
 
+	buf := make([]relation.Value, 0, 8)
 	holds := func() bool {
-		buf := make([]relation.Value, 0, 8)
 		for _, a := range q.Atoms {
 			buf = buf[:0]
 			for _, t := range a.Args {
@@ -43,7 +35,7 @@ func ConjunctiveBrute(q *query.CQ, db *query.DB) (*relation.Relation, error) {
 					buf = append(buf, t.Const)
 				}
 			}
-			if !member[a.Rel][rowKey(buf)] {
+			if !member[a.Rel].Contains(buf) {
 				return false
 			}
 		}
@@ -73,9 +65,9 @@ func ConjunctiveBrute(q *query.CQ, db *query.DB) (*relation.Relation, error) {
 	}
 
 	out := query.NewTable(len(q.Head))
-	seen := make(map[string]bool)
+	seen := relation.NewTupleSet(len(q.Head))
+	tuple := make([]relation.Value, len(q.Head))
 	emit := func() {
-		tuple := make([]relation.Value, len(q.Head))
 		for i, t := range q.Head {
 			if t.IsVar {
 				tuple[i] = assign[slot[t.Var]]
@@ -83,9 +75,7 @@ func ConjunctiveBrute(q *query.CQ, db *query.DB) (*relation.Relation, error) {
 				tuple[i] = t.Const
 			}
 		}
-		k := rowKey(tuple)
-		if !seen[k] {
-			seen[k] = true
+		if seen.Add(tuple) {
 			out.Append(tuple...)
 		}
 	}

@@ -36,19 +36,26 @@ func ConjunctiveOpts(q *query.CQ, db *query.DB, opts Options) (*relation.Relatio
 	if e.trivialFalse {
 		return out, nil
 	}
-	seen := make(map[string]bool)
+	// Head extraction plan: tuple starts as the constant template, and
+	// headSlots names the assign slot feeding each variable position.
 	tuple := make([]relation.Value, len(q.Head))
+	headSlots := make([]int, len(q.Head))
+	for i, t := range q.Head {
+		if t.IsVar {
+			headSlots[i] = e.slot[t.Var]
+		} else {
+			headSlots[i] = -1
+			tuple[i] = t.Const
+		}
+	}
+	seen := relation.NewTupleSet(len(q.Head))
 	e.run(func() bool {
-		for i, t := range q.Head {
-			if t.IsVar {
-				tuple[i] = e.assign[e.slot[t.Var]]
-			} else {
-				tuple[i] = t.Const
+		for i, s := range headSlots {
+			if s >= 0 {
+				tuple[i] = e.assign[s]
 			}
 		}
-		k := rowKey(tuple)
-		if !seen[k] {
-			seen[k] = true
+		if seen.Add(tuple) {
 			out.Append(tuple...)
 		}
 		return true // keep searching
@@ -93,7 +100,6 @@ type backtracker struct {
 	assign []relation.Value
 
 	plan         []planStep
-	groundChecks []query.Cmp // comparisons with no variables
 	trivialFalse bool
 }
 
@@ -104,10 +110,28 @@ type planStep struct {
 	newVars   []query.Var        // vars this step binds
 	keyPos    []int              // positions of keyVars in S_j's schema
 	newPos    []int              // positions of newVars
+	keySlots  []int              // assign slots of keyVars (hoisted e.slot lookups)
+	newSlots  []int              // assign slots of newVars
 	index     *relation.Index
-	ineqs     []query.Ineq // ≠ checks that become ready after this step
-	cmps      []query.Cmp  // comparison checks that become ready after this step
-	tautology bool         // ground atom already verified; skip at run time
+	ineqs     []ineqCheck // ≠ checks that become ready after this step
+	cmps      []cmpCheck  // comparison checks that become ready after this step
+	tautology bool        // ground atom already verified; skip at run time
+}
+
+// ineqCheck is a compiled ≠ constraint: assign[xSlot] must differ from
+// assign[ySlot] (variable form) or from c (ySlot < 0).
+type ineqCheck struct {
+	xSlot int
+	ySlot int
+	c     relation.Value
+}
+
+// cmpCheck is a compiled </≤ constraint; a negative slot selects the
+// constant operand instead.
+type cmpCheck struct {
+	lSlot, rSlot   int
+	lConst, rConst relation.Value
+	strict         bool
 }
 
 func newBacktracker(q *query.CQ, db *query.DB, opts Options) (*backtracker, error) {
@@ -191,9 +215,11 @@ func newBacktracker(q *query.CQ, db *query.DB, opts Options) (*backtracker, erro
 			if bound[v] {
 				step.keyVars = append(step.keyVars, v)
 				step.keyPos = append(step.keyPos, p)
+				step.keySlots = append(step.keySlots, e.slot[v])
 			} else {
 				step.newVars = append(step.newVars, v)
 				step.newPos = append(step.newPos, p)
+				step.newSlots = append(step.newSlots, e.slot[v])
 				bound[v] = true
 			}
 		}
@@ -209,8 +235,8 @@ func newBacktracker(q *query.CQ, db *query.DB, opts Options) (*backtracker, erro
 		e.plan = append(e.plan, step)
 	}
 
-	// Attach each ≠/comparison to the earliest step after which all its
-	// variables are bound.
+	// Attach each ≠/comparison, compiled down to assign slots, to the
+	// earliest step after which all its variables are bound.
 	readyAt := func(vs []query.Var) int {
 		last := -1
 		pos := make(map[query.Var]int)
@@ -231,26 +257,31 @@ func newBacktracker(q *query.CQ, db *query.DB, opts Options) (*backtracker, erro
 		return last
 	}
 	for _, iq := range q.Ineqs {
+		chk := ineqCheck{xSlot: e.slot[iq.X], ySlot: -1, c: iq.C}
 		vs := []query.Var{iq.X}
 		if iq.YIsVar {
 			vs = append(vs, iq.Y)
+			chk.ySlot = e.slot[iq.Y]
 		}
 		at := readyAt(vs)
-		e.plan[at].ineqs = append(e.plan[at].ineqs, iq)
+		e.plan[at].ineqs = append(e.plan[at].ineqs, chk)
 	}
 	for _, c := range q.Cmps {
+		chk := cmpCheck{lSlot: -1, rSlot: -1, lConst: c.Left.Const, rConst: c.Right.Const, strict: c.Strict}
 		var vs []query.Var
 		if c.Left.IsVar {
 			vs = append(vs, c.Left.Var)
+			chk.lSlot = e.slot[c.Left.Var]
 		}
 		if c.Right.IsVar {
 			vs = append(vs, c.Right.Var)
+			chk.rSlot = e.slot[c.Right.Var]
 		}
 		if len(vs) == 0 {
 			continue // ground, already checked
 		}
 		at := readyAt(vs)
-		e.plan[at].cmps = append(e.plan[at].cmps, c)
+		e.plan[at].cmps = append(e.plan[at].cmps, chk)
 	}
 	return e, nil
 }
@@ -276,13 +307,13 @@ func (e *backtracker) run(emit func() bool) {
 		if st.tautology {
 			return rec(step + 1)
 		}
-		for i, v := range st.keyVars {
-			key[step][i] = e.assign[e.slot[v]]
+		for i, s := range st.keySlots {
+			key[step][i] = e.assign[s]
 		}
 		cont := true
 		st.index.Each(key[step], func(row []relation.Value) bool {
-			for i, v := range st.newVars {
-				e.assign[e.slot[v]] = row[st.newPos[i]]
+			for i, s := range st.newSlots {
+				e.assign[s] = row[st.newPos[i]]
 			}
 			if !e.checkStep(st) {
 				return true // constraint failed; next tuple
@@ -297,24 +328,28 @@ func (e *backtracker) run(emit func() bool) {
 
 func (e *backtracker) checkStep(st *planStep) bool {
 	for _, iq := range st.ineqs {
-		x := e.assign[e.slot[iq.X]]
-		if iq.YIsVar {
-			if x == e.assign[e.slot[iq.Y]] {
+		x := e.assign[iq.xSlot]
+		if iq.ySlot >= 0 {
+			if x == e.assign[iq.ySlot] {
 				return false
 			}
-		} else if x == iq.C {
+		} else if x == iq.c {
 			return false
 		}
 	}
 	for _, c := range st.cmps {
-		l, r := c.Left.Const, c.Right.Const
-		if c.Left.IsVar {
-			l = e.assign[e.slot[c.Left.Var]]
+		l, r := c.lConst, c.rConst
+		if c.lSlot >= 0 {
+			l = e.assign[c.lSlot]
 		}
-		if c.Right.IsVar {
-			r = e.assign[e.slot[c.Right.Var]]
+		if c.rSlot >= 0 {
+			r = e.assign[c.rSlot]
 		}
-		if !c.Holds(l, r) {
+		if c.strict {
+			if l >= r {
+				return false
+			}
+		} else if l > r {
 			return false
 		}
 	}
@@ -342,7 +377,7 @@ func ReduceAtom(a query.Atom, db *query.DB) (*relation.Relation, []query.Var) {
 		schema[i] = relation.Attr(v)
 	}
 	out := relation.New(schema)
-	seen := make(map[string]bool)
+	seen := relation.NewTupleSet(len(vars))
 	buf := make([]relation.Value, len(vars))
 	for i := 0; i < r.Len(); i++ {
 		row := r.Row(i)
@@ -364,22 +399,9 @@ func ReduceAtom(a query.Atom, db *query.DB) (*relation.Relation, []query.Var) {
 		for j, v := range vars {
 			buf[j] = row[firstPos[v]]
 		}
-		k := rowKey(buf)
-		if !seen[k] {
-			seen[k] = true
+		if seen.Add(buf) {
 			out.Append(buf...)
 		}
 	}
 	return out, vars
-}
-
-func rowKey(row []relation.Value) string {
-	b := make([]byte, 8*len(row))
-	for i, v := range row {
-		u := uint64(v)
-		for j := 0; j < 8; j++ {
-			b[8*i+j] = byte(u >> (8 * j))
-		}
-	}
-	return string(b)
 }

@@ -26,7 +26,7 @@ func FirstOrder(q *query.FOQuery, db *query.DB) (*relation.Relation, error) {
 		}
 	}
 
-	seen := make(map[string]bool)
+	seen := relation.NewTupleSet(len(q.Head))
 	tuple := make([]relation.Value, len(q.Head))
 	var rec func(i int)
 	rec = func(i int) {
@@ -39,9 +39,7 @@ func FirstOrder(q *query.FOQuery, db *query.DB) (*relation.Relation, error) {
 						tuple[j] = t.Const
 					}
 				}
-				k := rowKey(tuple)
-				if !seen[k] {
-					seen[k] = true
+				if seen.Add(tuple) {
 					out.Append(tuple...)
 				}
 			}
@@ -100,10 +98,13 @@ func (e errorString) Error() string { return string(e) }
 
 type foEvaluator struct {
 	domain []relation.Value
-	member map[string]map[string]bool
+	member map[string]*relation.TupleSet
 	env    map[query.Var]relation.Value
 	// shadow stacks restore outer bindings on quantifier exit.
 	saved map[query.Var][]binding
+	// scratch holds atom arguments during membership checks (max EDB
+	// arity), so atom evaluation does not allocate.
+	scratch []relation.Value
 }
 
 type binding struct {
@@ -112,21 +113,35 @@ type binding struct {
 }
 
 func newFOEvaluator(db *query.DB) *foEvaluator {
-	member := make(map[string]map[string]bool)
+	member := makeMemberSets(db)
+	scratch := 0
+	for _, set := range member {
+		if w := set.Width(); w > scratch {
+			scratch = w
+		}
+	}
+	return &foEvaluator{
+		domain:  db.ActiveDomain(),
+		member:  member,
+		env:     make(map[query.Var]relation.Value),
+		saved:   make(map[query.Var][]binding),
+		scratch: make([]relation.Value, scratch),
+	}
+}
+
+// makeMemberSets builds one membership TupleSet per database relation —
+// the O(1) atom-check structure shared by the FO and brute evaluators.
+func makeMemberSets(db *query.DB) map[string]*relation.TupleSet {
+	member := make(map[string]*relation.TupleSet)
 	for _, name := range db.Names() {
 		r := db.MustRel(name)
-		set := make(map[string]bool, r.Len())
+		set := relation.NewTupleSetSized(r.Width(), r.Len())
 		for i := 0; i < r.Len(); i++ {
-			set[rowKey(r.Row(i))] = true
+			set.Add(r.Row(i))
 		}
 		member[name] = set
 	}
-	return &foEvaluator{
-		domain: db.ActiveDomain(),
-		member: member,
-		env:    make(map[query.Var]relation.Value),
-		saved:  make(map[query.Var][]binding),
-	}
+	return member
 }
 
 func (ev *foEvaluator) bind(v query.Var, c relation.Value) {
@@ -149,7 +164,7 @@ func (ev *foEvaluator) unbind(v query.Var) {
 func (ev *foEvaluator) eval(f query.Formula) bool {
 	switch g := f.(type) {
 	case query.FAtom:
-		buf := make([]relation.Value, len(g.Atom.Args))
+		buf := ev.scratch[:len(g.Atom.Args)]
 		for i, t := range g.Atom.Args {
 			if t.IsVar {
 				val, ok := ev.env[t.Var]
@@ -161,7 +176,7 @@ func (ev *foEvaluator) eval(f query.Formula) bool {
 				buf[i] = t.Const
 			}
 		}
-		return ev.member[g.Atom.Rel][rowKey(buf)]
+		return ev.member[g.Atom.Rel].Contains(buf)
 	case query.And:
 		for _, s := range g.Subs {
 			if !ev.eval(s) {

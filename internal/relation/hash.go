@@ -1,0 +1,78 @@
+package relation
+
+// Tuple hashing. Every membership set and hash index in the engine keys
+// tuples by a 64-bit mixing hash over []Value rows, compared value-wise on
+// collision — no string keys, no per-probe allocation. The hot-path rule is:
+// a tuple probe must not allocate.
+//
+// The mixer is the splitmix64 finalizer: cheap (three shifts, two
+// multiplies), bijective, and empirically strong enough that adversarial
+// Value patterns (dense small ints, multiples of 2^32, ±2^63 extremes)
+// spread across the table; correctness never depends on hash quality
+// because every probe confirms equality on the raw values.
+
+const (
+	hashSeed  uint64 = 0x9e3779b97f4a7c15 // golden-ratio increment
+	hashMult  uint64 = 0x9ddfea08eb382d69 // from CityHash's Hash128to64
+	emptySlot int32  = -1
+)
+
+// mix64 is the splitmix64 finalizer: a bijection on uint64 with good
+// avalanche behaviour.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hashRow hashes a full tuple. The combiner is sequence-sensitive, so
+// (1,2) and (2,1) hash differently.
+func hashRow(row []Value) uint64 {
+	h := hashSeed ^ uint64(len(row))*hashMult
+	for _, v := range row {
+		h = mix64(h ^ (uint64(v) * hashMult))
+	}
+	return h
+}
+
+// hashRowCols hashes the projection of row onto the given column positions,
+// without materializing the projected tuple.
+func hashRowCols(row []Value, cols []int) uint64 {
+	h := hashSeed ^ uint64(len(cols))*hashMult
+	for _, c := range cols {
+		h = mix64(h ^ (uint64(row[c]) * hashMult))
+	}
+	return h
+}
+
+// rowsEqual reports element-wise equality of two same-width tuples.
+func rowsEqual(a, b []Value) bool {
+	for i, v := range a {
+		if b[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// rowEqualCols reports whether the projection of row onto cols equals key.
+func rowEqualCols(row []Value, cols []int, key []Value) bool {
+	for i, c := range cols {
+		if row[c] != key[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// nextPow2 returns the smallest power of two ≥ n (and ≥ 8).
+func nextPow2(n int) int {
+	c := 8
+	for c < n {
+		c <<= 1
+	}
+	return c
+}

@@ -1,0 +1,429 @@
+package relation
+
+// Open-addressed hash containers for tuples. TupleSet is a set of
+// fixed-width tuples (dedup, membership); TupleIndex maps fixed-width key
+// tuples to lists of int32 row ids (hash joins, per-atom lookups). Both
+// store tuple payloads in flat []Value arenas, key probes by the mixing
+// hashes of hash.go, and never build string keys, so the steady-state
+// per-probe allocation count is zero.
+//
+// Width 1 is special-cased onto Go's built-in map keyed by Value directly:
+// for a single comparable machine word the runtime map is allocation-free
+// per probe and skips our probe loop entirely.
+//
+// Zero-width tuples are legal (Boolean relations): every empty tuple is the
+// same tuple, so a TupleSet holds at most one entry.
+
+// TupleSet is a set of width-w tuples with O(1) expected Add/Contains and
+// no per-operation allocation (amortized growth aside).
+type TupleSet struct {
+	width int
+	m1    map[Value]struct{} // width==1 fast path; nil otherwise
+
+	// Open-addressed table: slots hold entry indices into hashes/keys,
+	// emptySlot marks a free slot. Entry e's tuple lives at
+	// keys[e*width : (e+1)*width].
+	slots  []int32
+	hashes []uint64
+	keys   []Value
+	n      int
+}
+
+// NewTupleSet returns an empty set of width-w tuples.
+func NewTupleSet(width int) *TupleSet { return NewTupleSetSized(width, 0) }
+
+// NewTupleSetSized pre-sizes the set for about capHint tuples.
+func NewTupleSetSized(width, capHint int) *TupleSet {
+	s := &TupleSet{width: width}
+	if width == 1 {
+		s.m1 = make(map[Value]struct{}, capHint)
+		return s
+	}
+	s.slots = newSlots(nextPow2(capHint * 4 / 3))
+	s.hashes = make([]uint64, 0, capHint)
+	s.keys = make([]Value, 0, capHint*width)
+	return s
+}
+
+func newSlots(n int) []int32 {
+	slots := make([]int32, n)
+	for i := range slots {
+		slots[i] = emptySlot
+	}
+	return slots
+}
+
+// Width returns the tuple width.
+func (s *TupleSet) Width() int { return s.width }
+
+// Len returns the number of distinct tuples.
+func (s *TupleSet) Len() int {
+	if s.m1 != nil {
+		return len(s.m1)
+	}
+	return s.n
+}
+
+// Row returns the i-th inserted tuple in insertion order. It is only
+// available on widths ≠ 1 (the map fast path does not retain order) and
+// exists for containers layered on top of the set.
+func (s *TupleSet) row(i int) []Value {
+	return s.keys[i*s.width : (i+1)*s.width]
+}
+
+// Add inserts the tuple if absent and reports whether it was added. The
+// tuple is copied; callers may reuse the slice.
+func (s *TupleSet) Add(row []Value) bool {
+	if s.m1 != nil {
+		if _, ok := s.m1[row[0]]; ok {
+			return false
+		}
+		s.m1[row[0]] = struct{}{}
+		return true
+	}
+	s.maybeGrow()
+	h := hashRow(row)
+	mask := uint64(len(s.slots) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		e := s.slots[i]
+		if e == emptySlot {
+			s.slots[i] = int32(s.n)
+			s.hashes = append(s.hashes, h)
+			s.keys = append(s.keys, row...)
+			s.n++
+			return true
+		}
+		if s.hashes[e] == h && rowsEqual(row, s.row(int(e))) {
+			return false
+		}
+	}
+}
+
+// AddCols inserts the projection of row onto the column positions cols
+// (which must have length Width) without materializing it, reporting
+// whether it was new.
+func (s *TupleSet) AddCols(row []Value, cols []int) bool {
+	if s.m1 != nil {
+		v := row[cols[0]]
+		if _, ok := s.m1[v]; ok {
+			return false
+		}
+		s.m1[v] = struct{}{}
+		return true
+	}
+	s.maybeGrow()
+	h := hashRowCols(row, cols)
+	mask := uint64(len(s.slots) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		e := s.slots[i]
+		if e == emptySlot {
+			s.slots[i] = int32(s.n)
+			s.hashes = append(s.hashes, h)
+			for _, c := range cols {
+				s.keys = append(s.keys, row[c])
+			}
+			s.n++
+			return true
+		}
+		if s.hashes[e] == h && rowEqualCols(row, cols, s.row(int(e))) {
+			return false
+		}
+	}
+}
+
+// Contains reports membership of the tuple.
+func (s *TupleSet) Contains(row []Value) bool {
+	if s.m1 != nil {
+		_, ok := s.m1[row[0]]
+		return ok
+	}
+	h := hashRow(row)
+	mask := uint64(len(s.slots) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		e := s.slots[i]
+		if e == emptySlot {
+			return false
+		}
+		if s.hashes[e] == h && rowsEqual(row, s.row(int(e))) {
+			return true
+		}
+	}
+}
+
+// ContainsCols reports membership of the projection of row onto cols,
+// without materializing it.
+func (s *TupleSet) ContainsCols(row []Value, cols []int) bool {
+	if s.m1 != nil {
+		_, ok := s.m1[row[cols[0]]]
+		return ok
+	}
+	h := hashRowCols(row, cols)
+	mask := uint64(len(s.slots) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		e := s.slots[i]
+		if e == emptySlot {
+			return false
+		}
+		if s.hashes[e] == h && rowEqualCols(row, cols, s.row(int(e))) {
+			return true
+		}
+	}
+}
+
+// maybeGrow doubles the slot table when the load factor reaches 3/4.
+func (s *TupleSet) maybeGrow() {
+	if (s.n+1)*4 <= len(s.slots)*3 {
+		return
+	}
+	slots := newSlots(len(s.slots) * 2)
+	mask := uint64(len(slots) - 1)
+	for e, h := range s.hashes {
+		i := h & mask
+		for slots[i] != emptySlot {
+			i = (i + 1) & mask
+		}
+		slots[i] = int32(e)
+	}
+	s.slots = slots
+}
+
+// TupleIndex maps width-w key tuples to the list of int32 ids added under
+// them, preserving per-key insertion order. Build with Add, then call
+// Freeze (or let IDs do it) to lay every id list out contiguously; after
+// that IDs returns a subslice view — no copying, no allocation per lookup.
+type TupleIndex struct {
+	width int
+	m1    map[Value]int32 // width==1 fast path: key value → entry index
+
+	slots  []int32
+	hashes []uint64
+	keys   []Value
+
+	// Per-entry posting chains while building: head/tail index into the
+	// rows/next arenas, count tracks chain length for Freeze.
+	head, tail, count []int32
+	rows, next        []int32
+
+	frozen  bool
+	spanOff []int32 // per-entry offset into spanIDs
+	spanIDs []int32
+}
+
+// NewTupleIndex returns an empty index over width-w keys.
+func NewTupleIndex(width int) *TupleIndex { return NewTupleIndexSized(width, 0) }
+
+// NewTupleIndexSized pre-sizes the index for about capHint total ids.
+func NewTupleIndexSized(width, capHint int) *TupleIndex {
+	ix := &TupleIndex{width: width}
+	if width == 1 {
+		ix.m1 = make(map[Value]int32, capHint)
+	} else {
+		ix.slots = newSlots(nextPow2(capHint * 4 / 3))
+	}
+	ix.rows = make([]int32, 0, capHint)
+	ix.next = make([]int32, 0, capHint)
+	return ix
+}
+
+// Distinct returns the number of distinct keys.
+func (ix *TupleIndex) Distinct() int { return len(ix.count) }
+
+// Width returns the key width.
+func (ix *TupleIndex) Width() int { return ix.width }
+
+// Len returns the total number of ids added.
+func (ix *TupleIndex) Len() int {
+	if ix.frozen {
+		return len(ix.spanIDs)
+	}
+	return len(ix.rows)
+}
+
+// find returns the entry index for key, or -1.
+func (ix *TupleIndex) find(key []Value) int32 {
+	if ix.m1 != nil {
+		e, ok := ix.m1[key[0]]
+		if !ok {
+			return -1
+		}
+		return e
+	}
+	h := hashRow(key)
+	mask := uint64(len(ix.slots) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		e := ix.slots[i]
+		if e == emptySlot {
+			return -1
+		}
+		if ix.hashes[e] == h && rowsEqual(key, ix.key(int(e))) {
+			return e
+		}
+	}
+}
+
+// findCols is find for the projection of row onto cols.
+func (ix *TupleIndex) findCols(row []Value, cols []int) int32 {
+	if ix.m1 != nil {
+		e, ok := ix.m1[row[cols[0]]]
+		if !ok {
+			return -1
+		}
+		return e
+	}
+	h := hashRowCols(row, cols)
+	mask := uint64(len(ix.slots) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		e := ix.slots[i]
+		if e == emptySlot {
+			return -1
+		}
+		if ix.hashes[e] == h && rowEqualCols(row, cols, ix.key(int(e))) {
+			return e
+		}
+	}
+}
+
+func (ix *TupleIndex) key(e int) []Value {
+	return ix.keys[e*ix.width : (e+1)*ix.width]
+}
+
+// findOrAdd returns the entry for key, creating it if absent.
+func (ix *TupleIndex) findOrAdd(key []Value) int32 {
+	if ix.m1 != nil {
+		if e, ok := ix.m1[key[0]]; ok {
+			return e
+		}
+		e := int32(len(ix.head))
+		ix.m1[key[0]] = e
+		ix.addEntry()
+		return e
+	}
+	ix.maybeGrow()
+	h := hashRow(key)
+	mask := uint64(len(ix.slots) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		e := ix.slots[i]
+		if e == emptySlot {
+			e = int32(len(ix.head))
+			ix.slots[i] = e
+			ix.hashes = append(ix.hashes, h)
+			ix.keys = append(ix.keys, key...)
+			ix.addEntry()
+			return e
+		}
+		if ix.hashes[e] == h && rowsEqual(key, ix.key(int(e))) {
+			return e
+		}
+	}
+}
+
+func (ix *TupleIndex) addEntry() {
+	ix.head = append(ix.head, -1)
+	ix.tail = append(ix.tail, -1)
+	ix.count = append(ix.count, 0)
+}
+
+func (ix *TupleIndex) maybeGrow() {
+	if (len(ix.head)+1)*4 <= len(ix.slots)*3 {
+		return
+	}
+	slots := newSlots(len(ix.slots) * 2)
+	mask := uint64(len(slots) - 1)
+	for e, h := range ix.hashes {
+		i := h & mask
+		for slots[i] != emptySlot {
+			i = (i + 1) & mask
+		}
+		slots[i] = int32(e)
+	}
+	ix.slots = slots
+}
+
+// Add records id under key. The key is copied; callers may reuse the
+// slice. Add panics after Freeze.
+func (ix *TupleIndex) Add(key []Value, id int32) {
+	if ix.frozen {
+		panic("relation: TupleIndex.Add after Freeze")
+	}
+	e := ix.findOrAdd(key)
+	p := int32(len(ix.rows))
+	ix.rows = append(ix.rows, id)
+	ix.next = append(ix.next, -1)
+	if ix.tail[e] >= 0 {
+		ix.next[ix.tail[e]] = p
+	} else {
+		ix.head[e] = p
+	}
+	ix.tail[e] = p
+	ix.count[e]++
+}
+
+// Freeze lays each key's id list out contiguously so IDs can return
+// subslice views. Idempotent; called implicitly by the first IDs.
+func (ix *TupleIndex) Freeze() {
+	if ix.frozen {
+		return
+	}
+	ix.frozen = true
+	ix.spanOff = make([]int32, len(ix.head)+1)
+	for e, c := range ix.count {
+		ix.spanOff[e+1] = ix.spanOff[e] + c
+	}
+	ix.spanIDs = make([]int32, len(ix.rows))
+	for e := range ix.head {
+		w := ix.spanOff[e]
+		for p := ix.head[e]; p >= 0; p = ix.next[p] {
+			ix.spanIDs[w] = ix.rows[p]
+			w++
+		}
+	}
+	// The chain arenas are dead weight once spans exist.
+	ix.rows, ix.next, ix.head, ix.tail = nil, nil, nil, nil
+}
+
+func (ix *TupleIndex) span(e int32) []int32 {
+	if e < 0 {
+		return nil
+	}
+	return ix.spanIDs[ix.spanOff[e]:ix.spanOff[e+1]:ix.spanOff[e+1]]
+}
+
+// IDs returns the ids added under key, in insertion order, as a view that
+// must not be modified. It freezes the index on first use.
+func (ix *TupleIndex) IDs(key []Value) []int32 {
+	if !ix.frozen {
+		ix.Freeze()
+	}
+	return ix.span(ix.find(key))
+}
+
+// IDsCols is IDs keyed by the projection of row onto cols, without
+// materializing the key.
+func (ix *TupleIndex) IDsCols(row []Value, cols []int) []int32 {
+	if !ix.frozen {
+		ix.Freeze()
+	}
+	return ix.span(ix.findCols(row, cols))
+}
+
+// Each calls fn with every id under key, in insertion order, stopping
+// early if fn returns false. It works both before and after Freeze.
+func (ix *TupleIndex) Each(key []Value, fn func(id int32) bool) {
+	e := ix.find(key)
+	if e < 0 {
+		return
+	}
+	if ix.frozen {
+		for _, id := range ix.span(e) {
+			if !fn(id) {
+				return
+			}
+		}
+		return
+	}
+	for p := ix.head[e]; p >= 0; p = ix.next[p] {
+		if !fn(ix.rows[p]) {
+			return
+		}
+	}
+}

@@ -2,11 +2,13 @@ package relation
 
 // Index is a hash index on a subset of a relation's columns, mapping each
 // key to the row numbers holding it. It is the workhorse behind hash joins
-// and the backtracking evaluator's per-atom lookups.
+// and the backtracking evaluator's per-atom lookups. Internally it is a
+// frozen TupleIndex, so lookups return contiguous id spans without copying
+// and probes never allocate.
 type Index struct {
 	rel  *Relation
 	cols []int // column positions forming the key
-	m    map[string][]int32
+	tix  *TupleIndex
 }
 
 // NewIndex builds an index of r on the given attributes (all must occur in
@@ -24,38 +26,37 @@ func NewIndex(r *Relation, attrs Schema) *Index {
 }
 
 func newIndexOn(r *Relation, cols []int) *Index {
-	idx := &Index{rel: r, cols: cols, m: make(map[string][]int32, r.n)}
+	tix := NewTupleIndexSized(len(cols), r.n)
 	buf := make([]Value, len(cols))
 	for i := 0; i < r.n; i++ {
 		row := r.Row(i)
 		for j, c := range cols {
 			buf[j] = row[c]
 		}
-		k := rowKeyFull(buf)
-		idx.m[k] = append(idx.m[k], int32(i))
+		tix.Add(buf, int32(i))
 	}
-	return idx
+	tix.Freeze()
+	return &Index{rel: r, cols: cols, tix: tix}
 }
 
-// Lookup returns the row numbers whose key columns equal key. The returned
-// slice must not be modified.
-func (ix *Index) Lookup(key []Value) []int {
-	rows := ix.lookup(key)
-	out := make([]int, len(rows))
-	for i, r := range rows {
-		out[i] = int(r)
-	}
-	return out
+// Lookup returns the row numbers whose key columns equal key, in row
+// order. The returned slice is a view into the index and must not be
+// modified; no copy is made.
+func (ix *Index) Lookup(key []Value) []int32 {
+	return ix.tix.IDs(key)
 }
 
-func (ix *Index) lookup(key []Value) []int32 {
-	return ix.m[rowKeyFull(key)]
+// lookupRow returns the matching row numbers keyed by the projection of a
+// full row of another relation onto the given column positions, without
+// materializing the key tuple.
+func (ix *Index) lookupRow(row []Value, cols []int) []int32 {
+	return ix.tix.IDsCols(row, cols)
 }
 
 // Each calls fn with the row view of every row matching key, stopping early
-// if fn returns false. This is the allocation-free lookup path.
+// if fn returns false. Like Lookup, it performs no allocation.
 func (ix *Index) Each(key []Value, fn func(row []Value) bool) {
-	for _, ri := range ix.m[rowKeyFull(key)] {
+	for _, ri := range ix.tix.IDs(key) {
 		if !fn(ix.rel.Row(int(ri))) {
 			return
 		}
@@ -63,4 +64,4 @@ func (ix *Index) Each(key []Value, fn func(row []Value) bool) {
 }
 
 // Distinct returns the number of distinct keys in the index.
-func (ix *Index) Distinct() int { return len(ix.m) }
+func (ix *Index) Distinct() int { return ix.tix.Distinct() }

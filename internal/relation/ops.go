@@ -33,18 +33,16 @@ func Project(r *Relation, attrs Schema) *Relation {
 		}
 		return out
 	}
-	seen := make(map[string]bool, r.n)
+	seen := NewTupleSetSized(len(attrs), r.n)
 	buf := make([]Value, len(attrs))
 	for i := 0; i < r.n; i++ {
 		row := r.Row(i)
+		if !seen.AddCols(row, pos) {
+			continue
+		}
 		for j, p := range pos {
 			buf[j] = row[p]
 		}
-		k := rowKeyFull(buf)
-		if seen[k] {
-			continue
-		}
-		seen[k] = true
 		out.Append(buf...)
 	}
 	return out
@@ -88,17 +86,14 @@ func NaturalJoin(r, s *Relation) *Relation {
 		sp[i] = s.Pos(a)
 	}
 
-	// Build hash table on the smaller side keyed by common attrs; probe with
-	// the other. To keep output column order stable we always probe with r.
+	// Build a hash index on s keyed by the common attrs; probe with r's rows
+	// directly (no key tuple is materialized). Probing with r keeps the
+	// output column order stable.
 	buildIdx := newIndexOn(s, sc)
-	keyBuf := make([]Value, len(common))
 	outRow := make([]Value, out.width)
 	for i := 0; i < r.n; i++ {
 		row := r.Row(i)
-		for j, p := range rc {
-			keyBuf[j] = row[p]
-		}
-		for _, si := range buildIdx.lookup(keyBuf) {
+		for _, si := range buildIdx.lookupRow(row, rc) {
 			srow := s.Row(int(si))
 			copy(outRow, row)
 			for j, p := range sp {
@@ -121,32 +116,61 @@ func Semijoin(r, s *Relation) *Relation {
 		}
 		return New(r.schema)
 	}
+	set, rc := semijoinSet(r, s, common)
+	out := New(r.schema)
+	for i := 0; i < r.n; i++ {
+		row := r.Row(i)
+		if set.ContainsCols(row, rc) {
+			out.Append(row...)
+		}
+	}
+	return out
+}
+
+// SemijoinInPlace filters r to r ⋉ s in place and returns r. It is the
+// operator behind repeated semijoin passes (the Yannakakis full reducer),
+// where rebuilding a fresh relation per pass would double the tuple
+// traffic.
+func SemijoinInPlace(r, s *Relation) *Relation {
+	common := r.schema.Intersect(s.schema)
+	if len(common) == 0 {
+		if s.n == 0 {
+			r.rows = r.rows[:0]
+			r.n = 0
+		}
+		return r
+	}
+	set, rc := semijoinSet(r, s, common)
+	w := 0
+	for i := 0; i < r.n; i++ {
+		row := r.Row(i)
+		if !set.ContainsCols(row, rc) {
+			continue
+		}
+		if w != i {
+			copy(r.rows[w*r.width:(w+1)*r.width], row)
+		}
+		w++
+	}
+	r.rows = r.rows[:w*r.width]
+	r.n = w
+	return r
+}
+
+// semijoinSet builds the set of s's key tuples over the common attributes
+// and returns it with r's key column positions.
+func semijoinSet(r, s *Relation, common Schema) (*TupleSet, []int) {
 	rc := make([]int, len(common))
 	sc := make([]int, len(common))
 	for i, a := range common {
 		rc[i] = r.Pos(a)
 		sc[i] = s.Pos(a)
 	}
-	set := make(map[string]bool, s.n)
-	keyBuf := make([]Value, len(common))
+	set := NewTupleSetSized(len(common), s.n)
 	for i := 0; i < s.n; i++ {
-		row := s.Row(i)
-		for j, p := range sc {
-			keyBuf[j] = row[p]
-		}
-		set[rowKeyFull(keyBuf)] = true
+		set.AddCols(s.Row(i), sc)
 	}
-	out := New(r.schema)
-	for i := 0; i < r.n; i++ {
-		row := r.Row(i)
-		for j, p := range rc {
-			keyBuf[j] = row[p]
-		}
-		if set[rowKeyFull(keyBuf)] {
-			out.Append(row...)
-		}
-	}
-	return out
+	return set, rc
 }
 
 // Union returns r ∪ s, deduplicated. The schemas must contain the same
@@ -184,19 +208,14 @@ func Difference(r, s *Relation) *Relation {
 	for i, a := range r.schema {
 		perm[i] = s.Pos(a)
 	}
-	set := make(map[string]bool, s.n)
-	buf := make([]Value, r.width)
+	set := NewTupleSetSized(r.width, s.n)
 	for i := 0; i < s.n; i++ {
-		row := s.Row(i)
-		for c := range perm {
-			buf[c] = row[perm[c]]
-		}
-		set[rowKeyFull(buf)] = true
+		set.AddCols(s.Row(i), perm)
 	}
 	out := New(r.schema)
 	for i := 0; i < r.n; i++ {
 		row := r.Row(i)
-		if !set[rowKeyFull(row)] {
+		if !set.Contains(row) {
 			out.Append(row...)
 		}
 	}

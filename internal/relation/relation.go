@@ -205,15 +205,15 @@ func (r *Relation) Dedup() *Relation {
 		r.n = 1
 		return r
 	}
-	seen := make(map[string]bool, r.n)
+	seen := NewTupleSetSized(r.width, r.n)
 	w := 0
 	for i := 0; i < r.n; i++ {
-		k := rowKeyFull(r.Row(i))
-		if seen[k] {
+		if !seen.Add(r.Row(i)) {
 			continue
 		}
-		seen[k] = true
-		copy(r.rows[w*r.width:(w+1)*r.width], r.Row(i))
+		if w != i {
+			copy(r.rows[w*r.width:(w+1)*r.width], r.Row(i))
+		}
 		w++
 	}
 	r.rows = r.rows[:w*r.width]
@@ -230,9 +230,8 @@ func (r *Relation) Contains(tuple []Value) bool {
 	if r.width == 0 {
 		return r.n > 0
 	}
-	k := rowKeyFull(tuple)
 	for i := 0; i < r.n; i++ {
-		if rowKeyFull(r.Row(i)) == k {
+		if rowsEqual(r.Row(i), tuple) {
 			return true
 		}
 	}
@@ -281,24 +280,19 @@ func EqualSet(r, s *Relation) bool {
 	for i, a := range r.schema {
 		perm[i] = s.Pos(a)
 	}
-	rk := make(map[string]bool, r.n)
+	rk := NewTupleSetSized(r.width, r.n)
 	for i := 0; i < r.n; i++ {
-		rk[rowKeyFull(r.Row(i))] = true
+		rk.Add(r.Row(i))
 	}
-	sk := make(map[string]bool, s.n)
-	buf := make([]Value, r.width)
+	sk := NewTupleSetSized(r.width, s.n)
 	for i := 0; i < s.n; i++ {
 		row := s.Row(i)
-		for c := 0; c < r.width; c++ {
-			buf[c] = row[perm[c]]
-		}
-		k := rowKeyFull(buf)
-		if !rk[k] {
+		if !rk.ContainsCols(row, perm) {
 			return false
 		}
-		sk[k] = true
+		sk.AddCols(row, perm)
 	}
-	return len(rk) == len(sk)
+	return rk.Len() == sk.Len()
 }
 
 // ActiveDomain returns the sorted set of values appearing anywhere in the
@@ -338,25 +332,4 @@ func (r *Relation) String() string {
 		fmt.Fprintf(&b, "  ... (%d more)\n", r.n-limit)
 	}
 	return b.String()
-}
-
-// rowKeyFull encodes a full row as a compact string map key.
-func rowKeyFull(row []Value) string {
-	buf := make([]byte, 8*len(row))
-	for i, v := range row {
-		putValue(buf[8*i:], v)
-	}
-	return string(buf)
-}
-
-func putValue(b []byte, v Value) {
-	u := uint64(v)
-	b[0] = byte(u)
-	b[1] = byte(u >> 8)
-	b[2] = byte(u >> 16)
-	b[3] = byte(u >> 24)
-	b[4] = byte(u >> 32)
-	b[5] = byte(u >> 40)
-	b[6] = byte(u >> 48)
-	b[7] = byte(u >> 56)
 }

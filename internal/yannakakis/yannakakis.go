@@ -164,15 +164,16 @@ func prepare(q *query.CQ, db *query.DB) (*state, error) {
 }
 
 // bottomUpSemijoin runs the upward semijoin pass (children filter parents);
-// it returns true if some relation became empty (the query is false).
+// it returns true if some relation became empty (the query is false). The
+// pass relations are private to the evaluation (built by ReduceAtom), so
+// each semijoin filters in place instead of rebuilding a relation per pass.
 func (st *state) bottomUpSemijoin() bool {
 	for _, j := range st.tree.Order {
 		u := st.tree.Parent[j]
 		if u < 0 {
 			continue
 		}
-		st.rels[u] = relation.Semijoin(st.rels[u], st.rels[j])
-		if st.rels[u].Empty() {
+		if relation.SemijoinInPlace(st.rels[u], st.rels[j]).Empty() {
 			return true
 		}
 	}
@@ -193,8 +194,7 @@ func (st *state) fullReduce() bool {
 		if u < 0 {
 			continue
 		}
-		st.rels[j] = relation.Semijoin(st.rels[j], st.rels[u])
-		if st.rels[j].Empty() {
+		if relation.SemijoinInPlace(st.rels[j], st.rels[u]).Empty() {
 			return true
 		}
 	}
