@@ -19,6 +19,15 @@ import (
 	"pyquery/internal/yannakakis"
 )
 
+// Serial pins: the legacy experiment benchmarks measure the serial engines
+// so captures stay comparable with BENCH_1.json and across hosts with
+// different core counts; the *Par benchmarks below own the scaling sweeps.
+var (
+	serialEval = eval.Options{Parallelism: 1}
+	serialCore = core.Options{Parallelism: 1}
+	serialYan  = yannakakis.Options{Parallelism: 1}
+)
+
 // turan builds the Turán graph T(n,r) (no (r+1)-clique).
 func turan(n, r int) *graph.Graph {
 	g := graph.New(n)
@@ -40,7 +49,7 @@ func BenchmarkE1_CliqueQuery(b *testing.B) {
 		b.Run(fmt.Sprintf("k=%d/n=%d", tc.k, tc.n), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				ok, err := eval.ConjunctiveBool(q, db)
+				ok, err := eval.ConjunctiveBoolOpts(q, db, serialEval)
 				if err != nil || ok {
 					b.Fatal("negative instance expected")
 				}
@@ -71,7 +80,7 @@ func BenchmarkE2_Parameterizations(b *testing.B) {
 	q, db := reductions.CliqueToCQ(turan(30, 2), 3)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if ok, err := eval.ConjunctiveBool(q, db); err != nil || ok {
+		if ok, err := eval.ConjunctiveBoolOpts(q, db, serialEval); err != nil || ok {
 			b.Fatal("negative instance expected")
 		}
 	}
@@ -86,7 +95,7 @@ func BenchmarkE3_OrgChart(b *testing.B) {
 		b.Run(fmt.Sprintf("core/n=%d", n), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.Evaluate(q, db); err != nil {
+				if _, err := core.EvaluateOpts(q, db, serialCore); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -94,7 +103,7 @@ func BenchmarkE3_OrgChart(b *testing.B) {
 		b.Run(fmt.Sprintf("generic/n=%d", n), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := eval.Conjunctive(q, db); err != nil {
+				if _, err := eval.ConjunctiveOpts(q, db, serialEval); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -109,7 +118,7 @@ func BenchmarkE3_SimplePathByK(b *testing.B) {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.EvaluateBool(q, db); err != nil {
+				if _, err := core.EvaluateBoolOpts(q, db, serialCore); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -122,7 +131,7 @@ func BenchmarkE3_Registrar(b *testing.B) {
 	q := workload.OutsideDeptQuery()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Evaluate(q, db); err != nil {
+		if _, err := core.EvaluateOpts(q, db, serialCore); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -136,7 +145,7 @@ func BenchmarkE4_Comparisons(b *testing.B) {
 		b.Run(fmt.Sprintf("k=%d/n=%d", tc.k, tc.n), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				ok, err := order.EvaluateBool(q, db)
+				ok, err := order.EvaluateBoolOpts(q, db, serialEval)
 				if err != nil || ok {
 					b.Fatal("negative instance expected")
 				}
@@ -154,28 +163,28 @@ func BenchmarkE5_Examples(b *testing.B) {
 	qReg := workload.OutsideDeptQuery()
 	b.Run("orgchart/core", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := core.Evaluate(qOrg, org); err != nil {
+			if _, err := core.EvaluateOpts(qOrg, org, serialCore); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("orgchart/generic", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := eval.Conjunctive(qOrg, org); err != nil {
+			if _, err := eval.ConjunctiveOpts(qOrg, org, serialEval); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("registrar/core", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := core.Evaluate(qReg, reg); err != nil {
+			if _, err := core.EvaluateOpts(qReg, reg, serialCore); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("registrar/generic", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := eval.Conjunctive(qReg, reg); err != nil {
+			if _, err := eval.ConjunctiveOpts(qReg, reg, serialEval); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -191,7 +200,7 @@ func BenchmarkE6_HamPath(b *testing.B) {
 		b.Run(fmt.Sprintf("engine/n=%d", n), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.EvaluateBool(q, db); err != nil {
+				if _, err := core.EvaluateBoolOpts(q, db, serialCore); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -213,7 +222,7 @@ func BenchmarkE7_Vardi(b *testing.B) {
 		b.Run(fmt.Sprintf("k=%d/n=%d", tc.k, tc.n), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := datalog.EvalGoal(p, db, datalog.Options{}); err != nil {
+				if _, _, err := datalog.EvalGoal(p, db, datalog.Options{Parallelism: 1}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -228,14 +237,14 @@ func BenchmarkA1_Pushdown(b *testing.B) {
 	q := workload.SimplePathQuery(4)
 	b.Run("pushdown", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := core.EvaluateBool(q, db); err != nil {
+			if _, err := core.EvaluateBoolOpts(q, db, serialCore); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("allhashed", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := core.EvaluateBoolOpts(q, db, core.Options{NoPushdown: true}); err != nil {
+			if _, err := core.EvaluateBoolOpts(q, db, core.Options{Parallelism: 1, NoPushdown: true}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -249,14 +258,14 @@ func BenchmarkA2_FullReducer(b *testing.B) {
 	q := a2Query()
 	b.Run("reducer", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := yannakakis.Evaluate(q, db); err != nil {
+			if _, err := yannakakis.EvaluateOpts(q, db, serialYan); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("noreducer", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := yannakakis.EvaluateOpts(q, db, yannakakis.Options{NoFullReducer: true}); err != nil {
+			if _, err := yannakakis.EvaluateOpts(q, db, yannakakis.Options{Parallelism: 1, NoFullReducer: true}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -270,14 +279,14 @@ func BenchmarkA3_JoinOrder(b *testing.B) {
 	q := a3Query()
 	b.Run("greedy", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := eval.ConjunctiveBoolOpts(q, db, eval.Options{}); err != nil {
+			if _, err := eval.ConjunctiveBoolOpts(q, db, eval.Options{Parallelism: 1}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("written", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := eval.ConjunctiveBoolOpts(q, db, eval.Options{NoReorder: true}); err != nil {
+			if _, err := eval.ConjunctiveBoolOpts(q, db, eval.Options{Parallelism: 1, NoReorder: true}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -291,7 +300,7 @@ func BenchmarkA4_FamilySize(b *testing.B) {
 		b.Run(fmt.Sprintf("mc/c=%v", c), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := core.EvaluateBoolOpts(q, db,
-					core.Options{Strategy: core.MonteCarlo, C: c, Seed: 7}); err != nil {
+					core.Options{Parallelism: 1, Strategy: core.MonteCarlo, C: c, Seed: 7}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -301,7 +310,7 @@ func BenchmarkA4_FamilySize(b *testing.B) {
 	// enumeration; the whp-perfect family is the deterministic option.
 	b.Run("whp", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := core.EvaluateBoolOpts(q, db, core.Options{Strategy: core.WHP, Seed: 7}); err != nil {
+			if _, err := core.EvaluateBoolOpts(q, db, core.Options{Parallelism: 1, Strategy: core.WHP, Seed: 7}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -343,9 +352,110 @@ func BenchmarkMicro_YannakakisPath(b *testing.B) {
 	q := workload.PathQuery(5)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := yannakakis.EvaluateBool(q, db); err != nil {
+		if _, err := yannakakis.EvaluateBoolOpts(q, db, serialYan); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- parallel scaling: the partitioned kernel and per-engine fan-outs ------
+
+// parLevels is the Parallelism sweep of every *Par benchmark; p=1 is the
+// serial path (the baseline the ≥2x scaling targets compare against on
+// multi-core hosts).
+var parLevels = []int{1, 2, 4}
+
+func BenchmarkMicro_NaturalJoinPar(b *testing.B) {
+	lhs := relation.New(relation.Schema{0, 1})
+	rhs := relation.New(relation.Schema{1, 2})
+	for i := 0; i < 20000; i++ {
+		lhs.Append(relation.Value(i%500), relation.Value(i%1000))
+		rhs.Append(relation.Value(i%1000), relation.Value(i%250))
+	}
+	for _, p := range parLevels {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				relation.NaturalJoinPar(lhs, rhs, p)
+			}
+		})
+	}
+}
+
+func BenchmarkMicro_SemijoinPar(b *testing.B) {
+	lhs := relation.New(relation.Schema{0, 1})
+	rhs := relation.New(relation.Schema{1, 2})
+	for i := 0; i < 20000; i++ {
+		lhs.Append(relation.Value(i%500), relation.Value(i%1000))
+		rhs.Append(relation.Value(i%300), relation.Value(i%250))
+	}
+	for _, p := range parLevels {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				relation.SemijoinPar(lhs, rhs, p)
+			}
+		})
+	}
+}
+
+func BenchmarkE1_CliqueQueryPar(b *testing.B) {
+	q, db := reductions.CliqueToCQ(turan(24, 3), 4)
+	for _, p := range parLevels {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ok, err := eval.ConjunctiveBoolOpts(q, db, eval.Options{Parallelism: p})
+				if err != nil || ok {
+					b.Fatal("negative instance expected")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE3_OrgChartPar(b *testing.B) {
+	db := workload.OrgChart(2000, 50, 3, 11)
+	q := workload.MultiProjectQuery()
+	for _, p := range parLevels {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.EvaluateOpts(q, db, core.Options{Parallelism: p}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE7_VardiPar(b *testing.B) {
+	prog := datalog.VardiFamily(2)
+	db := workload.CompleteDigraphDB(16)
+	for _, p := range parLevels {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := datalog.EvalGoal(prog, db, datalog.Options{Parallelism: p}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMicro_YannakakisPar(b *testing.B) {
+	db := workload.LayeredPathDB(8, 60, 3, 35)
+	q := workload.PathQuery(5)
+	for _, p := range parLevels {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := yannakakis.EvaluateOpts(q, db, yannakakis.Options{Parallelism: p}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

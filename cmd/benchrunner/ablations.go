@@ -28,21 +28,21 @@ func runA1(w io.Writer, quick bool) {
 	var rows [][]string
 	for _, k := range []int{3, 4} {
 		q := workload.SimplePathQuery(k)
-		_, sOn, err := core.EvaluateBoolStats(q, db, core.Options{})
+		_, sOn, err := core.EvaluateBoolStats(q, db, core.Options{Parallelism: 1})
 		if err != nil {
 			panic(err)
 		}
 		tOn := bench.Seconds(20*time.Millisecond, func() {
-			if _, err := core.EvaluateBool(q, db); err != nil {
+			if _, err := core.EvaluateBoolOpts(q, db, serialCore); err != nil {
 				panic(err)
 			}
 		})
-		_, sOff, err := core.EvaluateBoolStats(q, db, core.Options{NoPushdown: true})
+		_, sOff, err := core.EvaluateBoolStats(q, db, core.Options{Parallelism: 1, NoPushdown: true})
 		if err != nil {
 			panic(err)
 		}
 		tOff := bench.Seconds(20*time.Millisecond, func() {
-			if _, err := core.EvaluateBoolOpts(q, db, core.Options{NoPushdown: true}); err != nil {
+			if _, err := core.EvaluateBoolOpts(q, db, core.Options{Parallelism: 1, NoPushdown: true}); err != nil {
 				panic(err)
 			}
 		})
@@ -98,21 +98,21 @@ func runA2(w io.Writer, quick bool) {
 			query.NewAtom("S", query.V(2), query.V(3)),
 		},
 	}
-	want, err := yannakakis.Evaluate(q, db)
+	want, err := yannakakis.EvaluateOpts(q, db, serialYan)
 	if err != nil {
 		panic(err)
 	}
-	got, err := yannakakis.EvaluateOpts(q, db, yannakakis.Options{NoFullReducer: true})
+	got, err := yannakakis.EvaluateOpts(q, db, yannakakis.Options{Parallelism: 1, NoFullReducer: true})
 	if err != nil || !relation.EqualSet(got, want) {
 		panic("full reducer ablation changed the answer")
 	}
 	tOn := bench.Seconds(20*time.Millisecond, func() {
-		if _, err := yannakakis.Evaluate(q, db); err != nil {
+		if _, err := yannakakis.EvaluateOpts(q, db, serialYan); err != nil {
 			panic(err)
 		}
 	})
 	tOff := bench.Seconds(20*time.Millisecond, func() {
-		if _, err := yannakakis.EvaluateOpts(q, db, yannakakis.Options{NoFullReducer: true}); err != nil {
+		if _, err := yannakakis.EvaluateOpts(q, db, yannakakis.Options{Parallelism: 1, NoFullReducer: true}); err != nil {
 			panic(err)
 		}
 	})
@@ -149,12 +149,12 @@ func runA3(w io.Writer, quick bool) {
 		},
 	}
 	tOn := bench.Seconds(20*time.Millisecond, func() {
-		if _, err := eval.ConjunctiveOpts(q, db, eval.Options{}); err != nil {
+		if _, err := eval.ConjunctiveOpts(q, db, eval.Options{Parallelism: 1}); err != nil {
 			panic(err)
 		}
 	})
 	tOff := bench.Seconds(20*time.Millisecond, func() {
-		if _, err := eval.ConjunctiveOpts(q, db, eval.Options{NoReorder: true}); err != nil {
+		if _, err := eval.ConjunctiveOpts(q, db, eval.Options{Parallelism: 1, NoReorder: true}); err != nil {
 			panic(err)
 		}
 	})
@@ -178,7 +178,7 @@ func runA4(w io.Writer, quick bool) {
 		e.Append(0, relation.Value(leaf))
 	}
 	db.Set("E", e)
-	exact, err := core.EvaluateOpts(q, db, core.Options{Strategy: core.Exact})
+	exact, err := core.EvaluateOpts(q, db, core.Options{Parallelism: 1, Strategy: core.Exact})
 	if err != nil {
 		panic(err)
 	}
@@ -194,7 +194,7 @@ func runA4(w io.Writer, quick bool) {
 		succ := 0
 		for i := 0; i < runs; i++ {
 			got, err := core.EvaluateBoolOpts(q, db,
-				core.Options{Strategy: core.MonteCarlo, C: c, Seed: int64(500 + i)})
+				core.Options{Parallelism: 1, Strategy: core.MonteCarlo, C: c, Seed: int64(500 + i)})
 			if err != nil {
 				panic(err)
 			}

@@ -31,7 +31,7 @@ func runE3(w io.Writer, quick bool) {
 		org := workload.OrgChart(n, 50, 3, 11)
 		qOrg := workload.MultiProjectQuery()
 		tOrg := bench.Seconds(20*time.Millisecond, func() {
-			if _, err := core.Evaluate(qOrg, org); err != nil {
+			if _, err := core.EvaluateOpts(qOrg, org, serialCore); err != nil {
 				panic(err)
 			}
 		})
@@ -40,7 +40,7 @@ func runE3(w io.Writer, quick bool) {
 		reg := workload.Registrar(n, 80, 8, 3, 12)
 		qReg := workload.OutsideDeptQuery()
 		tReg := bench.Seconds(20*time.Millisecond, func() {
-			if _, err := core.Evaluate(qReg, reg); err != nil {
+			if _, err := core.EvaluateOpts(qReg, reg, serialCore); err != nil {
 				panic(err)
 			}
 		})
@@ -67,12 +67,12 @@ func runE3(w io.Writer, quick bool) {
 	var kSeries bench.Series
 	for k := 2; k <= maxK; k++ {
 		q := workload.SimplePathQuery(k)
-		_, stats, err := core.EvaluateBoolStats(q, db, core.Options{Strategy: core.MonteCarlo, C: 2, Seed: 7})
+		_, stats, err := core.EvaluateBoolStats(q, db, core.Options{Parallelism: 1, Strategy: core.MonteCarlo, C: 2, Seed: 7})
 		if err != nil {
 			panic(err)
 		}
 		secs := bench.Seconds(20*time.Millisecond, func() {
-			if _, err := core.EvaluateBool(q, db); err != nil {
+			if _, err := core.EvaluateBoolOpts(q, db, serialCore); err != nil {
 				panic(err)
 			}
 		})
@@ -93,7 +93,7 @@ func runE3(w io.Writer, quick bool) {
 	fmt.Fprintln(w, "(c) Monte-Carlo analysis on a single-witness instance (simple 3-path on a 4-chain):")
 	q := workload.SimplePathQuery(3)
 	small := chainDB(4)
-	exact, err := core.EvaluateBoolOpts(q, small, core.Options{Strategy: core.Exact})
+	exact, err := core.EvaluateBoolOpts(q, small, core.Options{Parallelism: 1, Strategy: core.Exact})
 	if err != nil || !exact {
 		panic(fmt.Sprintf("instance should be satisfiable: %v %v", exact, err))
 	}
@@ -122,7 +122,7 @@ func runE3(w io.Writer, quick bool) {
 		succ := 0
 		for i := 0; i < runs; i++ {
 			ok, err := core.EvaluateBoolOpts(q, small,
-				core.Options{Strategy: core.MonteCarlo, C: c, Seed: int64(1000 + i)})
+				core.Options{Parallelism: 1, Strategy: core.MonteCarlo, C: c, Seed: int64(1000 + i)})
 			if err != nil {
 				panic(err)
 			}
@@ -145,9 +145,9 @@ func runE3(w io.Writer, quick bool) {
 		name string
 		opts core.Options
 	}{
-		{"exact perfect", core.Options{Strategy: core.Exact}},
-		{"whp perfect", core.Options{Strategy: core.WHP, Seed: 5}},
-		{"monte carlo c=3", core.Options{Strategy: core.MonteCarlo, C: 3, Seed: 5}},
+		{"exact perfect", core.Options{Parallelism: 1, Strategy: core.Exact}},
+		{"whp perfect", core.Options{Parallelism: 1, Strategy: core.WHP, Seed: 5}},
+		{"monte carlo c=3", core.Options{Parallelism: 1, Strategy: core.MonteCarlo, C: 3, Seed: 5}},
 	} {
 		var stats core.Stats
 		var res *relation.Relation

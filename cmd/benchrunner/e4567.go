@@ -30,7 +30,7 @@ func runE4(w io.Writer, quick bool) {
 		g := graph.Random(4+rnd.Intn(4), 0.4+0.4*rnd.Float64(), rnd.Int63())
 		k := 2 + rnd.Intn(2)
 		q, db := reductions.CliqueToComparisons(g, k)
-		got, err := order.EvaluateBool(q, db)
+		got, err := order.EvaluateBoolOpts(q, db, serialEval)
 		if err == nil && got == g.HasClique(k) && order.IsAcyclicWithComparisons(q) {
 			agree++
 		}
@@ -49,7 +49,7 @@ func runE4(w io.Writer, quick bool) {
 			g := turan(n, k-1)
 			q, db := reductions.CliqueToComparisons(g, k)
 			secs := bench.Seconds(10*time.Millisecond, func() {
-				ok, err := order.EvaluateBool(q, db)
+				ok, err := order.EvaluateBoolOpts(q, db, serialEval)
 				if err != nil || ok {
 					panic("turán instance must be negative")
 				}
@@ -75,24 +75,24 @@ func runE5(w io.Writer, quick bool) {
 		org := workload.OrgChart(n, 40, 3, 21)
 		q := workload.MultiProjectQuery()
 		tCore := bench.Seconds(20*time.Millisecond, func() {
-			if _, err := core.Evaluate(q, org); err != nil {
+			if _, err := core.EvaluateOpts(q, org, serialCore); err != nil {
 				panic(err)
 			}
 		})
 		tGen := bench.Seconds(20*time.Millisecond, func() {
-			if _, err := eval.Conjunctive(q, org); err != nil {
+			if _, err := eval.ConjunctiveOpts(q, org, serialEval); err != nil {
 				panic(err)
 			}
 		})
 		reg := workload.Registrar(n, 60, 8, 3, 22)
 		qr := workload.OutsideDeptQuery()
 		tCoreR := bench.Seconds(20*time.Millisecond, func() {
-			if _, err := core.Evaluate(qr, reg); err != nil {
+			if _, err := core.EvaluateOpts(qr, reg, serialCore); err != nil {
 				panic(err)
 			}
 		})
 		tGenR := bench.Seconds(20*time.Millisecond, func() {
-			if _, err := eval.Conjunctive(qr, reg); err != nil {
+			if _, err := eval.ConjunctiveOpts(qr, reg, serialEval); err != nil {
 				panic(err)
 			}
 		})
@@ -122,7 +122,7 @@ func runE5(w io.Writer, quick bool) {
 	// Monte-Carlo family: on negative instances one-sided error means the
 	// answer is always exact, and the family size is independent of n —
 	// the clean way to exhibit the f(k)·n shape.
-	mc := core.Options{Strategy: core.MonteCarlo, C: 3, Seed: 9}
+	mc := core.Options{Parallelism: 1, Strategy: core.MonteCarlo, C: 3, Seed: 9}
 	var brows [][]string
 	var genS, coreS bench.Series
 	for _, width := range widths {
@@ -134,7 +134,7 @@ func runE5(w io.Writer, quick bool) {
 			}
 		})
 		tGen := bench.Seconds(20*time.Millisecond, func() {
-			got, err := eval.ConjunctiveBool(q, db)
+			got, err := eval.ConjunctiveBoolOpts(q, db, serialEval)
 			if err != nil || got {
 				panic("dead-end instance must be negative")
 			}
@@ -166,7 +166,7 @@ func runE6(w io.Writer, quick bool) {
 		q, db := reductions.HamPathToIneqCQ(g)
 		_, wantOK := g.HamiltonianPath()
 		tEng := bench.Seconds(5*time.Millisecond, func() {
-			got, err := core.EvaluateBool(q, db)
+			got, err := core.EvaluateBoolOpts(q, db, serialCore)
 			if err != nil || got != wantOK {
 				panic(fmt.Sprintf("engine disagrees with Held–Karp: %v %v", got, err))
 			}
@@ -205,7 +205,7 @@ func runE7(w io.Writer, quick bool) {
 			db := workload.CompleteDigraphDB(n)
 			var derived int
 			secs := bench.Seconds(10*time.Millisecond, func() {
-				goal, _, err := datalog.EvalGoal(p, db, datalog.Options{})
+				goal, _, err := datalog.EvalGoal(p, db, datalog.Options{Parallelism: 1})
 				if err != nil {
 					panic(err)
 				}

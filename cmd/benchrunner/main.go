@@ -26,7 +26,7 @@ type experiment struct {
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E7, A1..A4) or 'all'")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E7, A1..A4, PAR) or 'all'")
 	quick := flag.Bool("quick", false, "smaller sweeps (CI-sized)")
 	flag.Parse()
 
@@ -42,6 +42,7 @@ func main() {
 		{"A2", "Ablation: Yannakakis full reducer on/off", runA2},
 		{"A3", "Ablation: join-order heuristic on/off", runA3},
 		{"A4", "Ablation: Monte-Carlo confidence c vs measured success rate", runA4},
+		{"PAR", "Parallel scaling: Parallelism sweep across engines and the join kernel", runPAR},
 	}
 
 	want := map[string]bool{}

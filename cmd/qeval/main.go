@@ -38,6 +38,7 @@ func main() {
 	fo := flag.Bool("fo", false, "parse the query as a first-order query { (head) | formula }")
 	engine := flag.String("engine", "auto", "auto | generic | yannakakis | colorcoding | comparisons")
 	boolOnly := flag.Bool("bool", false, "only decide emptiness")
+	par := flag.Int("par", 0, "parallelism: worker count (0 = GOMAXPROCS, 1 = serial)")
 	explain := flag.Bool("explain", false, "print the plan explanation before evaluating")
 	flag.Var(&rels, "rel", "NAME=FILE.csv (repeatable)")
 	flag.Parse()
@@ -92,22 +93,22 @@ func main() {
 	switch *engine {
 	case "auto":
 		if *boolOnly {
-			ok, err := pyquery.EvaluateBool(q, db)
+			ok, err := pyquery.EvaluateBoolOpts(q, db, pyquery.Options{Parallelism: *par})
 			if err != nil {
 				fatal(err)
 			}
 			printBool(ok)
 			return
 		}
-		res, err = pyquery.Evaluate(q, db)
+		res, err = pyquery.EvaluateOpts(q, db, pyquery.Options{Parallelism: *par})
 	case "generic":
-		res, err = eval.Conjunctive(q, db)
+		res, err = eval.ConjunctiveOpts(q, db, eval.Options{Parallelism: *par})
 	case "yannakakis":
-		res, err = yannakakis.Evaluate(q, db)
+		res, err = yannakakis.EvaluateOpts(q, db, yannakakis.Options{Parallelism: *par})
 	case "colorcoding":
-		res, err = core.Evaluate(q, db)
+		res, err = core.EvaluateOpts(q, db, core.Options{Parallelism: *par})
 	case "comparisons":
-		res, err = order.Evaluate(q, db)
+		res, err = order.EvaluateOpts(q, db, eval.Options{Parallelism: *par})
 	default:
 		fatal(fmt.Errorf("unknown engine %q", *engine))
 	}

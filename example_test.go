@@ -1,0 +1,104 @@
+package pyquery_test
+
+import (
+	"fmt"
+
+	"pyquery"
+)
+
+// Evaluate dispatches each query to the engine its class calls for and
+// returns the answer relation over the positional head schema.
+func ExampleEvaluate() {
+	db := pyquery.NewDB()
+	db.Set("EP", pyquery.Table(2, // employee → project
+		[]pyquery.Value{1, 100},
+		[]pyquery.Value{1, 101},
+		[]pyquery.Value{2, 100},
+	))
+
+	// Employees on at least two distinct projects — an acyclic conjunctive
+	// query with one ≠ atom, evaluated by the Theorem 2 color-coding engine.
+	q, err := pyquery.NewParser().ParseCQ(`G(e) :- EP(e, p1), EP(e, p2), p1 != p2.`)
+	if err != nil {
+		panic(err)
+	}
+	res, err := pyquery.Evaluate(q, db)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(res.Sort())
+	// Output:
+	// (a0) #1
+	//   [1]
+}
+
+// Plan reports which of the four engines a query is routed to, without
+// evaluating anything.
+func ExamplePlan() {
+	atom := func(args ...pyquery.Term) pyquery.Atom { return pyquery.NewAtom("E", args...) }
+
+	pure := &pyquery.CQ{Atoms: []pyquery.Atom{atom(pyquery.V(0), pyquery.V(1))}}
+	fmt.Println(pyquery.Plan(pure))
+
+	ineq := &pyquery.CQ{
+		Atoms: []pyquery.Atom{atom(pyquery.V(0), pyquery.V(1)), atom(pyquery.V(0), pyquery.V(2))},
+		Ineqs: []pyquery.Ineq{pyquery.NeqVars(1, 2)},
+	}
+	fmt.Println(pyquery.Plan(ineq))
+
+	cyclic := &pyquery.CQ{Atoms: []pyquery.Atom{
+		atom(pyquery.V(0), pyquery.V(1)),
+		atom(pyquery.V(1), pyquery.V(2)),
+		atom(pyquery.V(2), pyquery.V(0)),
+	}}
+	fmt.Println(pyquery.Plan(cyclic))
+	// Output:
+	// yannakakis (acyclic, poly input+output)
+	// color-coding (Theorem 2, f(k)·n log n)
+	// generic backtracking join (n^O(q))
+}
+
+// EvaluateOpts exposes the Parallelism option: 1 is the serial engine,
+// 0 (the default) means GOMAXPROCS workers. The answer set is identical at
+// every level — parallelism changes wall-clock time, never the answer.
+func ExampleEvaluateOpts() {
+	db := pyquery.NewDB()
+	edges := pyquery.NewTable(2)
+	for i := 0; i < 600; i++ {
+		edges.Append(pyquery.Value(i), pyquery.Value((i+1)%600))
+	}
+	db.Set("E", edges)
+
+	// Directed triangles — cyclic, so the generic backtracker runs and fans
+	// its first plan step out over the worker pool.
+	tri := &pyquery.CQ{
+		Head: []pyquery.Term{pyquery.V(0)},
+		Atoms: []pyquery.Atom{
+			pyquery.NewAtom("E", pyquery.V(0), pyquery.V(1)),
+			pyquery.NewAtom("E", pyquery.V(1), pyquery.V(2)),
+			pyquery.NewAtom("E", pyquery.V(2), pyquery.V(0)),
+		},
+	}
+	serial, _ := pyquery.EvaluateOpts(tri, db, pyquery.Options{Parallelism: 1})
+	par, _ := pyquery.EvaluateOpts(tri, db, pyquery.Options{Parallelism: 4})
+	fmt.Println(serial.Len(), par.Len())
+	// Output:
+	// 0 0
+}
+
+// Explain narrates the dispatch decision, including the Theorem 2
+// parameter split for queries with inequalities.
+func ExampleExplain() {
+	q := &pyquery.CQ{
+		Atoms: []pyquery.Atom{
+			pyquery.NewAtom("EP", pyquery.V(0), pyquery.V(1)),
+			pyquery.NewAtom("EP", pyquery.V(0), pyquery.V(2)),
+		},
+		Ineqs: []pyquery.Ineq{pyquery.NeqVars(1, 2)},
+	}
+	fmt.Println(pyquery.Explain(q))
+	// Output:
+	// engine: color-coding (Theorem 2, f(k)·n log n)
+	// query size q=9, variables v=3
+	// I1 (hashed) inequalities: 1, I2 (pushed-down): 0, |V1|=k=2
+}

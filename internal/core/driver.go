@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"pyquery/internal/colorcoding"
+	"pyquery/internal/parallel"
 	"pyquery/internal/query"
 	"pyquery/internal/relation"
 )
@@ -39,24 +41,57 @@ func EvaluateStats(q *query.CQ, db *query.DB, opts Options) (*relation.Relation,
 	}
 	stats.FamilySize = len(fam)
 
-	// Union of Q_h over the family, deduplicated on head-variable tuples.
-	var acc *relation.Relation
-	for _, h := range fam {
-		pstar, ok := p.runHash(h, true)
+	outer, inner := parallel.Split(parallel.Workers(opts.Parallelism), len(fam))
+	p.inner = inner
+	acc := batchedUnion(outer, len(fam), func(i int) *relation.Relation {
+		pstar, ok := p.runHash(fam[i], true)
 		if !ok {
-			continue
+			return nil
 		}
-		stats.Successes++
-		if acc == nil {
-			acc = pstar
-		} else {
-			acc = relation.Union(acc, pstar)
-		}
-	}
+		return pstar
+	}, func() { stats.Successes++ })
 	if acc == nil {
 		return query.NewTable(len(q.Head)), stats, nil
 	}
 	return p.headTuples(acc), stats, nil
+}
+
+// batchedUnion runs the independent trials run(0)…run(n−1) across the
+// worker budget in batches of the outer width, unioning each batch's
+// non-nil results in trial order (deduplicated by Union). The merge order
+// makes the result identical to a serial loop at any parallelism, and peak
+// memory stays O(outer·|result|) instead of buffering all n results.
+// onSuccess, if non-nil, is called once per non-nil result, in order.
+func batchedUnion(outer, n int, run func(i int) *relation.Relation, onSuccess func()) *relation.Relation {
+	var acc *relation.Relation
+	results := make([]*relation.Relation, outer)
+	for start := 0; start < n; start += outer {
+		k := n - start
+		if k > outer {
+			k = outer
+		}
+		batch := results[:k]
+		for i := range batch {
+			batch[i] = nil // reset: run may leave slots untouched
+		}
+		parallel.ForEach(outer, k, func(i int) {
+			batch[i] = run(start + i)
+		})
+		for _, pstar := range batch {
+			if pstar == nil {
+				continue
+			}
+			if onSuccess != nil {
+				onSuccess()
+			}
+			if acc == nil {
+				acc = pstar
+			} else {
+				acc = relation.Union(acc, pstar)
+			}
+		}
+	}
+	return acc
 }
 
 // EvaluateBool decides Q(d) ≠ ∅ (Algorithm 1 only), stopping at the first
@@ -88,11 +123,29 @@ func EvaluateBoolStats(q *query.CQ, db *query.DB, opts Options) (bool, Stats, er
 		return false, stats, err
 	}
 	stats.FamilySize = len(fam)
-	for _, h := range fam {
-		if _, ok := p.runHash(h, false); ok {
-			stats.Successes = 1
-			return true, stats, nil
+	outer, inner := parallel.Split(parallel.Workers(opts.Parallelism), len(fam))
+	p.inner = inner
+	if outer <= 1 {
+		for _, h := range fam {
+			if _, ok := p.runHash(h, false); ok {
+				stats.Successes = 1
+				return true, stats, nil
+			}
 		}
+		return false, stats, nil
+	}
+	var found atomic.Bool
+	parallel.ForEach(outer, len(fam), func(i int) {
+		if found.Load() {
+			return
+		}
+		if _, ok := p.runHash(fam[i], false); ok {
+			found.Store(true)
+		}
+	})
+	if found.Load() {
+		stats.Successes = 1
+		return true, stats, nil
 	}
 	return false, stats, nil
 }

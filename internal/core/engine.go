@@ -71,6 +71,12 @@ type Options struct {
 	// the hash range — the paper's q-parameter extension. k grows, so the
 	// exponential factor grows; answers are identical.
 	NoPushdown bool
+	// Parallelism is the worker count. The independent hash-function trials
+	// of the color-coding loop run across workers; leftover budget flows
+	// into the partitioned join/semijoin kernel inside each trial. 0 means
+	// GOMAXPROCS; 1 is the serial engine. Results are set-equal at every
+	// setting (trials commute under union).
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -152,10 +158,16 @@ func sortVarSlice(vs []query.Var) {
 	}
 }
 
-// prepared holds everything independent of the hash function.
+// prepared holds everything independent of the hash function. After
+// prepare returns it is read-only, so concurrent runHash calls (one per
+// color trial) may share it freely.
 type prepared struct {
 	q    *query.CQ
 	opts Options
+	// inner is the worker budget each runHash call may spend in the
+	// partitioned relational kernel (set by the driver after splitting the
+	// Parallelism budget across trials; 1 = serial ops).
+	inner int
 
 	i1 []query.Ineq
 	i2 []query.Ineq
@@ -587,6 +599,11 @@ func (p *prepared) runHash(h colorcoding.Func, needOutput bool) (*relation.Relat
 		}
 	}
 
+	inner := p.inner
+	if inner < 1 {
+		inner = 1
+	}
+
 	// Algorithm 1: bottom-up merges with color filtering.
 	for _, j := range p.tree.Order {
 		u := p.tree.Parent[j]
@@ -594,7 +611,7 @@ func (p *prepared) runHash(h colorcoding.Func, needOutput bool) (*relation.Relat
 			continue
 		}
 		proj := relation.Project(rels[j], rels[j].Schema().Intersect(p.yset[u]))
-		rels[u] = p.filterI1(relation.NaturalJoin(rels[u], proj))
+		rels[u] = p.filterI1(relation.NaturalJoinPar(rels[u], proj, inner))
 		if rels[u].Empty() {
 			return nil, false
 		}
@@ -610,7 +627,7 @@ func (p *prepared) runHash(h colorcoding.Func, needOutput bool) (*relation.Relat
 		if u < 0 {
 			continue
 		}
-		rels[j] = relation.Semijoin(rels[j], rels[u])
+		rels[j] = relation.SemijoinPar(rels[j], rels[u], inner)
 	}
 
 	// Algorithm 2, step 2: bottom-up join-project carrying head attributes.
@@ -625,7 +642,7 @@ func (p *prepared) runHash(h colorcoding.Func, needOutput bool) (*relation.Relat
 				proj = append(proj, a)
 			}
 		}
-		rels[u] = relation.NaturalJoin(rels[u], relation.Project(rels[j], proj))
+		rels[u] = relation.NaturalJoinPar(rels[u], relation.Project(rels[j], proj), inner)
 	}
 	root := p.tree.Roots[0]
 	pstar := relation.Project(rels[root], p.headAttrs)

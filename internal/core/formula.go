@@ -5,6 +5,7 @@ import (
 
 	"pyquery/internal/colorcoding"
 	"pyquery/internal/eval"
+	"pyquery/internal/parallel"
 	"pyquery/internal/query"
 	"pyquery/internal/relation"
 )
@@ -224,6 +225,10 @@ func EvaluateIneqFormula(q *query.CQ, phi IneqFormula, db *query.DB, opts Option
 		return nil, err
 	}
 
+	// outer trials run concurrently; each trial spends the leftover budget
+	// in the partitioned relational kernel.
+	outer, inner := parallel.Split(parallel.Workers(opts.Parallelism), len(fam))
+
 	runOne := func(hf colorcoding.Func) *relation.Relation {
 		rels := make([]*relation.Relation, len(base))
 		for j := range base {
@@ -235,7 +240,7 @@ func EvaluateIneqFormula(q *query.CQ, phi IneqFormula, db *query.DB, opts Option
 			if u < 0 {
 				continue
 			}
-			rels[u] = relation.Semijoin(rels[u], rels[j])
+			rels[u] = relation.SemijoinPar(rels[u], rels[j], inner)
 			if rels[u].Empty() {
 				return nil
 			}
@@ -246,7 +251,7 @@ func EvaluateIneqFormula(q *query.CQ, phi IneqFormula, db *query.DB, opts Option
 			if u < 0 {
 				continue
 			}
-			rels[j] = relation.Semijoin(rels[j], rels[u])
+			rels[j] = relation.SemijoinPar(rels[j], rels[u], inner)
 		}
 		// Bottom-up joins carrying every color and head column upward.
 		for _, j := range tree.Order {
@@ -266,7 +271,7 @@ func EvaluateIneqFormula(q *query.CQ, phi IneqFormula, db *query.DB, opts Option
 					proj = append(proj, a)
 				}
 			}
-			rels[u] = relation.NaturalJoin(rels[u], relation.Project(rels[j], proj))
+			rels[u] = relation.NaturalJoinPar(rels[u], relation.Project(rels[j], proj), inner)
 			if rels[u].Empty() {
 				return nil
 			}
@@ -301,18 +306,12 @@ func EvaluateIneqFormula(q *query.CQ, phi IneqFormula, db *query.DB, opts Option
 		return relation.Project(filtered, headAttrs)
 	}
 
-	var acc *relation.Relation
-	for _, hf := range fam {
-		pstar := runOne(hf)
-		if pstar == nil {
-			continue
-		}
-		if acc == nil {
-			acc = pstar
-		} else {
-			acc = relation.Union(acc, pstar)
-		}
-	}
+	// Trials are independent; run them across the worker budget in batches,
+	// merged in family order (identical result at any parallelism, peak
+	// memory bounded by the batch width).
+	acc := batchedUnion(outer, len(fam), func(i int) *relation.Relation {
+		return runOne(fam[i])
+	}, nil)
 	if acc == nil {
 		return query.NewTable(len(q.Head)), nil
 	}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"pyquery/internal/eval"
+	"pyquery/internal/parallel"
 	"pyquery/internal/query"
 	"pyquery/internal/relation"
 )
@@ -128,6 +129,14 @@ type Options struct {
 	// Naive re-fires every rule on the full relations each round
 	// (the textbook fixpoint); the default is semi-naive with deltas.
 	Naive bool
+	// Parallelism is the worker count: the independent rule firings of
+	// each round run across workers (each pre-filtering its derivations
+	// against the current IDB into a per-firing buffer, merged serially
+	// into the round's delta). 0 means GOMAXPROCS; 1 is the serial
+	// evaluator. The fixpoint is identical at every setting; under Naive
+	// the round count may differ (serial naive rounds see earlier rules'
+	// derivations within the same round, parallel rounds do not).
+	Parallelism int
 }
 
 // Eval computes the fixpoint and returns every IDB relation (keyed by name)
@@ -149,15 +158,86 @@ func Eval(p *Program, db *query.DB, opts Options) (map[string]*relation.Relation
 		work.Set(name, cur[name].rel)
 	}
 
+	workers := parallel.Workers(opts.Parallelism)
 	var stats Stats
 	if opts.Naive {
+		if err := evalNaive(p, work, cur, workers, &stats); err != nil {
+			return nil, stats, err
+		}
+	} else if err := evalSemiNaive(p, idb, work, cur, workers, &stats); err != nil {
+		return nil, stats, err
+	}
+	out := make(map[string]*relation.Relation, len(cur))
+	for name, t := range cur {
+		out[name] = t.rel
+		stats.Derived += t.rel.Len()
+	}
+	return out, stats, nil
+}
+
+// firing is one rule evaluation of a round: the rule's head plus the body
+// to run (for semi-naive, one IDB position substituted with its delta).
+type firing struct {
+	head query.Atom
+	body []query.Atom
+}
+
+// fireAll evaluates the round's firings across the worker budget. The
+// firings of a round are independent: they read the working database and
+// the current IDB membership sets, both of which only change between
+// rounds. Each firing pre-filters its derivations against cur into a
+// per-firing buffer, so the serial merge that follows only touches novel
+// rows. outs[i] belongs to firings[i]; merging in index order keeps the
+// result reproducible regardless of scheduling.
+func fireAll(firings []firing, work *query.DB, cur map[string]*table, workers int) ([]*relation.Relation, error) {
+	outer, inner := parallel.Split(workers, len(firings))
+	outs := make([]*relation.Relation, len(firings))
+	errs := make([]error, len(firings))
+	parallel.ForEach(outer, len(firings), func(i int) {
+		f := firings[i]
+		q := &query.CQ{Head: f.head.Args, Atoms: f.body}
+		out, err := eval.ConjunctiveOpts(q, work, eval.Options{Parallelism: inner})
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		dst := cur[f.head.Rel]
+		if out.Empty() || dst.set.Len() == 0 {
+			// Nothing to filter (or against): hand the firing's output over.
+			outs[i] = out
+			return
+		}
+		fresh := query.NewTable(out.Width())
+		for r := 0; r < out.Len(); r++ {
+			row := out.Row(r)
+			if !dst.has(row) {
+				fresh.Append(row...)
+			}
+		}
+		outs[i] = fresh
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return outs, nil
+}
+
+// evalNaive iterates every rule to fixpoint on the full relations. In
+// serial mode rules fire sequentially and each sees the derivations of the
+// rules before it in the same round (the historical behaviour); in parallel
+// mode a round's firings run concurrently against the round-start state, so
+// the round count can differ but the fixpoint cannot.
+func evalNaive(p *Program, work *query.DB, cur map[string]*table, workers int, stats *Stats) error {
+	if workers <= 1 {
 		for {
 			stats.Rounds++
 			grew := false
 			for _, r := range p.Rules {
 				out, err := fireRule(r, r.Body, work)
 				if err != nil {
-					return nil, stats, err
+					return err
 				}
 				dst := cur[r.Head.Rel]
 				for i := 0; i < out.Len(); i++ {
@@ -167,90 +247,122 @@ func Eval(p *Program, db *query.DB, opts Options) (map[string]*relation.Relation
 				}
 			}
 			if !grew {
-				break
+				return nil
 			}
 		}
-	} else {
-		// Semi-naive: deltas per IDB relation.
-		delta := make(map[string]*relation.Relation, len(idb))
-		for name, ar := range idb {
-			delta[name] = query.NewTable(ar)
-			work.Set(deltaName(name), delta[name])
-		}
-		// Round 0: rules with no IDB body atoms seed the deltas.
+	}
+	firings := make([]firing, len(p.Rules))
+	for i, r := range p.Rules {
+		firings[i] = firing{head: r.Head, body: r.Body}
+	}
+	for {
 		stats.Rounds++
-		for _, r := range p.Rules {
-			if countIDBAtoms(r, idb) > 0 {
+		outs, err := fireAll(firings, work, cur, workers)
+		if err != nil {
+			return err
+		}
+		grew := false
+		for i, out := range outs {
+			dst := cur[firings[i].head.Rel]
+			for r := 0; r < out.Len(); r++ {
+				if dst.add(out.Row(r)) {
+					grew = true
+				}
+			}
+		}
+		if !grew {
+			return nil
+		}
+	}
+}
+
+// evalSemiNaive runs the delta-driven fixpoint. Every round fires the
+// rules' delta-substituted bodies — concurrently when workers > 1 — and
+// merges the per-firing buffers into the next delta serially.
+func evalSemiNaive(p *Program, idb map[string]int, work *query.DB, cur map[string]*table, workers int, stats *Stats) error {
+	delta := make(map[string]*relation.Relation, len(idb))
+	for name, ar := range idb {
+		delta[name] = query.NewTable(ar)
+		work.Set(deltaName(name), delta[name])
+	}
+
+	// Round 0: rules with no IDB body atoms seed the deltas.
+	var seeds []firing
+	for _, r := range p.Rules {
+		if countIDBAtoms(r, idb) == 0 {
+			seeds = append(seeds, firing{head: r.Head, body: r.Body})
+		}
+	}
+	stats.Rounds++
+	outs, err := fireAll(seeds, work, cur, workers)
+	if err != nil {
+		return err
+	}
+	for i, out := range outs {
+		name := seeds[i].head.Rel
+		for r := 0; r < out.Len(); r++ {
+			row := out.Row(r)
+			if cur[name].add(row) {
+				delta[name].Append(row...)
+			}
+		}
+	}
+
+	// Recursive firings: one per IDB body position per rule, substituting
+	// the delta relation there (the standard semi-naive rewriting). The
+	// delta relations are swapped in place between rounds, so the firing
+	// list is built once.
+	var recs []firing
+	for _, r := range p.Rules {
+		if countIDBAtoms(r, idb) == 0 {
+			continue
+		}
+		for pos, a := range r.Body {
+			if _, ok := idb[a.Rel]; !ok {
 				continue
 			}
-			out, err := fireRule(r, r.Body, work)
-			if err != nil {
-				return nil, stats, err
-			}
-			for i := 0; i < out.Len(); i++ {
-				row := out.Row(i)
-				if cur[r.Head.Rel].add(row) {
-					delta[r.Head.Rel].Append(row...)
-				}
-			}
-		}
-		for {
-			total := 0
-			for _, d := range delta {
-				total += d.Len()
-			}
-			if total == 0 {
-				break
-			}
-			stats.Rounds++
-			next := make(map[string]*table, len(idb))
-			for name, ar := range idb {
-				next[name] = newTable(ar)
-			}
-			for _, r := range p.Rules {
-				if countIDBAtoms(r, idb) == 0 {
-					continue
-				}
-				// Fire once per IDB body position, substituting the delta
-				// there (the standard semi-naive rewriting; duplicates
-				// across versions are removed by the keyed add).
-				for pos, a := range r.Body {
-					if _, ok := idb[a.Rel]; !ok {
-						continue
-					}
-					body := make([]query.Atom, len(r.Body))
-					copy(body, r.Body)
-					body[pos] = query.Atom{Rel: deltaName(a.Rel), Args: a.Args}
-					out, err := fireRule(r, body, work)
-					if err != nil {
-						return nil, stats, err
-					}
-					for i := 0; i < out.Len(); i++ {
-						row := out.Row(i)
-						if !cur[r.Head.Rel].has(row) {
-							next[r.Head.Rel].add(row)
-						}
-					}
-				}
-			}
-			for name := range idb {
-				// Promote: cur += next; delta := next.
-				nd := query.NewTable(next[name].rel.Width())
-				for i := 0; i < next[name].rel.Len(); i++ {
-					row := next[name].rel.Row(i)
-					cur[name].add(row)
-					nd.Append(row...)
-				}
-				*delta[name] = *nd
-			}
+			body := make([]query.Atom, len(r.Body))
+			copy(body, r.Body)
+			body[pos] = query.Atom{Rel: deltaName(a.Rel), Args: a.Args}
+			recs = append(recs, firing{head: r.Head, body: body})
 		}
 	}
-	out := make(map[string]*relation.Relation, len(cur))
-	for name, t := range cur {
-		out[name] = t.rel
-		stats.Derived += t.rel.Len()
+	for {
+		total := 0
+		for _, d := range delta {
+			total += d.Len()
+		}
+		if total == 0 {
+			return nil
+		}
+		stats.Rounds++
+		next := make(map[string]*table, len(idb))
+		for name, ar := range idb {
+			next[name] = newTable(ar)
+		}
+		outs, err := fireAll(recs, work, cur, workers)
+		if err != nil {
+			return err
+		}
+		// The firings already filtered against cur (stable within the
+		// round); next.add removes duplicates across firings.
+		for i, out := range outs {
+			dst := next[recs[i].head.Rel]
+			for r := 0; r < out.Len(); r++ {
+				dst.add(out.Row(r))
+			}
+		}
+		for name := range idb {
+			// Promote: cur += next; delta := next.
+			nd := query.NewTable(next[name].rel.Width())
+			for i := 0; i < next[name].rel.Len(); i++ {
+				row := next[name].rel.Row(i)
+				cur[name].add(row)
+				nd.Append(row...)
+			}
+			*delta[name] = *nd
+		}
 	}
-	return out, stats, nil
 }
 
 // table is a relation with a keyed membership set for O(1) dedup.
@@ -296,10 +408,11 @@ func countIDBAtoms(r Rule, idb map[string]int) int {
 }
 
 // fireRule evaluates the rule body as a conjunctive query with the rule
-// head as output over the working database.
+// head as output over the working database, serially — it backs the
+// workers <= 1 paths, which must not spawn goroutines.
 func fireRule(r Rule, body []query.Atom, work *query.DB) (*relation.Relation, error) {
 	q := &query.CQ{Head: r.Head.Args, Atoms: body}
-	return eval.Conjunctive(q, work)
+	return eval.ConjunctiveOpts(q, work, eval.Options{Parallelism: 1})
 }
 
 // VardiFamily returns the arity-k Datalog program of experiment E7:

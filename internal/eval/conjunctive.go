@@ -6,6 +6,9 @@
 package eval
 
 import (
+	"sync/atomic"
+
+	"pyquery/internal/parallel"
 	"pyquery/internal/query"
 	"pyquery/internal/relation"
 )
@@ -15,6 +18,11 @@ type Options struct {
 	// NoReorder disables the greedy join-order heuristic and evaluates the
 	// atoms in the order written (ablation A3).
 	NoReorder bool
+	// Parallelism is the worker count for the first-step fan-out: the rows
+	// matched by the first plan step are split into contiguous chunks and
+	// each worker backtracks through the remaining steps independently.
+	// 0 means GOMAXPROCS; 1 is the serial evaluator.
+	Parallelism int
 }
 
 // Conjunctive evaluates a conjunctive query (with optional ≠ and comparison
@@ -36,11 +44,54 @@ func ConjunctiveOpts(q *query.CQ, db *query.DB, opts Options) (*relation.Relatio
 	if e.trivialFalse {
 		return out, nil
 	}
+	workers := e.fanWidth(parallel.Workers(opts.Parallelism))
+	if workers <= 1 {
+		c := e.newCursor()
+		c.run(e.collector(c, out, relation.NewTupleSet(len(q.Head))))
+		return out, nil
+	}
+	// Fan out over the first binding step's rows. Each worker owns a cursor,
+	// an output buffer, and a seen-set; buffers are merged in worker order
+	// with a global dedup, so because chunks are contiguous and in order the
+	// emission order matches the serial evaluator's exactly.
+	fs := e.fanStep
+	st := &e.plan[fs]
+	outs := make([]*relation.Relation, workers)
+	parallel.Chunks(workers, st.rel.Len(), func(w, lo, hi int) {
+		c := e.newCursor()
+		local := query.NewTable(len(e.q.Head))
+		emit := e.collector(c, local, relation.NewTupleSet(len(e.q.Head)))
+		for i := lo; i < hi; i++ {
+			if !c.bindRow(st, st.rel.Row(i)) {
+				continue
+			}
+			c.rec(fs+1, emit)
+		}
+		outs[w] = local
+	})
+	seen := relation.NewTupleSet(len(q.Head))
+	for _, local := range outs {
+		if local == nil {
+			continue
+		}
+		for i := 0; i < local.Len(); i++ {
+			row := local.Row(i)
+			if seen.Add(row) {
+				out.Append(row...)
+			}
+		}
+	}
+	return out, nil
+}
+
+// collector returns an emit callback extracting the head tuple from the
+// cursor's assignment into out, deduplicated through seen.
+func (e *backtracker) collector(c *cursor, out *relation.Relation, seen *relation.TupleSet) func() bool {
 	// Head extraction plan: tuple starts as the constant template, and
 	// headSlots names the assign slot feeding each variable position.
-	tuple := make([]relation.Value, len(q.Head))
-	headSlots := make([]int, len(q.Head))
-	for i, t := range q.Head {
+	tuple := make([]relation.Value, len(e.q.Head))
+	headSlots := make([]int, len(e.q.Head))
+	for i, t := range e.q.Head {
 		if t.IsVar {
 			headSlots[i] = e.slot[t.Var]
 		} else {
@@ -48,19 +99,17 @@ func ConjunctiveOpts(q *query.CQ, db *query.DB, opts Options) (*relation.Relatio
 			tuple[i] = t.Const
 		}
 	}
-	seen := relation.NewTupleSet(len(q.Head))
-	e.run(func() bool {
+	return func() bool {
 		for i, s := range headSlots {
 			if s >= 0 {
-				tuple[i] = e.assign[s]
+				tuple[i] = c.assign[s]
 			}
 		}
 		if seen.Add(tuple) {
 			out.Append(tuple...)
 		}
 		return true // keep searching
-	})
-	return out, nil
+	}
 }
 
 // ConjunctiveBool decides whether Q(d) is nonempty, stopping at the first
@@ -79,15 +128,42 @@ func ConjunctiveBoolOpts(q *query.CQ, db *query.DB, opts Options) (bool, error) 
 	if e.trivialFalse {
 		return false, nil
 	}
-	found := false
-	e.run(func() bool {
-		found = true
-		return false // stop
+	workers := e.fanWidth(parallel.Workers(opts.Parallelism))
+	if workers <= 1 {
+		found := false
+		c := e.newCursor()
+		c.run(func() bool {
+			found = true
+			return false // stop
+		})
+		return found, nil
+	}
+	fs := e.fanStep
+	st := &e.plan[fs]
+	var found atomic.Bool
+	parallel.Chunks(workers, st.rel.Len(), func(_, lo, hi int) {
+		c := e.newCursor()
+		c.stop = &found // another worker's witness halts this search tree
+		emit := func() bool {
+			found.Store(true)
+			return false // stop this worker
+		}
+		for i := lo; i < hi && !found.Load(); i++ {
+			if !c.bindRow(st, st.rel.Row(i)) {
+				continue
+			}
+			if !c.rec(fs+1, emit) {
+				return
+			}
+		}
 	})
-	return found, nil
+	return found.Load(), nil
 }
 
-// backtracker holds the compiled plan for one (query, database) pair.
+// backtracker holds the compiled plan for one (query, database) pair. The
+// plan (steps, frozen indexes, reduced relations) is immutable after
+// construction and safely shared by concurrent cursors; all mutable search
+// state lives in a cursor.
 type backtracker struct {
 	q    *query.CQ
 	db   *query.DB
@@ -95,12 +171,37 @@ type backtracker struct {
 
 	vars []query.Var       // dense variable universe (body vars)
 	slot map[query.Var]int // var → index into assign
-	mark []bool            // assigned?
-	// assign[slot] is the current value of each variable.
-	assign []relation.Value
 
-	plan         []planStep
+	plan []planStep
+	// fanStep is the first step that binds variables (earlier steps are
+	// ground-atom tautologies); the parallel evaluator fans out over its
+	// rows. −1 when no step binds anything.
+	fanStep      int
 	trivialFalse bool
+}
+
+// minFanWork gates the fan-out: below this many total plan rows (summed
+// over the reduced step relations — a cheap proxy for search work) the
+// goroutine, cursor, and merge overhead outweighs the win and the serial
+// evaluator runs instead. A variable so tests can force the parallel path
+// on small instances.
+var minFanWork = 1024
+
+// fanWidth caps the requested worker count by what the plan supports: a
+// fan-out needs a binding first step with at least two rows to split, and
+// enough total work to amortize per-worker setup.
+func (e *backtracker) fanWidth(workers int) int {
+	if workers <= 1 || e.fanStep < 0 || e.plan[e.fanStep].rel.Len() < 2 {
+		return 1
+	}
+	work := 0
+	for i := range e.plan {
+		work += e.plan[i].rel.Len()
+	}
+	if work < minFanWork {
+		return 1
+	}
+	return workers
 }
 
 type planStep struct {
@@ -138,13 +239,11 @@ func newBacktracker(q *query.CQ, db *query.DB, opts Options) (*backtracker, erro
 	if err := q.Validate(db); err != nil {
 		return nil, err
 	}
-	e := &backtracker{q: q, db: db, opts: opts, slot: make(map[query.Var]int)}
+	e := &backtracker{q: q, db: db, opts: opts, slot: make(map[query.Var]int), fanStep: -1}
 	for _, v := range q.BodyVars() {
 		e.slot[v] = len(e.vars)
 		e.vars = append(e.vars, v)
 	}
-	e.assign = make([]relation.Value, len(e.vars))
-	e.mark = make([]bool, len(e.vars))
 
 	// Reduce each atom to S_j = π_{U_j} σ_{F_j}(R_j) over its distinct vars.
 	type reduced struct {
@@ -283,69 +382,106 @@ func newBacktracker(q *query.CQ, db *query.DB, opts Options) (*backtracker, erro
 		at := readyAt(vs)
 		e.plan[at].cmps = append(e.plan[at].cmps, chk)
 	}
+	for si := range e.plan {
+		if !e.plan[si].tautology {
+			e.fanStep = si
+			break
+		}
+	}
 	return e, nil
 }
 
-// run backtracks through the plan, invoking emit at every full solution.
-// emit returns false to stop the search.
-func (e *backtracker) run(emit func() bool) {
-	if len(e.plan) == 0 {
+// cursor is the mutable search state of one backtracking traversal. Every
+// worker of a parallel evaluation owns its own cursor; the underlying plan
+// is shared and read-only.
+type cursor struct {
+	e      *backtracker
+	assign []relation.Value // assign[slot] is the current value per variable
+	key    [][]relation.Value
+	// stop, when set, is polled once per search node so a worker abandons
+	// its subtree soon after another worker ends the search (Bool queries).
+	stop *atomic.Bool
+}
+
+func (e *backtracker) newCursor() *cursor {
+	c := &cursor{e: e, assign: make([]relation.Value, len(e.vars))}
+	c.key = make([][]relation.Value, len(e.plan))
+	for i, st := range e.plan {
+		c.key[i] = make([]relation.Value, len(st.keyVars))
+	}
+	return c
+}
+
+// bindRow binds one row of a zero-key step into the assignment, reporting
+// whether the step's attached constraints hold.
+func (c *cursor) bindRow(st *planStep, row []relation.Value) bool {
+	for i, s := range st.newSlots {
+		c.assign[s] = row[st.newPos[i]]
+	}
+	return c.checkStep(st)
+}
+
+// run backtracks through the whole plan, invoking emit at every full
+// solution. emit returns false to stop the search.
+func (c *cursor) run(emit func() bool) {
+	if len(c.e.plan) == 0 {
 		// No atoms: validation guarantees no variables anywhere.
 		emit()
 		return
 	}
-	var rec func(step int) bool
-	key := make([][]relation.Value, len(e.plan))
-	for i, st := range e.plan {
-		key[i] = make([]relation.Value, len(st.keyVars))
-	}
-	rec = func(step int) bool {
-		if step == len(e.plan) {
-			return emit()
-		}
-		st := &e.plan[step]
-		if st.tautology {
-			return rec(step + 1)
-		}
-		for i, s := range st.keySlots {
-			key[step][i] = e.assign[s]
-		}
-		cont := true
-		st.index.Each(key[step], func(row []relation.Value) bool {
-			for i, s := range st.newSlots {
-				e.assign[s] = row[st.newPos[i]]
-			}
-			if !e.checkStep(st) {
-				return true // constraint failed; next tuple
-			}
-			cont = rec(step + 1)
-			return cont
-		})
-		return cont
-	}
-	rec(0)
+	c.rec(0, emit)
 }
 
-func (e *backtracker) checkStep(st *planStep) bool {
+// rec backtracks from the given step onward; it returns false when emit
+// asked the search to stop.
+func (c *cursor) rec(step int, emit func() bool) bool {
+	if step == len(c.e.plan) {
+		return emit()
+	}
+	if c.stop != nil && c.stop.Load() {
+		return false
+	}
+	st := &c.e.plan[step]
+	if st.tautology {
+		return c.rec(step+1, emit)
+	}
+	for i, s := range st.keySlots {
+		c.key[step][i] = c.assign[s]
+	}
+	cont := true
+	st.index.Each(c.key[step], func(row []relation.Value) bool {
+		for i, s := range st.newSlots {
+			c.assign[s] = row[st.newPos[i]]
+		}
+		if !c.checkStep(st) {
+			return true // constraint failed; next tuple
+		}
+		cont = c.rec(step+1, emit)
+		return cont
+	})
+	return cont
+}
+
+func (c *cursor) checkStep(st *planStep) bool {
 	for _, iq := range st.ineqs {
-		x := e.assign[iq.xSlot]
+		x := c.assign[iq.xSlot]
 		if iq.ySlot >= 0 {
-			if x == e.assign[iq.ySlot] {
+			if x == c.assign[iq.ySlot] {
 				return false
 			}
 		} else if x == iq.c {
 			return false
 		}
 	}
-	for _, c := range st.cmps {
-		l, r := c.lConst, c.rConst
-		if c.lSlot >= 0 {
-			l = e.assign[c.lSlot]
+	for _, cc := range st.cmps {
+		l, r := cc.lConst, cc.rConst
+		if cc.lSlot >= 0 {
+			l = c.assign[cc.lSlot]
 		}
-		if c.rSlot >= 0 {
-			r = e.assign[c.rSlot]
+		if cc.rSlot >= 0 {
+			r = c.assign[cc.rSlot]
 		}
-		if c.strict {
+		if cc.strict {
 			if l >= r {
 				return false
 			}

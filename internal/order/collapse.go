@@ -132,6 +132,12 @@ func acyclicAtoms(q *query.CQ) bool {
 // backtracking evaluator — per Theorem 3 no fixed-parameter algorithm is
 // expected, even for acyclic queries.
 func Evaluate(q *query.CQ, db *query.DB) (*relation.Relation, error) {
+	return EvaluateOpts(q, db, eval.Options{})
+}
+
+// EvaluateOpts is Evaluate with explicit options for the generic evaluator
+// that runs after the collapse (join-order heuristic, parallelism).
+func EvaluateOpts(q *query.CQ, db *query.DB, opts eval.Options) (*relation.Relation, error) {
 	qc, err := Collapse(q)
 	if errors.Is(err, ErrInconsistent) {
 		return query.NewTable(len(q.Head)), nil
@@ -139,11 +145,16 @@ func Evaluate(q *query.CQ, db *query.DB) (*relation.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return eval.Conjunctive(qc, db)
+	return eval.ConjunctiveOpts(qc, db, opts)
 }
 
 // EvaluateBool decides Q(d) ≠ ∅ for a query with comparisons.
 func EvaluateBool(q *query.CQ, db *query.DB) (bool, error) {
+	return EvaluateBoolOpts(q, db, eval.Options{})
+}
+
+// EvaluateBoolOpts is EvaluateBool with explicit generic-evaluator options.
+func EvaluateBoolOpts(q *query.CQ, db *query.DB, opts eval.Options) (bool, error) {
 	qc, err := Collapse(q)
 	if errors.Is(err, ErrInconsistent) {
 		return false, nil
@@ -151,5 +162,5 @@ func EvaluateBool(q *query.CQ, db *query.DB) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	return eval.ConjunctiveBool(qc, db)
+	return eval.ConjunctiveBoolOpts(qc, db, opts)
 }

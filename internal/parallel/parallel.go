@@ -1,0 +1,135 @@
+// Package parallel is the worker-pool substrate behind the engines'
+// Parallelism option. It is deliberately tiny: resolve a parallelism
+// setting (Workers), fan a fixed number of workers out over goroutines
+// (Do), split an index range into contiguous per-worker chunks (Chunks),
+// and distribute independent tasks with dynamic load balancing (ForEach).
+//
+// The concurrency contract every caller follows:
+//
+//   - Workers read shared prepared state (plans, frozen indexes, base
+//     relations) but never mutate it. Anything mutable — output relations,
+//     seen-sets, statistics — is per-worker and merged serially by the
+//     caller after the pool drains (the "per-worker-then-merge" rule; see
+//     internal/relation/README.md).
+//   - Chunks are contiguous and in order, so callers that concatenate
+//     per-worker outputs in worker order reproduce the serial iteration
+//     order exactly. This is what keeps the partitioned relational
+//     operators byte-identical to their serial counterparts.
+//   - workers <= 1 runs inline on the calling goroutine: no goroutines, no
+//     channels, no synchronization. Parallelism=1 is exactly the serial
+//     engine, which ablations and determinism tests rely on.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a Parallelism option value: n > 0 means n workers,
+// anything else (the zero value) means GOMAXPROCS.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Split divides a worker budget between a task loop and the parallel
+// kernel inside each task: outer = min(workers, tasks) workers run tasks
+// concurrently, and each task may spend inner = ⌈workers/outer⌉ more in
+// nested parallel operators. inner rounds up so a budget that tasks do not
+// divide evenly is not stranded (8 workers over 3 tasks → 3×3, a slight
+// oversubscription, rather than 3×2 with two idle cores). Every engine
+// that layers task-level over kernel-level parallelism (color trials,
+// join-tree levels, Datalog rule firings) splits its budget through here.
+func Split(workers, tasks int) (outer, inner int) {
+	outer = workers
+	if outer > tasks {
+		outer = tasks
+	}
+	if outer < 1 {
+		outer = 1
+	}
+	return outer, (workers + outer - 1) / outer
+}
+
+// Do runs fn(w) for every worker id w in [0, workers) and waits for all of
+// them. With workers <= 1 it calls fn(0) inline.
+func Do(workers int, fn func(w int)) {
+	if workers <= 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Chunks splits the index range [0, n) into at most workers contiguous
+// chunks and runs fn(w, lo, hi) for each nonempty chunk concurrently.
+// Chunk w always precedes chunk w+1 in index order, so concatenating
+// per-worker outputs in worker order preserves the serial iteration order.
+// With workers <= 1 it calls fn(0, 0, n) inline.
+func Chunks(workers, n int, fn func(w, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 1 || n == 1 {
+		fn(0, 0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			if lo < hi {
+				fn(w, lo, hi)
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForEach runs fn(i) for every i in [0, n), distributing indices to workers
+// dynamically (an atomic ticket counter), which balances load when task
+// costs are skewed — e.g. color-coding trials or Datalog rule firings of
+// very different sizes. Order of execution is unspecified; callers needing
+// deterministic merges must collect into per-index (not per-worker) slots.
+// With workers <= 1 it loops inline.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var next int64
+	Do(workers, func(int) {
+		for {
+			i := int(atomic.AddInt64(&next, 1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	})
+}

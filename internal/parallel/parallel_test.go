@@ -1,0 +1,90 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(4); got != 4 {
+		t.Fatalf("Workers(4) = %d", got)
+	}
+	if got := Workers(1); got != 1 {
+		t.Fatalf("Workers(1) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d", got)
+	}
+}
+
+func TestDoRunsEveryWorkerOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7} {
+		seen := make([]int32, workers)
+		Do(workers, func(w int) {
+			atomic.AddInt32(&seen[w], 1)
+		})
+		for w, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: worker %d ran %d times", workers, w, c)
+			}
+		}
+	}
+}
+
+func TestChunksCoverRangeInOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		for _, n := range []int{0, 1, 2, 7, 64} {
+			covered := make([]int32, n)
+			var loByW [101]int
+			for i := range loByW {
+				loByW[i] = -1
+			}
+			Chunks(workers, n, func(w, lo, hi int) {
+				if lo >= hi {
+					t.Errorf("empty chunk delivered: w=%d [%d,%d)", w, lo, hi)
+				}
+				loByW[w] = lo
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&covered[i], 1)
+				}
+			})
+			for i, c := range covered {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d covered %d times", workers, n, i, c)
+				}
+			}
+			// Chunk w's range must precede chunk w+1's.
+			prev := -1
+			for w := 0; w <= workers && w < len(loByW); w++ {
+				if loByW[w] < 0 {
+					continue
+				}
+				if loByW[w] <= prev {
+					t.Fatalf("workers=%d n=%d: chunks out of order", workers, n)
+				}
+				prev = loByW[w]
+			}
+		}
+	}
+}
+
+func TestForEachVisitsAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		const n = 257
+		covered := make([]int32, n)
+		ForEach(workers, n, func(i int) {
+			atomic.AddInt32(&covered[i], 1)
+		})
+		for i, c := range covered {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+	// n = 0 must not call fn.
+	ForEach(4, 0, func(i int) { t.Fatal("fn called for n=0") })
+}

@@ -1,0 +1,247 @@
+package relation
+
+import "pyquery/internal/parallel"
+
+// Partitioned (sharded) variants of the join/semijoin kernel. The build
+// side is hash-partitioned by join key into per-shard TupleIndex/TupleSet
+// containers built concurrently, and the probe side is scanned in
+// contiguous per-worker chunks, each probing whichever shard its row's key
+// hashes to (shards are frozen and read-only by then). Per-worker outputs
+// are concatenated in worker order, so every partitioned operator produces
+// exactly the tuple order of its serial counterpart — callers can switch
+// between them freely without perturbing downstream iteration order.
+//
+// The shard id is taken from the TOP bits of the same splitmix64 tuple hash
+// (hash.go) the containers key on; the containers' open-addressed tables
+// use the LOW bits for slots, so restricting a shard to one top-bit class
+// leaves its slot distribution uniform.
+
+// parMinRows gates the partitioned paths: below this many total rows the
+// goroutine + partitioning overhead outweighs the win and the serial kernel
+// is used. A variable so tests can force the sharded path on tiny inputs.
+var parMinRows = 4096
+
+// maxShards caps the partition count (shard ids are stored in a byte array
+// during the build scan).
+const maxShards = 64
+
+// shardPlan returns the shard count (a power of two ≤ maxShards covering
+// workers) and the right-shift that maps a 64-bit hash to a shard id.
+func shardPlan(workers int) (shards int, shift uint) {
+	shards = 1
+	for shards < workers && shards < maxShards {
+		shards <<= 1
+	}
+	bits := uint(0)
+	for 1<<bits < shards {
+		bits++
+	}
+	return shards, 64 - bits
+}
+
+// NaturalJoinPar is NaturalJoin evaluated with the given worker budget:
+// the build side s is hash-partitioned by the common attributes into
+// per-shard indexes built concurrently, and r's rows are probed in
+// parallel chunks. workers <= 1, small inputs, and attribute-disjoint
+// schemas fall back to the serial kernel. The output is identical to
+// NaturalJoin(r, s), including tuple order.
+func NaturalJoinPar(r, s *Relation, workers int) *Relation {
+	common := r.schema.Intersect(s.schema)
+	if workers <= 1 || len(common) == 0 || r.n+s.n < parMinRows {
+		return NaturalJoin(r, s)
+	}
+	sPrivate := s.schema.Minus(r.schema)
+	out := New(r.schema.Union(s.schema))
+
+	rc, sc := keyCols(r, s, common)
+	sp := make([]int, len(sPrivate))
+	for i, a := range sPrivate {
+		sp[i] = s.Pos(a)
+	}
+
+	idx, shift := shardedIndexes(s, sc, workers)
+
+	outs := make([]*Relation, workers)
+	parallel.Chunks(workers, r.n, func(w, lo, hi int) {
+		local := New(out.schema)
+		outRow := make([]Value, out.width)
+		for i := lo; i < hi; i++ {
+			row := r.Row(i)
+			sh := hashRowCols(row, rc) >> shift
+			for _, si := range idx[sh].IDsCols(row, rc) {
+				srow := s.Row(int(si))
+				copy(outRow, row)
+				for j, p := range sp {
+					outRow[r.width+j] = srow[p]
+				}
+				local.Append(outRow...)
+			}
+		}
+		outs[w] = local
+	})
+	concat(out, outs)
+	return out
+}
+
+// SemijoinPar is Semijoin evaluated with the given worker budget. The
+// output is identical to Semijoin(r, s), including tuple order.
+func SemijoinPar(r, s *Relation, workers int) *Relation {
+	common := r.schema.Intersect(s.schema)
+	if workers <= 1 || len(common) == 0 || r.n+s.n < parMinRows {
+		return Semijoin(r, s)
+	}
+	rc, sc := keyCols(r, s, common)
+	sets, shift := shardedKeySets(s, sc, workers)
+
+	out := New(r.schema)
+	outs := make([]*Relation, workers)
+	parallel.Chunks(workers, r.n, func(w, lo, hi int) {
+		local := New(r.schema)
+		for i := lo; i < hi; i++ {
+			row := r.Row(i)
+			sh := hashRowCols(row, rc) >> shift
+			if sets[sh].ContainsCols(row, rc) {
+				local.Append(row...)
+			}
+		}
+		outs[w] = local
+	})
+	concat(out, outs)
+	return out
+}
+
+// SemijoinInPlacePar is SemijoinInPlace evaluated with the given worker
+// budget: the survivor test runs in parallel chunks against per-shard key
+// sets, then r is compacted serially. The result is identical to
+// SemijoinInPlace(r, s), including tuple order.
+func SemijoinInPlacePar(r, s *Relation, workers int) *Relation {
+	common := r.schema.Intersect(s.schema)
+	if workers <= 1 || len(common) == 0 || r.n+s.n < parMinRows {
+		return SemijoinInPlace(r, s)
+	}
+	rc, sc := keyCols(r, s, common)
+	sets, shift := shardedKeySets(s, sc, workers)
+
+	keep := make([]bool, r.n)
+	parallel.Chunks(workers, r.n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := r.Row(i)
+			sh := hashRowCols(row, rc) >> shift
+			keep[i] = sets[sh].ContainsCols(row, rc)
+		}
+	})
+	w := 0
+	for i := 0; i < r.n; i++ {
+		if !keep[i] {
+			continue
+		}
+		if w != i {
+			copy(r.rows[w*r.width:(w+1)*r.width], r.Row(i))
+		}
+		w++
+	}
+	r.rows = r.rows[:w*r.width]
+	r.n = w
+	return r
+}
+
+// keyCols maps the shared key attributes onto each side's column
+// positions, in the same attribute order, so hashing r's rows on rc and
+// s's rows on sc produces identical key hashes.
+func keyCols(r, s *Relation, common Schema) (rc, sc []int) {
+	rc = make([]int, len(common))
+	sc = make([]int, len(common))
+	for i, a := range common {
+		rc[i] = r.Pos(a)
+		sc[i] = s.Pos(a)
+	}
+	return rc, sc
+}
+
+// shardedIndexes hash-partitions s by the key columns sc and builds one
+// frozen TupleIndex per shard concurrently. Row ids stay ascending within
+// each shard, so per-key insertion order matches a serial build.
+func shardedIndexes(s *Relation, sc []int, workers int) ([]*TupleIndex, uint) {
+	shards, shift := shardPlan(workers)
+	byShard, off := shardRows(s, sc, shards, shift, workers)
+	idx := make([]*TupleIndex, shards)
+	parallel.ForEach(workers, shards, func(sh int) {
+		ids := byShard[off[sh]:off[sh+1]]
+		ix := NewTupleIndexSized(len(sc), len(ids))
+		buf := make([]Value, len(sc))
+		for _, i := range ids {
+			row := s.Row(int(i))
+			for j, c := range sc {
+				buf[j] = row[c]
+			}
+			ix.Add(buf, i)
+		}
+		ix.Freeze()
+		idx[sh] = ix
+	})
+	return idx, shift
+}
+
+// shardedKeySets hash-partitions s's key tuples (columns sc) into one
+// TupleSet per shard, built concurrently.
+func shardedKeySets(s *Relation, sc []int, workers int) ([]*TupleSet, uint) {
+	shards, shift := shardPlan(workers)
+	byShard, off := shardRows(s, sc, shards, shift, workers)
+	sets := make([]*TupleSet, shards)
+	parallel.ForEach(workers, shards, func(sh int) {
+		ids := byShard[off[sh]:off[sh+1]]
+		set := NewTupleSetSized(len(sc), len(ids))
+		for _, i := range ids {
+			set.AddCols(s.Row(int(i)), sc)
+		}
+		sets[sh] = set
+	})
+	return sets, shift
+}
+
+// shardRows hash-partitions s's row ids by shard (top hash bits of the key
+// columns): shard ids are computed in parallel chunks, then one serial
+// counting pass groups the ids so that byShard[off[sh]:off[sh+1]] lists
+// shard sh's rows in ascending order — each shard build touches only its
+// own rows instead of rescanning all of s.
+func shardRows(s *Relation, sc []int, shards int, shift uint, workers int) (byShard, off []int32) {
+	shardOf := make([]uint8, s.n)
+	parallel.Chunks(workers, s.n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			shardOf[i] = uint8(hashRowCols(s.Row(i), sc) >> shift)
+		}
+	})
+	off = make([]int32, shards+1)
+	for _, sh := range shardOf {
+		off[sh+1]++
+	}
+	for i := 0; i < shards; i++ {
+		off[i+1] += off[i]
+	}
+	byShard = make([]int32, s.n)
+	cursor := append([]int32(nil), off[:shards]...)
+	for i, sh := range shardOf {
+		byShard[cursor[sh]] = int32(i)
+		cursor[sh]++
+	}
+	return byShard, off
+}
+
+// concat appends the per-worker outputs to out in worker order (nil entries
+// are workers that received no chunk).
+func concat(out *Relation, outs []*Relation) {
+	total := 0
+	for _, o := range outs {
+		if o != nil {
+			total += len(o.rows)
+		}
+	}
+	out.rows = make([]Value, 0, total)
+	for _, o := range outs {
+		if o == nil {
+			continue
+		}
+		out.rows = append(out.rows, o.rows...)
+		out.n += o.n
+	}
+}

@@ -1,0 +1,151 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// identical reports byte-for-byte equality: same schema order, same tuple
+// order. The partitioned operators promise exactly the serial output, not
+// just set equality.
+func identical(a, b *Relation) bool {
+	if !a.Schema().Equal(b.Schema()) || a.Len() != b.Len() {
+		return false
+	}
+	for i := 0; i < a.Len(); i++ {
+		if !rowsEqual(a.Row(i), b.Row(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// forceSharded lowers the row gate for the duration of a test so tiny
+// randomized relations exercise the partitioned code path.
+func forceSharded(t *testing.T) {
+	t.Helper()
+	old := parMinRows
+	parMinRows = 0
+	t.Cleanup(func() { parMinRows = old })
+}
+
+func TestQuickNaturalJoinParMatchesSerial(t *testing.T) {
+	forceSharded(t)
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		r := randRelation(rnd, Schema{1, 2}, 40, 5)
+		s := randRelation(rnd, Schema{2, 3}, 40, 5)
+		want := NaturalJoin(r, s)
+		for _, w := range []int{2, 3, 8, 100} {
+			if !identical(NaturalJoinPar(r, s, w), want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, qcfg(101)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNaturalJoinParWideKey(t *testing.T) {
+	forceSharded(t)
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		r := randRelation(rnd, Schema{1, 2, 3}, 40, 3)
+		s := randRelation(rnd, Schema{2, 3, 4}, 40, 3)
+		return identical(NaturalJoinPar(r, s, 4), NaturalJoin(r, s))
+	}
+	if err := quick.Check(f, qcfg(102)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSemijoinParMatchesSerial(t *testing.T) {
+	forceSharded(t)
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		r := randRelation(rnd, Schema{1, 2}, 40, 4)
+		s := randRelation(rnd, Schema{2, 3}, 40, 4)
+		want := Semijoin(r, s)
+		for _, w := range []int{2, 4, 33} {
+			if !identical(SemijoinPar(r, s, w), want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, qcfg(103)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSemijoinInPlaceParMatchesSerial(t *testing.T) {
+	forceSharded(t)
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		r := randRelation(rnd, Schema{1, 2}, 40, 4)
+		s := randRelation(rnd, Schema{2, 3}, 40, 4)
+		serial := SemijoinInPlace(r.Clone(), s)
+		for _, w := range []int{2, 4, 33} {
+			if !identical(SemijoinInPlacePar(r.Clone(), s, w), serial) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, qcfg(104)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Disjoint schemas and empty inputs must fall back to the serial semantics.
+func TestParOpsEdgeCases(t *testing.T) {
+	forceSharded(t)
+	r := New(Schema{1, 2})
+	r.Append(1, 2)
+	r.Append(3, 4)
+	s := New(Schema{3, 4})
+	s.Append(7, 8)
+	if got, want := NaturalJoinPar(r, s, 4), NaturalJoin(r, s); !identical(got, want) {
+		t.Fatalf("cross product: got %v want %v", got, want)
+	}
+	if got := SemijoinPar(r, s, 4); !identical(got, Semijoin(r, s)) {
+		t.Fatalf("disjoint semijoin: %v", got)
+	}
+	empty := New(Schema{2, 3})
+	if got := NaturalJoinPar(r, empty, 4); got.Len() != 0 {
+		t.Fatalf("join with empty build side: %v", got)
+	}
+	if got := SemijoinInPlacePar(r.Clone(), empty, 4); got.Len() != 0 {
+		t.Fatalf("semijoin against empty: %v", got)
+	}
+}
+
+// Above the gate (real sharding, width-1 fast path, skewed keys) the
+// partitioned operators must still be byte-identical to serial.
+func TestParOpsLargeSkewed(t *testing.T) {
+	lhs := New(Schema{0, 1})
+	rhs := New(Schema{1, 2})
+	for i := 0; i < 20000; i++ {
+		lhs.Append(Value(i%500), Value(i%1000))
+		// Skew: half of rhs lands on key 0.
+		k := i % 1000
+		if i%2 == 0 {
+			k = 0
+		}
+		rhs.Append(Value(k), Value(i%250))
+	}
+	for _, w := range []int{2, 4, 16} {
+		if !identical(NaturalJoinPar(lhs, rhs, w), NaturalJoin(lhs, rhs)) {
+			t.Fatalf("NaturalJoinPar workers=%d diverges", w)
+		}
+		if !identical(SemijoinPar(lhs, rhs, w), Semijoin(lhs, rhs)) {
+			t.Fatalf("SemijoinPar workers=%d diverges", w)
+		}
+		if !identical(SemijoinInPlacePar(lhs.Clone(), rhs, w), SemijoinInPlace(lhs.Clone(), rhs)) {
+			t.Fatalf("SemijoinInPlacePar workers=%d diverges", w)
+		}
+	}
+}

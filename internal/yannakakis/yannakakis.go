@@ -11,9 +11,11 @@ package yannakakis
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"pyquery/internal/eval"
 	"pyquery/internal/hypergraph"
+	"pyquery/internal/parallel"
 	"pyquery/internal/query"
 	"pyquery/internal/relation"
 )
@@ -26,6 +28,13 @@ type Options struct {
 	// NoFullReducer skips the semijoin passes (ablation A2). Results are
 	// identical; intermediate join sizes may blow up.
 	NoFullReducer bool
+	// Parallelism is the worker count. Each semijoin/join pass processes
+	// the join tree level by level; the independent subtree reductions of a
+	// level run across workers, and leftover budget flows into the
+	// partitioned semijoin/join kernel. 0 means GOMAXPROCS; 1 is the serial
+	// evaluator (byte-identical output to previous releases). Parallel runs
+	// produce the same answer set; only row order may differ.
+	Parallelism int
 }
 
 // IsAcyclic reports whether the hypergraph of the query's relational atoms
@@ -70,6 +79,7 @@ func EvaluateOpts(q *query.CQ, db *query.DB, opts Options) (*relation.Relation, 
 	if st == nil { // trivially empty
 		return query.NewTable(len(q.Head)), nil
 	}
+	st.workers = parallel.Workers(opts.Parallelism)
 	if !opts.NoFullReducer {
 		if empty := st.fullReduce(); empty {
 			return query.NewTable(len(q.Head)), nil
@@ -82,6 +92,11 @@ func EvaluateOpts(q *query.CQ, db *query.DB, opts Options) (*relation.Relation, 
 // EvaluateBool decides Q(d) ≠ ∅ for an acyclic pure conjunctive query using
 // only the bottom-up semijoin pass — the O(n·q) decision procedure.
 func EvaluateBool(q *query.CQ, db *query.DB) (bool, error) {
+	return EvaluateBoolOpts(q, db, Options{})
+}
+
+// EvaluateBoolOpts is EvaluateBool with explicit options.
+func EvaluateBoolOpts(q *query.CQ, db *query.DB, opts Options) (bool, error) {
 	st, err := prepare(q, db)
 	if err != nil {
 		return false, err
@@ -89,6 +104,7 @@ func EvaluateBool(q *query.CQ, db *query.DB) (bool, error) {
 	if st == nil {
 		return false, nil
 	}
+	st.workers = parallel.Workers(opts.Parallelism)
 	return !st.bottomUpSemijoin(), nil
 }
 
@@ -101,6 +117,8 @@ type state struct {
 	// subtreeVars[j] is at(T[j]) as variable attributes.
 	subtreeVars []map[query.Var]bool
 	headVars    map[query.Var]bool
+	// workers is the parallelism budget for the passes (1 = serial).
+	workers int
 }
 
 // prepare validates, reduces atoms, and builds the join tree. It returns
@@ -163,17 +181,73 @@ func prepare(q *query.CQ, db *query.DB) (*state, error) {
 	return &state{q: q, tree: tree, rels: rels, subtreeVars: subtreeVars, headVars: headVars}, nil
 }
 
+// levels groups the tree's nodes by depth (roots at level 0), each level in
+// ascending node order. Nodes at the same level root disjoint subtrees, so
+// per-node pass work within a level is independent — the unit the parallel
+// passes fan out over.
+func (st *state) levels() [][]int {
+	depth := make([]int, len(st.tree.Parent))
+	maxd := 0
+	// Reverse bottom-up order visits parents before children.
+	for i := len(st.tree.Order) - 1; i >= 0; i-- {
+		j := st.tree.Order[i]
+		if u := st.tree.Parent[j]; u >= 0 {
+			depth[j] = depth[u] + 1
+		}
+		if depth[j] > maxd {
+			maxd = depth[j]
+		}
+	}
+	lv := make([][]int, maxd+1)
+	for j, d := range depth {
+		lv[d] = append(lv[d], j)
+	}
+	return lv
+}
+
 // bottomUpSemijoin runs the upward semijoin pass (children filter parents);
 // it returns true if some relation became empty (the query is false). The
 // pass relations are private to the evaluation (built by ReduceAtom), so
 // each semijoin filters in place instead of rebuilding a relation per pass.
+// With workers > 1 the pass walks the tree level by level, deepest parents
+// first: every parent of a level absorbs its children independently of the
+// level's other parents, so they run across workers.
 func (st *state) bottomUpSemijoin() bool {
-	for _, j := range st.tree.Order {
-		u := st.tree.Parent[j]
-		if u < 0 {
+	if st.workers <= 1 {
+		for _, j := range st.tree.Order {
+			u := st.tree.Parent[j]
+			if u < 0 {
+				continue
+			}
+			if relation.SemijoinInPlace(st.rels[u], st.rels[j]).Empty() {
+				return true
+			}
+		}
+		return false
+	}
+	lv := st.levels()
+	var empty atomic.Bool
+	for d := len(lv) - 2; d >= 0; d-- {
+		var parents []int
+		for _, u := range lv[d] {
+			if len(st.tree.Children[u]) > 0 {
+				parents = append(parents, u)
+			}
+		}
+		if len(parents) == 0 {
 			continue
 		}
-		if relation.SemijoinInPlace(st.rels[u], st.rels[j]).Empty() {
+		outer, inner := parallel.Split(st.workers, len(parents))
+		parallel.ForEach(outer, len(parents), func(i int) {
+			u := parents[i]
+			for _, c := range st.tree.Children[u] {
+				if relation.SemijoinInPlacePar(st.rels[u], st.rels[c], inner).Empty() {
+					empty.Store(true)
+					return
+				}
+			}
+		})
+		if empty.Load() {
 			return true
 		}
 	}
@@ -187,39 +261,89 @@ func (st *state) fullReduce() bool {
 	if st.bottomUpSemijoin() {
 		return true
 	}
-	// Top-down: parents filter children, in reverse bottom-up order.
-	for i := len(st.tree.Order) - 1; i >= 0; i-- {
-		j := st.tree.Order[i]
-		u := st.tree.Parent[j]
-		if u < 0 {
-			continue
+	if st.workers <= 1 {
+		// Top-down: parents filter children, in reverse bottom-up order.
+		for i := len(st.tree.Order) - 1; i >= 0; i-- {
+			j := st.tree.Order[i]
+			u := st.tree.Parent[j]
+			if u < 0 {
+				continue
+			}
+			if relation.SemijoinInPlace(st.rels[j], st.rels[u]).Empty() {
+				return true
+			}
 		}
-		if relation.SemijoinInPlace(st.rels[j], st.rels[u]).Empty() {
+		return false
+	}
+	// Top-down by levels: each node of a level is filtered by its (already
+	// fully filtered) parent; the nodes mutate disjoint relations and only
+	// read their parents, so a level runs across workers.
+	lv := st.levels()
+	var empty atomic.Bool
+	for d := 1; d < len(lv); d++ {
+		nodes := lv[d]
+		outer, inner := parallel.Split(st.workers, len(nodes))
+		parallel.ForEach(outer, len(nodes), func(i int) {
+			j := nodes[i]
+			if relation.SemijoinInPlacePar(st.rels[j], st.rels[st.tree.Parent[j]], inner).Empty() {
+				empty.Store(true)
+			}
+		})
+		if empty.Load() {
 			return true
 		}
 	}
 	return false
 }
 
-// joinProject performs the upward join pass, carrying only join attributes
-// and head variables, and returns π_Z(⋈ all) over the head variables.
-func (st *state) joinProject() *relation.Relation {
-	for _, j := range st.tree.Order {
-		u := st.tree.Parent[j]
-		if u < 0 {
-			continue
-		}
-		// Z_j = (vars(P_j) ∩ vars(P_u)) ∪ (head vars in subtree of j).
-		proj := st.rels[j].Schema().Intersect(st.rels[u].Schema())
-		for v := range st.subtreeVars[j] {
-			if st.headVars[v] {
-				a := relation.Attr(v)
-				if !proj.Has(a) && st.rels[j].Schema().Has(a) {
-					proj = append(proj, a)
-				}
+// projSchema returns Z_j = (vars(P_j) ∩ vars(P_u)) ∪ (head vars in the
+// subtree of j) — the columns node j must hand its parent u.
+func (st *state) projSchema(j, u int) relation.Schema {
+	proj := st.rels[j].Schema().Intersect(st.rels[u].Schema())
+	for v := range st.subtreeVars[j] {
+		if st.headVars[v] {
+			a := relation.Attr(v)
+			if !proj.Has(a) && st.rels[j].Schema().Has(a) {
+				proj = append(proj, a)
 			}
 		}
-		st.rels[u] = relation.NaturalJoin(st.rels[u], relation.Project(st.rels[j], proj))
+	}
+	return proj
+}
+
+// joinProject performs the upward join pass, carrying only join attributes
+// and head variables, and returns π_Z(⋈ all) over the head variables. With
+// workers > 1 the independent parents of each level absorb their subtrees
+// concurrently (same answer set; row order may differ from serial).
+func (st *state) joinProject() *relation.Relation {
+	if st.workers <= 1 {
+		for _, j := range st.tree.Order {
+			u := st.tree.Parent[j]
+			if u < 0 {
+				continue
+			}
+			st.rels[u] = relation.NaturalJoin(st.rels[u], relation.Project(st.rels[j], st.projSchema(j, u)))
+		}
+	} else {
+		lv := st.levels()
+		for d := len(lv) - 2; d >= 0; d-- {
+			var parents []int
+			for _, u := range lv[d] {
+				if len(st.tree.Children[u]) > 0 {
+					parents = append(parents, u)
+				}
+			}
+			if len(parents) == 0 {
+				continue
+			}
+			outer, inner := parallel.Split(st.workers, len(parents))
+			parallel.ForEach(outer, len(parents), func(i int) {
+				u := parents[i]
+				for _, c := range st.tree.Children[u] {
+					st.rels[u] = relation.NaturalJoinPar(st.rels[u], relation.Project(st.rels[c], st.projSchema(c, u)), inner)
+				}
+			})
+		}
 	}
 	root := st.tree.Roots[0]
 	zs := make(relation.Schema, 0, len(st.headVars))

@@ -59,7 +59,9 @@ type (
 	Symbols = parser.Symbols
 	// Stats reports what the Theorem 2 engine did.
 	Stats = core.Stats
-	// Options configures the Theorem 2 engine.
+	// Options configures evaluation. Parallelism applies to every engine
+	// (0 = GOMAXPROCS, 1 = serial); the remaining fields configure the
+	// Theorem 2 color-coding engine and are ignored elsewhere.
 	Options = core.Options
 )
 
@@ -143,31 +145,46 @@ func Plan(q *CQ) Engine {
 }
 
 // Evaluate computes Q(d), dispatching to the best engine for the query's
-// class. The answer uses the positional schema 0…len(head)−1.
+// class. The answer uses the positional schema 0…len(head)−1. Evaluation
+// uses the default options — in particular Parallelism 0, i.e. GOMAXPROCS
+// workers; pass Options{Parallelism: 1} to EvaluateOpts for the serial
+// engines.
 func Evaluate(q *CQ, db *DB) (*Relation, error) {
+	return EvaluateOpts(q, db, Options{})
+}
+
+// EvaluateOpts is Evaluate with explicit options. Options.Parallelism is
+// forwarded to whichever engine Plan selects (0 = GOMAXPROCS, 1 = serial);
+// the answer set is the same at every parallelism level.
+func EvaluateOpts(q *CQ, db *DB, opts Options) (*Relation, error) {
 	switch Plan(q) {
 	case EngineYannakakis:
-		return yannakakis.Evaluate(q, db)
+		return yannakakis.EvaluateOpts(q, db, yannakakis.Options{Parallelism: opts.Parallelism})
 	case EngineColorCoding:
-		return core.Evaluate(q, db)
+		return core.EvaluateOpts(q, db, opts)
 	case EngineComparisons:
-		return order.Evaluate(q, db)
+		return order.EvaluateOpts(q, db, eval.Options{Parallelism: opts.Parallelism})
 	default:
-		return eval.Conjunctive(q, db)
+		return eval.ConjunctiveOpts(q, db, eval.Options{Parallelism: opts.Parallelism})
 	}
 }
 
 // EvaluateBool decides Q(d) ≠ ∅ with the dispatched engine.
 func EvaluateBool(q *CQ, db *DB) (bool, error) {
+	return EvaluateBoolOpts(q, db, Options{})
+}
+
+// EvaluateBoolOpts is EvaluateBool with explicit options.
+func EvaluateBoolOpts(q *CQ, db *DB, opts Options) (bool, error) {
 	switch Plan(q) {
 	case EngineYannakakis:
-		return yannakakis.EvaluateBool(q, db)
+		return yannakakis.EvaluateBoolOpts(q, db, yannakakis.Options{Parallelism: opts.Parallelism})
 	case EngineColorCoding:
-		return core.EvaluateBool(q, db)
+		return core.EvaluateBoolOpts(q, db, opts)
 	case EngineComparisons:
-		return order.EvaluateBool(q, db)
+		return order.EvaluateBoolOpts(q, db, eval.Options{Parallelism: opts.Parallelism})
 	default:
-		return eval.ConjunctiveBool(q, db)
+		return eval.ConjunctiveBoolOpts(q, db, eval.Options{Parallelism: opts.Parallelism})
 	}
 }
 
