@@ -293,6 +293,26 @@ func BenchmarkA3_JoinOrder(b *testing.B) {
 	})
 }
 
+func BenchmarkA5_PlannerOrder(b *testing.B) {
+	db, q := workload.PlannerTrap(200, 30)
+	b.Run("stats", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eval.ConjunctiveOpts(q, db, serialEval); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eval.ConjunctiveOpts(q, db, eval.Options{Parallelism: 1, LegacyGreedy: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 func BenchmarkA4_FamilySize(b *testing.B) {
 	db := workload.LayeredPathDB(8, 25, 3, 34)
 	q := workload.SimplePathQuery(3)

@@ -3,7 +3,7 @@
 // Theorem 2 tractability measurements (E3), the Theorem 3 hardness family
 // (E4), the Section 5 example queries (E5), the Hamiltonian-path combined-
 // complexity blowup (E6), the Vardi Datalog family (E7), and the ablations
-// A1–A4.
+// A1–A5.
 //
 // Usage:
 //
@@ -26,7 +26,7 @@ type experiment struct {
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E7, A1..A4, PAR) or 'all'")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E7, A1..A5, PAR) or 'all'")
 	quick := flag.Bool("quick", false, "smaller sweeps (CI-sized)")
 	flag.Parse()
 
@@ -42,6 +42,7 @@ func main() {
 		{"A2", "Ablation: Yannakakis full reducer on/off", runA2},
 		{"A3", "Ablation: join-order heuristic on/off", runA3},
 		{"A4", "Ablation: Monte-Carlo confidence c vs measured success rate", runA4},
+		{"A5", "Ablation: stats-driven join order vs legacy greedy heuristic", runA5},
 		{"PAR", "Parallel scaling: Parallelism sweep across engines and the join kernel", runPAR},
 	}
 

@@ -85,8 +85,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var report *pyquery.PlanReport
 	if *explain {
-		fmt.Println(pyquery.Explain(q))
+		// The full cost-based report needs the database; fall back to the
+		// query-only explanation if planning fails (e.g. unknown relation).
+		// PlanDB reduces the atoms once for the report and the evaluation
+		// below reduces them again — an accepted diagnostic-only cost.
+		if r, err := pyquery.PlanDB(q, db); err == nil {
+			report = r
+			fmt.Println(r)
+		} else {
+			fmt.Println(pyquery.Explain(q))
+		}
 	}
 
 	var res *relation.Relation
@@ -116,6 +126,9 @@ func main() {
 		fatal(err)
 	}
 	printResult(res, syms, *boolOnly)
+	if report != nil && !*boolOnly && res.Width() > 0 {
+		fmt.Printf("cardinality: estimated %.0f, actual %d\n", report.EstRows, res.Len())
+	}
 }
 
 func printResult(res *relation.Relation, syms *parser.Symbols, boolOnly bool) {

@@ -26,6 +26,7 @@ import (
 	"pyquery/internal/colorcoding"
 	"pyquery/internal/eval"
 	"pyquery/internal/hypergraph"
+	"pyquery/internal/plan"
 	"pyquery/internal/query"
 	"pyquery/internal/relation"
 )
@@ -205,24 +206,9 @@ func (p *prepared) hattr(v query.Var) relation.Attr {
 // inequalities in the paper's sense: the hypergraph of the relational atoms
 // alone (inequality edges excluded!) is α-acyclic.
 func IsAcyclicWithIneqs(q *query.CQ) bool {
-	h := atomHypergraph(q)
+	h, _ := plan.AtomHypergraph(q)
 	_, ok := h.JoinForest()
 	return ok
-}
-
-func atomHypergraph(q *query.CQ) *hypergraph.Hypergraph {
-	vars := q.BodyVars()
-	id := make(map[query.Var]int, len(vars))
-	for i, v := range vars {
-		id[v] = i
-	}
-	edges := make([][]int, len(q.Atoms))
-	for i, a := range q.Atoms {
-		for _, v := range a.Vars() {
-			edges[i] = append(edges[i], id[v])
-		}
-	}
-	return hypergraph.New(len(vars), edges)
 }
 
 func prepare(q *query.CQ, db *query.DB, opts Options) (*prepared, error) {
@@ -301,7 +287,7 @@ func prepare(q *query.CQ, db *query.DB, opts Options) (*prepared, error) {
 	p.hOff = int32(maxVar) + 1
 
 	// Join tree over the relational atoms.
-	h := atomHypergraph(q)
+	h, _ := plan.AtomHypergraph(q)
 	forest, acyclic := h.JoinForest()
 	if !acyclic {
 		return nil, ErrCyclic
@@ -318,7 +304,6 @@ func prepare(q *query.CQ, db *query.DB, opts Options) (*prepared, error) {
 		p.finishHead()
 		return p, nil
 	}
-	p.tree = forest.JoinTree()
 
 	// Reduce atoms and apply the I₂ pushdown.
 	inV1 := make(map[query.Var]bool, len(v1))
@@ -327,6 +312,7 @@ func prepare(q *query.CQ, db *query.DB, opts Options) (*prepared, error) {
 	}
 	p.base = make([]*relation.Relation, len(q.Atoms))
 	p.uj = make([][]query.Var, len(q.Atoms))
+	inputs := make([]plan.Input, len(q.Atoms))
 	relevantSet := make(map[relation.Value]bool)
 	for j, a := range q.Atoms {
 		s, vars := eval.ReduceAtom(a, db)
@@ -339,6 +325,7 @@ func prepare(q *query.CQ, db *query.DB, opts Options) (*prepared, error) {
 			return p, nil
 		}
 		p.base[j] = s
+		inputs[j] = plan.Input{Label: a.Rel, Rows: s.Len(), Vars: vars}
 		for _, v := range vars {
 			if inV1[v] {
 				col := s.Pos(relation.Attr(v))
@@ -348,6 +335,11 @@ func prepare(q *query.CQ, db *query.DB, opts Options) (*prepared, error) {
 			}
 		}
 	}
+	// Root and order the join tree by the reduced (post-pushdown)
+	// cardinalities — same planner policy as the Yannakakis engine; any
+	// orientation of the spanning forest is a valid join tree, so Lemma 1's
+	// Y-sets below adapt to whichever root minimizes the merge work.
+	p.tree = plan.OrderForest(forest, inputs).JoinTree()
 	for _, c := range p.constColors {
 		relevantSet[c] = true
 	}

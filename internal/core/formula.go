@@ -6,6 +6,7 @@ import (
 	"pyquery/internal/colorcoding"
 	"pyquery/internal/eval"
 	"pyquery/internal/parallel"
+	"pyquery/internal/plan"
 	"pyquery/internal/query"
 	"pyquery/internal/relation"
 )
@@ -146,7 +147,7 @@ func EvaluateIneqFormula(q *query.CQ, phi IneqFormula, db *query.DB, opts Option
 		}
 	}
 
-	h := atomHypergraph(q)
+	h, _ := plan.AtomHypergraph(q)
 	forest, acyclic := h.JoinForest()
 	if !acyclic {
 		return nil, ErrCyclic
@@ -166,8 +167,6 @@ func EvaluateIneqFormula(q *query.CQ, phi IneqFormula, db *query.DB, opts Option
 		}
 		return out, nil
 	}
-	tree := forest.JoinTree()
-
 	// Reduce atoms; collect the φ-relevant domain.
 	inPhi := map[query.Var]bool{}
 	for _, v := range phiVars {
@@ -175,6 +174,7 @@ func EvaluateIneqFormula(q *query.CQ, phi IneqFormula, db *query.DB, opts Option
 	}
 	base := make([]*relation.Relation, len(q.Atoms))
 	uj := make([][]query.Var, len(q.Atoms))
+	inputs := make([]plan.Input, len(q.Atoms))
 	relevant := map[relation.Value]bool{}
 	for j, a := range q.Atoms {
 		s, vars := eval.ReduceAtom(a, db)
@@ -183,6 +183,7 @@ func EvaluateIneqFormula(q *query.CQ, phi IneqFormula, db *query.DB, opts Option
 		}
 		base[j] = s
 		uj[j] = vars
+		inputs[j] = plan.Input{Label: a.Rel, Rows: s.Len(), Vars: vars}
 		for _, v := range vars {
 			if inPhi[v] {
 				col := s.Pos(relation.Attr(v))
@@ -192,6 +193,9 @@ func EvaluateIneqFormula(q *query.CQ, phi IneqFormula, db *query.DB, opts Option
 			}
 		}
 	}
+	// Same planner policy as the conjunction path: root at the heaviest
+	// reduced relation, lightest children first.
+	tree := plan.OrderForest(forest, inputs).JoinTree()
 	for _, c := range phiConsts {
 		relevant[c] = true
 	}

@@ -195,8 +195,7 @@ func fireAll(firings []firing, work *query.DB, cur map[string]*table, workers in
 	errs := make([]error, len(firings))
 	parallel.ForEach(outer, len(firings), func(i int) {
 		f := firings[i]
-		q := &query.CQ{Head: f.head.Args, Atoms: f.body}
-		out, err := eval.ConjunctiveOpts(q, work, eval.Options{Parallelism: inner})
+		out, err := fireRule(f.head, f.body, work, inner)
 		if err != nil {
 			errs[i] = err
 			return
@@ -235,7 +234,7 @@ func evalNaive(p *Program, work *query.DB, cur map[string]*table, workers int, s
 			stats.Rounds++
 			grew := false
 			for _, r := range p.Rules {
-				out, err := fireRule(r, r.Body, work)
+				out, err := fireRule(r.Head, r.Body, work, workers)
 				if err != nil {
 					return err
 				}
@@ -309,9 +308,10 @@ func evalSemiNaive(p *Program, idb map[string]int, work *query.DB, cur map[strin
 	}
 
 	// Recursive firings: one per IDB body position per rule, substituting
-	// the delta relation there (the standard semi-naive rewriting). The
-	// delta relations are swapped in place between rounds, so the firing
-	// list is built once.
+	// the delta relation there (the standard semi-naive rewriting). Each
+	// round re-installs the next delta under the same Δ-name via work.Set
+	// (which also invalidates the statistics memo), so the firing list is
+	// built once and resolves the current delta by name.
 	var recs []firing
 	for _, r := range p.Rules {
 		if countIDBAtoms(r, idb) == 0 {
@@ -353,14 +353,19 @@ func evalSemiNaive(p *Program, idb map[string]int, work *query.DB, cur map[strin
 			}
 		}
 		for name := range idb {
-			// Promote: cur += next; delta := next.
+			// Promote: cur += next; delta := next. The new delta is
+			// installed via Set (not swapped in place) so the statistics
+			// memo is invalidated even when consecutive rounds' deltas have
+			// equal cardinality but different contents — the per-round
+			// re-planning contract depends on it.
 			nd := query.NewTable(next[name].rel.Width())
 			for i := 0; i < next[name].rel.Len(); i++ {
 				row := next[name].rel.Row(i)
 				cur[name].add(row)
 				nd.Append(row...)
 			}
-			*delta[name] = *nd
+			delta[name] = nd
+			work.Set(deltaName(name), nd)
 		}
 	}
 }
@@ -407,12 +412,16 @@ func countIDBAtoms(r Rule, idb map[string]int) int {
 	return n
 }
 
-// fireRule evaluates the rule body as a conjunctive query with the rule
-// head as output over the working database, serially — it backs the
-// workers <= 1 paths, which must not spawn goroutines.
-func fireRule(r Rule, body []query.Atom, work *query.DB) (*relation.Relation, error) {
-	q := &query.CQ{Head: r.Head.Args, Atoms: body}
-	return eval.ConjunctiveOpts(q, work, eval.Options{Parallelism: 1})
+// fireRule evaluates one rule firing — the body as a conjunctive query
+// with the head as output — over the working database, threading the
+// caller's worker budget into the inner evaluation. It backs both the
+// sequential fixpoint rounds (workers ≤ 1 there, so no goroutines spawn)
+// and fireAll's concurrent firings, where the leftover per-firing budget
+// from parallel.Split lets a lone firing spend the whole budget in the
+// backtracker's fan-out.
+func fireRule(head query.Atom, body []query.Atom, work *query.DB, workers int) (*relation.Relation, error) {
+	q := &query.CQ{Head: head.Args, Atoms: body}
+	return eval.ConjunctiveOpts(q, work, eval.Options{Parallelism: workers})
 }
 
 // VardiFamily returns the arity-k Datalog program of experiment E7:

@@ -9,15 +9,21 @@ import (
 	"sync/atomic"
 
 	"pyquery/internal/parallel"
+	"pyquery/internal/plan"
 	"pyquery/internal/query"
 	"pyquery/internal/relation"
+	"pyquery/internal/stats"
 )
 
 // Options controls the conjunctive evaluator.
 type Options struct {
-	// NoReorder disables the greedy join-order heuristic and evaluates the
-	// atoms in the order written (ablation A3).
+	// NoReorder disables join ordering entirely and evaluates the atoms in
+	// the order written (ablation A3).
 	NoReorder bool
+	// LegacyGreedy restores the pre-planner ordering heuristic — fewest
+	// unbound variables, ties by raw relation size — instead of the
+	// cost-based order from internal/plan (ablation A5).
+	LegacyGreedy bool
 	// Parallelism is the worker count for the first-step fan-out: the rows
 	// matched by the first plan step are split into contiguous chunks and
 	// each worker backtracks through the remaining steps independently.
@@ -246,10 +252,6 @@ func newBacktracker(q *query.CQ, db *query.DB, opts Options) (*backtracker, erro
 	}
 
 	// Reduce each atom to S_j = π_{U_j} σ_{F_j}(R_j) over its distinct vars.
-	type reduced struct {
-		rel  *relation.Relation
-		vars []query.Var
-	}
 	reds := make([]reduced, len(q.Atoms))
 	for i, a := range q.Atoms {
 		s, vars := ReduceAtom(a, db)
@@ -270,42 +272,27 @@ func newBacktracker(q *query.CQ, db *query.DB, opts Options) (*backtracker, erro
 		}
 	}
 
-	// Order atoms: greedily pick the atom with the fewest unbound variables,
-	// breaking ties by relation size.
-	order := make([]int, 0, len(q.Atoms))
-	used := make([]bool, len(q.Atoms))
-	bound := make(map[query.Var]bool)
-	for len(order) < len(q.Atoms) {
-		best, bestUnbound, bestSize := -1, 0, 0
-		for i := range q.Atoms {
-			if used[i] {
-				continue
-			}
-			if opts.NoReorder {
-				best = i
-				break
-			}
-			unbound := 0
-			for _, v := range reds[i].vars {
-				if !bound[v] {
-					unbound++
-				}
-			}
-			size := reds[i].rel.Len()
-			if best == -1 || unbound < bestUnbound ||
-				(unbound == bestUnbound && size < bestSize) {
-				best, bestUnbound, bestSize = i, unbound, size
-			}
+	// Order the atoms. The default is the cost-based order of internal/plan
+	// (estimated intermediate cardinalities from exact reduced sizes plus
+	// cached base-table distinct counts); because the working database's
+	// statistics are consulted on every construction, Datalog's per-round
+	// firings re-plan against the current IDB sizes for free. LegacyGreedy
+	// and NoReorder are the ablation paths.
+	var order []int
+	switch {
+	case opts.NoReorder:
+		order = make([]int, len(q.Atoms))
+		for i := range order {
+			order[i] = i
 		}
-		used[best] = true
-		order = append(order, best)
-		for _, v := range reds[best].vars {
-			bound[v] = true
-		}
+	case opts.LegacyGreedy:
+		order = legacyGreedyOrder(reds)
+	default:
+		order = plan.Build(planInputs(q, db, reds), q.HeadVars()).Order()
 	}
 
 	// Build plan steps.
-	bound = make(map[query.Var]bool)
+	bound := make(map[query.Var]bool)
 	for _, ai := range order {
 		rd := reds[ai]
 		step := planStep{rel: rd.rel, vars: rd.vars}
@@ -389,6 +376,94 @@ func newBacktracker(q *query.CQ, db *query.DB, opts Options) (*backtracker, erro
 		}
 	}
 	return e, nil
+}
+
+// reduced pairs one atom's reduced relation S_j with its distinct
+// variables (matching S_j's schema order).
+type reduced struct {
+	rel  *relation.Relation
+	vars []query.Var
+}
+
+// planInputs assembles the cost-model inputs for the query's reduced
+// atoms: exact reduced cardinalities plus per-variable distinct counts
+// taken from the base table's cached statistics (stats.For — computed once
+// per relation snapshot, so repeated evaluations pay nothing) and capped by
+// the reduced size. Labels are the bare relation names; PlanFor upgrades
+// them to full atom notation for reports, keeping the per-evaluation path
+// free of formatting allocations.
+func planInputs(q *query.CQ, db *query.DB, reds []reduced) []plan.Input {
+	inputs := make([]plan.Input, len(reds))
+	for i, a := range q.Atoms {
+		rd := reds[i]
+		base := stats.For(db, a.Rel)
+		dist := make([]int, len(rd.vars))
+		for k, v := range rd.vars {
+			for j, t := range a.Args {
+				if t.IsVar && t.Var == v {
+					dist[k] = base.Cols[j].Distinct
+					break
+				}
+			}
+		}
+		inputs[i] = plan.Input{Label: a.Rel, Rows: rd.rel.Len(), Vars: rd.vars, Distinct: dist}
+	}
+	return inputs
+}
+
+// legacyGreedyOrder is the pre-planner heuristic (ablation A5): pick the
+// atom with the fewest unbound variables, breaking ties by relation size.
+func legacyGreedyOrder(reds []reduced) []int {
+	order := make([]int, 0, len(reds))
+	used := make([]bool, len(reds))
+	bound := make(map[query.Var]bool)
+	for len(order) < len(reds) {
+		best, bestUnbound, bestSize := -1, 0, 0
+		for i := range reds {
+			if used[i] {
+				continue
+			}
+			unbound := 0
+			for _, v := range reds[i].vars {
+				if !bound[v] {
+					unbound++
+				}
+			}
+			size := reds[i].rel.Len()
+			if best == -1 || unbound < bestUnbound ||
+				(unbound == bestUnbound && size < bestSize) {
+				best, bestUnbound, bestSize = i, unbound, size
+			}
+		}
+		used[best] = true
+		order = append(order, best)
+		for _, v := range reds[best].vars {
+			bound[v] = true
+		}
+	}
+	return order
+}
+
+// PlanFor builds, without evaluating, the cost-based logical plan the
+// backtracking evaluator would execute for q on db — the structured form
+// behind the facade's PlanReport. Atoms are reduced (a linear scan, not an
+// evaluation) so the reported cardinalities match what the engine will
+// actually order by; an atom that reduces to the empty relation simply
+// contributes Rows=0 and drives the estimates to zero.
+func PlanFor(q *query.CQ, db *query.DB) (*plan.Plan, error) {
+	if err := q.Validate(db); err != nil {
+		return nil, err
+	}
+	reds := make([]reduced, len(q.Atoms))
+	for i, a := range q.Atoms {
+		s, vars := ReduceAtom(a, db)
+		reds[i] = reduced{rel: s, vars: vars}
+	}
+	inputs := planInputs(q, db, reds)
+	for i, a := range q.Atoms {
+		inputs[i].Label = a.String() // full atom notation, for the report
+	}
+	return plan.Build(inputs, q.HeadVars()), nil
 }
 
 // cursor is the mutable search state of one backtracking traversal. Every

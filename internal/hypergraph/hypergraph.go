@@ -244,6 +244,99 @@ func (h *Hypergraph) JoinForest() (*Forest, bool) {
 	return f, true
 }
 
+// JoinForestWeighted is JoinForest followed by RerootedBy: the structural
+// spanning forest is computed as usual (weights play no role in acyclicity),
+// then each component is re-rooted and its children reordered by the given
+// per-edge weights. This is the variant the cost-based planner
+// (internal/plan) feeds with estimated relation cardinalities.
+func (h *Hypergraph) JoinForestWeighted(weight []float64) (*Forest, bool) {
+	f, ok := h.JoinForest()
+	if !ok {
+		return nil, false
+	}
+	return f.RerootedBy(weight), true
+}
+
+// RerootedBy returns a copy of the forest in which every component is
+// re-rooted at its maximum-weight edge (ties: lowest index) and every
+// children list is sorted by ascending weight (ties: lowest index), with
+// Order recomputed children-first. The underlying undirected forest is
+// unchanged, so the join-forest property is preserved — only the
+// orientation and visit order move. weight must have one entry per edge.
+func (f *Forest) RerootedBy(weight []float64) *Forest {
+	m := len(f.Parent)
+	if len(weight) != m {
+		panic(fmt.Sprintf("hypergraph: %d weights for %d edges", len(weight), m))
+	}
+	adj := make([][]int, m)
+	for j, u := range f.Parent {
+		if u >= 0 {
+			adj[j] = append(adj[j], u)
+			adj[u] = append(adj[u], j)
+		}
+	}
+	out := &Forest{Parent: make([]int, m), Children: make([][]int, m)}
+	for i := range out.Parent {
+		out.Parent[i] = -2 // unvisited
+	}
+	heavier := func(a, b int) bool { // should a root over b?
+		return weight[a] > weight[b] || (weight[a] == weight[b] && a < b)
+	}
+	lighter := func(a, b int) bool { // should a be visited before b?
+		return weight[a] < weight[b] || (weight[a] == weight[b] && a < b)
+	}
+	// Walk components in the original root order for deterministic Roots.
+	for _, r := range f.Roots {
+		// Collect the component and pick the heaviest edge as its root.
+		comp := []int{r}
+		out.Parent[r] = -3 // collected
+		for i := 0; i < len(comp); i++ {
+			for _, nb := range adj[comp[i]] {
+				if out.Parent[nb] == -2 {
+					out.Parent[nb] = -3
+					comp = append(comp, nb)
+				}
+			}
+		}
+		root := comp[0]
+		for _, j := range comp[1:] {
+			if heavier(j, root) {
+				root = j
+			}
+		}
+		out.Roots = append(out.Roots, root)
+		out.Parent[root] = -1
+		// Orient away from the new root, children sorted lightest-first;
+		// record post-order (children before parents).
+		type frame struct{ node, next int }
+		stack := []frame{{root, 0}}
+		for len(stack) > 0 {
+			fr := &stack[len(stack)-1]
+			if fr.next == 0 {
+				for _, nb := range adj[fr.node] {
+					if out.Parent[nb] == -3 {
+						out.Children[fr.node] = append(out.Children[fr.node], nb)
+					}
+				}
+				kids := out.Children[fr.node]
+				sort.Slice(kids, func(a, b int) bool { return lighter(kids[a], kids[b]) })
+				for _, c := range kids {
+					out.Parent[c] = fr.node
+				}
+			}
+			if fr.next < len(out.Children[fr.node]) {
+				nb := out.Children[fr.node][fr.next]
+				fr.next++
+				stack = append(stack, frame{nb, 0})
+				continue
+			}
+			out.Order = append(out.Order, fr.node)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return out
+}
+
 // JoinTree links the forest into a single tree by attaching every root
 // after the first as a child of the first root (the paper: "we can add
 // additional edges to form a tree"). The cross links share no vertices, so

@@ -192,3 +192,100 @@ func TestQuickGYOAgreesWithMST(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Property: RerootedBy preserves the undirected forest (same join-forest
+// property, same components), roots each component at its max-weight edge,
+// sorts children ascending by weight, and keeps Order children-first.
+func TestQuickRerootedBy(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		h := randHypergraph(rnd)
+		forest, ok := h.JoinForest()
+		if !ok {
+			return true
+		}
+		w := make([]float64, len(h.Edges))
+		for i := range w {
+			w[i] = float64(rnd.Intn(5))
+		}
+		re, ok := h.JoinForestWeighted(w)
+		if !ok || !h.IsJoinForest(re) {
+			t.Logf("rerooted forest for %v violates join property", h.Edges)
+			return false
+		}
+		if len(re.Roots) != len(forest.Roots) || len(re.Order) != len(forest.Order) {
+			t.Logf("component or order count changed: %v vs %v", re.Roots, forest.Roots)
+			return false
+		}
+		// Undirected edge sets must match.
+		type und struct{ a, b int }
+		norm := func(a, b int) und {
+			if a > b {
+				a, b = b, a
+			}
+			return und{a, b}
+		}
+		old := map[und]bool{}
+		for j, u := range forest.Parent {
+			if u >= 0 {
+				old[norm(j, u)] = true
+			}
+		}
+		for j, u := range re.Parent {
+			if u >= 0 && !old[norm(j, u)] {
+				t.Logf("new link %d-%d not in original forest", j, u)
+				return false
+			}
+			if u >= 0 {
+				delete(old, norm(j, u))
+			}
+		}
+		if len(old) != 0 {
+			t.Logf("links lost in reroot: %v", old)
+			return false
+		}
+		// Each root must be a max-weight edge of its component; children
+		// sorted ascending; Order children-first.
+		seen := make([]bool, len(re.Parent))
+		for _, j := range re.Order {
+			for _, c := range re.Children[j] {
+				if !seen[c] {
+					t.Logf("Order not children-first at %d", j)
+					return false
+				}
+			}
+			seen[j] = true
+			kids := re.Children[j]
+			for i := 0; i+1 < len(kids); i++ {
+				if w[kids[i]] > w[kids[i+1]] {
+					t.Logf("children of %d not ascending by weight: %v", j, kids)
+					return false
+				}
+			}
+		}
+		for _, r := range re.Roots {
+			for j := range re.Parent {
+				if sameComponent(re, r, j) && w[j] > w[r] {
+					t.Logf("root %d (w=%v) lighter than member %d (w=%v)", r, w[r], j, w[j])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sameComponent walks j's parent chain to see whether it reaches root r.
+func sameComponent(f *Forest, r, j int) bool {
+	for j >= 0 {
+		if j == r {
+			return true
+		}
+		j = f.Parent[j]
+	}
+	return false
+}

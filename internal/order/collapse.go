@@ -4,7 +4,7 @@ import (
 	"errors"
 
 	"pyquery/internal/eval"
-	"pyquery/internal/hypergraph"
+	"pyquery/internal/plan"
 	"pyquery/internal/query"
 	"pyquery/internal/relation"
 )
@@ -112,25 +112,17 @@ func IsAcyclicWithComparisons(q *query.CQ) bool {
 
 // acyclicAtoms tests α-acyclicity of the relational-atom hypergraph.
 func acyclicAtoms(q *query.CQ) bool {
-	vars := q.BodyVars()
-	id := make(map[query.Var]int, len(vars))
-	for i, v := range vars {
-		id[v] = i
-	}
-	edges := make([][]int, len(q.Atoms))
-	for i, a := range q.Atoms {
-		for _, v := range a.Vars() {
-			edges[i] = append(edges[i], id[v])
-		}
-	}
-	_, ok := hypergraph.New(len(vars), edges).JoinForest()
+	h, _ := plan.AtomHypergraph(q)
+	_, ok := h.JoinForest()
 	return ok
 }
 
 // Evaluate evaluates a conjunctive query with comparisons: collapse first
 // (ErrInconsistent yields the empty answer), then run the generic
 // backtracking evaluator — per Theorem 3 no fixed-parameter algorithm is
-// expected, even for acyclic queries.
+// expected, even for acyclic queries. The collapsed query inherits the
+// cost-based join order of internal/plan through the generic evaluator's
+// options.
 func Evaluate(q *query.CQ, db *query.DB) (*relation.Relation, error) {
 	return EvaluateOpts(q, db, eval.Options{})
 }

@@ -1,0 +1,90 @@
+package plan
+
+import (
+	"testing"
+
+	"pyquery/internal/query"
+)
+
+// The model must start from the smallest input and prefer selective joins
+// over the written order: a huge unary atom written first loses to a tiny
+// binary atom it shares a variable with.
+func TestBuildPrefersSelectiveOrder(t *testing.T) {
+	inputs := []Input{
+		{Label: "H", Rows: 100_000, Vars: []query.Var{0}, Distinct: []int{100_000}},
+		{Label: "K", Rows: 32, Vars: []query.Var{0, 1}, Distinct: []int{32, 32}},
+	}
+	p := Build(inputs, []query.Var{0, 1})
+	if got := p.Order(); got[0] != 1 || got[1] != 0 {
+		t.Fatalf("order = %v, want [1 0] (K first)", got)
+	}
+	// Joining H over the shared variable keeps the cardinality at |K|.
+	if p.Steps[1].Est != 32 {
+		t.Fatalf("est after H join = %v, want 32", p.Steps[1].Est)
+	}
+	if p.EstRows != 32 {
+		t.Fatalf("EstRows = %v, want 32", p.EstRows)
+	}
+}
+
+// The legacy failure mode: fewest-unbound-variables would pick the unary
+// atom first; the cost model must not (its estimate is the whole table).
+func TestBuildTracksDistinctTightening(t *testing.T) {
+	// R(x,y) with few distinct y; S(y,z) large. After R, d(y) is small, so
+	// S joins selectively.
+	inputs := []Input{
+		{Label: "R", Rows: 10, Vars: []query.Var{0, 1}, Distinct: []int{10, 2}},
+		{Label: "S", Rows: 1000, Vars: []query.Var{1, 2}, Distinct: []int{1000, 1000}},
+	}
+	p := Build(inputs, nil)
+	if got := p.Order(); got[0] != 0 {
+		t.Fatalf("order = %v, want R first", got)
+	}
+	// est = 10 * 1000 / max(d(y)=2, d_S(y)=1000) = 10.
+	if p.Steps[1].Est != 10 {
+		t.Fatalf("est after S = %v, want 10", p.Steps[1].Est)
+	}
+	// Boolean head: estimate collapses to at most one tuple.
+	if p.EstRows != 1 {
+		t.Fatalf("Boolean EstRows = %v, want 1", p.EstRows)
+	}
+}
+
+func TestBuildDeterministicTieBreak(t *testing.T) {
+	inputs := []Input{
+		{Label: "A", Rows: 5, Vars: []query.Var{0}},
+		{Label: "B", Rows: 5, Vars: []query.Var{0}},
+	}
+	for i := 0; i < 10; i++ {
+		if got := Build(inputs, nil).Order(); got[0] != 0 || got[1] != 1 {
+			t.Fatalf("tie-break not deterministic: %v", got)
+		}
+	}
+}
+
+func TestBuildEmptyInputDrivesEstimateToZero(t *testing.T) {
+	inputs := []Input{
+		{Label: "A", Rows: 50, Vars: []query.Var{0}},
+		{Label: "B", Rows: 0, Vars: []query.Var{0}},
+	}
+	p := Build(inputs, []query.Var{0})
+	if p.Steps[0].Atom != 1 || p.EstRows != 0 {
+		t.Fatalf("empty input must be planned first and zero the estimate: %+v", p)
+	}
+}
+
+func TestAtomHypergraph(t *testing.T) {
+	q := &query.CQ{
+		Atoms: []query.Atom{
+			query.NewAtom("R", query.V(3), query.V(1)),
+			query.NewAtom("S", query.V(1), query.C(7)),
+		},
+	}
+	h, vars := AtomHypergraph(q)
+	if len(vars) != 2 || vars[0] != 1 || vars[1] != 3 {
+		t.Fatalf("vars = %v, want [1 3]", vars)
+	}
+	if len(h.Edges) != 2 || len(h.Edges[0]) != 2 || len(h.Edges[1]) != 1 {
+		t.Fatalf("edges = %v", h.Edges)
+	}
+}

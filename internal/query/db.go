@@ -3,6 +3,7 @@ package query
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"pyquery/internal/relation"
 )
@@ -15,14 +16,50 @@ type DB struct {
 	// Dict, when set, interns the symbolic constants of this database; the
 	// CLIs and parsers use it to print values back as strings.
 	Dict *relation.Dict
+
+	// memo caches per-relation derived artifacts (column statistics, see
+	// internal/stats), keyed by relation name. Set invalidates the entry;
+	// consumers whose relations grow in place (append-only Datalog tables)
+	// revalidate against the relation's current Len. Guarded by mu so
+	// concurrent evaluations (parallel Datalog rule firings) may share the
+	// cache; the relations map itself keeps the existing contract of no
+	// writes concurrent with reads.
+	mu   sync.Mutex
+	memo map[string]any
 }
 
 // NewDB returns an empty database.
 func NewDB() *DB { return &DB{rels: make(map[string]*relation.Relation)} }
 
 // Set installs (or replaces) relation name. The relation should use the
-// positional schema produced by NewTable.
-func (db *DB) Set(name string, r *relation.Relation) { db.rels[name] = r }
+// positional schema produced by NewTable. Any cached derived artifact for
+// the name is invalidated.
+func (db *DB) Set(name string, r *relation.Relation) {
+	db.rels[name] = r
+	db.mu.Lock()
+	delete(db.memo, name)
+	db.mu.Unlock()
+}
+
+// Memo returns the cached derived artifact for relation name, if present.
+func (db *DB) Memo(name string) (any, bool) {
+	db.mu.Lock()
+	v, ok := db.memo[name]
+	db.mu.Unlock()
+	return v, ok
+}
+
+// SetMemo caches a derived artifact for relation name. Concurrent callers
+// may race to compute the same derivation; last write wins, which is safe
+// because derivations are deterministic functions of the relation.
+func (db *DB) SetMemo(name string, v any) {
+	db.mu.Lock()
+	if db.memo == nil {
+		db.memo = make(map[string]any)
+	}
+	db.memo[name] = v
+	db.mu.Unlock()
+}
 
 // Rel returns the named relation.
 func (db *DB) Rel(name string) (*relation.Relation, bool) {

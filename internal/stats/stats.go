@@ -1,0 +1,111 @@
+// Package stats computes per-relation column statistics — cardinality,
+// per-column distinct counts, and value ranges — and caches them on the
+// database. They are the inputs to the cost model in internal/plan: every
+// engine's join-order and join-tree decision is driven by these numbers
+// instead of per-engine ad-hoc heuristics.
+//
+// Distinct counts go through the width-1 fast path of the existing
+// relation.TupleSet machinery (a map keyed by Value directly), so no string
+// keys and no per-tuple allocation. Relations larger than sampleCap rows
+// are summarized from a deterministic prefix sample — a column whose
+// distinct sample is half-saturated or more (mostly-unique values)
+// extrapolates linearly, anything else is treated as saturated and keeps
+// the sample count, and Min/Max bound the sampled prefix. The planner only
+// needs relative magnitudes, and bounding the whole scan by the sample
+// keeps statistics collection O(1) per relation regardless of size.
+package stats
+
+import (
+	"pyquery/internal/query"
+	"pyquery/internal/relation"
+)
+
+// sampleCap bounds the number of rows scanned per relation. All statistics
+// are exact at or below the cap; above it, Distinct extrapolates and
+// Min/Max bound the sampled prefix.
+const sampleCap = 1024
+
+// Col holds the statistics of one column.
+type Col struct {
+	// Distinct is the (estimated) number of distinct values; exact when the
+	// relation has at most sampleCap rows.
+	Distinct int
+	// Min and Max bound the column's values over the sampled prefix (exact
+	// when the relation has at most sampleCap rows; both zero for empty
+	// relations). No engine consumes them yet — they are part of the stats
+	// surface for range-based selectivity (comparison atoms) and cost two
+	// comparisons per sampled value to maintain.
+	Min, Max relation.Value
+}
+
+// Rel holds the statistics of one relation snapshot.
+type Rel struct {
+	Rows int
+	Cols []Col
+}
+
+// Of computes statistics for r with a single pass over at most sampleCap
+// tuples.
+func Of(r *relation.Relation) *Rel {
+	w := r.Width()
+	s := &Rel{Rows: r.Len(), Cols: make([]Col, w)}
+	if r.Len() == 0 || w == 0 {
+		return s
+	}
+	sample := r.Len()
+	if sample > sampleCap {
+		sample = sampleCap
+	}
+	sets := make([]*relation.TupleSet, w)
+	for c := range sets {
+		sets[c] = relation.NewTupleSetSized(1, sample)
+	}
+	first := r.Row(0)
+	for c := range s.Cols {
+		s.Cols[c].Min, s.Cols[c].Max = first[c], first[c]
+	}
+	buf := make([]relation.Value, 1)
+	for i := 0; i < sample; i++ {
+		row := r.Row(i)
+		for c, v := range row {
+			if v < s.Cols[c].Min {
+				s.Cols[c].Min = v
+			}
+			if v > s.Cols[c].Max {
+				s.Cols[c].Max = v
+			}
+			buf[0] = v
+			sets[c].Add(buf)
+		}
+	}
+	for c := range s.Cols {
+		d := sets[c].Len()
+		if r.Len() > sample && d*2 >= sample {
+			// High-cardinality column: extrapolate the sample density.
+			d = int(float64(d) * float64(r.Len()) / float64(sample))
+			if d > r.Len() {
+				d = r.Len()
+			}
+		}
+		s.Cols[c].Distinct = d
+	}
+	return s
+}
+
+// For returns the statistics of db's relation name, cached on the database.
+// DB.Set invalidates the cache; a relation grown in place (Datalog's
+// append-only IDB tables and swapped deltas) is revalidated against its
+// current row count, so each semi-naive round recomputes against current
+// sizes. Safe for concurrent callers (the memo is mutex-guarded and the
+// derivation is deterministic).
+func For(db *query.DB, name string) *Rel {
+	r := db.MustRel(name)
+	if v, ok := db.Memo(name); ok {
+		if s, ok := v.(*Rel); ok && s.Rows == r.Len() {
+			return s
+		}
+	}
+	s := Of(r)
+	db.SetMemo(name, s)
+	return s
+}

@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"testing"
+
+	"pyquery/internal/query"
+	"pyquery/internal/relation"
+)
+
+func TestOfExactSmall(t *testing.T) {
+	r := query.Table(2,
+		[]relation.Value{1, 10},
+		[]relation.Value{2, 10},
+		[]relation.Value{3, 20},
+		[]relation.Value{1, 30},
+	)
+	s := Of(r)
+	if s.Rows != 4 {
+		t.Fatalf("Rows = %d, want 4", s.Rows)
+	}
+	if s.Cols[0].Distinct != 3 || s.Cols[1].Distinct != 3 {
+		t.Fatalf("Distinct = %d/%d, want 3/3", s.Cols[0].Distinct, s.Cols[1].Distinct)
+	}
+	if s.Cols[0].Min != 1 || s.Cols[0].Max != 3 {
+		t.Fatalf("col0 range = [%d,%d], want [1,3]", s.Cols[0].Min, s.Cols[0].Max)
+	}
+	if s.Cols[1].Min != 10 || s.Cols[1].Max != 30 {
+		t.Fatalf("col1 range = [%d,%d], want [10,30]", s.Cols[1].Min, s.Cols[1].Max)
+	}
+}
+
+func TestOfEmptyAndZeroWidth(t *testing.T) {
+	if s := Of(query.NewTable(2)); s.Rows != 0 || len(s.Cols) != 2 {
+		t.Fatalf("empty: %+v", s)
+	}
+	if s := Of(relation.NewBool(true)); s.Rows != 1 || len(s.Cols) != 0 {
+		t.Fatalf("bool: %+v", s)
+	}
+}
+
+// Above the sample cap, a mostly-unique column must extrapolate to roughly
+// its true cardinality and a low-cardinality column must stay near its true
+// (small) count; both stay within [sample count, Rows].
+func TestOfSampledEstimates(t *testing.T) {
+	n := 8 * sampleCap
+	r := query.NewTable(2)
+	for i := 0; i < n; i++ {
+		r.Append(relation.Value(i), relation.Value(i%7))
+	}
+	s := Of(r)
+	if s.Rows != n {
+		t.Fatalf("Rows = %d, want %d", s.Rows, n)
+	}
+	if got := s.Cols[0].Distinct; got != n {
+		t.Fatalf("unique column estimate = %d, want %d (linear extrapolation)", got, n)
+	}
+	if got := s.Cols[1].Distinct; got != 7 {
+		t.Fatalf("7-value column estimate = %d, want 7 (saturated sample)", got)
+	}
+	// The scan is bounded by the sample, so Min/Max bound the prefix only.
+	if s.Cols[0].Min != 0 || s.Cols[0].Max != relation.Value(sampleCap-1) {
+		t.Fatalf("min/max must bound the sampled prefix: [%d,%d]", s.Cols[0].Min, s.Cols[0].Max)
+	}
+}
+
+func TestForCachesAndInvalidates(t *testing.T) {
+	db := query.NewDB()
+	db.Set("R", query.Table(1, []relation.Value{1}, []relation.Value{2}))
+	s1 := For(db, "R")
+	if s1.Rows != 2 || s1.Cols[0].Distinct != 2 {
+		t.Fatalf("initial stats: %+v", s1)
+	}
+	if s2 := For(db, "R"); s2 != s1 {
+		t.Fatal("second For must return the cached pointer")
+	}
+	// Set invalidates.
+	db.Set("R", query.Table(1, []relation.Value{1}, []relation.Value{2}, []relation.Value{2}))
+	if s3 := For(db, "R"); s3 == s1 || s3.Rows != 3 || s3.Cols[0].Distinct != 2 {
+		t.Fatalf("stats after Set: %+v", s3)
+	}
+	// In-place growth (the Datalog pattern) revalidates by row count.
+	db.MustRel("R").Append(relation.Value(5))
+	if s4 := For(db, "R"); s4.Rows != 4 || s4.Cols[0].Distinct != 3 {
+		t.Fatalf("stats after in-place Append: %+v", s4)
+	}
+}

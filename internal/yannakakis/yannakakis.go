@@ -16,6 +16,7 @@ import (
 	"pyquery/internal/eval"
 	"pyquery/internal/hypergraph"
 	"pyquery/internal/parallel"
+	"pyquery/internal/plan"
 	"pyquery/internal/query"
 	"pyquery/internal/relation"
 )
@@ -41,26 +42,9 @@ type Options struct {
 // is α-acyclic (≠/comparison atoms are ignored, per Section 5's definition
 // of acyclic queries with inequalities).
 func IsAcyclic(q *query.CQ) bool {
-	h, _ := buildHypergraph(q)
+	h, _ := plan.AtomHypergraph(q)
 	_, ok := h.JoinForest()
 	return ok
-}
-
-// buildHypergraph maps the query's variables to dense vertex ids and
-// returns the atom hypergraph plus the var↔vertex mapping.
-func buildHypergraph(q *query.CQ) (*hypergraph.Hypergraph, map[query.Var]int) {
-	vars := q.BodyVars()
-	id := make(map[query.Var]int, len(vars))
-	for i, v := range vars {
-		id[v] = i
-	}
-	edges := make([][]int, len(q.Atoms))
-	for i, a := range q.Atoms {
-		for _, v := range a.Vars() {
-			edges[i] = append(edges[i], id[v])
-		}
-	}
-	return hypergraph.New(len(vars), edges), id
 }
 
 // Evaluate computes Q(d) for an acyclic pure conjunctive query (no ≠, no
@@ -143,27 +127,30 @@ func prepare(q *query.CQ, db *query.DB) (*state, error) {
 		return st, nil
 	}
 
-	h, id := buildHypergraph(q)
+	h, backTo := plan.AtomHypergraph(q)
 	forest, ok := h.JoinForest()
 	if !ok {
 		return nil, ErrCyclic
 	}
-	tree := forest.JoinTree()
 
 	rels := make([]*relation.Relation, len(q.Atoms))
+	inputs := make([]plan.Input, len(q.Atoms))
 	for i, a := range q.Atoms {
-		s, _ := eval.ReduceAtom(a, db)
+		s, vars := eval.ReduceAtom(a, db)
 		if s.Empty() {
 			return nil, nil
 		}
 		rels[i] = s
+		inputs[i] = plan.Input{Label: a.Rel, Rows: s.Len(), Vars: vars}
 	}
 
+	// Weight the join tree by the reduced cardinalities: the planner roots
+	// each component at its largest relation (so the full reducer shrinks it
+	// and every merge probes rather than rebuilds it) and schedules the
+	// semijoin/join passes most-selective-child-first.
+	tree := plan.OrderForest(forest, inputs).JoinTree()
+
 	// Subtree variable sets, translated back from vertex ids to Vars.
-	backTo := make([]query.Var, len(id))
-	for v, i := range id {
-		backTo[i] = v
-	}
 	subtreeVerts := h.SubtreeVertices(tree)
 	subtreeVars := make([]map[query.Var]bool, len(subtreeVerts))
 	for j, set := range subtreeVerts {

@@ -1,0 +1,78 @@
+package pyquery_test
+
+import (
+	"testing"
+
+	"pyquery"
+)
+
+// goldenDB is the fixed instance behind the PlanReport golden tests.
+func goldenDB() *pyquery.DB {
+	db := pyquery.NewDB()
+	db.Set("R0", pyquery.Table(2,
+		[]pyquery.Value{1, 2}, []pyquery.Value{2, 3},
+		[]pyquery.Value{3, 4}, []pyquery.Value{1, 3}))
+	db.Set("R1", pyquery.Table(2,
+		[]pyquery.Value{2, 5}, []pyquery.Value{3, 5}, []pyquery.Value{4, 6}))
+	db.Set("R2", pyquery.Table(2,
+		[]pyquery.Value{5, 7}, []pyquery.Value{6, 8}))
+	db.Set("E", pyquery.Table(2,
+		[]pyquery.Value{1, 2}, []pyquery.Value{2, 3}, []pyquery.Value{3, 1},
+		[]pyquery.Value{2, 1}))
+	return db
+}
+
+func goldenPath() *pyquery.CQ {
+	return &pyquery.CQ{
+		Head: []pyquery.Term{pyquery.V(0), pyquery.V(3)},
+		Atoms: []pyquery.Atom{
+			pyquery.NewAtom("R0", pyquery.V(0), pyquery.V(1)),
+			pyquery.NewAtom("R1", pyquery.V(1), pyquery.V(2)),
+			pyquery.NewAtom("R2", pyquery.V(2), pyquery.V(3)),
+		},
+	}
+}
+
+// The rendered PlanReport is the contract behind qeval -explain: one golden
+// per routing class so the format (and the estimates) cannot drift
+// silently.
+func TestPlanReportGolden(t *testing.T) {
+	db := goldenDB()
+	tri := &pyquery.CQ{
+		Head: []pyquery.Term{pyquery.V(0)},
+		Atoms: []pyquery.Atom{
+			pyquery.NewAtom("E", pyquery.V(0), pyquery.V(1)),
+			pyquery.NewAtom("E", pyquery.V(1), pyquery.V(2)),
+			pyquery.NewAtom("E", pyquery.V(2), pyquery.V(0)),
+		},
+	}
+	ineq := goldenPath()
+	ineq.Ineqs = []pyquery.Ineq{pyquery.NeqVars(0, 3)}
+	cmp := goldenPath()
+	cmp.Cmps = []pyquery.Cmp{pyquery.Lt(pyquery.V(0), pyquery.V(3))}
+	unsat := goldenPath()
+	unsat.Ineqs = []pyquery.Ineq{pyquery.NeqVars(1, 1)}
+
+	cases := []struct {
+		name string
+		q    *pyquery.CQ
+		want string
+	}{
+		{"yannakakis", goldenPath(), "engine: yannakakis (acyclic, poly input+output)\nquery size q=11, variables v=4\nplan (stats-driven join order):\n  1. R2(x2,x3) rows=2 binds=2 est=2\n  2. R1(x1,x2) rows=3 binds=1 est=3\n  3. R0(x0,x1) rows=4 binds=1 est=4\nestimated search cost: 9 (Σ intermediate cardinalities)\njoin-tree root: R0(x0,x1) (atom 0)\nestimated answer rows: 4"},
+		{"colorcoding", ineq, "engine: color-coding (Theorem 2, f(k)·n log n)\nquery size q=14, variables v=4\nI1 (hashed) inequalities: 1, I2 (pushed-down): 0, |V1|=k=2\nplan (stats-driven join order):\n  1. R2(x2,x3) rows=2 binds=2 est=2\n  2. R1(x1,x2) rows=3 binds=1 est=3\n  3. R0(x0,x1) rows=4 binds=1 est=4\nestimated search cost: 9 (Σ intermediate cardinalities)\njoin-tree root: R0(x0,x1) (atom 0)\nestimated answer rows: 4"},
+		{"comparisons", cmp, "engine: comparisons (Theorem 3 territory, generic join)\nquery size q=14, variables v=4\nplan (stats-driven join order):\n  1. R2(x2,x3) rows=2 binds=2 est=2\n  2. R1(x1,x2) rows=3 binds=1 est=3\n  3. R0(x0,x1) rows=4 binds=1 est=4\nestimated search cost: 9 (Σ intermediate cardinalities)\nestimated answer rows: 4"},
+		{"generic", tri, "engine: generic backtracking join (n^O(q))\nquery size q=10, variables v=3\nplan (stats-driven join order):\n  1. E(x0,x1) rows=4 binds=2 est=4\n  2. E(x1,x2) rows=4 binds=1 est=5.333\n  3. E(x2,x0) rows=4 binds=0 est=2.37\nestimated search cost: 11.7 (Σ intermediate cardinalities)\nestimated answer rows: 2.37"},
+		{"unsatisfiable", unsat, "engine: color-coding (Theorem 2, f(k)·n log n)\nquery size q=14, variables v=4\nunsatisfiable constraints: empty answer"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := pyquery.PlanDB(tc.q, db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := r.String(); got != tc.want {
+				t.Errorf("PlanReport drifted.\ngot:\n%s\nwant:\n%s", got, tc.want)
+			}
+		})
+	}
+}

@@ -19,12 +19,16 @@
 package pyquery
 
 import (
+	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 
 	"pyquery/internal/core"
 	"pyquery/internal/eval"
 	"pyquery/internal/order"
 	"pyquery/internal/parser"
+	"pyquery/internal/plan"
 	"pyquery/internal/query"
 	"pyquery/internal/relation"
 	"pyquery/internal/yannakakis"
@@ -207,7 +211,9 @@ func EvaluateFO(q *FOQuery, db *DB) (*Relation, error) {
 }
 
 // Explain describes the dispatch decision and, for the color-coding
-// engine, the parameter split the paper's Theorem 2 works with.
+// engine, the parameter split the paper's Theorem 2 works with. It
+// inspects only the query; PlanDB/ExplainDB add the database-dependent
+// cost-based plan.
 func Explain(q *CQ) string {
 	e := Plan(q)
 	s := fmt.Sprintf("engine: %v\nquery size q=%d, variables v=%d", e, q.Size(), q.NumVars())
@@ -220,6 +226,136 @@ func Explain(q *CQ) string {
 			len(i1), len(i2), len(v1))
 	}
 	return s
+}
+
+// PlanStep is one ordered join step of a PlanReport, re-exported from
+// internal/plan.
+type PlanStep = plan.Step
+
+// PlanReport is the structured planning outcome for a (query, database)
+// pair: the routing decision plus the cost-based plan the selected engine
+// will execute, with estimated cardinalities from the shared statistics
+// layer (internal/stats cached on the DB, internal/plan's distinct-count
+// selectivity model).
+type PlanReport struct {
+	// Engine is the routing decision (identical to Plan's).
+	Engine Engine
+	// QuerySize and NumVars are the paper's two parameters q and v.
+	QuerySize, NumVars int
+	// K, I1, I2 describe the Theorem 2 inequality partition
+	// (EngineColorCoding only): |V₁| and the I₁/I₂ sizes.
+	K, I1, I2 int
+	// Unsatisfiable marks queries whose constraints alone force the empty
+	// answer (an x≠x inequality, or inconsistent comparisons); no plan is
+	// produced.
+	Unsatisfiable bool
+	// Steps is the cost-based join order — the order the generic
+	// backtracker executes, built from the same model that weights the
+	// acyclic engines' join trees. Rows is each atom's exact reduced
+	// cardinality; Est the estimated cumulative cardinality.
+	Steps []PlanStep
+	// RootAtom indexes q.Atoms at the weighted join-tree root (acyclic
+	// engines only; -1 otherwise).
+	RootAtom int
+	// EstRows is the estimated answer cardinality.
+	EstRows float64
+	// EstCost is the plan's cost annotation: the sum of estimated
+	// intermediate cardinalities, a proxy for the tuples a backtracking
+	// join enumerates.
+	EstCost float64
+}
+
+// PlanDB plans q against db: it routes exactly like Plan, then builds the
+// cost-based plan (reduced atom cardinalities, cached column statistics,
+// estimated intermediate sizes) without evaluating the query. For
+// EngineComparisons the plan describes the collapsed query the engine
+// actually runs. For EngineColorCoding the report weights atoms by their
+// reduced sizes before the I₂ selection pushdown (which is internal to the
+// engine), so when a pushed-down inequality changes the relative sizes the
+// executed join-tree root can differ from RootAtom; the generic and
+// Yannakakis plans match the executed order exactly.
+func PlanDB(q *CQ, db *DB) (*PlanReport, error) {
+	r := &PlanReport{Engine: Plan(q), QuerySize: q.Size(), NumVars: q.NumVars(), RootAtom: -1}
+	qe := q
+	switch r.Engine {
+	case EngineColorCoding:
+		i1, i2, v1, ok := core.Partition(q)
+		if !ok {
+			r.Unsatisfiable = true
+			return r, nil
+		}
+		r.I1, r.I2, r.K = len(i1), len(i2), len(v1)
+	case EngineComparisons:
+		qc, err := order.Collapse(q)
+		if errors.Is(err, order.ErrInconsistent) {
+			r.Unsatisfiable = true
+			return r, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		qe = qc
+	}
+	pl, err := eval.PlanFor(qe, db)
+	if err != nil {
+		return nil, err
+	}
+	r.Steps = pl.Steps
+	r.EstRows = pl.EstRows
+	r.EstCost = pl.Cost
+	if (r.Engine == EngineYannakakis || r.Engine == EngineColorCoding) && len(qe.Atoms) > 0 {
+		h, _ := plan.AtomHypergraph(qe)
+		if f, ok := h.JoinForest(); ok {
+			r.RootAtom = plan.OrderForest(f, pl.Inputs).JoinTree().Roots[0]
+		}
+	}
+	return r, nil
+}
+
+// fmtEst renders a cardinality estimate compactly and deterministically.
+func fmtEst(v float64) string { return strconv.FormatFloat(v, 'g', 4, 64) }
+
+// String renders the report in the fixed multi-line layout qeval -explain
+// prints (locked by the facade's golden tests).
+func (r *PlanReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "engine: %v\n", r.Engine)
+	fmt.Fprintf(&b, "query size q=%d, variables v=%d", r.QuerySize, r.NumVars)
+	if r.Engine == EngineColorCoding && !r.Unsatisfiable {
+		fmt.Fprintf(&b, "\nI1 (hashed) inequalities: %d, I2 (pushed-down): %d, |V1|=k=%d",
+			r.I1, r.I2, r.K)
+	}
+	if r.Unsatisfiable {
+		b.WriteString("\nunsatisfiable constraints: empty answer")
+		return b.String()
+	}
+	if len(r.Steps) > 0 {
+		b.WriteString("\nplan (stats-driven join order):")
+		for i, st := range r.Steps {
+			fmt.Fprintf(&b, "\n  %d. %s rows=%d binds=%d est=%s", i+1, st.Label, st.Rows, st.NewVars, fmtEst(st.Est))
+		}
+		fmt.Fprintf(&b, "\nestimated search cost: %s (Σ intermediate cardinalities)", fmtEst(r.EstCost))
+	}
+	if r.RootAtom >= 0 {
+		for _, st := range r.Steps {
+			if st.Atom == r.RootAtom {
+				fmt.Fprintf(&b, "\njoin-tree root: %s (atom %d)", st.Label, r.RootAtom)
+				break
+			}
+		}
+	}
+	fmt.Fprintf(&b, "\nestimated answer rows: %s", fmtEst(r.EstRows))
+	return b.String()
+}
+
+// ExplainDB is Explain with database statistics: the rendered PlanDB
+// report.
+func ExplainDB(q *CQ, db *DB) (string, error) {
+	r, err := PlanDB(q, db)
+	if err != nil {
+		return "", err
+	}
+	return r.String(), nil
 }
 
 // EvaluateStats runs the Theorem 2 engine explicitly with options and
