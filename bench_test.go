@@ -1,4 +1,4 @@
-// Benchmarks, one per experiment of EXPERIMENTS.md (E1–E7, A1–A4) plus
+// Benchmarks, one per experiment of EXPERIMENTS.md (E1–E8, A1–A6) plus
 // engine micro-benchmarks. cmd/benchrunner produces the full sweep tables;
 // these targets pin each experiment's workload into `go test -bench`.
 package pyquery_test
@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"testing"
 
+	"pyquery"
 	"pyquery/internal/core"
 	"pyquery/internal/datalog"
 	"pyquery/internal/eval"
@@ -223,6 +224,36 @@ func BenchmarkE7_Vardi(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := datalog.EvalGoal(p, db, datalog.Options{Parallelism: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E8: cyclic low-width queries via the decomposition engine -------------
+
+func BenchmarkE8_CyclicLowWidth(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		spec workload.CyclicLowWidthSpec
+	}{
+		{"cycle4", workload.CyclicLowWidthSpec{CycleLen: 4, Nodes: 150, Degree: 15, Seed: 81}},
+		{"cycle6", workload.CyclicLowWidthSpec{CycleLen: 6, Nodes: 60, Degree: 6, Seed: 82}},
+	} {
+		q, db := workload.CyclicLowWidth(tc.spec)
+		b.Run(tc.name+"/decomp", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := pyquery.EvaluateOpts(q, db, pyquery.Options{Parallelism: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(tc.name+"/nodecomp", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := pyquery.EvaluateOpts(q, db, pyquery.Options{Parallelism: 1, NoDecomp: true}); err != nil {
 					b.Fatal(err)
 				}
 			}

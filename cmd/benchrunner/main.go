@@ -2,8 +2,8 @@
 // Theorem 1 classification table (E1), the Figure 1 partial order (E2), the
 // Theorem 2 tractability measurements (E3), the Theorem 3 hardness family
 // (E4), the Section 5 example queries (E5), the Hamiltonian-path combined-
-// complexity blowup (E6), the Vardi Datalog family (E7), and the ablations
-// A1–A5.
+// complexity blowup (E6), the Vardi Datalog family (E7), the cyclic
+// low-width decomposition workload (E8), and the ablations A1–A6.
 //
 // Usage:
 //
@@ -26,7 +26,7 @@ type experiment struct {
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E7, A1..A5, PAR) or 'all'")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E8, A1..A6, PAR) or 'all'")
 	quick := flag.Bool("quick", false, "smaller sweeps (CI-sized)")
 	flag.Parse()
 
@@ -38,11 +38,13 @@ func main() {
 		{"E5", "Section 5 examples: org-chart and registrar queries, engine vs baseline", runE5},
 		{"E6", "Section 5: Hamiltonian path as a query — combined-complexity blowup", runE6},
 		{"E7", "Section 4: Vardi's n^k Datalog family (arity-k IDB)", runE7},
+		{"E8", "Cyclic low-width queries: decomposition engine vs n^O(q) backtracker", runE8},
 		{"A1", "Ablation: I2 pushdown vs all-hashed inequalities", runA1},
 		{"A2", "Ablation: Yannakakis full reducer on/off", runA2},
 		{"A3", "Ablation: join-order heuristic on/off", runA3},
 		{"A4", "Ablation: Monte-Carlo confidence c vs measured success rate", runA4},
 		{"A5", "Ablation: stats-driven join order vs legacy greedy heuristic", runA5},
+		{"A6", "Ablation: decomposition routing vs NoDecomp backtracker (cyclic low-width)", runA6},
 		{"PAR", "Parallel scaling: Parallelism sweep across engines and the join kernel", runPAR},
 	}
 

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"pyquery"
+	"pyquery/internal/decomp"
 	"pyquery/internal/eval"
 	"pyquery/internal/order"
 	"pyquery/internal/parser"
@@ -36,7 +37,7 @@ func main() {
 	var rels relFlags
 	queryText := flag.String("query", "", "query in rule syntax (or FO syntax with -fo)")
 	fo := flag.Bool("fo", false, "parse the query as a first-order query { (head) | formula }")
-	engine := flag.String("engine", "auto", "auto | generic | yannakakis | colorcoding | comparisons")
+	engine := flag.String("engine", "auto", "auto | generic | yannakakis | colorcoding | comparisons | decomp")
 	boolOnly := flag.Bool("bool", false, "only decide emptiness")
 	par := flag.Int("par", 0, "parallelism: worker count (0 = GOMAXPROCS, 1 = serial)")
 	explain := flag.Bool("explain", false, "print the plan explanation before evaluating")
@@ -110,6 +111,25 @@ func main() {
 			printBool(ok)
 			return
 		}
+		// Explained decomposition runs go through the engine directly so
+		// per-bag estimates and actual materialized cardinalities come from
+		// one Route (diagnostic-only: this re-plans once more on top of
+		// PlanDB's passes, an accepted -explain cost).
+		if report != nil && report.Engine == pyquery.EngineDecomp {
+			var st decomp.RunStats
+			res, st, err = decomp.EvaluateStats(q, db, decomp.Options{Parallelism: *par})
+			if err != nil {
+				fatal(err)
+			}
+			for i, bag := range st.Route.Bags {
+				actual := "- (skipped)"
+				if i < len(st.BagRows) && st.BagRows[i] >= 0 {
+					actual = fmt.Sprintf("%d", st.BagRows[i])
+				}
+				fmt.Printf("bag %d: estimated %.0f, actual %s\n", i+1, bag.Est, actual)
+			}
+			break
+		}
 		res, err = pyquery.EvaluateOpts(q, db, pyquery.Options{Parallelism: *par})
 	case "generic":
 		res, err = eval.ConjunctiveOpts(q, db, eval.Options{Parallelism: *par})
@@ -119,6 +139,8 @@ func main() {
 		res, err = core.EvaluateOpts(q, db, core.Options{Parallelism: *par})
 	case "comparisons":
 		res, err = order.EvaluateOpts(q, db, eval.Options{Parallelism: *par})
+	case "decomp":
+		res, err = decomp.EvaluateOpts(q, db, decomp.Options{Parallelism: *par})
 	default:
 		fatal(fmt.Errorf("unknown engine %q", *engine))
 	}

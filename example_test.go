@@ -32,7 +32,7 @@ func ExampleEvaluate() {
 	//   [1]
 }
 
-// Plan reports which of the four engines a query is routed to, without
+// Plan reports which of the five engines a query is routed to, without
 // evaluating anything.
 func ExamplePlan() {
 	atom := func(args ...pyquery.Term) pyquery.Atom { return pyquery.NewAtom("E", args...) }
@@ -46,15 +46,22 @@ func ExamplePlan() {
 	}
 	fmt.Println(pyquery.Plan(ineq))
 
+	// Cyclic but width-2: a triangle decomposes into bags of ≤2 atoms, so
+	// the decomposition engine applies.
 	cyclic := &pyquery.CQ{Atoms: []pyquery.Atom{
 		atom(pyquery.V(0), pyquery.V(1)),
 		atom(pyquery.V(1), pyquery.V(2)),
 		atom(pyquery.V(2), pyquery.V(0)),
 	}}
 	fmt.Println(pyquery.Plan(cyclic))
+
+	// Cyclic with a ≠ atom: constraints stay with the generic backtracker.
+	cyclicIneq := &pyquery.CQ{Atoms: cyclic.Atoms, Ineqs: []pyquery.Ineq{pyquery.NeqVars(0, 1)}}
+	fmt.Println(pyquery.Plan(cyclicIneq))
 	// Output:
 	// yannakakis (acyclic, poly input+output)
 	// color-coding (Theorem 2, f(k)·n log n)
+	// hypertree decomposition (bag join + Yannakakis, width ≤ 3)
 	// generic backtracking join (n^O(q))
 }
 
@@ -101,4 +108,45 @@ func ExampleExplain() {
 	// engine: color-coding (Theorem 2, f(k)·n log n)
 	// query size q=9, variables v=3
 	// I1 (hashed) inequalities: 1, I2 (pushed-down): 0, |V1|=k=2
+}
+
+// ExplainDB adds the database-dependent plan; for a cyclic low-width query
+// it renders the hypertree decomposition the engine will execute — the
+// same report qeval -explain prints.
+func ExampleExplainDB() {
+	db := pyquery.NewDB()
+	edges := pyquery.NewTable(2)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if i != j {
+				edges.Append(pyquery.Value(i), pyquery.Value(j))
+			}
+		}
+	}
+	db.Set("E", edges)
+	// The 4-cycle join: cyclic, generalized hypertree width 2.
+	cyc := &pyquery.CQ{Head: []pyquery.Term{pyquery.V(0), pyquery.V(2)}}
+	for i := 0; i < 4; i++ {
+		cyc.Atoms = append(cyc.Atoms,
+			pyquery.NewAtom("E", pyquery.V(pyquery.Var(i)), pyquery.V(pyquery.Var((i+1)%4))))
+	}
+	s, err := pyquery.ExplainDB(cyc, db)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(s)
+	// Output:
+	// engine: hypertree decomposition (bag join + Yannakakis, width ≤ 3)
+	// query size q=14, variables v=4
+	// plan (stats-driven join order):
+	//   1. E(x0,x1) rows=56 binds=2 est=56
+	//   2. E(x1,x2) rows=56 binds=1 est=392
+	//   3. E(x2,x3) rows=56 binds=1 est=2744
+	//   4. E(x3,x0) rows=56 binds=0 est=2401
+	// estimated search cost: 5593 (Σ intermediate cardinalities)
+	// decomposition (width 2, est cost 896):
+	//   bag 1. {E(x0,x1), E(x1,x2)} vars=(x0,x1,x2) est=392
+	//   bag 2. {E(x2,x3), E(x3,x0)} vars=(x0,x2,x3) est=392
+	// bag-tree root: bag 1
+	// estimated answer rows: 64
 }

@@ -72,6 +72,11 @@ type Options struct {
 	// the hash range — the paper's q-parameter extension. k grows, so the
 	// exponential factor grows; answers are identical.
 	NoPushdown bool
+	// NoDecomp disables the hypertree-decomposition engine (ablation A6):
+	// cyclic low-width queries fall back to the generic backtracker. It is
+	// consumed by the facade's routing (pyquery.EvaluateOpts); this engine
+	// ignores it.
+	NoDecomp bool
 	// Parallelism is the worker count. The independent hash-function trials
 	// of the color-coding loop run across workers; leftover budget flows
 	// into the partitioned join/semijoin kernel inside each trial. 0 means

@@ -1,0 +1,189 @@
+package decomp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pyquery/internal/eval"
+	"pyquery/internal/query"
+	"pyquery/internal/relation"
+	"pyquery/internal/workload"
+)
+
+// randGraphDB builds {E(·,·)} with the given density.
+func randGraphDB(rnd *rand.Rand, rows, domain int) *query.DB {
+	db := query.NewDB()
+	e := query.NewTable(2)
+	for i := 0; i < rows; i++ {
+		e.Append(relation.Value(rnd.Intn(domain)), relation.Value(rnd.Intn(domain)))
+	}
+	db.Set("E", e.Dedup())
+	return db
+}
+
+// cycleCQ is the canonical n-cycle query (one construction for the whole
+// repo — the E8/A6 benchmarks use the same family).
+func cycleCQ(n int) *query.CQ { return workload.CycleQuery(n) }
+
+// randCyclicCQ builds a random low-width cyclic query: a 3–6 cycle,
+// sometimes with a chord atom, a constant argument, or a repeated
+// variable, plus occasionally a Boolean or constant-bearing head.
+func randCyclicCQ(rnd *rand.Rand) *query.CQ {
+	n := 3 + rnd.Intn(4)
+	q := cycleCQ(n)
+	if rnd.Intn(3) == 0 { // chord
+		a, b := rnd.Intn(n), rnd.Intn(n)
+		if a != b {
+			q.Atoms = append(q.Atoms, query.NewAtom("E", query.V(query.Var(a)), query.V(query.Var(b))))
+		}
+	}
+	if rnd.Intn(4) == 0 { // constant argument
+		i := rnd.Intn(len(q.Atoms))
+		q.Atoms[i].Args[rnd.Intn(2)] = query.C(relation.Value(rnd.Intn(6)))
+	}
+	if rnd.Intn(5) == 0 { // repeated variable (self-loop atom)
+		v := query.Var(rnd.Intn(n))
+		q.Atoms = append(q.Atoms, query.NewAtom("E", query.V(v), query.V(v)))
+	}
+	switch rnd.Intn(4) {
+	case 0:
+		q.Head = nil // Boolean
+	case 1:
+		q.Head = append(q.Head, query.C(7)) // constant head column
+	}
+	return q
+}
+
+// TestMatchesBacktracker pins answer-set equality between the
+// decomposition engine and the generic backtracker (written order — no
+// shared planning code) on randomized cyclic instances, at several
+// parallelism levels.
+func TestMatchesBacktracker(t *testing.T) {
+	for seed := int64(0); seed < 80; seed++ {
+		rnd := rand.New(rand.NewSource(seed))
+		db := randGraphDB(rnd, 20+rnd.Intn(60), 5+rnd.Intn(6))
+		q := randCyclicCQ(rnd)
+		tag := fmt.Sprintf("seed=%d q=%v", seed, q)
+		want, err := eval.ConjunctiveOpts(q, db, eval.Options{Parallelism: 1, NoReorder: true})
+		if err != nil {
+			t.Fatalf("%s baseline: %v", tag, err)
+		}
+		for _, par := range []int{1, 3} {
+			got, err := EvaluateOpts(q, db, Options{Parallelism: par})
+			if err != nil {
+				t.Fatalf("%s decomp par=%d: %v", tag, par, err)
+			}
+			if !relation.EqualSet(got, want) {
+				t.Fatalf("%s: decomp par=%d disagrees\nwant %v\ngot %v", tag, par, want, got)
+			}
+			ok, err := EvaluateBoolOpts(q, db, Options{Parallelism: par})
+			if err != nil {
+				t.Fatalf("%s decomp bool par=%d: %v", tag, par, err)
+			}
+			if ok != want.Bool() {
+				t.Fatalf("%s: decomp bool par=%d = %v, want %v", tag, par, ok, want.Bool())
+			}
+		}
+	}
+}
+
+// TestRouteReuse pins that passing a PlanFor route through Options changes
+// nothing (the facade's single-reduction path).
+func TestRouteReuse(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42))
+	db := randGraphDB(rnd, 60, 8)
+	q := cycleCQ(4)
+	rt, err := PlanFor(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Width != 2 {
+		t.Fatalf("4-cycle width = %d, want 2", rt.Width)
+	}
+	want, err := EvaluateOpts(q, db, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := EvaluateOpts(q, db, Options{Parallelism: 1, Route: rt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relation.EqualSet(got, want) {
+		t.Fatalf("route reuse changed the answer")
+	}
+}
+
+// TestStatsReportBagRows pins the per-bag actual cardinalities surfaced to
+// qeval -explain.
+func TestStatsReportBagRows(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	db := randGraphDB(rnd, 50, 7)
+	q := cycleCQ(4)
+	_, st, err := EvaluateStats(q, db, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Width != 2 || len(st.BagRows) != len(st.Route.Bags) {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestRejectsIneqAndVarCmp: shapes outside the engine's class error out.
+func TestRejectsIneqAndVarCmp(t *testing.T) {
+	db := randGraphDB(rand.New(rand.NewSource(1)), 10, 4)
+	q := cycleCQ(3)
+	q.Ineqs = []query.Ineq{query.NeqVars(0, 1)}
+	if _, err := EvaluateOpts(q, db, Options{}); err == nil {
+		t.Fatal("≠ atoms must be rejected")
+	}
+	q2 := cycleCQ(3)
+	q2.Cmps = []query.Cmp{query.Lt(query.V(0), query.V(1))}
+	if _, err := EvaluateOpts(q2, db, Options{}); err == nil {
+		t.Fatal("variable comparisons must be rejected")
+	}
+}
+
+// TestGroundCmpAndEmptyAtom: falsifying ground comparisons (head-binding
+// markers) and empty reduced atoms short-circuit to the empty answer.
+func TestGroundCmpAndEmptyAtom(t *testing.T) {
+	db := randGraphDB(rand.New(rand.NewSource(2)), 12, 4)
+	q := cycleCQ(3)
+	q.Cmps = []query.Cmp{query.Lt(query.C(1), query.C(0))} // false
+	res, err := EvaluateOpts(q, db, Options{})
+	if err != nil || !res.Empty() {
+		t.Fatalf("ground-false: %v %v", res, err)
+	}
+	q2 := cycleCQ(3)
+	q2.Atoms[0].Args[0] = query.C(999_999) // matches nothing
+	res, err = EvaluateOpts(q2, db, Options{})
+	if err != nil || !res.Empty() {
+		t.Fatalf("empty atom: %v %v", res, err)
+	}
+	ok, err := EvaluateBoolOpts(q2, db, Options{})
+	if err != nil || ok {
+		t.Fatalf("empty atom bool: %v %v", ok, err)
+	}
+}
+
+// TestDecomposable pins the structural routing predicate.
+func TestDecomposable(t *testing.T) {
+	if !Decomposable(cycleCQ(4)) {
+		t.Fatal("4-cycle must be decomposable")
+	}
+	// K8 as a query: 28 atoms, ghw 4 — beyond MaxWidth.
+	k8 := &query.CQ{}
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			k8.Atoms = append(k8.Atoms, query.NewAtom("E", query.V(query.Var(i)), query.V(query.Var(j))))
+		}
+	}
+	if Decomposable(k8) {
+		t.Fatal("K8 must not be decomposable at width ≤ 3")
+	}
+	withIneq := cycleCQ(4)
+	withIneq.Ineqs = []query.Ineq{query.NeqVars(0, 2)}
+	if Decomposable(withIneq) {
+		t.Fatal("≠ atoms are outside the engine's class")
+	}
+}

@@ -451,19 +451,34 @@ func legacyGreedyOrder(reds []reduced) []int {
 // actually order by; an atom that reduces to the empty relation simply
 // contributes Rows=0 and drives the estimates to zero.
 func PlanFor(q *query.CQ, db *query.DB) (*plan.Plan, error) {
-	if err := q.Validate(db); err != nil {
+	inputs, _, err := PlanInputs(q, db)
+	if err != nil {
 		return nil, err
 	}
-	reds := make([]reduced, len(q.Atoms))
-	for i, a := range q.Atoms {
-		s, vars := ReduceAtom(a, db)
-		reds[i] = reduced{rel: s, vars: vars}
-	}
-	inputs := planInputs(q, db, reds)
 	for i, a := range q.Atoms {
 		inputs[i].Label = a.String() // full atom notation, for the report
 	}
 	return plan.Build(inputs, q.HeadVars()), nil
+}
+
+// PlanInputs reduces q's atoms against db and assembles the shared
+// cost-model inputs (exact reduced cardinalities plus cached distinct
+// counts, bare relation names as labels). The reduced relations are
+// returned alongside, in atom order, so callers that go on to evaluate —
+// the decomposition engine materializes bags from them — pay for the
+// reduction once.
+func PlanInputs(q *query.CQ, db *query.DB) ([]plan.Input, []*relation.Relation, error) {
+	if err := q.Validate(db); err != nil {
+		return nil, nil, err
+	}
+	reds := make([]reduced, len(q.Atoms))
+	rels := make([]*relation.Relation, len(q.Atoms))
+	for i, a := range q.Atoms {
+		s, vars := ReduceAtom(a, db)
+		reds[i] = reduced{rel: s, vars: vars}
+		rels[i] = s
+	}
+	return planInputs(q, db, reds), rels, nil
 }
 
 // cursor is the mutable search state of one backtracking traversal. Every

@@ -1,0 +1,675 @@
+// Generalized hypertree decompositions: the bounded-width machinery that
+// extends the tractable frontier beyond α-acyclicity. A decomposition is a
+// tree of bags; each bag is guarded by at most k hyperedges, its vertex set
+// is covered by those guards, and every vertex's bags form a connected
+// subtree. Joining each bag's guards and running Yannakakis over the bag
+// tree evaluates a width-k query in time polynomial for fixed k — the
+// engine in internal/decomp.
+//
+// Two constructions are provided behind Decompose: an exact DFS over
+// GYO-style separator choices (bags = unions of ≤ k component edges,
+// memoized on (component, interface), minimizing a caller-supplied bag
+// cost), and a greedy min-fill elimination fallback for hypergraphs too
+// large for the exact search. Both satisfy ValidateDecomposition, which
+// tests use to cross-check every produced tree.
+package hypergraph
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// maxExactEdges and maxExactVertices bound the exact decomposition search;
+// beyond either, Decompose falls back to min-fill elimination. The exact
+// search enumerates guard subsets per component and memoizes on bitmasks,
+// so both bounds keep it query-size-exponential only on small queries.
+const (
+	maxExactEdges    = 10
+	maxExactVertices = 64
+)
+
+// CostFunc estimates the cost of materializing one bag: joining the guard
+// edges plus enforcing the covered edges (semijoined after the guard
+// join). Decompose minimizes the summed bag cost over all decompositions
+// it can reach; nil means cost = guards², preferring many small bags over
+// few wide ones (so acyclic hypergraphs keep width 1 and cross-product
+// guard sets are a last resort). The planner (internal/plan, via
+// internal/decomp) supplies the statistics-driven estimate — no width or
+// cost policy lives in this package. Feasibility never depends on the
+// callback, only the chosen shape does.
+type CostFunc func(guards, covered []int) float64
+
+// Bag is one node of a decomposition. Guards are the covering hyperedges
+// (λ in the literature, at most k of them); Vertices is the bag's vertex
+// set χ, always a subset of the guards' union; Covered lists hyperedges
+// that are fully contained in Vertices and assigned to this bag for
+// enforcement without being guards (the evaluator semijoin-filters them
+// after materializing the guard join).
+type Bag struct {
+	Guards   []int
+	Covered  []int
+	Vertices []int
+}
+
+// Decomposition is a generalized hypertree decomposition: bags arranged on
+// a forest (one tree per connected component of the hypergraph). Width is
+// the maximum guard count over the bags.
+type Decomposition struct {
+	Bags   []Bag
+	Forest *Forest
+	Width  int
+}
+
+// Decompose searches for a width-≤ k generalized hypertree decomposition,
+// minimizing total bag cost under costOf (see CostFunc). It returns ok =
+// false when no decomposition within width k was found: the exact search is
+// complete over component-local guard choices (which covers every cycle,
+// theta and chordal low-width shape); hypergraphs beyond its size bounds
+// get the greedy min-fill construction, accepted only if its width fits.
+func (h *Hypergraph) Decompose(k int, costOf CostFunc) (*Decomposition, bool) {
+	if len(h.Edges) == 0 || k < 1 {
+		return nil, false
+	}
+	if costOf == nil {
+		costOf = func(guards, _ []int) float64 { return float64(len(guards) * len(guards)) }
+	}
+	if len(h.Edges) <= maxExactEdges && h.NumVertices <= maxExactVertices {
+		if d, ok := h.decomposeExact(k, costOf); ok {
+			return d, true
+		}
+	}
+	d := h.decomposeMinFill()
+	if d.Width <= k {
+		return d, true
+	}
+	return nil, false
+}
+
+// dnode is one bag of a candidate decomposition during the exact search.
+type dnode struct {
+	guards   []int
+	covered  []int
+	verts    uint64
+	cost     float64 // bag cost + Σ children cost
+	children []*dnode
+}
+
+type exactSearch struct {
+	h        *Hypergraph
+	k        int
+	costOf   CostFunc
+	edgeMask []uint64
+	memo     map[[2]uint64]*dnode // nil entry = infeasible
+}
+
+// decomposeExact runs the separator DFS per connected component: choose a
+// guard set λ (≤ k component edges) whose vertex union covers the
+// component's interface to its parent bag, drop the edges it fully covers,
+// split the rest into connected sub-components, and recurse — the GYO ear
+// reduction generalized from single ears to width-k separators. Memoized
+// on (component, interface) bitmasks, minimizing summed bag cost.
+func (h *Hypergraph) decomposeExact(k int, costOf CostFunc) (*Decomposition, bool) {
+	s := &exactSearch{h: h, k: k, costOf: costOf,
+		edgeMask: make([]uint64, len(h.Edges)),
+		memo:     make(map[[2]uint64]*dnode)}
+	for i, e := range h.Edges {
+		for _, v := range e {
+			s.edgeMask[i] |= 1 << uint(v)
+		}
+	}
+	var roots []*dnode
+	for _, comp := range s.components(allEdges(len(h.Edges)), ^uint64(0)) {
+		n := s.solve(edgeSetMask(comp), 0)
+		if n == nil {
+			return nil, false
+		}
+		roots = append(roots, n)
+	}
+	return h.flatten(roots), true
+}
+
+func allEdges(m int) []int {
+	out := make([]int, m)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func edgeSetMask(edges []int) uint64 {
+	var m uint64
+	for _, e := range edges {
+		m |= 1 << uint(e)
+	}
+	return m
+}
+
+// components splits the given edges into connected components, linking two
+// edges when they share a vertex inside the "via" vertex mask. Components
+// are ordered by lowest edge index, edges ascending.
+func (s *exactSearch) components(edges []int, via uint64) [][]int {
+	parent := make(map[int]int, len(edges))
+	for _, e := range edges {
+		parent[e] = e
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i, e := range edges {
+		for _, f := range edges[i+1:] {
+			if s.edgeMask[e]&s.edgeMask[f]&via != 0 {
+				parent[find(e)] = find(f)
+			}
+		}
+	}
+	groups := make(map[int][]int)
+	var order []int
+	for _, e := range edges { // edges is ascending, so groups fill ascending
+		r := find(e)
+		if _, ok := groups[r]; !ok {
+			order = append(order, r)
+		}
+		groups[r] = append(groups[r], e)
+	}
+	out := make([][]int, 0, len(order))
+	for _, r := range order {
+		out = append(out, groups[r])
+	}
+	return out
+}
+
+// solve returns the cheapest bag subtree decomposing the component (an edge
+// bitmask) whose root bag covers the interface vertex mask, or nil when no
+// width-≤ k subtree exists.
+func (s *exactSearch) solve(comp, iface uint64) *dnode {
+	key := [2]uint64{comp, iface}
+	if n, ok := s.memo[key]; ok {
+		return n
+	}
+	s.memo[key] = nil // cuts accidental re-entry; overwritten below
+	edges := maskEdges(comp)
+	var best *dnode
+	forEachSubset(edges, s.k, func(guards []int) {
+		var chi uint64
+		for _, g := range guards {
+			chi |= s.edgeMask[g]
+		}
+		if iface&^chi != 0 {
+			return
+		}
+		guardSet := edgeSetMask(guards)
+		var rest, covered []int
+		for _, e := range edges {
+			if guardSet&(1<<uint(e)) != 0 {
+				continue
+			}
+			if s.edgeMask[e]&^chi == 0 {
+				covered = append(covered, e)
+			} else {
+				rest = append(rest, e)
+			}
+		}
+		total := s.costOf(guards, covered)
+		if best != nil && total >= best.cost {
+			return // children only add cost
+		}
+		var children []*dnode
+		for _, sub := range s.components(rest, ^chi) {
+			var subVerts uint64
+			for _, e := range sub {
+				subVerts |= s.edgeMask[e]
+			}
+			ch := s.solve(edgeSetMask(sub), subVerts&chi)
+			if ch == nil {
+				return
+			}
+			total += ch.cost
+			if best != nil && total >= best.cost {
+				return
+			}
+			children = append(children, ch)
+		}
+		best = &dnode{
+			guards:   append([]int(nil), guards...),
+			covered:  covered,
+			verts:    chi,
+			cost:     total,
+			children: children,
+		}
+	})
+	s.memo[key] = best
+	return best
+}
+
+func maskEdges(m uint64) []int {
+	out := make([]int, 0, bits.OnesCount64(m))
+	for m != 0 {
+		e := bits.TrailingZeros64(m)
+		out = append(out, e)
+		m &^= 1 << uint(e)
+	}
+	return out
+}
+
+// forEachSubset enumerates the nonempty subsets of edges with at most k
+// elements, sizes ascending and lexicographic within a size, so candidate
+// order (and therefore tie-breaking) is deterministic.
+func forEachSubset(edges []int, k int, fn func([]int)) {
+	n := len(edges)
+	if k > n {
+		k = n
+	}
+	pick := make([]int, 0, k)
+	var rec func(start, size int)
+	rec = func(start, size int) {
+		if len(pick) == size {
+			fn(pick)
+			return
+		}
+		for i := start; i <= n-(size-len(pick)); i++ {
+			pick = append(pick, edges[i])
+			rec(i+1, size)
+			pick = pick[:len(pick)-1]
+		}
+	}
+	for size := 1; size <= k; size++ {
+		rec(0, size)
+	}
+}
+
+// flatten assigns bag indices in DFS preorder across the component roots
+// and assembles the Decomposition with its Forest (Order children-first).
+func (h *Hypergraph) flatten(roots []*dnode) *Decomposition {
+	d := &Decomposition{Forest: &Forest{}}
+	var walk func(n *dnode, parent int)
+	walk = func(n *dnode, parent int) {
+		id := len(d.Bags)
+		d.Bags = append(d.Bags, Bag{Guards: n.guards, Covered: n.covered, Vertices: maskEdges(n.verts)})
+		d.Forest.Parent = append(d.Forest.Parent, parent)
+		d.Forest.Children = append(d.Forest.Children, nil)
+		if parent < 0 {
+			d.Forest.Roots = append(d.Forest.Roots, id)
+		} else {
+			d.Forest.Children[parent] = append(d.Forest.Children[parent], id)
+		}
+		if len(n.guards) > d.Width {
+			d.Width = len(n.guards)
+		}
+		for _, c := range n.children {
+			walk(c, id)
+		}
+		d.Forest.Order = append(d.Forest.Order, id) // post-order: children first
+	}
+	for _, r := range roots {
+		walk(r, -1)
+	}
+	return d
+}
+
+// decomposeMinFill builds a tree decomposition of the primal graph by
+// min-fill elimination (bags χ = eliminated vertex + live neighbors,
+// parent = bag of the earliest-eliminated other member), prunes bags
+// subsumed by their parent, and covers each bag greedily with hyperedges.
+// Width is whatever the greedy cover yields — the caller decides whether it
+// fits. Hyperedges land as guards where chosen and every edge is assigned
+// to the first bag fully containing it for enforcement.
+func (h *Hypergraph) decomposeMinFill() *Decomposition {
+	n := h.NumVertices
+	adj := make([]map[int]bool, n)
+	present := make([]bool, n)
+	link := func(u, v int) {
+		if adj[u] == nil {
+			adj[u] = make(map[int]bool)
+		}
+		adj[u][v] = true
+	}
+	var emptyEdges []int
+	for ei, e := range h.Edges {
+		if len(e) == 0 {
+			emptyEdges = append(emptyEdges, ei)
+			continue
+		}
+		for _, v := range e {
+			present[v] = true
+		}
+		for i, u := range e {
+			for _, v := range e[i+1:] {
+				link(u, v)
+				link(v, u)
+			}
+		}
+	}
+
+	live := make([]bool, n)
+	remaining := 0
+	for v := 0; v < n; v++ {
+		if present[v] {
+			live[v] = true
+			remaining++
+		}
+	}
+	fillIn := func(v int) int {
+		var nb []int
+		for u := range adj[v] {
+			if live[u] {
+				nb = append(nb, u)
+			}
+		}
+		f := 0
+		for i, a := range nb {
+			for _, b := range nb[i+1:] {
+				if !adj[a][b] {
+					f++
+				}
+			}
+		}
+		return f
+	}
+
+	var chis [][]int // per elimination step, sorted χ
+	var elim []int
+	elimIdx := make([]int, n)
+	for remaining > 0 {
+		best, bestFill := -1, 0
+		for v := 0; v < n; v++ {
+			if !live[v] {
+				continue
+			}
+			f := fillIn(v)
+			if best == -1 || f < bestFill {
+				best, bestFill = v, f
+			}
+		}
+		chi := []int{best}
+		var nb []int
+		for u := range adj[best] {
+			if live[u] {
+				nb = append(nb, u)
+			}
+		}
+		sort.Ints(nb)
+		chi = append(chi, nb...)
+		sort.Ints(chi)
+		for i, a := range nb {
+			for _, b := range nb[i+1:] {
+				link(a, b)
+				link(b, a)
+			}
+		}
+		elimIdx[best] = len(elim)
+		elim = append(elim, best)
+		chis = append(chis, chi)
+		live[best] = false
+		remaining--
+	}
+
+	// Parent: the bag of the earliest-eliminated other χ member (all are
+	// eliminated later than this bag's vertex, so edges point forward).
+	parent := make([]int, len(chis))
+	for i, chi := range chis {
+		parent[i] = -1
+		for _, u := range chi {
+			if u == elim[i] {
+				continue
+			}
+			if parent[i] == -1 || elimIdx[u] < parent[i] {
+				parent[i] = elimIdx[u]
+			}
+		}
+	}
+
+	// Prune bags subsumed by their (transitively live) parent.
+	dead := make([]bool, len(chis))
+	for i := range chis {
+		if parent[i] >= 0 && vertexSubset(chis[i], chis[parent[i]]) {
+			dead[i] = true
+		}
+	}
+	liveParent := func(i int) int {
+		p := parent[i]
+		for p >= 0 && dead[p] {
+			p = parent[p]
+		}
+		return p
+	}
+
+	d := &Decomposition{Forest: &Forest{}}
+	remap := make([]int, len(chis))
+	for i := range chis {
+		remap[i] = -1
+		if dead[i] {
+			continue
+		}
+		id := len(d.Bags)
+		remap[i] = id
+		d.Bags = append(d.Bags, Bag{Vertices: chis[i]})
+		d.Forest.Parent = append(d.Forest.Parent, -1)
+		d.Forest.Children = append(d.Forest.Children, nil)
+	}
+	for i := range chis {
+		if dead[i] {
+			continue
+		}
+		id := remap[i]
+		if p := liveParent(i); p >= 0 {
+			pid := remap[p]
+			d.Forest.Parent[id] = pid
+			d.Forest.Children[pid] = append(d.Forest.Children[pid], id)
+		} else {
+			d.Forest.Roots = append(d.Forest.Roots, id)
+		}
+	}
+
+	// Ground atoms (empty edges) become their own root bags.
+	for _, ei := range emptyEdges {
+		id := len(d.Bags)
+		d.Bags = append(d.Bags, Bag{Guards: []int{ei}})
+		d.Forest.Parent = append(d.Forest.Parent, -1)
+		d.Forest.Children = append(d.Forest.Children, nil)
+		d.Forest.Roots = append(d.Forest.Roots, id)
+	}
+
+	// Greedy guard cover per bag, then enforcement assignment per edge.
+	for bi := range d.Bags {
+		b := &d.Bags[bi]
+		if len(b.Guards) > 0 { // ground-atom bag
+			continue
+		}
+		uncovered := make(map[int]bool, len(b.Vertices))
+		for _, v := range b.Vertices {
+			uncovered[v] = true
+		}
+		for len(uncovered) > 0 {
+			best, gain := -1, 0
+			for ei, e := range h.Edges {
+				g := 0
+				for _, v := range e {
+					if uncovered[v] {
+						g++
+					}
+				}
+				if g > gain {
+					best, gain = ei, g
+				}
+			}
+			b.Guards = append(b.Guards, best)
+			for _, v := range h.Edges[best] {
+				delete(uncovered, v)
+			}
+		}
+		sort.Ints(b.Guards)
+	}
+	for ei, e := range h.Edges {
+		if len(e) == 0 {
+			continue
+		}
+		for bi := range d.Bags {
+			b := &d.Bags[bi]
+			if !vertexSubset(e, b.Vertices) {
+				continue
+			}
+			if !intSliceHas(b.Guards, ei) {
+				b.Covered = append(b.Covered, ei)
+			}
+			break
+		}
+	}
+	for _, b := range d.Bags {
+		if len(b.Guards) > d.Width {
+			d.Width = len(b.Guards)
+		}
+	}
+
+	// Children-first order.
+	var post func(int)
+	post = func(u int) {
+		for _, c := range d.Forest.Children[u] {
+			post(c)
+		}
+		d.Forest.Order = append(d.Forest.Order, u)
+	}
+	for _, r := range d.Forest.Roots {
+		post(r)
+	}
+	return d
+}
+
+// vertexSubset reports sub ⊆ super for sorted int slices.
+func vertexSubset(sub, super []int) bool {
+	i := 0
+	for _, v := range sub {
+		for i < len(super) && super[i] < v {
+			i++
+		}
+		if i == len(super) || super[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func intSliceHas(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// ValidateDecomposition checks the defining properties the evaluator's
+// correctness rests on: forest well-formedness, every bag's vertex set
+// covered by its guards, every hyperedge both contained in some bag and
+// assigned (guard or covered) to a bag that fully contains it, and the
+// connectedness condition (each vertex's bags induce a connected subtree).
+func (h *Hypergraph) ValidateDecomposition(d *Decomposition) error {
+	f := d.Forest
+	nb := len(d.Bags)
+	if len(f.Parent) != nb || len(f.Children) != nb || len(f.Order) != nb {
+		return fmt.Errorf("hypergraph: decomposition forest shape mismatch (%d bags)", nb)
+	}
+	seen := make([]bool, nb)
+	for _, j := range f.Order {
+		for _, c := range f.Children[j] {
+			if !seen[c] {
+				return fmt.Errorf("hypergraph: Order visits bag %d before child %d", j, c)
+			}
+			if f.Parent[c] != j {
+				return fmt.Errorf("hypergraph: bag %d parent mismatch", c)
+			}
+		}
+		seen[j] = true
+	}
+	width := 0
+	for bi, b := range d.Bags {
+		if len(b.Guards) == 0 {
+			return fmt.Errorf("hypergraph: bag %d has no guards", bi)
+		}
+		if len(b.Guards) > width {
+			width = len(b.Guards)
+		}
+		union := make(map[int]bool)
+		for _, g := range b.Guards {
+			if g < 0 || g >= len(h.Edges) {
+				return fmt.Errorf("hypergraph: bag %d guard %d out of range", bi, g)
+			}
+			for _, v := range h.Edges[g] {
+				union[v] = true
+			}
+		}
+		for _, v := range b.Vertices {
+			if !union[v] {
+				return fmt.Errorf("hypergraph: bag %d vertex %d not covered by guards", bi, v)
+			}
+		}
+		for _, ci := range b.Covered {
+			if !vertexSubset(h.Edges[ci], b.Vertices) {
+				return fmt.Errorf("hypergraph: bag %d covered edge %d exceeds χ", bi, ci)
+			}
+		}
+	}
+	if width != d.Width {
+		return fmt.Errorf("hypergraph: declared width %d, actual %d", d.Width, width)
+	}
+	for ei, e := range h.Edges {
+		contained, enforced := false, false
+		for bi, b := range d.Bags {
+			if vertexSubset(e, b.Vertices) || (len(e) == 0 && intSliceHas(b.Guards, ei)) {
+				contained = true
+				if intSliceHas(b.Guards, ei) || intSliceHas(b.Covered, ei) {
+					enforced = true
+				}
+			} else if intSliceHas(b.Covered, ei) {
+				return fmt.Errorf("hypergraph: edge %d covered at bag %d without containment", ei, bi)
+			}
+		}
+		if !contained {
+			return fmt.Errorf("hypergraph: edge %d contained in no bag", ei)
+		}
+		if !enforced {
+			return fmt.Errorf("hypergraph: edge %d enforced at no containing bag", ei)
+		}
+	}
+	// Connectedness, via BFS over the bag forest restricted to holders.
+	for v := 0; v < h.NumVertices; v++ {
+		var holders []int
+		for bi, b := range d.Bags {
+			if intSliceHas(b.Vertices, v) {
+				holders = append(holders, bi)
+			}
+		}
+		if len(holders) <= 1 {
+			continue
+		}
+		inSet := make(map[int]bool, len(holders))
+		for _, bi := range holders {
+			inSet[bi] = true
+		}
+		reach := map[int]bool{holders[0]: true}
+		queue := []int{holders[0]}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			nbrs := append([]int(nil), f.Children[u]...)
+			if p := f.Parent[u]; p >= 0 {
+				nbrs = append(nbrs, p)
+			}
+			for _, w := range nbrs {
+				if inSet[w] && !reach[w] {
+					reach[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+		if len(reach) != len(holders) {
+			return fmt.Errorf("hypergraph: vertex %d bags are disconnected", v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// cycleHG builds the n-cycle hypergraph: edges {i, i+1 mod n}.
+func cycleHG(n int) *Hypergraph {
+	edges := make([][]int, n)
+	for i := 0; i < n; i++ {
+		edges[i] = []int{i, (i + 1) % n}
+	}
+	return New(n, edges)
+}
+
+// cliqueHG builds the complete graph K_n as binary edges.
+func cliqueHG(n int) *Hypergraph {
+	var edges [][]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, []int{i, j})
+		}
+	}
+	return New(n, edges)
+}
+
+func TestDecomposeCyclesWidth2(t *testing.T) {
+	for n := 3; n <= 16; n++ { // n ≥ 11 exceeds the exact cap → min-fill path
+		h := cycleHG(n)
+		d, ok := h.Decompose(2, nil)
+		if !ok {
+			t.Fatalf("%d-cycle: no width-2 decomposition found", n)
+		}
+		if d.Width > 2 {
+			t.Fatalf("%d-cycle: width %d > 2", n, d.Width)
+		}
+		if err := h.ValidateDecomposition(d); err != nil {
+			t.Fatalf("%d-cycle: %v", n, err)
+		}
+	}
+}
+
+func TestDecomposeAcyclicWidth1(t *testing.T) {
+	// Path P_5 and a star: acyclic hypergraphs decompose at width 1.
+	path := New(6, [][]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}})
+	star := New(5, [][]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	for name, h := range map[string]*Hypergraph{"path": path, "star": star} {
+		d, ok := h.Decompose(3, nil)
+		if !ok {
+			t.Fatalf("%s: no decomposition", name)
+		}
+		if d.Width != 1 {
+			t.Fatalf("%s: width %d, want 1", name, d.Width)
+		}
+		if err := h.ValidateDecomposition(d); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestDecomposeCliqueBounds(t *testing.T) {
+	// K6 needs 3 edges to cover its single top bag (width 3); K8 needs 4 —
+	// beyond the engine's bound, so Decompose must refuse.
+	if d, ok := cliqueHG(6).Decompose(3, nil); !ok || d.Width != 3 {
+		t.Fatalf("K6: ok=%v width=%v, want width 3", ok, d)
+	}
+	if _, ok := cliqueHG(8).Decompose(3, nil); ok {
+		t.Fatal("K8: found a width-≤3 decomposition (ghw is 4)")
+	}
+}
+
+func TestDecomposeGroundAndDisconnected(t *testing.T) {
+	// Two disjoint triangles plus a ground (empty) edge: per-component
+	// trees, ground edge as its own bag.
+	h := New(6, [][]int{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}, {}})
+	d, ok := h.Decompose(2, nil)
+	if !ok {
+		t.Fatal("disconnected: no decomposition")
+	}
+	if err := h.ValidateDecomposition(d); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Forest.Roots) < 3 {
+		t.Fatalf("expected ≥3 roots (two components + ground), got %v", d.Forest.Roots)
+	}
+}
+
+// TestDecomposeRandomValidates cross-checks every decomposition the search
+// produces against the property checker, and pins two invariants: acyclic
+// hypergraphs always decompose (width 1 suffices edge-locally at k=3), and
+// the cost callback never changes feasibility, only shape.
+func TestDecomposeRandomValidates(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		rnd := rand.New(rand.NewSource(seed))
+		nv := 2 + rnd.Intn(8)
+		ne := 1 + rnd.Intn(9)
+		edges := make([][]int, ne)
+		for i := range edges {
+			k := 1 + rnd.Intn(3)
+			for j := 0; j < k; j++ {
+				edges[i] = append(edges[i], rnd.Intn(nv))
+			}
+		}
+		h := New(nv, edges)
+		d, ok := h.Decompose(3, nil)
+		dc, okc := h.Decompose(3, func(guards, covered []int) float64 { return 1 })
+		if ok != okc {
+			t.Fatalf("seed %d: cost callback changed feasibility (%v vs %v)", seed, ok, okc)
+		}
+		if _, acyclic := h.JoinForest(); acyclic && !ok {
+			t.Fatalf("seed %d: acyclic hypergraph failed to decompose", seed)
+		}
+		if ok {
+			if err := h.ValidateDecomposition(d); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if err := h.ValidateDecomposition(dc); err != nil {
+				t.Fatalf("seed %d (cost): %v", seed, err)
+			}
+		}
+	}
+}
+
+// TestDecomposeMinFillLargeValidates forces the min-fill path (edge count
+// above the exact cap) on structured low-width inputs.
+func TestDecomposeMinFillLargeValidates(t *testing.T) {
+	// Long cycle with pendant edges: 24 edges, still width 2.
+	var edges [][]int
+	n := 12
+	for i := 0; i < n; i++ {
+		edges = append(edges, []int{i, (i + 1) % n})
+		edges = append(edges, []int{i, n + i}) // pendant
+	}
+	h := New(2*n, edges)
+	d, ok := h.Decompose(2, nil)
+	if !ok {
+		t.Fatal("pendant cycle: no width-2 decomposition")
+	}
+	if err := h.ValidateDecomposition(d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Width > 2 {
+		t.Fatalf("width %d > 2", d.Width)
+	}
+}

@@ -168,6 +168,22 @@ func Build(inputs []Input, headVars []query.Var) *Plan {
 	return p
 }
 
+// BagCost estimates one decomposition bag under the same distinct-count
+// selectivity model as Build: the guard inputs are joined in Build's order
+// and outVars (the bag's χ) cap the materialized estimate the way head
+// variables cap an answer estimate. It returns the estimated materialized
+// cardinality and the bag's cost (Σ intermediate cardinalities of the
+// guard join) — the numbers the decomposition gate in pyquery.PlanDB and
+// internal/decomp weighs against the backtracker's Build cost.
+func BagCost(inputs []Input, guards []int, outVars []query.Var) (est, cost float64) {
+	sub := make([]Input, len(guards))
+	for i, g := range guards {
+		sub[i] = inputs[g]
+	}
+	p := Build(sub, outVars)
+	return p.EstRows, p.Cost
+}
+
 // AtomHypergraph builds the hypergraph of the query's relational atoms:
 // vertex i is vars[i] (the sorted body variables), one edge per atom. This
 // is the single construction shared by the acyclicity tests and the

@@ -225,6 +225,71 @@ func RandomAcyclicCQ(rnd *rand.Rand, spec AcyclicSpec) (*query.CQ, *query.DB) {
 	return q, db
 }
 
+// CycleQuery is the n-cycle join G(x0, x_{n/2}) ← E(x0,x1), …, E(x_{n−1},x0):
+// cyclic for n ≥ 3 but generalized hypertree width 2 (opposite arcs pair
+// into bags), so it routes to the decomposition engine while the
+// backtracker pays the n^O(q) cycle exponent. The two-variable head forces
+// full enumeration (no early exit).
+func CycleQuery(n int) *query.CQ {
+	q := &query.CQ{Head: []query.Term{query.V(0), query.V(query.Var(n / 2))}}
+	for i := 0; i < n; i++ {
+		q.Atoms = append(q.Atoms, query.NewAtom("E", query.V(query.Var(i)), query.V(query.Var((i+1)%n))))
+	}
+	return q
+}
+
+// ThetaQuery joins p internally-disjoint directed s→t paths of length ℓ
+// through E (the "theta" multigraph): G(s,t) ← p·ℓ atoms. Cyclic for
+// p ≥ 2 yet width 2 at every size — each path becomes a chain of bags
+// hanging off one (s,…,t) bag — so it is the tunable-size axis of the
+// cyclic low-width family (CycleQuery's length, or chords, tune width).
+func ThetaQuery(paths, pathLen int) *query.CQ {
+	s, t := query.Var(0), query.Var(1)
+	q := &query.CQ{Head: []query.Term{query.V(s), query.V(t)}}
+	next := query.Var(2)
+	for p := 0; p < paths; p++ {
+		prev := s
+		for step := 0; step < pathLen-1; step++ {
+			q.Atoms = append(q.Atoms, query.NewAtom("E", query.V(prev), query.V(next)))
+			prev = next
+			next++
+		}
+		q.Atoms = append(q.Atoms, query.NewAtom("E", query.V(prev), query.V(t)))
+	}
+	return q
+}
+
+// CyclicLowWidthSpec configures the CyclicLowWidth generator: either an
+// n-cycle (CycleLen ≥ 3, optionally Chords extra atoms x_i→x_{i+2} raising
+// the effective width) or a theta join (Paths ≥ 2 s→t paths of PathLen
+// atoms), over a random digraph with Nodes vertices and average out-degree
+// Degree. Degree ≫ 1 is the regime where bag materialization (≈|E|·Degree
+// tuples per width-2 bag) beats the backtracker's ≈|E|·Degree^(q−2)
+// enumeration.
+type CyclicLowWidthSpec struct {
+	CycleLen, Chords int
+	Paths, PathLen   int
+	Nodes, Degree    int
+	Seed             int64
+}
+
+// CyclicLowWidth generates (query, database) from the spec — the E8/A6
+// workload for the decomposition engine's routing class.
+func CyclicLowWidth(spec CyclicLowWidthSpec) (*query.CQ, *query.DB) {
+	var q *query.CQ
+	if spec.CycleLen >= 3 {
+		q = CycleQuery(spec.CycleLen)
+		for c := 0; c < spec.Chords; c++ {
+			i := (2 * c) % spec.CycleLen
+			q.Atoms = append(q.Atoms, query.NewAtom("E",
+				query.V(query.Var(i)), query.V(query.Var((i+2)%spec.CycleLen))))
+		}
+	} else {
+		q = ThetaQuery(spec.Paths, spec.PathLen)
+	}
+	return q, GraphDB(spec.Nodes, spec.Nodes*spec.Degree, spec.Seed)
+}
+
 // CompleteDigraphDB returns the complete digraph with self-loops — the
 // worst case for the Vardi family (E7).
 func CompleteDigraphDB(n int) *query.DB {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"pyquery/internal/core"
+	"pyquery/internal/decomp"
 	"pyquery/internal/eval"
 	"pyquery/internal/relation"
 	"pyquery/internal/yannakakis"
@@ -134,6 +135,39 @@ func TestRandomAcyclicCQIsAcyclic(t *testing.T) {
 		}
 		if err := q.Validate(db); err != nil {
 			t.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+}
+
+func TestCyclicLowWidthShapes(t *testing.T) {
+	// Every shape of the family must be cyclic (the backtracker's class)
+	// yet inside the decomposition engine's structural class, and both
+	// engines must agree on the answer.
+	specs := []CyclicLowWidthSpec{
+		{CycleLen: 4, Nodes: 12, Degree: 4, Seed: 1},
+		{CycleLen: 6, Nodes: 12, Degree: 4, Seed: 2},
+		{CycleLen: 5, Chords: 1, Nodes: 10, Degree: 4, Seed: 3},
+		{Paths: 2, PathLen: 2, Nodes: 12, Degree: 4, Seed: 4},
+		{Paths: 3, PathLen: 3, Nodes: 10, Degree: 4, Seed: 5},
+	}
+	for i, spec := range specs {
+		q, db := CyclicLowWidth(spec)
+		if core.IsAcyclicWithIneqs(q) {
+			t.Fatalf("spec %d: query is acyclic: %v", i, q)
+		}
+		if !decomp.Decomposable(q) {
+			t.Fatalf("spec %d: not decomposable: %v", i, q)
+		}
+		want, err := eval.ConjunctiveOpts(q, db, eval.Options{Parallelism: 1, NoReorder: true})
+		if err != nil {
+			t.Fatalf("spec %d backtracker: %v", i, err)
+		}
+		got, err := decomp.EvaluateOpts(q, db, decomp.Options{Parallelism: 1})
+		if err != nil {
+			t.Fatalf("spec %d decomp: %v", i, err)
+		}
+		if !relation.EqualSet(got, want) {
+			t.Fatalf("spec %d: engines disagree on %v", i, q)
 		}
 	}
 }

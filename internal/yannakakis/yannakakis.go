@@ -6,6 +6,12 @@
 // engine (internal/core) generalizes this pass structure with hashed color
 // columns; this package is both a standalone engine and the I₁ = ∅ fast
 // path.
+//
+// The tree-driven passes are exported as Tree, which runs over
+// caller-supplied relations rather than query atoms: the decomposition
+// engine (internal/decomp) hands it materialized bag relations on a bag
+// tree, so the acyclic and bounded-width engines share one full-reducer and
+// join-project implementation.
 package yannakakis
 
 import (
@@ -56,21 +62,21 @@ func Evaluate(q *query.CQ, db *query.DB) (*relation.Relation, error) {
 
 // EvaluateOpts is Evaluate with explicit options.
 func EvaluateOpts(q *query.CQ, db *query.DB, opts Options) (*relation.Relation, error) {
-	st, err := prepare(q, db)
+	t, err := prepare(q, db)
 	if err != nil {
 		return nil, err
 	}
-	if st == nil { // trivially empty
+	if t == nil { // trivially empty
 		return query.NewTable(len(q.Head)), nil
 	}
-	st.workers = parallel.Workers(opts.Parallelism)
+	t.Workers = parallel.Workers(opts.Parallelism)
 	if !opts.NoFullReducer {
-		if empty := st.fullReduce(); empty {
+		if empty := t.FullReduce(); empty {
 			return query.NewTable(len(q.Head)), nil
 		}
 	}
-	pstar := st.joinProject()
-	return headTuples(q, pstar), nil
+	pstar := t.JoinProject()
+	return HeadTuples(q, pstar), nil
 }
 
 // EvaluateBool decides Q(d) ≠ ∅ for an acyclic pure conjunctive query using
@@ -81,34 +87,41 @@ func EvaluateBool(q *query.CQ, db *query.DB) (bool, error) {
 
 // EvaluateBoolOpts is EvaluateBool with explicit options.
 func EvaluateBoolOpts(q *query.CQ, db *query.DB, opts Options) (bool, error) {
-	st, err := prepare(q, db)
+	t, err := prepare(q, db)
 	if err != nil {
 		return false, err
 	}
-	if st == nil {
+	if t == nil {
 		return false, nil
 	}
-	st.workers = parallel.Workers(opts.Parallelism)
-	return !st.bottomUpSemijoin(), nil
+	t.Workers = parallel.Workers(opts.Parallelism)
+	return !t.BottomUpSemijoin(), nil
 }
 
-type state struct {
-	q    *query.CQ
-	tree *hypergraph.Forest
-	// rels[j] is the current P_j relation of tree node j (schema keyed by
+// Tree is the shared pass state: relations arranged on a single-rooted join
+// tree. The acyclic engine builds one from the query's reduced atoms; the
+// decomposition engine (internal/decomp) builds one from materialized bag
+// relations. The caller owns Rels for the duration of a run — the semijoin
+// passes filter them in place.
+type Tree struct {
+	// Forest is the join tree (link a multi-component forest with
+	// Forest.JoinTree first; the join pass starts at Roots[0]).
+	Forest *hypergraph.Forest
+	// Rels[j] is the current P_j relation of tree node j (schema keyed by
 	// variable ids as attributes).
-	rels []*relation.Relation
-	// subtreeVars[j] is at(T[j]) as variable attributes.
-	subtreeVars []map[query.Var]bool
-	headVars    map[query.Var]bool
-	// workers is the parallelism budget for the passes (1 = serial).
-	workers int
+	Rels []*relation.Relation
+	// SubtreeVars[j] is at(T[j]): the variables appearing in j's subtree.
+	SubtreeVars []map[query.Var]bool
+	// HeadVars are the variables the final projection keeps.
+	HeadVars map[query.Var]bool
+	// Workers is the parallelism budget for the passes (1 = serial).
+	Workers int
 }
 
 // prepare validates, reduces atoms, and builds the join tree. It returns
 // (nil, nil) when some atom reduces to the empty relation (the answer is
 // trivially empty) and an error for cyclic or malformed queries.
-func prepare(q *query.CQ, db *query.DB) (*state, error) {
+func prepare(q *query.CQ, db *query.DB) (*Tree, error) {
 	if len(q.Ineqs) > 0 || len(q.Cmps) > 0 {
 		return nil, fmt.Errorf("yannakakis: query has ≠/comparison atoms; use the core engine")
 	}
@@ -120,11 +133,10 @@ func prepare(q *query.CQ, db *query.DB) (*state, error) {
 		// the 0-ary true relation.
 		h := hypergraph.New(0, [][]int{{}})
 		f, _ := h.JoinForest()
-		st := &state{q: q, tree: f.JoinTree(),
-			rels:        []*relation.Relation{relation.NewBool(true)},
-			subtreeVars: []map[query.Var]bool{{}},
-			headVars:    map[query.Var]bool{}}
-		return st, nil
+		return &Tree{Forest: f.JoinTree(),
+			Rels:        []*relation.Relation{relation.NewBool(true)},
+			SubtreeVars: []map[query.Var]bool{{}},
+			HeadVars:    map[query.Var]bool{}}, nil
 	}
 
 	h, backTo := plan.AtomHypergraph(q)
@@ -165,20 +177,20 @@ func prepare(q *query.CQ, db *query.DB) (*state, error) {
 	for _, v := range q.HeadVars() {
 		headVars[v] = true
 	}
-	return &state{q: q, tree: tree, rels: rels, subtreeVars: subtreeVars, headVars: headVars}, nil
+	return &Tree{Forest: tree, Rels: rels, SubtreeVars: subtreeVars, HeadVars: headVars}, nil
 }
 
 // levels groups the tree's nodes by depth (roots at level 0), each level in
 // ascending node order. Nodes at the same level root disjoint subtrees, so
 // per-node pass work within a level is independent — the unit the parallel
 // passes fan out over.
-func (st *state) levels() [][]int {
-	depth := make([]int, len(st.tree.Parent))
+func (t *Tree) levels() [][]int {
+	depth := make([]int, len(t.Forest.Parent))
 	maxd := 0
 	// Reverse bottom-up order visits parents before children.
-	for i := len(st.tree.Order) - 1; i >= 0; i-- {
-		j := st.tree.Order[i]
-		if u := st.tree.Parent[j]; u >= 0 {
+	for i := len(t.Forest.Order) - 1; i >= 0; i-- {
+		j := t.Forest.Order[i]
+		if u := t.Forest.Parent[j]; u >= 0 {
 			depth[j] = depth[u] + 1
 		}
 		if depth[j] > maxd {
@@ -192,43 +204,43 @@ func (st *state) levels() [][]int {
 	return lv
 }
 
-// bottomUpSemijoin runs the upward semijoin pass (children filter parents);
+// BottomUpSemijoin runs the upward semijoin pass (children filter parents);
 // it returns true if some relation became empty (the query is false). The
-// pass relations are private to the evaluation (built by ReduceAtom), so
-// each semijoin filters in place instead of rebuilding a relation per pass.
-// With workers > 1 the pass walks the tree level by level, deepest parents
-// first: every parent of a level absorbs its children independently of the
-// level's other parents, so they run across workers.
-func (st *state) bottomUpSemijoin() bool {
-	if st.workers <= 1 {
-		for _, j := range st.tree.Order {
-			u := st.tree.Parent[j]
+// pass relations are private to the evaluation, so each semijoin filters in
+// place instead of rebuilding a relation per pass. With Workers > 1 the
+// pass walks the tree level by level, deepest parents first: every parent
+// of a level absorbs its children independently of the level's other
+// parents, so they run across workers.
+func (t *Tree) BottomUpSemijoin() bool {
+	if t.Workers <= 1 {
+		for _, j := range t.Forest.Order {
+			u := t.Forest.Parent[j]
 			if u < 0 {
 				continue
 			}
-			if relation.SemijoinInPlace(st.rels[u], st.rels[j]).Empty() {
+			if relation.SemijoinInPlace(t.Rels[u], t.Rels[j]).Empty() {
 				return true
 			}
 		}
 		return false
 	}
-	lv := st.levels()
+	lv := t.levels()
 	var empty atomic.Bool
 	for d := len(lv) - 2; d >= 0; d-- {
 		var parents []int
 		for _, u := range lv[d] {
-			if len(st.tree.Children[u]) > 0 {
+			if len(t.Forest.Children[u]) > 0 {
 				parents = append(parents, u)
 			}
 		}
 		if len(parents) == 0 {
 			continue
 		}
-		outer, inner := parallel.Split(st.workers, len(parents))
+		outer, inner := parallel.Split(t.Workers, len(parents))
 		parallel.ForEach(outer, len(parents), func(i int) {
 			u := parents[i]
-			for _, c := range st.tree.Children[u] {
-				if relation.SemijoinInPlacePar(st.rels[u], st.rels[c], inner).Empty() {
+			for _, c := range t.Forest.Children[u] {
+				if relation.SemijoinInPlacePar(t.Rels[u], t.Rels[c], inner).Empty() {
 					empty.Store(true)
 					return
 				}
@@ -241,22 +253,22 @@ func (st *state) bottomUpSemijoin() bool {
 	return false
 }
 
-// fullReduce runs the full reducer: bottom-up semijoins, then top-down
+// FullReduce runs the full reducer: bottom-up semijoins, then top-down
 // semijoins, leaving the relations globally consistent (every remaining
 // tuple participates in some full join result).
-func (st *state) fullReduce() bool {
-	if st.bottomUpSemijoin() {
+func (t *Tree) FullReduce() bool {
+	if t.BottomUpSemijoin() {
 		return true
 	}
-	if st.workers <= 1 {
+	if t.Workers <= 1 {
 		// Top-down: parents filter children, in reverse bottom-up order.
-		for i := len(st.tree.Order) - 1; i >= 0; i-- {
-			j := st.tree.Order[i]
-			u := st.tree.Parent[j]
+		for i := len(t.Forest.Order) - 1; i >= 0; i-- {
+			j := t.Forest.Order[i]
+			u := t.Forest.Parent[j]
 			if u < 0 {
 				continue
 			}
-			if relation.SemijoinInPlace(st.rels[j], st.rels[u]).Empty() {
+			if relation.SemijoinInPlace(t.Rels[j], t.Rels[u]).Empty() {
 				return true
 			}
 		}
@@ -265,14 +277,14 @@ func (st *state) fullReduce() bool {
 	// Top-down by levels: each node of a level is filtered by its (already
 	// fully filtered) parent; the nodes mutate disjoint relations and only
 	// read their parents, so a level runs across workers.
-	lv := st.levels()
+	lv := t.levels()
 	var empty atomic.Bool
 	for d := 1; d < len(lv); d++ {
 		nodes := lv[d]
-		outer, inner := parallel.Split(st.workers, len(nodes))
+		outer, inner := parallel.Split(t.Workers, len(nodes))
 		parallel.ForEach(outer, len(nodes), func(i int) {
 			j := nodes[i]
-			if relation.SemijoinInPlacePar(st.rels[j], st.rels[st.tree.Parent[j]], inner).Empty() {
+			if relation.SemijoinInPlacePar(t.Rels[j], t.Rels[t.Forest.Parent[j]], inner).Empty() {
 				empty.Store(true)
 			}
 		})
@@ -285,12 +297,12 @@ func (st *state) fullReduce() bool {
 
 // projSchema returns Z_j = (vars(P_j) ∩ vars(P_u)) ∪ (head vars in the
 // subtree of j) — the columns node j must hand its parent u.
-func (st *state) projSchema(j, u int) relation.Schema {
-	proj := st.rels[j].Schema().Intersect(st.rels[u].Schema())
-	for v := range st.subtreeVars[j] {
-		if st.headVars[v] {
+func (t *Tree) projSchema(j, u int) relation.Schema {
+	proj := t.Rels[j].Schema().Intersect(t.Rels[u].Schema())
+	for v := range t.SubtreeVars[j] {
+		if t.HeadVars[v] {
 			a := relation.Attr(v)
-			if !proj.Has(a) && st.rels[j].Schema().Has(a) {
+			if !proj.Has(a) && t.Rels[j].Schema().Has(a) {
 				proj = append(proj, a)
 			}
 		}
@@ -298,43 +310,43 @@ func (st *state) projSchema(j, u int) relation.Schema {
 	return proj
 }
 
-// joinProject performs the upward join pass, carrying only join attributes
+// JoinProject performs the upward join pass, carrying only join attributes
 // and head variables, and returns π_Z(⋈ all) over the head variables. With
-// workers > 1 the independent parents of each level absorb their subtrees
+// Workers > 1 the independent parents of each level absorb their subtrees
 // concurrently (same answer set; row order may differ from serial).
-func (st *state) joinProject() *relation.Relation {
-	if st.workers <= 1 {
-		for _, j := range st.tree.Order {
-			u := st.tree.Parent[j]
+func (t *Tree) JoinProject() *relation.Relation {
+	if t.Workers <= 1 {
+		for _, j := range t.Forest.Order {
+			u := t.Forest.Parent[j]
 			if u < 0 {
 				continue
 			}
-			st.rels[u] = relation.NaturalJoin(st.rels[u], relation.Project(st.rels[j], st.projSchema(j, u)))
+			t.Rels[u] = relation.NaturalJoin(t.Rels[u], relation.Project(t.Rels[j], t.projSchema(j, u)))
 		}
 	} else {
-		lv := st.levels()
+		lv := t.levels()
 		for d := len(lv) - 2; d >= 0; d-- {
 			var parents []int
 			for _, u := range lv[d] {
-				if len(st.tree.Children[u]) > 0 {
+				if len(t.Forest.Children[u]) > 0 {
 					parents = append(parents, u)
 				}
 			}
 			if len(parents) == 0 {
 				continue
 			}
-			outer, inner := parallel.Split(st.workers, len(parents))
+			outer, inner := parallel.Split(t.Workers, len(parents))
 			parallel.ForEach(outer, len(parents), func(i int) {
 				u := parents[i]
-				for _, c := range st.tree.Children[u] {
-					st.rels[u] = relation.NaturalJoinPar(st.rels[u], relation.Project(st.rels[c], st.projSchema(c, u)), inner)
+				for _, c := range t.Forest.Children[u] {
+					t.Rels[u] = relation.NaturalJoinPar(t.Rels[u], relation.Project(t.Rels[c], t.projSchema(c, u)), inner)
 				}
 			})
 		}
 	}
-	root := st.tree.Roots[0]
-	zs := make(relation.Schema, 0, len(st.headVars))
-	for v := range st.headVars {
+	root := t.Forest.Roots[0]
+	zs := make(relation.Schema, 0, len(t.HeadVars))
+	for v := range t.HeadVars {
 		zs = append(zs, relation.Attr(v))
 	}
 	// Sort for determinism.
@@ -345,12 +357,12 @@ func (st *state) joinProject() *relation.Relation {
 			}
 		}
 	}
-	return relation.Project(st.rels[root], zs)
+	return relation.Project(t.Rels[root], zs)
 }
 
-// headTuples maps the head-variable relation pstar onto the positional head
+// HeadTuples maps the head-variable relation pstar onto the positional head
 // tuple layout {τ(t₀) | τ ∈ P*}.
-func headTuples(q *query.CQ, pstar *relation.Relation) *relation.Relation {
+func HeadTuples(q *query.CQ, pstar *relation.Relation) *relation.Relation {
 	out := query.NewTable(len(q.Head))
 	if len(q.Head) == 0 {
 		if pstar.Bool() {

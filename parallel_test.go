@@ -7,7 +7,9 @@ import (
 
 	"pyquery"
 	"pyquery/internal/datalog"
+	"pyquery/internal/decomp"
 	"pyquery/internal/relation"
+	"pyquery/internal/workload"
 )
 
 // Determinism contract: for every engine and every query class,
@@ -112,7 +114,9 @@ func TestParallelDeterminismGeneric(t *testing.T) {
 		rnd := rand.New(rand.NewSource(seed))
 		db := pyquery.NewDB()
 		// Big enough that the 3-atom plan clears the backtracker's
-		// minFanWork gate and the fan-out genuinely runs.
+		// minFanWork gate and the fan-out genuinely runs. The ≠ atom keeps
+		// the cyclic query with the backtracker (pure low-width cyclic
+		// queries route to the decomposition engine since PR 4).
 		db.Set("E", randEdges(rnd, 400+rnd.Intn(200), 25+rnd.Intn(10)))
 		tri := &pyquery.CQ{
 			Head: []pyquery.Term{pyquery.V(0), pyquery.V(1), pyquery.V(2)},
@@ -121,9 +125,39 @@ func TestParallelDeterminismGeneric(t *testing.T) {
 				pyquery.NewAtom("E", pyquery.V(1), pyquery.V(2)),
 				pyquery.NewAtom("E", pyquery.V(2), pyquery.V(0)),
 			},
+			Ineqs: []pyquery.Ineq{pyquery.NeqVars(0, 1)},
 		}
 		assertParallelAgrees(t, fmt.Sprintf("generic/seed=%d", seed),
 			tri, db, pyquery.EngineGeneric)
+	}
+}
+
+// TestParallelDeterminismDecomp drives the decomposition engine both
+// through the facade (routing + cost gate) and directly, so the bag
+// materialization fan-out and the shared Yannakakis passes run under every
+// worker budget regardless of where the gate lands on a given seed.
+func TestParallelDeterminismDecomp(t *testing.T) {
+	for seed := int64(500); seed < 520; seed++ {
+		rnd := rand.New(rand.NewSource(seed))
+		db := pyquery.NewDB()
+		db.Set("E", randEdges(rnd, 300+rnd.Intn(200), 20+rnd.Intn(10)))
+		cyc := workload.CycleQuery(4 + int(seed%2)*2) // 4- and 6-cycles
+		tag := fmt.Sprintf("decomp/seed=%d", seed)
+		assertParallelAgrees(t, tag, cyc, db, pyquery.EngineDecomp)
+
+		serial, err := decomp.EvaluateOpts(cyc, db, decomp.Options{Parallelism: 1})
+		if err != nil {
+			t.Fatalf("%s direct serial: %v", tag, err)
+		}
+		for _, par := range []int{2, 4} {
+			got, err := decomp.EvaluateOpts(cyc, db, decomp.Options{Parallelism: par})
+			if err != nil {
+				t.Fatalf("%s direct par=%d: %v", tag, par, err)
+			}
+			if !relation.EqualSet(got, serial) {
+				t.Fatalf("%s: direct decomp Parallelism=%d differs from serial", tag, par)
+			}
+		}
 	}
 }
 

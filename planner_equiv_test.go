@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"pyquery"
+	"pyquery/internal/decomp"
 	"pyquery/internal/eval"
 	"pyquery/internal/relation"
 )
@@ -87,8 +88,9 @@ func TestPlannerOrderingEquivalence(t *testing.T) {
 			t.Fatalf("%s: legacy greedy order changed the answer", tag)
 		}
 		// Facade routing: whichever engine Plan picks (weighted join trees
-		// for the acyclic classes) must agree with the generic baseline, at
-		// more than one parallelism level.
+		// for the acyclic classes, bag trees for the decomposition class)
+		// must agree with the generic baseline, at more than one
+		// parallelism level.
 		for _, par := range []int{1, 3} {
 			auto, err := pyquery.EvaluateOpts(q, db, pyquery.Options{Parallelism: par})
 			if err != nil {
@@ -97,6 +99,98 @@ func TestPlannerOrderingEquivalence(t *testing.T) {
 			if !relation.EqualSet(auto, want) {
 				t.Fatalf("%s: engine %v par=%d disagrees with generic baseline\nwant %v\ngot %v",
 					tag, pyquery.Plan(q), par, want, auto)
+			}
+		}
+	}
+}
+
+// randCyclicCQ builds a random cyclic low-width query over E0/E1: a 3–6
+// cycle with mixed relation names, sometimes a chord, a constant argument,
+// or a projection-heavy head. Always in the decomposition engine's
+// structural class.
+func randCyclicCQ(rnd *rand.Rand) *pyquery.CQ {
+	n := 3 + rnd.Intn(4)
+	q := &pyquery.CQ{}
+	rel := func() string { return fmt.Sprintf("E%d", rnd.Intn(2)) }
+	for i := 0; i < n; i++ {
+		q.Atoms = append(q.Atoms,
+			pyquery.NewAtom(rel(), pyquery.V(pyquery.Var(i)), pyquery.V(pyquery.Var((i+1)%n))))
+	}
+	if rnd.Intn(3) == 0 {
+		a, b := rnd.Intn(n), rnd.Intn(n)
+		if a != b {
+			q.Atoms = append(q.Atoms, pyquery.NewAtom(rel(), pyquery.V(pyquery.Var(a)), pyquery.V(pyquery.Var(b))))
+		}
+	}
+	if rnd.Intn(4) == 0 {
+		i := rnd.Intn(len(q.Atoms))
+		q.Atoms[i].Args[rnd.Intn(2)] = pyquery.C(pyquery.Value(rnd.Intn(6)))
+	}
+	for i := 0; i < 1+rnd.Intn(2); i++ {
+		q.Head = append(q.Head, pyquery.V(pyquery.Var(rnd.Intn(n))))
+	}
+	return q
+}
+
+// TestPlannerCyclicDecompEquivalence pins the decomposition contract on
+// randomized cyclic instances: the decomposition engine (driven directly,
+// so the cost gate cannot route around it), the cost-ordered backtracker,
+// the NoReorder backtracker, and the facade (gate included, plus the
+// NoDecomp ablation) all return the same answer set.
+func TestPlannerCyclicDecompEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		rnd := rand.New(rand.NewSource(seed))
+		db := pyquery.NewDB()
+		for i := 0; i < 2; i++ {
+			db.Set(fmt.Sprintf("E%d", i), randEdges(rnd, 20+rnd.Intn(50), 6+rnd.Intn(4)))
+		}
+		q := randCyclicCQ(rnd)
+		tag := fmt.Sprintf("seed=%d q=%v", seed, q)
+		// A constant argument can collapse the cycle (→ Yannakakis); every
+		// still-cyclic instance must land in the decomposition class.
+		if got := pyquery.Plan(q); got != pyquery.EngineDecomp && got != pyquery.EngineYannakakis {
+			t.Fatalf("%s: planned %v, want decomp (or yannakakis if collapsed)", tag, got)
+		}
+
+		want, err := eval.ConjunctiveOpts(q, db, eval.Options{Parallelism: 1, NoReorder: true})
+		if err != nil {
+			t.Fatalf("%s noreorder: %v", tag, err)
+		}
+		stats, err := eval.ConjunctiveOpts(q, db, eval.Options{Parallelism: 1})
+		if err != nil {
+			t.Fatalf("%s stats: %v", tag, err)
+		}
+		if !relation.EqualSet(stats, want) {
+			t.Fatalf("%s: stats-driven backtracker disagrees", tag)
+		}
+		direct, err := decomp.EvaluateOpts(q, db, decomp.Options{Parallelism: 1})
+		if err != nil {
+			t.Fatalf("%s decomp: %v", tag, err)
+		}
+		if !relation.EqualSet(direct, want) {
+			t.Fatalf("%s: decomp engine disagrees\nwant %v\ngot %v", tag, want, direct)
+		}
+		for _, opts := range []pyquery.Options{
+			{Parallelism: 1}, {Parallelism: 3}, {Parallelism: 1, NoDecomp: true},
+		} {
+			auto, err := pyquery.EvaluateOpts(q, db, opts)
+			if err != nil {
+				t.Fatalf("%s facade %+v: %v", tag, opts, err)
+			}
+			if !relation.EqualSet(auto, want) {
+				t.Fatalf("%s: facade %+v disagrees with baseline", tag, opts)
+			}
+			ok, err := pyquery.EvaluateBoolOpts(q, db, opts)
+			if err != nil || ok != want.Bool() {
+				t.Fatalf("%s: facade bool %+v = %v (%v), want %v", tag, opts, ok, err, want.Bool())
+			}
+		}
+		// Decision problem: head binding (constant substitution + ground
+		// markers) through the decomposition route.
+		if want.Len() > 0 && len(q.Head) > 0 {
+			ok, err := pyquery.Decide(q, db, want.Row(0))
+			if err != nil || !ok {
+				t.Fatalf("%s: Decide(answer tuple) = %v (%v), want true", tag, ok, err)
 			}
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"pyquery"
+	"pyquery/internal/workload"
 )
 
 // goldenDB is the fixed instance behind the PlanReport golden tests.
@@ -46,6 +47,13 @@ func TestPlanReportGolden(t *testing.T) {
 			pyquery.NewAtom("E", pyquery.V(2), pyquery.V(0)),
 		},
 	}
+	// Cyclic + ≠: constraints keep the backtracker, no decomposition is
+	// considered.
+	triIneq := &pyquery.CQ{Head: tri.Head, Atoms: tri.Atoms,
+		Ineqs: []pyquery.Ineq{pyquery.NeqVars(0, 1)}}
+	// The 4-cycle decomposes into two width-2 bags whose estimated cost
+	// beats the backtracker even on the tiny golden instance.
+	cyc4 := workload.CycleQuery(4)
 	ineq := goldenPath()
 	ineq.Ineqs = []pyquery.Ineq{pyquery.NeqVars(0, 3)}
 	cmp := goldenPath()
@@ -61,7 +69,9 @@ func TestPlanReportGolden(t *testing.T) {
 		{"yannakakis", goldenPath(), "engine: yannakakis (acyclic, poly input+output)\nquery size q=11, variables v=4\nplan (stats-driven join order):\n  1. R2(x2,x3) rows=2 binds=2 est=2\n  2. R1(x1,x2) rows=3 binds=1 est=3\n  3. R0(x0,x1) rows=4 binds=1 est=4\nestimated search cost: 9 (Σ intermediate cardinalities)\njoin-tree root: R0(x0,x1) (atom 0)\nestimated answer rows: 4"},
 		{"colorcoding", ineq, "engine: color-coding (Theorem 2, f(k)·n log n)\nquery size q=14, variables v=4\nI1 (hashed) inequalities: 1, I2 (pushed-down): 0, |V1|=k=2\nplan (stats-driven join order):\n  1. R2(x2,x3) rows=2 binds=2 est=2\n  2. R1(x1,x2) rows=3 binds=1 est=3\n  3. R0(x0,x1) rows=4 binds=1 est=4\nestimated search cost: 9 (Σ intermediate cardinalities)\njoin-tree root: R0(x0,x1) (atom 0)\nestimated answer rows: 4"},
 		{"comparisons", cmp, "engine: comparisons (Theorem 3 territory, generic join)\nquery size q=14, variables v=4\nplan (stats-driven join order):\n  1. R2(x2,x3) rows=2 binds=2 est=2\n  2. R1(x1,x2) rows=3 binds=1 est=3\n  3. R0(x0,x1) rows=4 binds=1 est=4\nestimated search cost: 9 (Σ intermediate cardinalities)\nestimated answer rows: 4"},
-		{"generic", tri, "engine: generic backtracking join (n^O(q))\nquery size q=10, variables v=3\nplan (stats-driven join order):\n  1. E(x0,x1) rows=4 binds=2 est=4\n  2. E(x1,x2) rows=4 binds=1 est=5.333\n  3. E(x2,x0) rows=4 binds=0 est=2.37\nestimated search cost: 11.7 (Σ intermediate cardinalities)\nestimated answer rows: 2.37"},
+		{"generic", triIneq, "engine: generic backtracking join (n^O(q))\nquery size q=13, variables v=3\nplan (stats-driven join order):\n  1. E(x0,x1) rows=4 binds=2 est=4\n  2. E(x1,x2) rows=4 binds=1 est=5.333\n  3. E(x2,x0) rows=4 binds=0 est=2.37\nestimated search cost: 11.7 (Σ intermediate cardinalities)\nestimated answer rows: 2.37"},
+		{"decomp", cyc4, "engine: hypertree decomposition (bag join + Yannakakis, width ≤ 3)\nquery size q=14, variables v=4\nplan (stats-driven join order):\n  1. E(x0,x1) rows=4 binds=2 est=4\n  2. E(x1,x2) rows=4 binds=1 est=5.333\n  3. E(x2,x3) rows=4 binds=1 est=7.111\n  4. E(x3,x0) rows=4 binds=0 est=3.16\nestimated search cost: 19.6 (Σ intermediate cardinalities)\ndecomposition (width 2, est cost 18.67):\n  bag 1. {E(x0,x1), E(x1,x2)} vars=(x0,x1,x2) est=5.333\n  bag 2. {E(x2,x3), E(x3,x0)} vars=(x0,x2,x3) est=5.333\nbag-tree root: bag 1\nestimated answer rows: 3.16"},
+		{"decomp-rejected", tri, "engine: generic backtracking join (n^O(q))\nquery size q=10, variables v=3\nplan (stats-driven join order):\n  1. E(x0,x1) rows=4 binds=2 est=4\n  2. E(x1,x2) rows=4 binds=1 est=5.333\n  3. E(x2,x0) rows=4 binds=0 est=2.37\nestimated search cost: 11.7 (Σ intermediate cardinalities)\ndecomposition (width 3) rejected: est cost 11.7 ≥ backtracker 11.7\nestimated answer rows: 2.37"},
 		{"unsatisfiable", unsat, "engine: color-coding (Theorem 2, f(k)·n log n)\nquery size q=14, variables v=4\nunsatisfiable constraints: empty answer"},
 	}
 	for _, tc := range cases {

@@ -2,7 +2,7 @@
 // query evaluation, reproducing Papadimitriou & Yannakakis, "On the
 // Complexity of Database Queries" (PODS 1997 / JCSS 1999).
 //
-// The package exposes four engines behind one Evaluate call:
+// The package exposes five engines behind one Evaluate call:
 //
 //   - Yannakakis' acyclic-join algorithm for pure acyclic conjunctive
 //     queries (polynomial in input + output);
@@ -10,6 +10,10 @@
 //     queries with ≠ atoms (fixed-parameter tractable: f(k)·n log n);
 //   - Klug-style preprocessing plus generic evaluation for queries with
 //     order comparisons (W[1]-complete even when acyclic — Theorem 3);
+//   - a hypertree-decomposition engine for cyclic pure queries of
+//     generalized hypertree width ≤ 3 (bags materialized by hash joins,
+//     then the shared Yannakakis passes — polynomial for fixed width,
+//     cost-gated against the backtracker estimate);
 //   - generic backtracking join for everything else (the n^{O(q)} baseline
 //     whose exponent Theorem 1 classifies as inherent).
 //
@@ -25,6 +29,7 @@ import (
 	"strings"
 
 	"pyquery/internal/core"
+	"pyquery/internal/decomp"
 	"pyquery/internal/eval"
 	"pyquery/internal/order"
 	"pyquery/internal/parser"
@@ -114,6 +119,13 @@ const (
 	EngineComparisons
 	// EngineGeneric: cyclic query — backtracking join, n^{O(q)}.
 	EngineGeneric
+	// EngineDecomp: cyclic pure query with a width-≤3 generalized hypertree
+	// decomposition — bags of ≤3 atoms are materialized by hash joins and
+	// the bag tree runs the shared Yannakakis passes, polynomial for fixed
+	// width. Plan reports the class structurally; the database-dependent
+	// cost gate in PlanDB/EvaluateOpts may still keep the backtracker when
+	// the bag estimates lose (and Options.NoDecomp forces that fallback).
+	EngineDecomp
 )
 
 func (e Engine) String() string {
@@ -126,12 +138,17 @@ func (e Engine) String() string {
 		return "comparisons (Theorem 3 territory, generic join)"
 	case EngineGeneric:
 		return "generic backtracking join (n^O(q))"
+	case EngineDecomp:
+		return "hypertree decomposition (bag join + Yannakakis, width ≤ 3)"
 	}
 	return "unknown"
 }
 
-// Plan selects the engine for a query.
-func Plan(q *CQ) Engine {
+// classify applies the query-only class boundaries shared by Plan,
+// planEval, and PlanDB. EngineDecomp here means "cyclic pure candidate" —
+// whether a width-≤3 decomposition actually exists (and, with a database,
+// whether it wins the cost gate) is the caller's refinement.
+func classify(q *CQ) Engine {
 	if len(q.Cmps) > 0 {
 		for _, c := range q.Cmps {
 			if c.Left.IsVar || c.Right.IsVar {
@@ -140,12 +157,27 @@ func Plan(q *CQ) Engine {
 		}
 	}
 	if !core.IsAcyclicWithIneqs(q) {
+		// Cyclic: bounded-width pure queries are decomposition candidates
+		// (≠ atoms and comparisons stay with the backtracker, which checks
+		// them mid-plan).
+		if len(q.Ineqs) == 0 {
+			return EngineDecomp
+		}
 		return EngineGeneric
 	}
 	if len(q.Ineqs) > 0 {
 		return EngineColorCoding
 	}
 	return EngineYannakakis
+}
+
+// Plan selects the engine for a query.
+func Plan(q *CQ) Engine {
+	e := classify(q)
+	if e == EngineDecomp && !decomp.Decomposable(q) {
+		return EngineGeneric
+	}
+	return e
 }
 
 // Evaluate computes Q(d), dispatching to the best engine for the query's
@@ -161,16 +193,42 @@ func Evaluate(q *CQ, db *DB) (*Relation, error) {
 // forwarded to whichever engine Plan selects (0 = GOMAXPROCS, 1 = serial);
 // the answer set is the same at every parallelism level.
 func EvaluateOpts(q *CQ, db *DB, opts Options) (*Relation, error) {
-	switch Plan(q) {
+	e, rt := planEval(q, db, opts)
+	switch e {
 	case EngineYannakakis:
 		return yannakakis.EvaluateOpts(q, db, yannakakis.Options{Parallelism: opts.Parallelism})
 	case EngineColorCoding:
 		return core.EvaluateOpts(q, db, opts)
 	case EngineComparisons:
 		return order.EvaluateOpts(q, db, eval.Options{Parallelism: opts.Parallelism})
+	case EngineDecomp:
+		return decomp.EvaluateOpts(q, db, decomp.Options{Parallelism: opts.Parallelism, Route: rt})
 	default:
 		return eval.ConjunctiveOpts(q, db, eval.Options{Parallelism: opts.Parallelism})
 	}
+}
+
+// planEval routes exactly like Plan but resolves the decomposition class's
+// database-dependent half in the same pass: for a cyclic pure candidate it
+// runs decomp.PlanFor once (existence and cost gate together) and hands
+// the winning Route — reduced atoms included — to the engine, instead of
+// Plan's structural search followed by a second cost-driven one.
+// EngineDecomp is returned only with a non-nil Route; Options.NoDecomp
+// (ablation A6) and gate losses dispatch as EngineGeneric, and a PlanFor
+// error falls through to the backtracker, which reproduces the error. A
+// gate loss costs one extra atom-reduction pass before the backtracker's
+// own — accepted: the class is narrow and the reduction linear.
+func planEval(q *CQ, db *DB, opts Options) (Engine, *decomp.Route) {
+	e := classify(q)
+	if e != EngineDecomp {
+		return e, nil
+	}
+	if !opts.NoDecomp {
+		if rt, err := decomp.PlanFor(q, db); err == nil && rt.Use {
+			return EngineDecomp, rt
+		}
+	}
+	return EngineGeneric, nil
 }
 
 // EvaluateBool decides Q(d) ≠ ∅ with the dispatched engine.
@@ -180,13 +238,16 @@ func EvaluateBool(q *CQ, db *DB) (bool, error) {
 
 // EvaluateBoolOpts is EvaluateBool with explicit options.
 func EvaluateBoolOpts(q *CQ, db *DB, opts Options) (bool, error) {
-	switch Plan(q) {
+	e, rt := planEval(q, db, opts)
+	switch e {
 	case EngineYannakakis:
 		return yannakakis.EvaluateBoolOpts(q, db, yannakakis.Options{Parallelism: opts.Parallelism})
 	case EngineColorCoding:
 		return core.EvaluateBoolOpts(q, db, opts)
 	case EngineComparisons:
 		return order.EvaluateBoolOpts(q, db, eval.Options{Parallelism: opts.Parallelism})
+	case EngineDecomp:
+		return decomp.EvaluateBoolOpts(q, db, decomp.Options{Parallelism: opts.Parallelism, Route: rt})
 	default:
 		return eval.ConjunctiveBoolOpts(q, db, eval.Options{Parallelism: opts.Parallelism})
 	}
@@ -257,6 +318,19 @@ type PlanReport struct {
 	// RootAtom indexes q.Atoms at the weighted join-tree root (acyclic
 	// engines only; -1 otherwise).
 	RootAtom int
+	// Width and Bags describe the width-≤3 hypertree decomposition of a
+	// structurally eligible cyclic query (Width 0 when none was
+	// considered). When the bag estimates beat the backtracker the Engine
+	// stays EngineDecomp and RootBag is the estimate-weighted bag-tree
+	// root; otherwise the Engine field reports the EngineGeneric fallback
+	// and the rendered report notes the rejected decomposition.
+	Width int
+	Bags  []PlanBag
+	// DecompCost is Σ estimated bag materialization costs — the number the
+	// cost gate weighs against EstCost.
+	DecompCost float64
+	// RootBag indexes Bags at the weighted bag-tree root (-1 otherwise).
+	RootBag int
 	// EstRows is the estimated answer cardinality.
 	EstRows float64
 	// EstCost is the plan's cost annotation: the sum of estimated
@@ -265,7 +339,18 @@ type PlanReport struct {
 	EstCost float64
 }
 
-// PlanDB plans q against db: it routes exactly like Plan, then builds the
+// PlanBag is the report view of one decomposition bag.
+type PlanBag struct {
+	// Atoms indexes q.Atoms at the bag's guard atoms.
+	Atoms []int
+	// Label renders the guard atoms, Vars the bag's χ.
+	Label, Vars string
+	// Est is the bag's estimated materialized cardinality.
+	Est float64
+}
+
+// PlanDB plans q against db: it routes exactly like Plan — refining
+// EngineDecomp with the database-dependent cost gate — then builds the
 // cost-based plan (reduced atom cardinalities, cached column statistics,
 // estimated intermediate sizes) without evaluating the query. For
 // EngineComparisons the plan describes the collapsed query the engine
@@ -275,7 +360,10 @@ type PlanReport struct {
 // executed join-tree root can differ from RootAtom; the generic and
 // Yannakakis plans match the executed order exactly.
 func PlanDB(q *CQ, db *DB) (*PlanReport, error) {
-	r := &PlanReport{Engine: Plan(q), QuerySize: q.Size(), NumVars: q.NumVars(), RootAtom: -1}
+	// classify, not Plan: the decomposition block below resolves existence
+	// and the cost gate in one PlanFor call instead of Plan's throwaway
+	// structural search plus a second one.
+	r := &PlanReport{Engine: classify(q), QuerySize: q.Size(), NumVars: q.NumVars(), RootAtom: -1, RootBag: -1}
 	qe := q
 	switch r.Engine {
 	case EngineColorCoding:
@@ -309,6 +397,42 @@ func PlanDB(q *CQ, db *DB) (*PlanReport, error) {
 			r.RootAtom = plan.OrderForest(f, pl.Inputs).JoinTree().Roots[0]
 		}
 	}
+	if r.Engine == EngineDecomp {
+		rt, err := decomp.PlanFor(q, db)
+		if err != nil {
+			r.Engine = EngineGeneric
+			return r, nil
+		}
+		r.Width = rt.Width
+		r.DecompCost = rt.Cost
+		for _, bag := range rt.Bags {
+			pb := PlanBag{Atoms: bag.Guards, Est: bag.Est}
+			var lb, vb strings.Builder
+			lb.WriteByte('{')
+			for i, ai := range bag.Guards {
+				if i > 0 {
+					lb.WriteString(", ")
+				}
+				lb.WriteString(q.Atoms[ai].String())
+			}
+			lb.WriteByte('}')
+			vb.WriteByte('(')
+			for i, v := range bag.Vars {
+				if i > 0 {
+					vb.WriteByte(',')
+				}
+				fmt.Fprintf(&vb, "x%d", v)
+			}
+			vb.WriteByte(')')
+			pb.Label, pb.Vars = lb.String(), vb.String()
+			r.Bags = append(r.Bags, pb)
+		}
+		if rt.Use {
+			r.RootBag = rt.Root
+		} else {
+			r.Engine = EngineGeneric
+		}
+	}
 	return r, nil
 }
 
@@ -335,6 +459,18 @@ func (r *PlanReport) String() string {
 			fmt.Fprintf(&b, "\n  %d. %s rows=%d binds=%d est=%s", i+1, st.Label, st.Rows, st.NewVars, fmtEst(st.Est))
 		}
 		fmt.Fprintf(&b, "\nestimated search cost: %s (Σ intermediate cardinalities)", fmtEst(r.EstCost))
+	}
+	if r.Width > 0 {
+		if r.Engine == EngineDecomp {
+			fmt.Fprintf(&b, "\ndecomposition (width %d, est cost %s):", r.Width, fmtEst(r.DecompCost))
+			for i, bag := range r.Bags {
+				fmt.Fprintf(&b, "\n  bag %d. %s vars=%s est=%s", i+1, bag.Label, bag.Vars, fmtEst(bag.Est))
+			}
+			fmt.Fprintf(&b, "\nbag-tree root: bag %d", r.RootBag+1)
+		} else {
+			fmt.Fprintf(&b, "\ndecomposition (width %d) rejected: est cost %s ≥ backtracker %s",
+				r.Width, fmtEst(r.DecompCost), fmtEst(r.EstCost))
+		}
 	}
 	if r.RootAtom >= 0 {
 		for _, st := range r.Steps {

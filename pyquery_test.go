@@ -43,8 +43,22 @@ func TestPlanDispatch(t *testing.T) {
 		pyquery.NewAtom("EP", pyquery.V(1), pyquery.V(2)),
 		pyquery.NewAtom("EP", pyquery.V(2), pyquery.V(0)),
 	}}
-	if pyquery.Plan(cyc) != pyquery.EngineGeneric {
-		t.Fatalf("cyclic → generic, got %v", pyquery.Plan(cyc))
+	if pyquery.Plan(cyc) != pyquery.EngineDecomp {
+		t.Fatalf("cyclic low-width → decomp, got %v", pyquery.Plan(cyc))
+	}
+	cycIneq := &pyquery.CQ{Atoms: cyc.Atoms, Ineqs: []pyquery.Ineq{pyquery.NeqVars(0, 1)}}
+	if pyquery.Plan(cycIneq) != pyquery.EngineGeneric {
+		t.Fatalf("cyclic+≠ → generic, got %v", pyquery.Plan(cycIneq))
+	}
+	// K8 as a query: ghw 4, beyond the decomposition engine's bound.
+	k8 := &pyquery.CQ{}
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			k8.Atoms = append(k8.Atoms, pyquery.NewAtom("EP", pyquery.V(pyquery.Var(i)), pyquery.V(pyquery.Var(j))))
+		}
+	}
+	if pyquery.Plan(k8) != pyquery.EngineGeneric {
+		t.Fatalf("high-width cyclic → generic, got %v", pyquery.Plan(k8))
 	}
 }
 
