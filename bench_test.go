@@ -4,6 +4,7 @@
 package pyquery_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -259,6 +260,62 @@ func BenchmarkE8_CyclicLowWidth(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- E9: prepared statements vs one-shot planning --------------------------
+
+func BenchmarkE9_Prepared(b *testing.B) {
+	db := workload.GraphDB(400, 4800, 90)
+	lookup := &pyquery.CQ{
+		Head: []pyquery.Term{pyquery.V(1)},
+		Atoms: []pyquery.Atom{
+			pyquery.NewAtom("E", pyquery.C(7), pyquery.V(0)),
+			pyquery.NewAtom("E", pyquery.V(0), pyquery.V(1)),
+		},
+	}
+	b.Run("oneshot", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := pyquery.EvaluateOpts(lookup, db, pyquery.Options{Parallelism: 1, NoCache: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prepared", func(b *testing.B) {
+		p, err := pyquery.Prepare(lookup, db, pyquery.Options{Parallelism: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Exec(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prepared/param", func(b *testing.B) {
+		tmpl := &pyquery.CQ{
+			Head: []pyquery.Term{pyquery.V(1)},
+			Atoms: []pyquery.Atom{
+				pyquery.NewAtom("E", pyquery.P("src"), pyquery.V(0)),
+				pyquery.NewAtom("E", pyquery.V(0), pyquery.V(1)),
+			},
+		}
+		p, err := pyquery.Prepare(tmpl, db, pyquery.Options{Parallelism: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Exec(ctx, pyquery.Bind("src", pyquery.Value(i%400))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // --- Ablations ---------------------------------------------------------------

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"pyquery"
+	"pyquery/internal/bench"
+	"pyquery/internal/relation"
+	"pyquery/internal/workload"
+)
+
+// runE9 measures the prepared-statement amortization (PR 5): small queries
+// executed many times, one-shot EvaluateOpts (NoCache — the pre-PR-5
+// facade, which re-pays classification, decomposition search, ordering,
+// reduction, and index construction per call) against Prepare once +
+// Exec per request. The paper's split is exactly this: the query-dependent
+// planning cost is a function of (q, v, width), not the data, so a serving
+// workload should pay it once. The acceptance bar is ≥2x amortized speedup
+// on the repeated small-query workloads; the parameterized point lookup
+// shows the serving case — one template, many bindings — where the frozen
+// indexes turn each request into pure probes.
+func runE9(w io.Writer, quick bool) {
+	nodes, deg := 400, 12
+	small := 110
+	cyc := workload.CyclicLowWidthSpec{Paths: 3, PathLen: 2, Nodes: 90, Degree: 4, Seed: 91}
+	if quick {
+		nodes, deg = 200, 8
+		small = 80
+		cyc = workload.CyclicLowWidthSpec{Paths: 3, PathLen: 2, Nodes: 60, Degree: 4, Seed: 91}
+	}
+	graph := workload.GraphDB(nodes, nodes*deg, 90)
+	// graphS keeps the color-coding row in the small-query regime: the hash
+	// trials re-run per execution either way (they are data passes), so the
+	// amortizable fraction is the per-call preparation — visible only when
+	// the relations are request-sized.
+	graphS := workload.GraphDB(small, small*4, 92)
+	cycQ, cycDB := workload.CyclicLowWidth(cyc)
+
+	// The repeated-small-query shapes: every template is pinned by a
+	// constant, so answers are request-sized and the per-call planning the
+	// one-shot path pays is the dominant cost — the regime the prepared API
+	// is for.
+	pathIneq := &pyquery.CQ{
+		Head: []pyquery.Term{pyquery.V(0), pyquery.V(2)},
+		Atoms: []pyquery.Atom{
+			pyquery.NewAtom("E", pyquery.C(7), pyquery.V(0)),
+			pyquery.NewAtom("E", pyquery.V(0), pyquery.V(1)),
+			pyquery.NewAtom("E", pyquery.V(1), pyquery.V(2)),
+		},
+		Ineqs: []pyquery.Ineq{pyquery.NeqVars(0, 2)},
+	}
+	pathCmp := &pyquery.CQ{
+		Head: []pyquery.Term{pyquery.V(0), pyquery.V(1)},
+		Atoms: []pyquery.Atom{
+			pyquery.NewAtom("E", pyquery.C(7), pyquery.V(0)),
+			pyquery.NewAtom("E", pyquery.V(0), pyquery.V(1)),
+		},
+		Cmps: []pyquery.Cmp{pyquery.Lt(pyquery.V(0), pyquery.V(1))},
+	}
+	lookup := &pyquery.CQ{
+		Head: []pyquery.Term{pyquery.V(1)},
+		Atoms: []pyquery.Atom{
+			pyquery.NewAtom("E", pyquery.C(7), pyquery.V(0)),
+			pyquery.NewAtom("E", pyquery.V(0), pyquery.V(1)),
+		},
+	}
+	triangle := &pyquery.CQ{
+		Head: []pyquery.Term{pyquery.V(0), pyquery.V(1), pyquery.V(2)},
+		Atoms: []pyquery.Atom{
+			pyquery.NewAtom("E", pyquery.V(0), pyquery.V(1)),
+			pyquery.NewAtom("E", pyquery.V(1), pyquery.V(2)),
+			pyquery.NewAtom("E", pyquery.V(2), pyquery.V(0)),
+			pyquery.NewAtom("L", pyquery.V(0)),
+		},
+		Ineqs: []pyquery.Ineq{pyquery.NeqVars(0, 1)},
+	}
+	// L pins the triangle scan to a handful of start vertices.
+	lrel := pyquery.NewTable(1)
+	for i := 0; i < 8; i++ {
+		lrel.Append(pyquery.Value(i * 3))
+	}
+	graph.Set("L", lrel)
+
+	ctx := context.Background()
+	serial := pyquery.Options{Parallelism: 1}
+	oneShotOpts := pyquery.Options{Parallelism: 1, NoCache: true}
+	var rows [][]string
+	run := func(label string, q *pyquery.CQ, db *pyquery.DB) {
+		p, err := pyquery.Prepare(q, db, serial)
+		if err != nil {
+			panic(err)
+		}
+		want, err := pyquery.EvaluateOpts(q, db, oneShotOpts)
+		if err != nil {
+			panic(err)
+		}
+		got, err := p.Exec(ctx)
+		if err != nil || !relation.EqualSet(got, want) {
+			panic(fmt.Sprintf("E9 %s: prepared answer differs from one-shot (%v)", label, err))
+		}
+		tOne := bench.Seconds(50*time.Millisecond, func() {
+			if _, err := pyquery.EvaluateOpts(q, db, oneShotOpts); err != nil {
+				panic(err)
+			}
+		})
+		tPrep := bench.Seconds(50*time.Millisecond, func() {
+			if _, err := p.Exec(ctx); err != nil {
+				panic(err)
+			}
+		})
+		rows = append(rows, []string{
+			label, fmt.Sprintf("%d", db.Size()), fmt.Sprintf("%d", want.Len()),
+			bench.FmtSeconds(tOne), bench.FmtSeconds(tPrep), bench.FmtFloat(tOne / tPrep),
+		})
+	}
+	run("point-lookup (yannakakis)", lookup, graph)
+	run("2-path+≠ (colorcoding)", pathIneq, graphS)
+	run("2-path+< (comparisons)", pathCmp, graph)
+	run("theta 3x2 (decomp)", cycQ, cycDB)
+	run("triangle+≠ (generic)", triangle, graph)
+
+	// The serving case: one parameterized template, a rotating binding per
+	// request. One-shot must re-plan per distinct constant (the inlined
+	// query text changes, so no cache could help it); the prepared template
+	// compiles once and every request is an index probe.
+	tmpl := &pyquery.CQ{
+		Head: []pyquery.Term{pyquery.V(1)},
+		Atoms: []pyquery.Atom{
+			pyquery.NewAtom("E", pyquery.P("src"), pyquery.V(0)),
+			pyquery.NewAtom("E", pyquery.V(0), pyquery.V(1)),
+		},
+	}
+	p, err := pyquery.Prepare(tmpl, graph, serial)
+	if err != nil {
+		panic(err)
+	}
+	next := 0
+	inlined := func(v pyquery.Value) *pyquery.CQ {
+		q, err := tmpl.BindParams(map[string]pyquery.Value{"src": v})
+		if err != nil {
+			panic(err)
+		}
+		return q
+	}
+	outLen := 0
+	tOne := bench.Seconds(50*time.Millisecond, func() {
+		v := pyquery.Value(next % nodes)
+		next++
+		res, err := pyquery.EvaluateOpts(inlined(v), graph, oneShotOpts)
+		if err != nil {
+			panic(err)
+		}
+		outLen = res.Len()
+	})
+	next = 0
+	tPrep := bench.Seconds(50*time.Millisecond, func() {
+		v := pyquery.Value(next % nodes)
+		next++
+		res, err := p.Exec(ctx, pyquery.Bind("src", v))
+		if err != nil {
+			panic(err)
+		}
+		outLen = res.Len()
+	})
+	rows = append(rows, []string{
+		"param lookup $src (template)", fmt.Sprintf("%d", graph.Size()), fmt.Sprintf("~%d", outLen),
+		bench.FmtSeconds(tOne), bench.FmtSeconds(tPrep), bench.FmtFloat(tOne / tPrep),
+	})
+
+	fmt.Fprint(w, bench.Table([]string{"workload", "|db|", "|out|",
+		"one-shot", "prepared/exec", "speedup"}, rows))
+	fmt.Fprintln(w, "(identical answers; one-shot = EvaluateOpts{NoCache}, prepared = Prepare once + Exec;")
+	fmt.Fprintln(w, "the acceptance bar is ≥2x amortized on the repeated point-lookup/triangle workloads.")
+	fmt.Fprintln(w, "The color-coding row is bounded below 2x by design: its per-execution cost is the")
+	fmt.Fprintln(w, "f(k)·n hash-trial passes — data complexity the paper says every instance must pay —")
+	fmt.Fprintln(w, "so only the per-call preparation (reduce, partition, family construction) amortizes)")
+}

@@ -3,7 +3,8 @@
 // Theorem 2 tractability measurements (E3), the Theorem 3 hardness family
 // (E4), the Section 5 example queries (E5), the Hamiltonian-path combined-
 // complexity blowup (E6), the Vardi Datalog family (E7), the cyclic
-// low-width decomposition workload (E8), and the ablations A1–A6.
+// low-width decomposition workload (E8), the prepared-statement
+// amortization (E9), and the ablations A1–A6.
 //
 // Usage:
 //
@@ -26,7 +27,7 @@ type experiment struct {
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E8, A1..A6, PAR) or 'all'")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E9, A1..A6, PAR) or 'all'")
 	quick := flag.Bool("quick", false, "smaller sweeps (CI-sized)")
 	flag.Parse()
 
@@ -39,6 +40,7 @@ func main() {
 		{"E6", "Section 5: Hamiltonian path as a query — combined-complexity blowup", runE6},
 		{"E7", "Section 4: Vardi's n^k Datalog family (arity-k IDB)", runE7},
 		{"E8", "Cyclic low-width queries: decomposition engine vs n^O(q) backtracker", runE8},
+		{"E9", "Prepared statements: compile-once/execute-many vs one-shot planning", runE9},
 		{"A1", "Ablation: I2 pushdown vs all-hashed inequalities", runA1},
 		{"A2", "Ablation: Yannakakis full reducer on/off", runA2},
 		{"A3", "Ablation: join-order heuristic on/off", runA3},

@@ -9,10 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"pyquery"
 	"pyquery/internal/decomp"
@@ -40,6 +42,7 @@ func main() {
 	engine := flag.String("engine", "auto", "auto | generic | yannakakis | colorcoding | comparisons | decomp")
 	boolOnly := flag.Bool("bool", false, "only decide emptiness")
 	par := flag.Int("par", 0, "parallelism: worker count (0 = GOMAXPROCS, 1 = serial)")
+	repeat := flag.Int("repeat", 0, "prepare once and execute N times, reporting amortized ns/exec (auto engine only)")
 	explain := flag.Bool("explain", false, "print the plan explanation before evaluating")
 	flag.Var(&rels, "rel", "NAME=FILE.csv (repeatable)")
 	flag.Parse()
@@ -100,6 +103,14 @@ func main() {
 		}
 	}
 
+	if *repeat > 0 {
+		if *engine != "auto" {
+			fatal(fmt.Errorf("-repeat works with the auto engine (prepared statements route themselves)"))
+		}
+		runRepeated(q, db, syms, *par, *repeat, *boolOnly)
+		return
+	}
+
 	var res *relation.Relation
 	switch *engine {
 	case "auto":
@@ -151,6 +162,42 @@ func main() {
 	if report != nil && !*boolOnly && res.Width() > 0 {
 		fmt.Printf("cardinality: estimated %.0f, actual %d\n", report.EstRows, res.Len())
 	}
+}
+
+// runRepeated drives the prepared-statement API: Prepare pays the planning
+// once, then the query executes -repeat times against the frozen plan and
+// the amortized per-execution latency is reported alongside the answer.
+func runRepeated(q *pyquery.CQ, db *pyquery.DB, syms *parser.Symbols, par, repeat int, boolOnly bool) {
+	ctx := context.Background()
+	tPrep := time.Now()
+	p, err := pyquery.Prepare(q, db, pyquery.Options{Parallelism: par})
+	if err != nil {
+		fatal(err)
+	}
+	prepDur := time.Since(tPrep)
+
+	var res *relation.Relation
+	var ok bool
+	tExec := time.Now()
+	for i := 0; i < repeat; i++ {
+		if boolOnly {
+			ok, err = p.ExecBool(ctx)
+		} else {
+			res, err = p.Exec(ctx)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+	execDur := time.Since(tExec)
+
+	if boolOnly {
+		printBool(ok)
+	} else {
+		printResult(res, syms, false)
+	}
+	fmt.Printf("prepare: %v; %d execs: %v (amortized %d ns/exec)\n",
+		prepDur, repeat, execDur, execDur.Nanoseconds()/int64(repeat))
 }
 
 func printResult(res *relation.Relation, syms *parser.Symbols, boolOnly bool) {

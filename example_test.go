@@ -1,10 +1,58 @@
 package pyquery_test
 
 import (
+	"context"
 	"fmt"
 
 	"pyquery"
 )
+
+// Prepare compiles a query template once — classification, decomposition
+// search, join ordering, atom reduction, index construction — and Exec
+// runs it per request. Named parameters (pyquery.P) are bound at execution
+// time, so one template serves many lookups; a context provides real
+// cancellation and deadlines.
+func ExamplePrepare() {
+	db := pyquery.NewDB()
+	db.Set("Follows", pyquery.Table(2, // follower → followee
+		[]pyquery.Value{1, 2},
+		[]pyquery.Value{2, 3},
+		[]pyquery.Value{1, 3},
+		[]pyquery.Value{3, 4},
+	))
+
+	// Who does $user reach in two hops? One prepared template, bound per
+	// request.
+	twoHop := &pyquery.CQ{
+		Head: []pyquery.Term{pyquery.V(1)},
+		Atoms: []pyquery.Atom{
+			pyquery.NewAtom("Follows", pyquery.P("user"), pyquery.V(0)),
+			pyquery.NewAtom("Follows", pyquery.V(0), pyquery.V(1)),
+		},
+	}
+	p, err := pyquery.Prepare(twoHop, db, pyquery.Options{Parallelism: 1})
+	if err != nil {
+		panic(err)
+	}
+	ctx := context.Background()
+	for _, user := range []pyquery.Value{1, 2} {
+		res, err := p.Exec(ctx, pyquery.Bind("user", user))
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("user %d reaches %d node(s) in two hops\n", user, res.Len())
+	}
+	// Membership tests share the same frozen plan.
+	ok, err := p.Decide(ctx, []pyquery.Value{3}, pyquery.Bind("user", 1))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("1 -> 3 in two hops:", ok)
+	// Output:
+	// user 1 reaches 2 node(s) in two hops
+	// user 2 reaches 1 node(s) in two hops
+	// 1 -> 3 in two hops: true
+}
 
 // Evaluate dispatches each query to the engine its class calls for and
 // returns the answer relation over the positional head schema.

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -45,5 +46,27 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("employee %d on >1 project: %v\n", emp, ok)
+	}
+
+	// Serving workloads prepare a parameterized template once and bind it
+	// per request: planning (classification, ordering, reduction, indexes)
+	// runs at Prepare, each Exec is index probes against the frozen plan.
+	colleagues := &pyquery.CQ{
+		Head: []pyquery.Term{pyquery.V(1)},
+		Atoms: []pyquery.Atom{
+			pyquery.NewAtom("EP", pyquery.P("emp"), pyquery.V(0)),
+			pyquery.NewAtom("EP", pyquery.V(1), pyquery.V(0)),
+		},
+	}
+	prep, err := pyquery.Prepare(colleagues, db, pyquery.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, emp := range []pyquery.Value{1, 3} {
+		res, err := prep.Exec(context.Background(), pyquery.Bind("emp", emp))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("employee %d shares a project with %d employee(s)\n", emp, res.Len())
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -9,6 +10,125 @@ import (
 	"pyquery/internal/query"
 	"pyquery/internal/relation"
 )
+
+// Program is a compiled Theorem 2 query: the hash-independent prepared
+// state (reduced relations with the I₂ pushdown applied, the join tree, the
+// Y-sets of Lemma 1) plus the hash family for the query's k. Everything is
+// read-only after Compile, so one Program may execute concurrently; each
+// execution re-runs only the per-hash passes. This is the serving form the
+// facade's prepared statements freeze for the color-coding class.
+type Program struct {
+	p   *prepared
+	fam []colorcoding.Func
+}
+
+// Compile prepares q against db for repeated execution: partition the
+// inequalities, reduce the atoms (with the I₂ pushdown), build the join
+// tree, and construct the hash family the options select.
+func Compile(q *query.CQ, db *query.DB, opts Options) (*Program, error) {
+	opts = opts.withDefaults()
+	p, err := prepare(q, db, opts)
+	if err != nil {
+		return nil, err
+	}
+	pr := &Program{p: p}
+	if p.trivialEmpty {
+		return pr, nil
+	}
+	if pr.fam, err = family(p, opts); err != nil {
+		return nil, err
+	}
+	return pr, nil
+}
+
+// Stats returns the compile-time statistics (K, I1, I2, FamilySize);
+// Successes is zero until an execution fills its own copy.
+func (pr *Program) Stats() Stats {
+	return Stats{K: pr.p.k, I1: len(pr.p.i1), I2: len(pr.p.i2), FamilySize: len(pr.fam)}
+}
+
+// Exec computes Q(d) = ⋃_h Q_h(d) over the compiled family. The context is
+// checked between trial batches (the color-coding round boundary).
+func (pr *Program) Exec(ctx context.Context) (*relation.Relation, error) {
+	res, _, err := pr.ExecStats(ctx)
+	return res, err
+}
+
+// ExecStats is Exec with run statistics.
+func (pr *Program) ExecStats(ctx context.Context) (*relation.Relation, Stats, error) {
+	p := pr.p
+	stats := pr.Stats()
+	if err := parallel.CtxErr(ctx); err != nil {
+		return nil, stats, err
+	}
+	if p.trivialEmpty {
+		return query.NewTable(len(p.q.Head)), stats, nil
+	}
+	outer, inner := parallel.Split(parallel.Workers(p.opts.Parallelism), len(pr.fam))
+	acc, err := batchedUnion(ctx, outer, len(pr.fam), func(i int) *relation.Relation {
+		pstar, ok := p.runHash(pr.fam[i], true, inner)
+		if !ok {
+			return nil
+		}
+		return pstar
+	}, func() { stats.Successes++ })
+	if err != nil {
+		return nil, stats, err
+	}
+	if acc == nil {
+		return query.NewTable(len(p.q.Head)), stats, nil
+	}
+	return p.headTuples(acc), stats, nil
+}
+
+// ExecBool decides Q(d) ≠ ∅ (Algorithm 1 only), stopping at the first hash
+// function that succeeds.
+func (pr *Program) ExecBool(ctx context.Context) (bool, error) {
+	ok, _, err := pr.ExecBoolStats(ctx)
+	return ok, err
+}
+
+// ExecBoolStats is ExecBool with run statistics.
+func (pr *Program) ExecBoolStats(ctx context.Context) (bool, Stats, error) {
+	p := pr.p
+	stats := pr.Stats()
+	if err := parallel.CtxErr(ctx); err != nil {
+		return false, stats, err
+	}
+	if p.trivialEmpty {
+		return false, stats, nil
+	}
+	outer, inner := parallel.Split(parallel.Workers(p.opts.Parallelism), len(pr.fam))
+	if outer <= 1 {
+		for _, h := range pr.fam {
+			if err := parallel.CtxErr(ctx); err != nil {
+				return false, stats, err
+			}
+			if _, ok := p.runHash(h, false, inner); ok {
+				stats.Successes = 1
+				return true, stats, nil
+			}
+		}
+		return false, stats, nil
+	}
+	var found atomic.Bool
+	err := parallel.ForEachCtx(ctx, outer, len(pr.fam), func(i int) {
+		if found.Load() {
+			return
+		}
+		if _, ok := p.runHash(pr.fam[i], false, inner); ok {
+			found.Store(true)
+		}
+	})
+	if err != nil {
+		return false, stats, err
+	}
+	if found.Load() {
+		stats.Successes = 1
+		return true, stats, nil
+	}
+	return false, stats, nil
+}
 
 // Evaluate computes Q(d) for an acyclic conjunctive query with inequalities
 // using the default (Auto) deterministic hash family. The result uses the
@@ -24,36 +144,14 @@ func EvaluateOpts(q *query.CQ, db *query.DB, opts Options) (*relation.Relation, 
 	return res, err
 }
 
-// EvaluateStats evaluates and reports run statistics.
+// EvaluateStats evaluates and reports run statistics. One-shot evaluation
+// is Compile followed by a single execution.
 func EvaluateStats(q *query.CQ, db *query.DB, opts Options) (*relation.Relation, Stats, error) {
-	opts = opts.withDefaults()
-	p, err := prepare(q, db, opts)
+	pr, err := Compile(q, db, opts)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	stats := Stats{K: p.k, I1: len(p.i1), I2: len(p.i2)}
-	if p.trivialEmpty {
-		return query.NewTable(len(q.Head)), stats, nil
-	}
-	fam, err := family(p, opts)
-	if err != nil {
-		return nil, stats, err
-	}
-	stats.FamilySize = len(fam)
-
-	outer, inner := parallel.Split(parallel.Workers(opts.Parallelism), len(fam))
-	p.inner = inner
-	acc := batchedUnion(outer, len(fam), func(i int) *relation.Relation {
-		pstar, ok := p.runHash(fam[i], true)
-		if !ok {
-			return nil
-		}
-		return pstar
-	}, func() { stats.Successes++ })
-	if acc == nil {
-		return query.NewTable(len(q.Head)), stats, nil
-	}
-	return p.headTuples(acc), stats, nil
+	return pr.ExecStats(nil)
 }
 
 // batchedUnion runs the independent trials run(0)…run(n−1) across the
@@ -61,11 +159,15 @@ func EvaluateStats(q *query.CQ, db *query.DB, opts Options) (*relation.Relation,
 // non-nil results in trial order (deduplicated by Union). The merge order
 // makes the result identical to a serial loop at any parallelism, and peak
 // memory stays O(outer·|result|) instead of buffering all n results.
-// onSuccess, if non-nil, is called once per non-nil result, in order.
-func batchedUnion(outer, n int, run func(i int) *relation.Relation, onSuccess func()) *relation.Relation {
+// onSuccess, if non-nil, is called once per non-nil result, in order. The
+// context is checked between batches; a canceled run returns ctx.Err().
+func batchedUnion(ctx context.Context, outer, n int, run func(i int) *relation.Relation, onSuccess func()) (*relation.Relation, error) {
 	var acc *relation.Relation
 	results := make([]*relation.Relation, outer)
 	for start := 0; start < n; start += outer {
+		if err := parallel.CtxErr(ctx); err != nil {
+			return nil, err
+		}
 		k := n - start
 		if k > outer {
 			k = outer
@@ -91,7 +193,7 @@ func batchedUnion(outer, n int, run func(i int) *relation.Relation, onSuccess fu
 			}
 		}
 	}
-	return acc
+	return acc, nil
 }
 
 // EvaluateBool decides Q(d) ≠ ∅ (Algorithm 1 only), stopping at the first
@@ -109,45 +211,11 @@ func EvaluateBoolOpts(q *query.CQ, db *query.DB, opts Options) (bool, error) {
 
 // EvaluateBoolStats decides emptiness and reports run statistics.
 func EvaluateBoolStats(q *query.CQ, db *query.DB, opts Options) (bool, Stats, error) {
-	opts = opts.withDefaults()
-	p, err := prepare(q, db, opts)
+	pr, err := Compile(q, db, opts)
 	if err != nil {
 		return false, Stats{}, err
 	}
-	stats := Stats{K: p.k, I1: len(p.i1), I2: len(p.i2)}
-	if p.trivialEmpty {
-		return false, stats, nil
-	}
-	fam, err := family(p, opts)
-	if err != nil {
-		return false, stats, err
-	}
-	stats.FamilySize = len(fam)
-	outer, inner := parallel.Split(parallel.Workers(opts.Parallelism), len(fam))
-	p.inner = inner
-	if outer <= 1 {
-		for _, h := range fam {
-			if _, ok := p.runHash(h, false); ok {
-				stats.Successes = 1
-				return true, stats, nil
-			}
-		}
-		return false, stats, nil
-	}
-	var found atomic.Bool
-	parallel.ForEach(outer, len(fam), func(i int) {
-		if found.Load() {
-			return
-		}
-		if _, ok := p.runHash(fam[i], false); ok {
-			found.Store(true)
-		}
-	})
-	if found.Load() {
-		stats.Successes = 1
-		return true, stats, nil
-	}
-	return false, stats, nil
+	return pr.ExecBoolStats(nil)
 }
 
 // family constructs the hash family for a prepared query per the options.
@@ -186,7 +254,7 @@ func RunSingleHash(q *query.CQ, db *query.DB, h colorcoding.Func) (bool, error) 
 	if p.trivialEmpty {
 		return false, nil
 	}
-	_, ok := p.runHash(h, false)
+	_, ok := p.runHash(h, false, 1)
 	return ok, nil
 }
 

@@ -77,6 +77,12 @@ type Options struct {
 	// consumed by the facade's routing (pyquery.EvaluateOpts); this engine
 	// ignores it.
 	NoDecomp bool
+	// NoCache makes the facade's Evaluate* free functions plan from scratch
+	// instead of consulting the per-database prepared-plan cache — the
+	// pre-PR-5 one-shot behavior, kept for benchmarking the amortization
+	// (experiment E9) and for callers that never repeat a query. This
+	// engine ignores it.
+	NoCache bool
 	// Parallelism is the worker count. The independent hash-function trials
 	// of the color-coding loop run across workers; leftover budget flows
 	// into the partitioned join/semijoin kernel inside each trial. 0 means
@@ -170,10 +176,6 @@ func sortVarSlice(vs []query.Var) {
 type prepared struct {
 	q    *query.CQ
 	opts Options
-	// inner is the worker budget each runHash call may spend in the
-	// partitioned relational kernel (set by the driver after splitting the
-	// Parallelism budget across trials; 1 = serial ops).
-	inner int
 
 	i1 []query.Ineq
 	i2 []query.Ineq
@@ -586,8 +588,12 @@ func (p *prepared) filterI1(r *relation.Relation) *relation.Relation {
 
 // runHash executes Algorithm 1 (and, when needOutput, Algorithm 2) for one
 // hash function. It returns Q_h's head-variable relation P* (nil unless
-// needOutput) and whether Q_h(d) is nonempty.
-func (p *prepared) runHash(h colorcoding.Func, needOutput bool) (*relation.Relation, bool) {
+// needOutput) and whether Q_h(d) is nonempty. inner is the worker budget
+// this trial may spend in the partitioned relational kernel (the driver
+// splits the Parallelism budget across trials; ≤ 1 = serial ops); it is a
+// parameter, not prepared state, so concurrent executions of one compiled
+// Program can run trials under different budgets.
+func (p *prepared) runHash(h colorcoding.Func, needOutput bool, inner int) (*relation.Relation, bool) {
 	rels := make([]*relation.Relation, len(p.base))
 	for j := range p.base {
 		rels[j] = p.filterI1(p.extend(j, h))
@@ -596,7 +602,6 @@ func (p *prepared) runHash(h colorcoding.Func, needOutput bool) (*relation.Relat
 		}
 	}
 
-	inner := p.inner
 	if inner < 1 {
 		inner = 1
 	}

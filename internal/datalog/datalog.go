@@ -7,6 +7,7 @@
 package datalog
 
 import (
+	"context"
 	"fmt"
 
 	"pyquery/internal/eval"
@@ -137,6 +138,9 @@ type Options struct {
 	// the round count may differ (serial naive rounds see earlier rules'
 	// derivations within the same round, parallel rounds do not).
 	Parallelism int
+	// Ctx, when cancelable, aborts the fixpoint between rounds (and
+	// between a round's rule firings); Eval then returns Ctx.Err().
+	Ctx context.Context
 }
 
 // Eval computes the fixpoint and returns every IDB relation (keyed by name)
@@ -161,10 +165,10 @@ func Eval(p *Program, db *query.DB, opts Options) (map[string]*relation.Relation
 	workers := parallel.Workers(opts.Parallelism)
 	var stats Stats
 	if opts.Naive {
-		if err := evalNaive(p, work, cur, workers, &stats); err != nil {
+		if err := evalNaive(opts.Ctx, p, work, cur, workers, &stats); err != nil {
 			return nil, stats, err
 		}
-	} else if err := evalSemiNaive(p, idb, work, cur, workers, &stats); err != nil {
+	} else if err := evalSemiNaive(opts.Ctx, p, idb, work, cur, workers, &stats); err != nil {
 		return nil, stats, err
 	}
 	out := make(map[string]*relation.Relation, len(cur))
@@ -189,11 +193,11 @@ type firing struct {
 // per-firing buffer, so the serial merge that follows only touches novel
 // rows. outs[i] belongs to firings[i]; merging in index order keeps the
 // result reproducible regardless of scheduling.
-func fireAll(firings []firing, work *query.DB, cur map[string]*table, workers int) ([]*relation.Relation, error) {
+func fireAll(ctx context.Context, firings []firing, work *query.DB, cur map[string]*table, workers int) ([]*relation.Relation, error) {
 	outer, inner := parallel.Split(workers, len(firings))
 	outs := make([]*relation.Relation, len(firings))
 	errs := make([]error, len(firings))
-	parallel.ForEach(outer, len(firings), func(i int) {
+	ctxFailed := parallel.ForEachCtx(ctx, outer, len(firings), func(i int) {
 		f := firings[i]
 		out, err := fireRule(f.head, f.body, work, inner)
 		if err != nil {
@@ -215,6 +219,9 @@ func fireAll(firings []firing, work *query.DB, cur map[string]*table, workers in
 		}
 		outs[i] = fresh
 	})
+	if ctxFailed != nil {
+		return nil, ctxFailed
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -228,9 +235,12 @@ func fireAll(firings []firing, work *query.DB, cur map[string]*table, workers in
 // rules before it in the same round (the historical behaviour); in parallel
 // mode a round's firings run concurrently against the round-start state, so
 // the round count can differ but the fixpoint cannot.
-func evalNaive(p *Program, work *query.DB, cur map[string]*table, workers int, stats *Stats) error {
+func evalNaive(ctx context.Context, p *Program, work *query.DB, cur map[string]*table, workers int, stats *Stats) error {
 	if workers <= 1 {
 		for {
+			if err := parallel.CtxErr(ctx); err != nil {
+				return err
+			}
 			stats.Rounds++
 			grew := false
 			for _, r := range p.Rules {
@@ -255,8 +265,11 @@ func evalNaive(p *Program, work *query.DB, cur map[string]*table, workers int, s
 		firings[i] = firing{head: r.Head, body: r.Body}
 	}
 	for {
+		if err := parallel.CtxErr(ctx); err != nil {
+			return err
+		}
 		stats.Rounds++
-		outs, err := fireAll(firings, work, cur, workers)
+		outs, err := fireAll(ctx, firings, work, cur, workers)
 		if err != nil {
 			return err
 		}
@@ -278,7 +291,7 @@ func evalNaive(p *Program, work *query.DB, cur map[string]*table, workers int, s
 // evalSemiNaive runs the delta-driven fixpoint. Every round fires the
 // rules' delta-substituted bodies — concurrently when workers > 1 — and
 // merges the per-firing buffers into the next delta serially.
-func evalSemiNaive(p *Program, idb map[string]int, work *query.DB, cur map[string]*table, workers int, stats *Stats) error {
+func evalSemiNaive(ctx context.Context, p *Program, idb map[string]int, work *query.DB, cur map[string]*table, workers int, stats *Stats) error {
 	delta := make(map[string]*relation.Relation, len(idb))
 	for name, ar := range idb {
 		delta[name] = query.NewTable(ar)
@@ -293,7 +306,7 @@ func evalSemiNaive(p *Program, idb map[string]int, work *query.DB, cur map[strin
 		}
 	}
 	stats.Rounds++
-	outs, err := fireAll(seeds, work, cur, workers)
+	outs, err := fireAll(ctx, seeds, work, cur, workers)
 	if err != nil {
 		return err
 	}
@@ -335,12 +348,15 @@ func evalSemiNaive(p *Program, idb map[string]int, work *query.DB, cur map[strin
 		if total == 0 {
 			return nil
 		}
+		if err := parallel.CtxErr(ctx); err != nil {
+			return err
+		}
 		stats.Rounds++
 		next := make(map[string]*table, len(idb))
 		for name, ar := range idb {
 			next[name] = newTable(ar)
 		}
-		outs, err := fireAll(recs, work, cur, workers)
+		outs, err := fireAll(ctx, recs, work, cur, workers)
 		if err != nil {
 			return err
 		}

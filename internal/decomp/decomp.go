@@ -18,6 +18,7 @@
 package decomp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -54,6 +55,10 @@ type Options struct {
 	// gate was decided on, so atoms are reduced exactly once). nil
 	// recomputes.
 	Route *Route
+	// Ctx, when cancelable, aborts the evaluation between bag
+	// materializations and between the Yannakakis pass steps; the engine
+	// then returns Ctx.Err() instead of a result.
+	Ctx context.Context
 }
 
 // BagPlan is the planning view of one bag.
@@ -220,15 +225,28 @@ func EvaluateStats(q *query.CQ, db *query.DB, opts Options) (*relation.Relation,
 		return nil, RunStats{}, err
 	}
 	st := RunStats{Width: rt.Width, Route: rt}
+	if err := parallel.CtxErr(opts.Ctx); err != nil {
+		return nil, st, err
+	}
 	if groundFalse(q) || anyEmpty(rt.reds) {
 		return query.NewTable(len(q.Head)), st, nil
 	}
-	t, rows, empty := materialize(q, rt, workers)
+	t, rows, empty := Materialize(q, rt, workers, opts.Ctx)
 	st.BagRows = rows
+	if err := parallel.CtxErr(opts.Ctx); err != nil {
+		return nil, st, err
+	}
 	if empty || t.FullReduce() {
+		if err := parallel.CtxErr(opts.Ctx); err != nil {
+			return nil, st, err
+		}
 		return query.NewTable(len(q.Head)), st, nil
 	}
-	return yannakakis.HeadTuples(q, t.JoinProject()), st, nil
+	pstar := t.JoinProject()
+	if err := parallel.CtxErr(opts.Ctx); err != nil {
+		return nil, st, err
+	}
+	return yannakakis.HeadTuples(q, pstar), st, nil
 }
 
 // EvaluateBool decides Q(d) ≠ ∅ with bag materialization plus the bottom-up
@@ -243,14 +261,24 @@ func EvaluateBoolOpts(q *query.CQ, db *query.DB, opts Options) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	if err := parallel.CtxErr(opts.Ctx); err != nil {
+		return false, err
+	}
 	if groundFalse(q) || anyEmpty(rt.reds) {
 		return false, nil
 	}
-	t, _, empty := materialize(q, rt, workers)
+	t, _, empty := Materialize(q, rt, workers, opts.Ctx)
+	if err := parallel.CtxErr(opts.Ctx); err != nil {
+		return false, err
+	}
 	if empty {
 		return false, nil
 	}
-	return !t.BottomUpSemijoin(), nil
+	ok := !t.BottomUpSemijoin()
+	if err := parallel.CtxErr(opts.Ctx); err != nil {
+		return false, err
+	}
+	return ok, nil
 }
 
 // route resolves the Options into a Route and worker budget.
@@ -286,18 +314,24 @@ func anyEmpty(rels []*relation.Relation) bool {
 	return false
 }
 
-// materialize joins each bag's guard atoms (plan.Build order, partitioned
+// Materialize joins each bag's guard atoms (plan.Build order, partitioned
 // kernel), projects onto χ, and semijoin-enforces the bag's covered atoms;
 // bags run across workers with the leftover budget inside each join. The
 // bag tree is then re-rooted by plan.OrderForest on the *actual*
 // materialized cardinalities and wrapped as a yannakakis.Tree. empty means
 // some bag materialized to ∅ (the answer is empty).
-func materialize(q *query.CQ, rt *Route, workers int) (t *yannakakis.Tree, bagRows []int, empty bool) {
+//
+// The facade's prepared layer calls this once at Prepare time and freezes
+// the returned tree as a template (yannakakis.Tree.Fork per execution):
+// for a fixed database epoch the materialized bags are as immutable as the
+// plan, so serving workloads pay the O(n^width) bag joins once and each
+// execution runs only the acyclic passes.
+func Materialize(q *query.CQ, rt *Route, workers int, ctx context.Context) (t *yannakakis.Tree, bagRows []int, empty bool) {
 	nb := len(rt.Bags)
 	rels := make([]*relation.Relation, nb)
 	var sawEmpty atomic.Bool
 	outer, inner := parallel.Split(workers, nb)
-	parallel.ForEach(outer, nb, func(u int) {
+	if err := parallel.ForEachCtx(ctx, outer, nb, func(u int) {
 		if sawEmpty.Load() {
 			return // rels[u] stays nil: skipped, BagRows reports −1
 		}
@@ -305,7 +339,11 @@ func materialize(q *query.CQ, rt *Route, workers int) (t *yannakakis.Tree, bagRo
 		if rels[u].Empty() {
 			sawEmpty.Store(true)
 		}
-	})
+	}); err != nil {
+		// Canceled between bags: report what materialized; the caller
+		// surfaces ctx.Err() and discards the partial tree.
+		sawEmpty.Store(true)
+	}
 	bagRows = make([]int, nb)
 	for u, r := range rels {
 		if r == nil {
@@ -345,7 +383,7 @@ func materialize(q *query.CQ, rt *Route, workers int) (t *yannakakis.Tree, bagRo
 		headVars[v] = true
 	}
 	return &yannakakis.Tree{Forest: tree, Rels: rels, SubtreeVars: subtreeVars,
-		HeadVars: headVars, Workers: workers}, bagRows, false
+		HeadVars: headVars, Workers: workers, Ctx: ctx}, bagRows, false
 }
 
 // materializeBag builds one bag relation: guard joins in plan.Build order

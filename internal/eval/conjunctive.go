@@ -42,7 +42,7 @@ func Conjunctive(q *query.CQ, db *query.DB) (*relation.Relation, error) {
 
 // ConjunctiveOpts is Conjunctive with explicit options.
 func ConjunctiveOpts(q *query.CQ, db *query.DB, opts Options) (*relation.Relation, error) {
-	e, err := newBacktracker(q, db, opts)
+	e, err := newBacktracker(q, db, opts, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -127,7 +127,7 @@ func ConjunctiveBool(q *query.CQ, db *query.DB) (bool, error) {
 
 // ConjunctiveBoolOpts is ConjunctiveBool with explicit options.
 func ConjunctiveBoolOpts(q *query.CQ, db *query.DB, opts Options) (bool, error) {
-	e, err := newBacktracker(q, db, opts)
+	e, err := newBacktracker(q, db, opts, nil)
 	if err != nil {
 		return false, err
 	}
@@ -181,9 +181,19 @@ type backtracker struct {
 	plan []planStep
 	// fanStep is the first step that binds variables (earlier steps are
 	// ground-atom tautologies); the parallel evaluator fans out over its
-	// rows. −1 when no step binds anything.
+	// rows. −1 when no step binds anything — or when the first binding step
+	// probes pre-bound (parameter) slots, whose keys a fan-out would skip.
 	fanStep      int
 	trivialFalse bool
+
+	// preBound are the externally bound variables (parameter slots and the
+	// prepared Decide path's head bindings), in the order Compiled.bind
+	// receives their values; immediateIneqs/immediateCmps are the compiled
+	// constraints over pre-bound variables only, checked once per execution
+	// right after binding.
+	preBound       []query.Var
+	immediateIneqs []ineqCheck
+	immediateCmps  []cmpCheck
 }
 
 // minFanWork gates the fan-out: below this many total plan rows (summed
@@ -241,14 +251,31 @@ type cmpCheck struct {
 	strict         bool
 }
 
-func newBacktracker(q *query.CQ, db *query.DB, opts Options) (*backtracker, error) {
-	if err := q.Validate(db); err != nil {
+// newBacktracker compiles the plan for one (query, database) pair. preBound
+// lists variables whose values arrive from outside the search before it
+// starts (the prepared layer's parameter slots and decision-head bindings);
+// they count as bound for ordering, index keys, constraint placement, and
+// safety, and nil reproduces the classic self-contained evaluator.
+func newBacktracker(q *query.CQ, db *query.DB, opts Options, preBound []query.Var) (*backtracker, error) {
+	pre := make(map[query.Var]bool, len(preBound))
+	for _, v := range preBound {
+		pre[v] = true
+	}
+	if err := q.ValidateBound(db, pre); err != nil {
 		return nil, err
 	}
-	e := &backtracker{q: q, db: db, opts: opts, slot: make(map[query.Var]int), fanStep: -1}
+	e := &backtracker{q: q, db: db, opts: opts, slot: make(map[query.Var]int), fanStep: -1, preBound: preBound}
+	for _, v := range preBound {
+		if _, ok := e.slot[v]; !ok {
+			e.slot[v] = len(e.vars)
+			e.vars = append(e.vars, v)
+		}
+	}
 	for _, v := range q.BodyVars() {
-		e.slot[v] = len(e.vars)
-		e.vars = append(e.vars, v)
+		if _, ok := e.slot[v]; !ok {
+			e.slot[v] = len(e.vars)
+			e.vars = append(e.vars, v)
+		}
 	}
 
 	// Reduce each atom to S_j = π_{U_j} σ_{F_j}(R_j) over its distinct vars.
@@ -288,11 +315,14 @@ func newBacktracker(q *query.CQ, db *query.DB, opts Options) (*backtracker, erro
 	case opts.LegacyGreedy:
 		order = legacyGreedyOrder(reds)
 	default:
-		order = plan.Build(planInputs(q, db, reds), q.HeadVars()).Order()
+		order = plan.BuildBound(planInputs(q, db, reds), q.HeadVars(), preBound).Order()
 	}
 
 	// Build plan steps.
 	bound := make(map[query.Var]bool)
+	for _, v := range preBound {
+		bound[v] = true
+	}
 	for _, ai := range order {
 		rd := reds[ai]
 		step := planStep{rel: rd.rel, vars: rd.vars}
@@ -322,7 +352,9 @@ func newBacktracker(q *query.CQ, db *query.DB, opts Options) (*backtracker, erro
 	}
 
 	// Attach each ≠/comparison, compiled down to assign slots, to the
-	// earliest step after which all its variables are bound.
+	// earliest step after which all its variables are bound. Pre-bound
+	// variables are ready before step 0; a constraint over pre-bound
+	// variables only is checked once per execution, right after binding.
 	readyAt := func(vs []query.Var) int {
 		last := -1
 		pos := make(map[query.Var]int)
@@ -332,11 +364,10 @@ func newBacktracker(q *query.CQ, db *query.DB, opts Options) (*backtracker, erro
 			}
 		}
 		for _, v := range vs {
-			p, ok := pos[v]
-			if !ok {
-				return -1
+			if pre[v] {
+				continue
 			}
-			if p > last {
+			if p := pos[v]; p > last {
 				last = p
 			}
 		}
@@ -349,8 +380,11 @@ func newBacktracker(q *query.CQ, db *query.DB, opts Options) (*backtracker, erro
 			vs = append(vs, iq.Y)
 			chk.ySlot = e.slot[iq.Y]
 		}
-		at := readyAt(vs)
-		e.plan[at].ineqs = append(e.plan[at].ineqs, chk)
+		if at := readyAt(vs); at >= 0 {
+			e.plan[at].ineqs = append(e.plan[at].ineqs, chk)
+		} else {
+			e.immediateIneqs = append(e.immediateIneqs, chk)
+		}
 	}
 	for _, c := range q.Cmps {
 		chk := cmpCheck{lSlot: -1, rSlot: -1, lConst: c.Left.Const, rConst: c.Right.Const, strict: c.Strict}
@@ -366,12 +400,19 @@ func newBacktracker(q *query.CQ, db *query.DB, opts Options) (*backtracker, erro
 		if len(vs) == 0 {
 			continue // ground, already checked
 		}
-		at := readyAt(vs)
-		e.plan[at].cmps = append(e.plan[at].cmps, chk)
+		if at := readyAt(vs); at >= 0 {
+			e.plan[at].cmps = append(e.plan[at].cmps, chk)
+		} else {
+			e.immediateCmps = append(e.immediateCmps, chk)
+		}
 	}
 	for si := range e.plan {
 		if !e.plan[si].tautology {
-			e.fanStep = si
+			// A first binding step that probes pre-bound keys cannot fan out
+			// (the row split would bypass its key match); execute serially.
+			if len(e.plan[si].keyVars) == 0 {
+				e.fanStep = si
+			}
 			break
 		}
 	}

@@ -1,0 +1,58 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCtxRunsAllWhenLive(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var n atomic.Int64
+		if err := ForEachCtx(context.Background(), workers, 100, func(int) { n.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+		if n.Load() != 100 {
+			t.Fatalf("workers=%d: ran %d tasks, want 100", workers, n.Load())
+		}
+	}
+}
+
+func TestForEachCtxStopsWhenCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var n atomic.Int64
+		err := ForEachCtx(ctx, workers, 1000, func(int) { n.Add(1) })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if n.Load() != 0 {
+			t.Fatalf("workers=%d: %d tasks ran on a pre-canceled context", workers, n.Load())
+		}
+	}
+}
+
+func TestForEachCtxMidRunCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var n atomic.Int64
+	err := ForEachCtx(ctx, 2, 10_000, func(i int) {
+		if n.Add(1) == 50 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := n.Load(); got >= 10_000 {
+		t.Fatalf("cancellation did not cut the loop short (%d tasks ran)", got)
+	}
+}
+
+func TestForEachCtxNilContext(t *testing.T) {
+	var n atomic.Int64
+	if err := ForEachCtx(nil, 3, 10, func(int) { n.Add(1) }); err != nil || n.Load() != 10 {
+		t.Fatalf("nil ctx should degrade to ForEach (err=%v, n=%d)", err, n.Load())
+	}
+}

@@ -21,6 +21,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -132,4 +133,55 @@ func ForEach(workers, n int, fn func(i int)) {
 			fn(i)
 		}
 	})
+}
+
+// CtxErr is the nil-tolerant ctx.Err(): engines accept a nil context on
+// their prepared/one-shot paths, and every cancellation point funnels
+// through this check.
+func CtxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: the context is
+// checked before each task is issued, so workers stop claiming new indices
+// once ctx is done (a task already running finishes — tasks are the
+// cancellation granularity, matching the engines' chunk/round boundaries).
+// It returns ctx.Err() whenever the context ended — even if it expired
+// just as the final task completed — so callers treat any non-nil return
+// as an abort; nil means the context was live throughout. A nil or
+// non-cancelable context degrades to plain ForEach.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int)) error {
+	if ctx == nil || ctx.Done() == nil {
+		ForEach(workers, n, fn)
+		return nil
+	}
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		return ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	var next int64
+	Do(workers, func(int) {
+		for ctx.Err() == nil {
+			i := int(atomic.AddInt64(&next, 1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	})
+	return ctx.Err()
 }

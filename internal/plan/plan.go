@@ -99,10 +99,24 @@ func (p *Plan) Order() []int {
 // deterministic. headVars (the distinct head variables) bound the final
 // answer estimate by the product of their distinct counts.
 func Build(inputs []Input, headVars []query.Var) *Plan {
+	return BuildBound(inputs, headVars, nil)
+}
+
+// BuildBound is Build for a query executed with preBound variables already
+// fixed to single values from outside — the compiled backtracker's
+// parameter slots and the prepared Decide path's head bindings. Each
+// pre-bound variable enters the model with one distinct value, so inputs
+// sharing it are priced as highly selective probes and the greedy order
+// starts from the parameter-touching atoms, exactly how the engine will
+// execute them.
+func BuildBound(inputs []Input, headVars []query.Var, preBound []query.Var) *Plan {
 	p := &Plan{Inputs: inputs}
 	n := len(inputs)
 	used := make([]bool, n)
 	bound := make(map[query.Var]float64, 8)
+	for _, v := range preBound {
+		bound[v] = 1
+	}
 	card := 1.0
 	estOf := func(in Input) float64 {
 		est := card * float64(in.Rows)

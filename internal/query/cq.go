@@ -112,11 +112,90 @@ func (q *CQ) Hyperedges() [][]Var {
 	return out
 }
 
+// Params returns the distinct parameter names of the query in
+// first-occurrence order (head, then atoms, then comparisons). A query with
+// parameters cannot be evaluated directly — bind them first (BindParams, or
+// the facade's prepared-statement API).
+func (q *CQ) Params() []string {
+	var out []string
+	seen := make(map[string]bool)
+	add := func(t Term) {
+		if t.ParamName != "" && !seen[t.ParamName] {
+			seen[t.ParamName] = true
+			out = append(out, t.ParamName)
+		}
+	}
+	for _, t := range q.Head {
+		add(t)
+	}
+	for _, a := range q.Atoms {
+		for _, t := range a.Args {
+			add(t)
+		}
+	}
+	for _, c := range q.Cmps {
+		add(c.Left)
+		add(c.Right)
+	}
+	return out
+}
+
+// BindParams substitutes constants for every parameter placeholder,
+// returning the concrete query. Every parameter of the query must be bound;
+// unknown names are rejected.
+func (q *CQ) BindParams(vals map[string]relation.Value) (*CQ, error) {
+	names := q.Params()
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	for n := range vals {
+		if !want[n] {
+			return nil, fmt.Errorf("query: unknown parameter $%s", n)
+		}
+	}
+	for _, n := range names {
+		if _, ok := vals[n]; !ok {
+			return nil, fmt.Errorf("query: parameter $%s is unbound", n)
+		}
+	}
+	mapTerm := func(t Term) Term {
+		if t.ParamName != "" {
+			return C(vals[t.ParamName])
+		}
+		return t
+	}
+	out := q.Clone()
+	for i, t := range out.Head {
+		out.Head[i] = mapTerm(t)
+	}
+	for i := range out.Atoms {
+		for j, t := range out.Atoms[i].Args {
+			out.Atoms[i].Args[j] = mapTerm(t)
+		}
+	}
+	for i, c := range out.Cmps {
+		out.Cmps[i] = Cmp{Left: mapTerm(c.Left), Right: mapTerm(c.Right), Strict: c.Strict}
+	}
+	return out, nil
+}
+
 // Validate checks the query against the database: every atom's relation
 // must exist with matching arity, head variables must occur in the body
-// (range restriction), and every ≠/comparison variable must occur in some
-// relational atom (safety).
+// (range restriction), every ≠/comparison variable must occur in some
+// relational atom (safety), and no unbound parameter placeholders remain.
 func (q *CQ) Validate(db *DB) error {
+	return q.ValidateBound(db, nil)
+}
+
+// ValidateBound is Validate for a query executed with the given variables
+// pre-bound from outside (the compiled backtracker's parameter and
+// decision-head slots): pre-bound variables satisfy range restriction and
+// safety even when no relational atom mentions them.
+func (q *CQ) ValidateBound(db *DB, preBound map[Var]bool) error {
+	if ps := q.Params(); len(ps) > 0 {
+		return fmt.Errorf("query: unbound parameter $%s (bind parameters before evaluating, e.g. via Prepare/Exec)", ps[0])
+	}
 	for _, a := range q.Atoms {
 		r, ok := db.Rel(a.Rel)
 		if !ok {
@@ -129,6 +208,9 @@ func (q *CQ) Validate(db *DB) error {
 	}
 	body := make(map[Var]bool)
 	for _, v := range q.BodyVars() {
+		body[v] = true
+	}
+	for v := range preBound {
 		body[v] = true
 	}
 	for _, t := range q.Head {

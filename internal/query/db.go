@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"pyquery/internal/relation"
 )
@@ -26,6 +27,14 @@ type DB struct {
 	// writes concurrent with reads.
 	mu   sync.Mutex
 	memo map[string]any
+
+	// gen counts Set calls — the database generation the prepared-statement
+	// layer revalidates against (a moved generation means frozen plans,
+	// reductions, and indexes may be stale and must be rebuilt).
+	gen atomic.Uint64
+	// plans is the lazily created per-database prepared-plan LRU (see
+	// PlanCache); guarded by mu for initialization only.
+	plans *PlanCache
 }
 
 // NewDB returns an empty database.
@@ -36,9 +45,33 @@ func NewDB() *DB { return &DB{rels: make(map[string]*relation.Relation)} }
 // the name is invalidated.
 func (db *DB) Set(name string, r *relation.Relation) {
 	db.rels[name] = r
+	db.gen.Add(1)
 	db.mu.Lock()
 	delete(db.memo, name)
 	db.mu.Unlock()
+}
+
+// Generation returns the database generation: a counter bumped by every
+// Set. Derived artifacts that froze whole-database state (prepared plans,
+// reduced relations, indexes) record the generation they were built at and
+// rebuild when it has moved. Relations grown in place (append-only Datalog
+// tables) do not bump the generation — consumers additionally revalidate
+// the row counts of the relations they froze.
+func (db *DB) Generation() uint64 { return db.gen.Load() }
+
+// Plans returns the database's prepared-plan cache, creating it on first
+// use. The facade's Evaluate* free functions key compiled prepared
+// statements here by query fingerprint, so repeated one-shot evaluations
+// amortize planning; entries self-revalidate against Generation, so Set
+// never leaves a stale plan observable.
+func (db *DB) Plans() *PlanCache {
+	db.mu.Lock()
+	if db.plans == nil {
+		db.plans = NewPlanCache(defaultPlanCacheCap)
+	}
+	p := db.plans
+	db.mu.Unlock()
+	return p
 }
 
 // Memo returns the cached derived artifact for relation name, if present.

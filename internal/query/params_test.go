@@ -1,0 +1,103 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"pyquery/internal/relation"
+)
+
+func TestParamsCollectionAndBinding(t *testing.T) {
+	q := &CQ{
+		Head: []Term{P("h"), V(0)},
+		Atoms: []Atom{
+			NewAtom("R", P("a"), V(0)),
+			NewAtom("S", V(0), P("a")),
+		},
+		Cmps: []Cmp{Lt(V(0), P("c"))},
+	}
+	got := q.Params()
+	want := []string{"h", "a", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("Params() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Params() = %v, want %v (first-occurrence order)", got, want)
+		}
+	}
+
+	if !strings.Contains(q.String(), "$a") {
+		t.Fatalf("String() should render placeholders: %s", q)
+	}
+
+	bound, err := q.BindParams(map[string]relation.Value{"h": 1, "a": 2, "c": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bound.Params()) != 0 {
+		t.Fatalf("BindParams left placeholders: %v", bound.Params())
+	}
+	if !bound.Head[0].Equal(C(1)) || !bound.Atoms[0].Args[0].Equal(C(2)) || !bound.Cmps[0].Right.Equal(C(3)) {
+		t.Fatalf("BindParams substituted wrong constants: %v", bound)
+	}
+	// The template must be untouched.
+	if len(q.Params()) != 3 {
+		t.Fatal("BindParams mutated the template")
+	}
+
+	if _, err := q.BindParams(map[string]relation.Value{"h": 1, "a": 2}); err == nil {
+		t.Fatal("missing binding should error")
+	}
+	if _, err := q.BindParams(map[string]relation.Value{"h": 1, "a": 2, "c": 3, "zz": 4}); err == nil {
+		t.Fatal("unknown binding should error")
+	}
+}
+
+func TestValidateRejectsUnboundParams(t *testing.T) {
+	db := NewDB()
+	db.Set("R", Table(2))
+	q := &CQ{Atoms: []Atom{NewAtom("R", P("a"), V(0))}}
+	if err := q.Validate(db); err == nil {
+		t.Fatal("Validate should reject unbound parameters")
+	}
+}
+
+func TestDBGeneration(t *testing.T) {
+	db := NewDB()
+	g0 := db.Generation()
+	db.Set("R", Table(1))
+	if db.Generation() != g0+1 {
+		t.Fatalf("Set should bump the generation: %d -> %d", g0, db.Generation())
+	}
+	db.Set("R", Table(1))
+	if db.Generation() != g0+2 {
+		t.Fatal("every Set bumps, even for the same name")
+	}
+}
+
+func TestPlanCacheLRU(t *testing.T) {
+	c := NewPlanCache(2)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a should be cached")
+	}
+	c.Add("c", 3) // evicts b (a was just touched)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted as least recently used")
+	}
+	if v, ok := c.Get("a"); !ok || v.(int) != 1 {
+		t.Fatal("a should survive the eviction")
+	}
+	if v, ok := c.Get("c"); !ok || v.(int) != 3 {
+		t.Fatal("c should be cached")
+	}
+	c.Add("a", 10) // refresh in place
+	if v, _ := c.Get("a"); v.(int) != 10 {
+		t.Fatal("Add should refresh an existing key")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", c.Len())
+	}
+}

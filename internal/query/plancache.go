@@ -1,0 +1,76 @@
+package query
+
+import (
+	"container/list"
+	"sync"
+)
+
+// defaultPlanCacheCap bounds the per-database prepared-plan cache. Serving
+// workloads repeat a small set of query templates, so a modest cap keeps
+// the hot set resident while bounding memory for adversarial query streams.
+const defaultPlanCacheCap = 128
+
+// PlanCache is a small concurrency-safe LRU keyed by comparable fingerprint
+// values. The facade stores compiled prepared statements here; the cache
+// itself is value-agnostic (entries are any) so internal/query does not
+// depend on the packages that define the compiled forms.
+type PlanCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used; values are *cacheEntry
+	entries map[any]*list.Element
+}
+
+type cacheEntry struct {
+	key any
+	val any
+}
+
+// NewPlanCache returns an empty LRU holding at most cap entries (cap ≤ 0
+// falls back to the default capacity).
+func NewPlanCache(cap int) *PlanCache {
+	if cap <= 0 {
+		cap = defaultPlanCacheCap
+	}
+	return &PlanCache{cap: cap, order: list.New(), entries: make(map[any]*list.Element)}
+}
+
+// Get returns the cached value for key, marking it most recently used.
+func (c *PlanCache) Get(key any) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Add installs (or refreshes) key → val, evicting the least recently used
+// entry beyond capacity. Concurrent callers may race to add the same key;
+// last write wins, which is safe because compiled plans are deterministic
+// functions of (query, options) and self-revalidate against the database
+// generation.
+func (c *PlanCache) Add(key, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, val: val})
+	for c.order.Len() > c.cap {
+		tail := c.order.Back()
+		c.order.Remove(tail)
+		delete(c.entries, tail.Value.(*cacheEntry).key)
+	}
+}
+
+// Len reports the number of cached entries.
+func (c *PlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -19,11 +19,17 @@ import (
 // optional VarNames table on a query maps them back to source names.
 type Var int
 
-// Term is either a variable or a constant.
+// Term is a variable, a constant, or a named parameter placeholder. A
+// parameter stands for a constant whose value is supplied at execution time
+// (Prepared.Exec in the facade); every engine requires parameters to be
+// bound before evaluation — CQ.Validate rejects unbound ones.
 type Term struct {
 	Const relation.Value
 	Var   Var
 	IsVar bool
+	// ParamName, when nonempty, marks the term as the named placeholder
+	// $ParamName (and IsVar is false).
+	ParamName string
 }
 
 // V returns a variable term.
@@ -32,20 +38,36 @@ func V(v Var) Term { return Term{Var: v, IsVar: true} }
 // C returns a constant term.
 func C(c relation.Value) Term { return Term{Const: c} }
 
+// P returns a named parameter placeholder term $name. Parameters may appear
+// in atom argument positions, head positions, and comparison sides; they
+// are bound to constants at execution time through the prepared-query API.
+func P(name string) Term {
+	if name == "" {
+		panic("query: parameter name must be nonempty")
+	}
+	return Term{ParamName: name}
+}
+
+// IsParam reports whether the term is an unbound parameter placeholder.
+func (t Term) IsParam() bool { return t.ParamName != "" }
+
 // Equal reports whether two terms are syntactically identical.
 func (t Term) Equal(u Term) bool {
-	if t.IsVar != u.IsVar {
+	if t.IsVar != u.IsVar || t.ParamName != u.ParamName {
 		return false
 	}
 	if t.IsVar {
 		return t.Var == u.Var
 	}
-	return t.Const == u.Const
+	return t.ParamName != "" || t.Const == u.Const
 }
 
 func (t Term) String() string {
 	if t.IsVar {
 		return fmt.Sprintf("x%d", t.Var)
+	}
+	if t.ParamName != "" {
+		return "$" + t.ParamName
 	}
 	return fmt.Sprintf("%d", t.Const)
 }

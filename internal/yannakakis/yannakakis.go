@@ -15,6 +15,7 @@
 package yannakakis
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -116,6 +117,56 @@ type Tree struct {
 	HeadVars map[query.Var]bool
 	// Workers is the parallelism budget for the passes (1 = serial).
 	Workers int
+	// Ctx, when cancelable, makes the passes bail out between semijoin/join
+	// steps; a caller that set it must treat the result as garbage once
+	// Ctx.Err() is non-nil (the facade's prepared layer does).
+	Ctx context.Context
+	// copyOnWrite makes the semijoin passes build new relations instead of
+	// filtering in place, so a Fork of a frozen prepared template never
+	// mutates the template's relations.
+	copyOnWrite bool
+}
+
+// Compile validates, reduces atoms, and freezes the planned join tree for
+// repeated execution: the prepared layer forks the returned template per
+// execution, so the reduction scans and the tree construction are paid
+// once. trivial is true when some atom reduced to the empty relation (the
+// answer is empty for every execution until the database changes) — the
+// tree is nil in that case.
+func Compile(q *query.CQ, db *query.DB) (t *Tree, trivial bool, err error) {
+	t, err = prepare(q, db)
+	if err != nil {
+		return nil, false, err
+	}
+	if t == nil {
+		return nil, true, nil
+	}
+	return t, false, nil
+}
+
+// Fork returns an execution view of a frozen template: the tree shape and
+// relation pointers are shared, but every pass that would filter a relation
+// in place builds a new one instead, leaving the template intact for the
+// next execution (and for concurrent ones — a template is read-only, each
+// Fork is owned by its execution).
+func (t *Tree) Fork() *Tree {
+	ft := *t
+	ft.Rels = append([]*relation.Relation(nil), t.Rels...)
+	ft.copyOnWrite = true
+	return &ft
+}
+
+// canceled reports whether the tree's context has been canceled.
+func (t *Tree) canceled() bool { return t.Ctx != nil && t.Ctx.Err() != nil }
+
+// semijoinNode filters node dst by node src with the given worker budget,
+// honoring copy-on-write, and reports whether dst became empty.
+func (t *Tree) semijoinNode(dst, src, workers int) bool {
+	if t.copyOnWrite {
+		t.Rels[dst] = relation.SemijoinPar(t.Rels[dst], t.Rels[src], workers)
+		return t.Rels[dst].Empty()
+	}
+	return relation.SemijoinInPlacePar(t.Rels[dst], t.Rels[src], workers).Empty()
 }
 
 // prepare validates, reduces atoms, and builds the join tree. It returns
@@ -214,11 +265,14 @@ func (t *Tree) levels() [][]int {
 func (t *Tree) BottomUpSemijoin() bool {
 	if t.Workers <= 1 {
 		for _, j := range t.Forest.Order {
+			if t.canceled() {
+				return false
+			}
 			u := t.Forest.Parent[j]
 			if u < 0 {
 				continue
 			}
-			if relation.SemijoinInPlace(t.Rels[u], t.Rels[j]).Empty() {
+			if t.semijoinNode(u, j, 1) {
 				return true
 			}
 		}
@@ -227,6 +281,9 @@ func (t *Tree) BottomUpSemijoin() bool {
 	lv := t.levels()
 	var empty atomic.Bool
 	for d := len(lv) - 2; d >= 0; d-- {
+		if t.canceled() {
+			return false
+		}
 		var parents []int
 		for _, u := range lv[d] {
 			if len(t.Forest.Children[u]) > 0 {
@@ -240,7 +297,7 @@ func (t *Tree) BottomUpSemijoin() bool {
 		parallel.ForEach(outer, len(parents), func(i int) {
 			u := parents[i]
 			for _, c := range t.Forest.Children[u] {
-				if relation.SemijoinInPlacePar(t.Rels[u], t.Rels[c], inner).Empty() {
+				if t.semijoinNode(u, c, inner) {
 					empty.Store(true)
 					return
 				}
@@ -263,12 +320,15 @@ func (t *Tree) FullReduce() bool {
 	if t.Workers <= 1 {
 		// Top-down: parents filter children, in reverse bottom-up order.
 		for i := len(t.Forest.Order) - 1; i >= 0; i-- {
+			if t.canceled() {
+				return false
+			}
 			j := t.Forest.Order[i]
 			u := t.Forest.Parent[j]
 			if u < 0 {
 				continue
 			}
-			if relation.SemijoinInPlace(t.Rels[j], t.Rels[u]).Empty() {
+			if t.semijoinNode(j, u, 1) {
 				return true
 			}
 		}
@@ -280,11 +340,14 @@ func (t *Tree) FullReduce() bool {
 	lv := t.levels()
 	var empty atomic.Bool
 	for d := 1; d < len(lv); d++ {
+		if t.canceled() {
+			return false
+		}
 		nodes := lv[d]
 		outer, inner := parallel.Split(t.Workers, len(nodes))
 		parallel.ForEach(outer, len(nodes), func(i int) {
 			j := nodes[i]
-			if relation.SemijoinInPlacePar(t.Rels[j], t.Rels[t.Forest.Parent[j]], inner).Empty() {
+			if t.semijoinNode(j, t.Forest.Parent[j], inner) {
 				empty.Store(true)
 			}
 		})
@@ -317,6 +380,9 @@ func (t *Tree) projSchema(j, u int) relation.Schema {
 func (t *Tree) JoinProject() *relation.Relation {
 	if t.Workers <= 1 {
 		for _, j := range t.Forest.Order {
+			if t.canceled() {
+				break
+			}
 			u := t.Forest.Parent[j]
 			if u < 0 {
 				continue
@@ -325,7 +391,7 @@ func (t *Tree) JoinProject() *relation.Relation {
 		}
 	} else {
 		lv := t.levels()
-		for d := len(lv) - 2; d >= 0; d-- {
+		for d := len(lv) - 2; d >= 0 && !t.canceled(); d-- {
 			var parents []int
 			for _, u := range lv[d] {
 				if len(t.Forest.Children[u]) > 0 {

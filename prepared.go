@@ -1,0 +1,585 @@
+package pyquery
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"sync"
+	"sync/atomic"
+
+	"pyquery/internal/core"
+	"pyquery/internal/decomp"
+	"pyquery/internal/eval"
+	"pyquery/internal/order"
+	"pyquery/internal/parallel"
+	"pyquery/internal/query"
+	"pyquery/internal/relation"
+	"pyquery/internal/yannakakis"
+)
+
+// P builds a named parameter placeholder term $name for use in atom
+// arguments, head positions, and comparison sides of a query template.
+// Parameters are bound to constants at execution time (Prepared.Exec), so
+// one prepared template — a point lookup, a path, a triangle — serves many
+// requests without re-planning. Inequality (≠) atoms do not take
+// parameters; write the constraint as two comparisons or inline the
+// constant.
+var P = query.P
+
+// Arg binds one named parameter for an execution.
+type Arg struct {
+	Name  string
+	Value Value
+}
+
+// Bind pairs a parameter name with its value for Prepared.Exec.
+func Bind(name string, v Value) Arg { return Arg{Name: name, Value: v} }
+
+// Prepared is a compiled query: Prepare runs everything that depends only
+// on the query and the database snapshot — classification, the
+// decomposition search and cost gate, statistics-driven join ordering,
+// atom reduction, index construction — exactly once, and Exec/ExecBool/
+// Rows execute the frozen plan. The paper's point is that this split
+// matches the complexity structure: the query-dependent work (exponential
+// in q in the worst case) is paid at Prepare, the per-execution work is
+// data complexity only.
+//
+// Staleness: the compiled state records the database generation (bumped by
+// DB.Set) and the row counts of the relations it froze; every execution
+// revalidates both cheaply and replans transparently when either moved. A
+// Prepared is safe for concurrent executions.
+type Prepared struct {
+	q      *CQ
+	db     *DB
+	opts   Options
+	params []string
+
+	mu    sync.Mutex // guards recompilation; state is read lock-free
+	state atomic.Pointer[prepState]
+}
+
+// prepState is one frozen compilation: the routing decision plus exactly
+// one engine-specific compiled artifact. It is immutable after compile
+// (the lazily added decide program is the one atomic exception) and shared
+// by concurrent executions.
+type prepState struct {
+	engine Engine
+	gen    uint64
+	lens   []relLen
+
+	// unsat marks queries whose comparison constraints alone are
+	// inconsistent (the collapse preprocessing failed): every execution
+	// answers empty/false.
+	unsat bool
+	// trivial marks acyclic queries with an atom that reduced to ∅ at
+	// compile time: empty until the database changes.
+	trivial bool
+
+	bt *eval.Compiled // generic class, collapsed comparisons, and every parameterized template
+	// tree is the frozen acyclic template, forked per execution: the
+	// reduced atoms on their join tree (EngineYannakakis), or the
+	// materialized bags on their bag tree (EngineDecomp — the O(n^width)
+	// bag joins are paid at Prepare, per the compile/execute split).
+	tree *yannakakis.Tree
+	prog *core.Program // Theorem 2 color-coding program
+
+	decide atomic.Pointer[decideState] // lazy Decide program (head-bound membership)
+}
+
+type relLen struct {
+	name string
+	n    int
+}
+
+// groundFalseCmps reports whether a ground comparison already falsifies the
+// query (markers from head substitution, or user-written constants) — the
+// check the decomposition engine runs up front, hoisted to compile time.
+func groundFalseCmps(q *CQ) bool {
+	for _, c := range q.Cmps {
+		if !c.Left.IsVar && !c.Right.IsVar && !c.Holds(c.Left.Const, c.Right.Const) {
+			return true
+		}
+	}
+	return false
+}
+
+// Prepare compiles q against db under opts (Parallelism is frozen into the
+// plan; 0 = GOMAXPROCS, 1 = serial). The template may contain parameter
+// placeholders (query.P / pyquery.P); their values are supplied per
+// execution. The query is cloned — later mutations of q do not affect the
+// prepared statement.
+func Prepare(q *CQ, db *DB, opts Options) (*Prepared, error) {
+	p := &Prepared{q: q.Clone(), db: db, opts: opts, params: q.Params()}
+	st, err := p.compile()
+	if err != nil {
+		return nil, err
+	}
+	p.state.Store(st)
+	return p, nil
+}
+
+// Engine reports the frozen routing decision. Parameterized templates
+// always execute through the compiled backtracking plan (parameters become
+// pre-bound search slots, so index probes start from them); Engine reports
+// EngineGeneric for them.
+func (p *Prepared) Engine() Engine { return p.state.Load().engine }
+
+// Params returns the template's parameter names in binding order.
+func (p *Prepared) Params() []string { return append([]string(nil), p.params...) }
+
+// compile builds a fresh prepState from the current database snapshot.
+func (p *Prepared) compile() (*prepState, error) {
+	q, db, opts := p.q, p.db, p.opts
+	st := &prepState{gen: db.Generation()}
+	evalOpts := eval.Options{Parallelism: opts.Parallelism}
+
+	if len(p.params) > 0 {
+		st.engine = EngineGeneric
+		bt, err := eval.Compile(q, db, evalOpts, nil)
+		if err != nil {
+			return nil, err
+		}
+		st.bt = bt
+		return p.snapshotLens(st), nil
+	}
+
+	st.engine = classify(q)
+	switch st.engine {
+	case EngineYannakakis:
+		tree, trivial, err := yannakakis.Compile(q, db)
+		if err != nil {
+			return nil, err
+		}
+		st.tree, st.trivial = tree, trivial
+	case EngineColorCoding:
+		prog, err := core.Compile(q, db, opts)
+		if err != nil {
+			return nil, err
+		}
+		st.prog = prog
+	case EngineComparisons:
+		qc, err := order.Collapse(q)
+		if errors.Is(err, order.ErrInconsistent) {
+			st.unsat = true
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		bt, err := eval.Compile(qc, db, evalOpts, nil)
+		if err != nil {
+			return nil, err
+		}
+		st.bt = bt
+	case EngineDecomp:
+		// Resolve the database-dependent half of the class in one PlanFor
+		// call: existence of a width-≤3 decomposition and the cost gate
+		// against the backtracker. A winning decomposition is materialized
+		// right here — the bags are immutable for the epoch, so executions
+		// only run the acyclic passes over the frozen bag tree. Gate losses
+		// (and Options.NoDecomp, ablation A6) freeze the generic plan
+		// instead.
+		if groundFalseCmps(q) {
+			st.unsat = true
+			break
+		}
+		if !opts.NoDecomp {
+			if rt, err := decomp.PlanFor(q, db); err == nil && rt.Use {
+				tree, _, empty := decomp.Materialize(q, rt, parallel.Workers(opts.Parallelism), nil)
+				st.tree, st.trivial = tree, empty
+				break
+			}
+		}
+		st.engine = EngineGeneric
+		fallthrough
+	default:
+		bt, err := eval.Compile(q, db, evalOpts, nil)
+		if err != nil {
+			return nil, err
+		}
+		st.bt = bt
+	}
+	return p.snapshotLens(st), nil
+}
+
+// snapshotLens records the row count of every relation the plan froze, for
+// the in-place-growth half of the staleness check.
+func (p *Prepared) snapshotLens(st *prepState) *prepState {
+	seen := make(map[string]bool, len(p.q.Atoms))
+	for _, a := range p.q.Atoms {
+		if seen[a.Rel] {
+			continue
+		}
+		seen[a.Rel] = true
+		if r, ok := p.db.Rel(a.Rel); ok {
+			st.lens = append(st.lens, relLen{a.Rel, r.Len()})
+		}
+	}
+	return st
+}
+
+// fresh reports whether the compiled state still matches the database: the
+// generation must not have moved and every frozen relation must still hold
+// the row count it was reduced at (relations grown in place — append-only
+// Datalog tables — change length without bumping the generation).
+func (p *Prepared) fresh(st *prepState) bool {
+	if p.db.Generation() != st.gen {
+		return false
+	}
+	for _, rl := range st.lens {
+		r, ok := p.db.Rel(rl.name)
+		if !ok || r.Len() != rl.n {
+			return false
+		}
+	}
+	return true
+}
+
+// current returns a fresh compiled state, replanning under the mutex when
+// the epoch moved. The double-check keeps concurrent executions from
+// compiling the same plan twice.
+func (p *Prepared) current() (*prepState, error) {
+	if st := p.state.Load(); p.fresh(st) {
+		return st, nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if st := p.state.Load(); p.fresh(st) {
+		return st, nil
+	}
+	st, err := p.compile()
+	if err != nil {
+		return nil, err
+	}
+	p.state.Store(st)
+	return st, nil
+}
+
+// argVals resolves the named arguments into the template's parameter order.
+func (p *Prepared) argVals(args []Arg) ([]relation.Value, error) {
+	if len(p.params) == 0 && len(args) == 0 {
+		return nil, nil
+	}
+	byName := make(map[string]relation.Value, len(args))
+	for _, a := range args {
+		if _, dup := byName[a.Name]; dup {
+			return nil, fmt.Errorf("pyquery: parameter $%s bound twice", a.Name)
+		}
+		byName[a.Name] = a.Value
+	}
+	vals := make([]relation.Value, len(p.params))
+	for i, name := range p.params {
+		v, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("pyquery: parameter $%s is unbound", name)
+		}
+		vals[i] = v
+		delete(byName, name)
+	}
+	for name := range byName {
+		return nil, fmt.Errorf("pyquery: unknown parameter $%s", name)
+	}
+	return vals, nil
+}
+
+// Exec runs the prepared query and returns the answer relation over the
+// positional head schema. args bind the template's parameters (all of
+// them, by name); ctx cancels the evaluation at the engine's natural
+// boundaries — search nodes for the backtracker, pass steps for the tree
+// engines, trial batches for color coding.
+func (p *Prepared) Exec(ctx context.Context, args ...Arg) (*Relation, error) {
+	st, vals, err := p.begin(ctx, args)
+	if err != nil {
+		return nil, err
+	}
+	return p.execWith(ctx, st, vals)
+}
+
+// execWith dispatches an execution on an already revalidated state with
+// already resolved argument values.
+func (p *Prepared) execWith(ctx context.Context, st *prepState, vals []relation.Value) (*Relation, error) {
+	switch {
+	case st.unsat || st.trivial:
+		return query.NewTable(len(p.q.Head)), nil
+	case st.bt != nil:
+		return st.bt.Exec(ctx, vals)
+	case st.prog != nil:
+		return st.prog.Exec(ctx)
+	default:
+		t := st.tree.Fork()
+		t.Workers = parallel.Workers(p.opts.Parallelism)
+		t.Ctx = ctx
+		if t.FullReduce() {
+			if err := parallel.CtxErr(ctx); err != nil {
+				return nil, err
+			}
+			return query.NewTable(len(p.q.Head)), nil
+		}
+		pstar := t.JoinProject()
+		if err := parallel.CtxErr(ctx); err != nil {
+			return nil, err
+		}
+		return yannakakis.HeadTuples(p.q, pstar), nil
+	}
+}
+
+// ExecBool decides Q(d) ≠ ∅ with the frozen plan, stopping at the first
+// witness where the engine supports it.
+func (p *Prepared) ExecBool(ctx context.Context, args ...Arg) (bool, error) {
+	st, vals, err := p.begin(ctx, args)
+	if err != nil {
+		return false, err
+	}
+	switch {
+	case st.unsat || st.trivial:
+		return false, nil
+	case st.bt != nil:
+		return st.bt.ExecBool(ctx, vals)
+	case st.prog != nil:
+		return st.prog.ExecBool(ctx)
+	default:
+		t := st.tree.Fork()
+		t.Workers = parallel.Workers(p.opts.Parallelism)
+		t.Ctx = ctx
+		empty := t.BottomUpSemijoin()
+		if err := parallel.CtxErr(ctx); err != nil {
+			return false, err
+		}
+		return !empty, nil
+	}
+}
+
+// begin revalidates the epoch, resolves arguments, and checks the context.
+func (p *Prepared) begin(ctx context.Context, args []Arg) (*prepState, []relation.Value, error) {
+	if err := parallel.CtxErr(ctx); err != nil {
+		return nil, nil, err
+	}
+	st, err := p.current()
+	if err != nil {
+		return nil, nil, err
+	}
+	vals, err := p.argVals(args)
+	if err != nil {
+		return nil, nil, err
+	}
+	return st, vals, nil
+}
+
+// ForEach streams the answer tuples to fn, stopping early when fn returns
+// false. For the compiled backtracking plans (the generic class and every
+// parameterized template) the tuples stream directly out of the search
+// without materializing the answer; the tree engines materialize first.
+// The tuple slice is reused between calls — copy it to retain it.
+func (p *Prepared) ForEach(ctx context.Context, fn func(tuple []Value) bool, args ...Arg) error {
+	st, vals, err := p.begin(ctx, args)
+	if err != nil {
+		return err
+	}
+	if st.unsat || st.trivial {
+		return nil
+	}
+	if st.bt != nil {
+		return st.bt.ForEach(ctx, vals, fn)
+	}
+	res, err := p.execWith(ctx, st, vals)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < res.Len(); i++ {
+		if err := parallel.CtxErr(ctx); err != nil {
+			return err
+		}
+		if !fn(res.Row(i)) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Rows returns the answers as an iterator over (tuple, error) pairs: a
+// non-nil error (context cancellation, staleness recompilation failure)
+// ends the sequence. The yielded tuple slice is only valid until the next
+// iteration — copy it to retain it.
+func (p *Prepared) Rows(ctx context.Context, args ...Arg) iter.Seq2[[]Value, error] {
+	return func(yield func([]Value, error) bool) {
+		stopped := false
+		err := p.ForEach(ctx, func(tuple []Value) bool {
+			if !yield(tuple, nil) {
+				stopped = true
+				return false
+			}
+			return true
+		}, args...)
+		if err != nil && !stopped {
+			yield(nil, err)
+		}
+	}
+}
+
+// Decide answers the membership problem t ∈ Q(d) with the prepared plan:
+// the head variables become pre-bound search slots (compiled lazily, once,
+// alongside the main plan), so repeated membership tests amortize exactly
+// like repeated executions — no per-call BindHead re-planning. args bind
+// the template's parameters as in Exec.
+func (p *Prepared) Decide(ctx context.Context, t []Value, args ...Arg) (bool, error) {
+	if err := parallel.CtxErr(ctx); err != nil {
+		return false, err
+	}
+	if len(t) != len(p.q.Head) {
+		return false, fmt.Errorf("pyquery: tuple arity %d does not match head arity %d", len(t), len(p.q.Head))
+	}
+	st, err := p.current()
+	if err != nil {
+		return false, err
+	}
+	vals, err := p.argVals(args)
+	if err != nil {
+		return false, err
+	}
+	ds, err := p.decideProg(st)
+	if err != nil {
+		return false, err
+	}
+	// Match t against the frozen head plan: constants must agree,
+	// parameter positions must agree with the bound value, repeated
+	// variables must receive equal values.
+	headVals := make([]relation.Value, ds.numHeadVars)
+	seen := make([]bool, ds.numHeadVars)
+	for i, hp := range ds.head {
+		switch hp.kind {
+		case headVar:
+			if seen[hp.idx] {
+				if headVals[hp.idx] != t[i] {
+					return false, nil
+				}
+			} else {
+				seen[hp.idx] = true
+				headVals[hp.idx] = t[i]
+			}
+		case headParam:
+			if vals[hp.idx] != t[i] {
+				return false, nil
+			}
+		default:
+			if hp.c != t[i] {
+				return false, nil
+			}
+		}
+	}
+	// The head-stripped program binds its own (possibly reordered, possibly
+	// smaller) parameter list first, then the head variables.
+	dvals := make([]relation.Value, 0, len(ds.paramPos)+len(headVals))
+	for _, pi := range ds.paramPos {
+		dvals = append(dvals, vals[pi])
+	}
+	dvals = append(dvals, headVals...)
+	return ds.prog.ExecBool(ctx, dvals)
+}
+
+// headKind classifies one head position of the frozen decide plan.
+type headKind int
+
+const (
+	headVar headKind = iota
+	headParam
+	headConst
+)
+
+// headPos is the compiled matcher for one head position: a variable (idx
+// indexes the headVals slots), a parameter (idx indexes Prepared.params),
+// or a constant.
+type headPos struct {
+	kind headKind
+	idx  int
+	c    Value
+}
+
+// decideState is the lazily compiled membership plan plus the frozen
+// head-matching tables — pure functions of the template, built once per
+// compiled epoch.
+type decideState struct {
+	prog *eval.Compiled
+	// paramPos maps the head-stripped query's parameter order (what prog
+	// binds first) back into Prepared.params indices: stripping the head
+	// can drop head-only parameters and reorder the rest.
+	paramPos    []int
+	head        []headPos
+	numHeadVars int
+}
+
+// decideProg returns the compiled head-bound membership plan, building it
+// on first use (per compiled epoch — staleness recompiles the main state,
+// which starts with an empty decide slot).
+func (p *Prepared) decideProg(st *prepState) (*decideState, error) {
+	if ds := st.decide.Load(); ds != nil {
+		return ds, nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if ds := st.decide.Load(); ds != nil {
+		return ds, nil
+	}
+	dq := p.q.Clone()
+	dq.Head = nil
+	headVars := p.q.HeadVars()
+	prog, err := eval.Compile(dq, p.db, eval.Options{Parallelism: p.opts.Parallelism}, headVars)
+	if err != nil {
+		return nil, err
+	}
+	ds := &decideState{prog: prog, numHeadVars: len(headVars)}
+	tmplIdx := make(map[string]int, len(p.params))
+	for i, name := range p.params {
+		tmplIdx[name] = i
+	}
+	for _, name := range prog.Params() {
+		ds.paramPos = append(ds.paramPos, tmplIdx[name])
+	}
+	slotOf := make(map[Var]int, len(headVars))
+	for i, v := range headVars {
+		slotOf[v] = i
+	}
+	ds.head = make([]headPos, len(p.q.Head))
+	for i, term := range p.q.Head {
+		switch {
+		case term.IsVar:
+			ds.head[i] = headPos{kind: headVar, idx: slotOf[term.Var]}
+		case term.ParamName != "":
+			ds.head[i] = headPos{kind: headParam, idx: tmplIdx[term.ParamName]}
+		default:
+			ds.head[i] = headPos{kind: headConst, c: term.Const}
+		}
+	}
+	st.decide.Store(ds)
+	return ds, nil
+}
+
+// planKey fingerprints a (query, options) pair for the per-database plan
+// cache: the rendered rule text is canonical for a query value, and the
+// options are comparable, so the struct is a map key.
+type planKey struct {
+	fp   string
+	opts Options
+}
+
+// prepared returns the compiled statement for a one-shot facade call:
+// cached per database and keyed by fingerprint, so repeated Evaluate calls
+// silently amortize planning. Options.NoCache compiles fresh instead.
+func prepared(q *CQ, db *DB, opts Options) (*Prepared, error) {
+	if opts.NoCache {
+		return Prepare(q, db, opts)
+	}
+	key := planKey{fp: q.String(), opts: opts}
+	cache := db.Plans()
+	if v, ok := cache.Get(key); ok {
+		if p, ok := v.(*Prepared); ok {
+			return p, nil
+		}
+	}
+	p, err := Prepare(q, db, opts)
+	if err != nil {
+		return nil, err
+	}
+	cache.Add(key, p)
+	return p, nil
+}

@@ -23,6 +23,7 @@
 package pyquery
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -36,7 +37,6 @@ import (
 	"pyquery/internal/plan"
 	"pyquery/internal/query"
 	"pyquery/internal/relation"
-	"pyquery/internal/yannakakis"
 )
 
 // Re-exported core types. Downstream code uses pyquery.CQ etc.; the
@@ -190,45 +190,20 @@ func Evaluate(q *CQ, db *DB) (*Relation, error) {
 }
 
 // EvaluateOpts is Evaluate with explicit options. Options.Parallelism is
-// forwarded to whichever engine Plan selects (0 = GOMAXPROCS, 1 = serial);
-// the answer set is the same at every parallelism level.
+// forwarded to whichever engine the router selects (0 = GOMAXPROCS,
+// 1 = serial); the answer set is the same at every parallelism level.
+//
+// Since the prepared-statement redesign this is a thin wrapper over the
+// per-database plan cache: the (query, options) pair is fingerprinted,
+// compiled once into a Prepared, and re-executed on repeats — so one-shot
+// callers that loop over the same query silently amortize all planning.
+// Options.NoCache restores true from-scratch evaluation.
 func EvaluateOpts(q *CQ, db *DB, opts Options) (*Relation, error) {
-	e, rt := planEval(q, db, opts)
-	switch e {
-	case EngineYannakakis:
-		return yannakakis.EvaluateOpts(q, db, yannakakis.Options{Parallelism: opts.Parallelism})
-	case EngineColorCoding:
-		return core.EvaluateOpts(q, db, opts)
-	case EngineComparisons:
-		return order.EvaluateOpts(q, db, eval.Options{Parallelism: opts.Parallelism})
-	case EngineDecomp:
-		return decomp.EvaluateOpts(q, db, decomp.Options{Parallelism: opts.Parallelism, Route: rt})
-	default:
-		return eval.ConjunctiveOpts(q, db, eval.Options{Parallelism: opts.Parallelism})
+	p, err := prepared(q, db, opts)
+	if err != nil {
+		return nil, err
 	}
-}
-
-// planEval routes exactly like Plan but resolves the decomposition class's
-// database-dependent half in the same pass: for a cyclic pure candidate it
-// runs decomp.PlanFor once (existence and cost gate together) and hands
-// the winning Route — reduced atoms included — to the engine, instead of
-// Plan's structural search followed by a second cost-driven one.
-// EngineDecomp is returned only with a non-nil Route; Options.NoDecomp
-// (ablation A6) and gate losses dispatch as EngineGeneric, and a PlanFor
-// error falls through to the backtracker, which reproduces the error. A
-// gate loss costs one extra atom-reduction pass before the backtracker's
-// own — accepted: the class is narrow and the reduction linear.
-func planEval(q *CQ, db *DB, opts Options) (Engine, *decomp.Route) {
-	e := classify(q)
-	if e != EngineDecomp {
-		return e, nil
-	}
-	if !opts.NoDecomp {
-		if rt, err := decomp.PlanFor(q, db); err == nil && rt.Use {
-			return EngineDecomp, rt
-		}
-	}
-	return EngineGeneric, nil
+	return p.Exec(context.Background())
 }
 
 // EvaluateBool decides Q(d) ≠ ∅ with the dispatched engine.
@@ -236,34 +211,26 @@ func EvaluateBool(q *CQ, db *DB) (bool, error) {
 	return EvaluateBoolOpts(q, db, Options{})
 }
 
-// EvaluateBoolOpts is EvaluateBool with explicit options.
+// EvaluateBoolOpts is EvaluateBool with explicit options; like
+// EvaluateOpts it executes through the per-database plan cache.
 func EvaluateBoolOpts(q *CQ, db *DB, opts Options) (bool, error) {
-	e, rt := planEval(q, db, opts)
-	switch e {
-	case EngineYannakakis:
-		return yannakakis.EvaluateBoolOpts(q, db, yannakakis.Options{Parallelism: opts.Parallelism})
-	case EngineColorCoding:
-		return core.EvaluateBoolOpts(q, db, opts)
-	case EngineComparisons:
-		return order.EvaluateBoolOpts(q, db, eval.Options{Parallelism: opts.Parallelism})
-	case EngineDecomp:
-		return decomp.EvaluateBoolOpts(q, db, decomp.Options{Parallelism: opts.Parallelism, Route: rt})
-	default:
-		return eval.ConjunctiveBoolOpts(q, db, eval.Options{Parallelism: opts.Parallelism})
-	}
-}
-
-// Decide answers the decision problem t ∈ Q(d): substitute the tuple into
-// the head and test emptiness.
-func Decide(q *CQ, db *DB, t []Value) (bool, error) {
-	bound, err := q.BindHead(t)
-	if query.IsTrivialMismatch(err) {
-		return false, nil
-	}
+	p, err := prepared(q, db, opts)
 	if err != nil {
 		return false, err
 	}
-	return EvaluateBool(bound, db)
+	return p.ExecBool(context.Background())
+}
+
+// Decide answers the decision problem t ∈ Q(d). It executes through the
+// plan cache's prepared statement (head variables become pre-bound search
+// slots), so repeated membership tests against one query amortize instead
+// of re-planning a head-bound query per call.
+func Decide(q *CQ, db *DB, t []Value) (bool, error) {
+	p, err := prepared(q, db, Options{})
+	if err != nil {
+		return false, err
+	}
+	return p.Decide(context.Background(), t)
 }
 
 // EvaluateFO evaluates a first-order query under active-domain semantics.
