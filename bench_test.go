@@ -12,6 +12,7 @@ import (
 	"pyquery/internal/core"
 	"pyquery/internal/datalog"
 	"pyquery/internal/eval"
+	"pyquery/internal/governor"
 	"pyquery/internal/graph"
 	"pyquery/internal/order"
 	"pyquery/internal/query"
@@ -464,6 +465,40 @@ func BenchmarkMicro_YannakakisPath(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkMicro_GovernorCheckpoint prices the PR 6 resource-governor
+// checkpoints every engine loop now passes through: the nil-meter fast
+// path (what ungoverned executions pay — must stay a pointer test), a
+// live checkpoint poll, and a live accounting charge.
+func BenchmarkMicro_GovernorCheckpoint(b *testing.B) {
+	b.Run("nil-meter", func(b *testing.B) {
+		var m *governor.Meter
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := m.Check("emit"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("check", func(b *testing.B) {
+		m := governor.New(nil, "generic", 1<<40, 0)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := m.Check("emit"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("charge", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := governor.New(nil, "generic", 1<<40, 1<<50)
+			if err := m.Charge(64, 64*16, "emit"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // --- parallel scaling: the partitioned kernel and per-engine fan-outs ------

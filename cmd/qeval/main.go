@@ -10,6 +10,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -44,8 +45,15 @@ func main() {
 	par := flag.Int("par", 0, "parallelism: worker count (0 = GOMAXPROCS, 1 = serial)")
 	repeat := flag.Int("repeat", 0, "prepare once and execute N times, reporting amortized ns/exec (auto engine only)")
 	explain := flag.Bool("explain", false, "print the plan explanation before evaluating")
+	timeout := flag.Duration("timeout", 0, "abort the evaluation after this duration (e.g. 500ms; 0 = no limit)")
+	maxRows := flag.Int64("max-rows", 0, "abort after materializing this many rows (0 = no limit; auto engine only)")
+	memLimit := flag.Int64("mem-limit", 0, "abort after approximately this many materialized bytes (0 = no limit; auto engine only)")
+	degrade := flag.Bool("degrade", false, "when a decomposition blows the budget at prepare time, fall back to the backtracker instead of failing")
 	flag.Var(&rels, "rel", "NAME=FILE.csv (repeatable)")
 	flag.Parse()
+
+	govOpts = pyquery.Options{Parallelism: *par, Timeout: *timeout,
+		MaxRows: *maxRows, MemoryLimit: *memLimit, Degrade: *degrade}
 
 	if *queryText == "" {
 		fmt.Fprintln(os.Stderr, "qeval: -query is required")
@@ -115,7 +123,7 @@ func main() {
 	switch *engine {
 	case "auto":
 		if *boolOnly {
-			ok, err := pyquery.EvaluateBoolOpts(q, db, pyquery.Options{Parallelism: *par})
+			ok, err := pyquery.EvaluateBoolOpts(q, db, govOpts)
 			if err != nil {
 				fatal(err)
 			}
@@ -141,7 +149,7 @@ func main() {
 			}
 			break
 		}
-		res, err = pyquery.EvaluateOpts(q, db, pyquery.Options{Parallelism: *par})
+		res, err = pyquery.EvaluateOpts(q, db, govOpts)
 	case "generic":
 		res, err = eval.ConjunctiveOpts(q, db, eval.Options{Parallelism: *par})
 	case "yannakakis":
@@ -170,7 +178,9 @@ func main() {
 func runRepeated(q *pyquery.CQ, db *pyquery.DB, syms *parser.Symbols, par, repeat int, boolOnly bool) {
 	ctx := context.Background()
 	tPrep := time.Now()
-	p, err := pyquery.Prepare(q, db, pyquery.Options{Parallelism: par})
+	opts := govOpts
+	opts.Parallelism = par
+	p, err := pyquery.Prepare(q, db, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -217,7 +227,37 @@ func printBool(ok bool) {
 	}
 }
 
+// govOpts carries the governor flags (-timeout, -max-rows, -mem-limit,
+// -degrade) into every auto-engine evaluation path.
+var govOpts pyquery.Options
+
+// fatal renders the error and exits. Typed governor failures get a
+// structured line — which limit tripped, in which engine, at which step,
+// and the charged totals — instead of the raw error string.
 func fatal(err error) {
+	var le *pyquery.LimitError
+	if errors.As(err, &le) {
+		var what string
+		switch {
+		case errors.Is(err, pyquery.ErrRowLimit):
+			what = fmt.Sprintf("row limit exceeded (%d rows materialized, limit %d)", le.Rows, le.Limit)
+		case errors.Is(err, pyquery.ErrMemoryLimit):
+			what = fmt.Sprintf("memory limit exceeded (~%d bytes materialized, limit %d)", le.Bytes, le.Limit)
+		case errors.Is(err, pyquery.ErrTimeout):
+			what = "timed out"
+		case errors.Is(err, pyquery.ErrCanceled):
+			what = "canceled"
+		default:
+			what = le.Kind.Error()
+		}
+		fmt.Fprintf(os.Stderr, "qeval: query aborted: %s [engine=%s, step=%s]\n", what, le.Engine, le.Step)
+		os.Exit(1)
+	}
+	var ie *pyquery.InternalError
+	if errors.As(err, &ie) {
+		fmt.Fprintf(os.Stderr, "qeval: internal error in %s engine: %v\n", ie.Engine, ie.Value)
+		os.Exit(1)
+	}
 	fmt.Fprintln(os.Stderr, "qeval:", err)
 	os.Exit(1)
 }

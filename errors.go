@@ -1,0 +1,102 @@
+package pyquery
+
+import (
+	"fmt"
+	"runtime/debug"
+
+	"pyquery/internal/governor"
+	"pyquery/internal/parallel"
+	"pyquery/internal/query"
+)
+
+// The typed failure taxonomy. Every governed execution that fails returns
+// an error matching exactly one of these sentinels (dispatch with
+// errors.Is); the concrete error is a *LimitError carrying the engine, the
+// checkpoint step, and the charged totals at the trip.
+var (
+	// ErrRowLimit: the execution materialized more than Options.MaxRows
+	// rows (answer rows, intermediate pass relations, and decomposition
+	// bags all count).
+	ErrRowLimit = governor.ErrRowLimit
+	// ErrMemoryLimit: the execution's approximate materialized bytes
+	// exceeded Options.MemoryLimit.
+	ErrMemoryLimit = governor.ErrMemoryLimit
+	// ErrTimeout: the context deadline passed (Options.Timeout or a
+	// caller-supplied deadline). The error also matches
+	// context.DeadlineExceeded.
+	ErrTimeout = governor.ErrTimeout
+	// ErrCanceled: the execution context was canceled mid-run. The error
+	// also matches context.Canceled.
+	ErrCanceled = governor.ErrCanceled
+	// ErrUnknownRelation: a query names a relation the database does not
+	// hold; surfaced by validation at Prepare/Evaluate time.
+	ErrUnknownRelation = query.ErrUnknownRelation
+)
+
+// LimitError is the detailed governor trip: which limit (Kind, one of the
+// sentinels above), in which engine, at which checkpoint step, and the
+// charged row/byte totals at that moment. Retrieve with errors.As.
+type LimitError = governor.Error
+
+// InternalError is a panic converted at the facade boundary: an engine
+// invariant failed mid-execution (on any worker goroutine — the parallel
+// pools forward worker panics to the caller). The prepared statement, the
+// plan cache, and the database remain valid; only this execution's result
+// is lost. It unwraps to the panic value when that value is an error, so
+// errors.Is sees through it.
+type InternalError struct {
+	// Engine labels where the panic surfaced (an engine label, "prepare",
+	// or "decide").
+	Engine string
+	// Value is the original panic value.
+	Value any
+	// Stack is the panicking goroutine's stack.
+	Stack []byte
+}
+
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("pyquery: internal error [engine=%s]: %v", e.Engine, e.Value)
+}
+
+// Unwrap exposes a panic value that was itself an error (e.g. the typed
+// ErrUnknownRelation panic of DB.MustRel).
+func (e *InternalError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// recoverInternal is the facade's panic boundary: deferred by every public
+// entry point, it converts a panic — including worker panics the parallel
+// pools re-raised on the caller — into a *InternalError on the named error
+// return, leaving prepared state and caches intact.
+func recoverInternal(engine string, errp *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	var stack []byte
+	if wp, ok := r.(*parallel.WorkerPanic); ok {
+		stack, r = wp.Stack, wp.Value
+	} else {
+		stack = debug.Stack()
+	}
+	*errp = &InternalError{Engine: engine, Value: r, Stack: stack}
+}
+
+// engineLabel is the short engine name trips and internal errors carry.
+func engineLabel(e Engine) string {
+	switch e {
+	case EngineYannakakis:
+		return "yannakakis"
+	case EngineColorCoding:
+		return "colorcoding"
+	case EngineComparisons:
+		return "comparisons"
+	case EngineDecomp:
+		return "decomp"
+	default:
+		return "generic"
+	}
+}

@@ -6,10 +6,21 @@ import (
 	"sync/atomic"
 
 	"pyquery/internal/colorcoding"
+	"pyquery/internal/governor"
 	"pyquery/internal/parallel"
 	"pyquery/internal/query"
 	"pyquery/internal/relation"
 )
+
+// check is the engine's governed checkpoint: through the meter when one is
+// threaded (typed trips, fault hook), the plain nil-tolerant ctx poll
+// otherwise.
+func check(ctx context.Context, m *governor.Meter, step string) error {
+	if m != nil {
+		return m.Check(step)
+	}
+	return parallel.CtxErr(ctx)
+}
 
 // Program is a compiled Theorem 2 query: the hash-independent prepared
 // state (reduced relations with the I₂ pushdown applied, the join tree, the
@@ -56,16 +67,29 @@ func (pr *Program) Exec(ctx context.Context) (*relation.Relation, error) {
 
 // ExecStats is Exec with run statistics.
 func (pr *Program) ExecStats(ctx context.Context) (*relation.Relation, Stats, error) {
+	return pr.execStats(ctx, nil)
+}
+
+// ExecMeter is Exec under a resource meter: the meter is checked at every
+// trial-batch boundary and charged for each trial's materialized result, so
+// a row/byte budget (or an injected fault) trips between color-coding
+// rounds with the typed governor error.
+func (pr *Program) ExecMeter(ctx context.Context, m *governor.Meter) (*relation.Relation, error) {
+	res, _, err := pr.execStats(ctx, m)
+	return res, err
+}
+
+func (pr *Program) execStats(ctx context.Context, m *governor.Meter) (*relation.Relation, Stats, error) {
 	p := pr.p
 	stats := pr.Stats()
-	if err := parallel.CtxErr(ctx); err != nil {
+	if err := check(ctx, m, "start"); err != nil {
 		return nil, stats, err
 	}
 	if p.trivialEmpty {
 		return query.NewTable(len(p.q.Head)), stats, nil
 	}
 	outer, inner := parallel.Split(parallel.Workers(p.opts.Parallelism), len(pr.fam))
-	acc, err := batchedUnion(ctx, outer, len(pr.fam), func(i int) *relation.Relation {
+	acc, err := batchedUnion(ctx, m, outer, len(pr.fam), func(i int) *relation.Relation {
 		pstar, ok := p.runHash(pr.fam[i], true, inner)
 		if !ok {
 			return nil
@@ -90,9 +114,21 @@ func (pr *Program) ExecBool(ctx context.Context) (bool, error) {
 
 // ExecBoolStats is ExecBool with run statistics.
 func (pr *Program) ExecBoolStats(ctx context.Context) (bool, Stats, error) {
+	return pr.execBoolStats(ctx, nil)
+}
+
+// ExecBoolMeter is ExecBool under a resource meter (checked between
+// trials; the decision pass materializes no output, so only checkpoint
+// trips — context, injected faults — can fire).
+func (pr *Program) ExecBoolMeter(ctx context.Context, m *governor.Meter) (bool, error) {
+	ok, _, err := pr.execBoolStats(ctx, m)
+	return ok, err
+}
+
+func (pr *Program) execBoolStats(ctx context.Context, m *governor.Meter) (bool, Stats, error) {
 	p := pr.p
 	stats := pr.Stats()
-	if err := parallel.CtxErr(ctx); err != nil {
+	if err := check(ctx, m, "start"); err != nil {
 		return false, stats, err
 	}
 	if p.trivialEmpty {
@@ -101,7 +137,7 @@ func (pr *Program) ExecBoolStats(ctx context.Context) (bool, Stats, error) {
 	outer, inner := parallel.Split(parallel.Workers(p.opts.Parallelism), len(pr.fam))
 	if outer <= 1 {
 		for _, h := range pr.fam {
-			if err := parallel.CtxErr(ctx); err != nil {
+			if err := check(ctx, m, "trial"); err != nil {
 				return false, stats, err
 			}
 			if _, ok := p.runHash(h, false, inner); ok {
@@ -113,7 +149,10 @@ func (pr *Program) ExecBoolStats(ctx context.Context) (bool, Stats, error) {
 	}
 	var found atomic.Bool
 	err := parallel.ForEachCtx(ctx, outer, len(pr.fam), func(i int) {
-		if found.Load() {
+		if found.Load() || m.Tripped() {
+			return
+		}
+		if m.Check("trial") != nil {
 			return
 		}
 		if _, ok := p.runHash(pr.fam[i], false, inner); ok {
@@ -121,6 +160,9 @@ func (pr *Program) ExecBoolStats(ctx context.Context) (bool, Stats, error) {
 		}
 	})
 	if err != nil {
+		return false, stats, err
+	}
+	if err := m.Err(); err != nil {
 		return false, stats, err
 	}
 	if found.Load() {
@@ -160,12 +202,14 @@ func EvaluateStats(q *query.CQ, db *query.DB, opts Options) (*relation.Relation,
 // makes the result identical to a serial loop at any parallelism, and peak
 // memory stays O(outer·|result|) instead of buffering all n results.
 // onSuccess, if non-nil, is called once per non-nil result, in order. The
-// context is checked between batches; a canceled run returns ctx.Err().
-func batchedUnion(ctx context.Context, outer, n int, run func(i int) *relation.Relation, onSuccess func()) (*relation.Relation, error) {
+// context/meter is checked between batches (the color-coding round
+// boundary) and the meter is charged per materialized trial result; a
+// canceled or tripped run returns the corresponding error.
+func batchedUnion(ctx context.Context, m *governor.Meter, outer, n int, run func(i int) *relation.Relation, onSuccess func()) (*relation.Relation, error) {
 	var acc *relation.Relation
 	results := make([]*relation.Relation, outer)
 	for start := 0; start < n; start += outer {
-		if err := parallel.CtxErr(ctx); err != nil {
+		if err := check(ctx, m, "trial-batch"); err != nil {
 			return nil, err
 		}
 		k := n - start
@@ -182,6 +226,9 @@ func batchedUnion(ctx context.Context, outer, n int, run func(i int) *relation.R
 		for _, pstar := range batch {
 			if pstar == nil {
 				continue
+			}
+			if err := m.Charge(int64(pstar.Len()), governor.RelBytes(pstar.Len(), pstar.Width()), "trial-result"); err != nil {
+				return nil, err
 			}
 			if onSuccess != nil {
 				onSuccess()

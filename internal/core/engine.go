@@ -22,6 +22,7 @@ package core
 
 import (
 	"errors"
+	"time"
 
 	"pyquery/internal/colorcoding"
 	"pyquery/internal/eval"
@@ -89,6 +90,29 @@ type Options struct {
 	// GOMAXPROCS; 1 is the serial engine. Results are set-equal at every
 	// setting (trials commute under union).
 	Parallelism int
+
+	// The resource governor (enforced by the facade's prepared layer; this
+	// engine receives the resulting meter, not the raw limits). All four
+	// fields are comparable, so Options stays usable as a plan-cache key.
+
+	// MaxRows caps the total materialized rows of one execution (answer
+	// rows, per-worker intermediates, tree-pass results, decomposition
+	// bags). 0 means unlimited. Exceeding it surfaces governor.ErrRowLimit.
+	MaxRows int64
+	// MemoryLimit caps the approximate materialized bytes of one execution
+	// (rows × width × 8; see governor.RelBytes). 0 means unlimited.
+	// Exceeding it surfaces governor.ErrMemoryLimit.
+	MemoryLimit int64
+	// Timeout, when positive, derives a per-execution deadline from the
+	// caller's context — sugar over the existing ctx plumbing. Expiry
+	// surfaces governor.ErrTimeout (which also matches
+	// context.DeadlineExceeded).
+	Timeout time.Duration
+	// Degrade softens a decomposition budget trip: when materializing the
+	// bags exceeds MaxRows/MemoryLimit, the bags are released (their charge
+	// refunded) and the query falls back to the generic backtracker under
+	// the remaining budget instead of failing.
+	Degrade bool
 }
 
 func (o Options) withDefaults() Options {

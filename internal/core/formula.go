@@ -313,7 +313,7 @@ func EvaluateIneqFormula(q *query.CQ, phi IneqFormula, db *query.DB, opts Option
 	// Trials are independent; run them across the worker budget in batches,
 	// merged in family order (identical result at any parallelism, peak
 	// memory bounded by the batch width).
-	acc, _ := batchedUnion(nil, outer, len(fam), func(i int) *relation.Relation {
+	acc, _ := batchedUnion(nil, nil, outer, len(fam), func(i int) *relation.Relation {
 		return runOne(fam[i])
 	}, nil)
 	if acc == nil {

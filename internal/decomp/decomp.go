@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 
 	"pyquery/internal/eval"
+	"pyquery/internal/governor"
 	"pyquery/internal/hypergraph"
 	"pyquery/internal/parallel"
 	"pyquery/internal/plan"
@@ -59,6 +60,20 @@ type Options struct {
 	// materializations and between the Yannakakis pass steps; the engine
 	// then returns Ctx.Err() instead of a result.
 	Ctx context.Context
+	// Meter, when non-nil, governs the evaluation: bag materializations and
+	// pass steps become typed checkpoints, every materialized bag and pass
+	// relation is charged against the row/byte budget, and a trip aborts
+	// with the meter's typed error.
+	Meter *governor.Meter
+}
+
+// check is the evaluation-boundary checkpoint: governed when a meter is
+// threaded, the plain nil-tolerant ctx poll otherwise.
+func (o Options) check(step string) error {
+	if o.Meter != nil {
+		return o.Meter.Check(step)
+	}
+	return parallel.CtxErr(o.Ctx)
 }
 
 // BagPlan is the planning view of one bag.
@@ -225,25 +240,25 @@ func EvaluateStats(q *query.CQ, db *query.DB, opts Options) (*relation.Relation,
 		return nil, RunStats{}, err
 	}
 	st := RunStats{Width: rt.Width, Route: rt}
-	if err := parallel.CtxErr(opts.Ctx); err != nil {
+	if err := opts.check("start"); err != nil {
 		return nil, st, err
 	}
 	if groundFalse(q) || anyEmpty(rt.reds) {
 		return query.NewTable(len(q.Head)), st, nil
 	}
-	t, rows, empty := Materialize(q, rt, workers, opts.Ctx)
+	t, rows, empty := Materialize(q, rt, workers, opts.Ctx, opts.Meter)
 	st.BagRows = rows
-	if err := parallel.CtxErr(opts.Ctx); err != nil {
+	if err := opts.check("materialize"); err != nil {
 		return nil, st, err
 	}
 	if empty || t.FullReduce() {
-		if err := parallel.CtxErr(opts.Ctx); err != nil {
+		if err := opts.check("reduce"); err != nil {
 			return nil, st, err
 		}
 		return query.NewTable(len(q.Head)), st, nil
 	}
 	pstar := t.JoinProject()
-	if err := parallel.CtxErr(opts.Ctx); err != nil {
+	if err := opts.check("finish"); err != nil {
 		return nil, st, err
 	}
 	return yannakakis.HeadTuples(q, pstar), st, nil
@@ -261,21 +276,21 @@ func EvaluateBoolOpts(q *query.CQ, db *query.DB, opts Options) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	if err := parallel.CtxErr(opts.Ctx); err != nil {
+	if err := opts.check("start"); err != nil {
 		return false, err
 	}
 	if groundFalse(q) || anyEmpty(rt.reds) {
 		return false, nil
 	}
-	t, _, empty := Materialize(q, rt, workers, opts.Ctx)
-	if err := parallel.CtxErr(opts.Ctx); err != nil {
+	t, _, empty := Materialize(q, rt, workers, opts.Ctx, opts.Meter)
+	if err := opts.check("materialize"); err != nil {
 		return false, err
 	}
 	if empty {
 		return false, nil
 	}
 	ok := !t.BottomUpSemijoin()
-	if err := parallel.CtxErr(opts.Ctx); err != nil {
+	if err := opts.check("finish"); err != nil {
 		return false, err
 	}
 	return ok, nil
@@ -326,22 +341,37 @@ func anyEmpty(rels []*relation.Relation) bool {
 // for a fixed database epoch the materialized bags are as immutable as the
 // plan, so serving workloads pay the O(n^width) bag joins once and each
 // execution runs only the acyclic passes.
-func Materialize(q *query.CQ, rt *Route, workers int, ctx context.Context) (t *yannakakis.Tree, bagRows []int, empty bool) {
+func Materialize(q *query.CQ, rt *Route, workers int, ctx context.Context, m *governor.Meter) (t *yannakakis.Tree, bagRows []int, empty bool) {
 	nb := len(rt.Bags)
 	rels := make([]*relation.Relation, nb)
 	var sawEmpty atomic.Bool
 	outer, inner := parallel.Split(workers, nb)
 	if err := parallel.ForEachCtx(ctx, outer, nb, func(u int) {
-		if sawEmpty.Load() {
+		if sawEmpty.Load() || m.Tripped() {
 			return // rels[u] stays nil: skipped, BagRows reports −1
 		}
-		rels[u] = rt.materializeBag(u, inner)
-		if rels[u].Empty() {
+		if m.Check("bag") != nil {
+			return
+		}
+		r := rt.materializeBag(u, inner)
+		if m.Charge(int64(r.Len()), governor.RelBytes(r.Len(), r.Width()), "bag") != nil {
+			// Over budget on this bag: leave the slot nil so the caller
+			// (which must consult the meter before trusting empty) can
+			// release exactly the rows/bytes that were charged.
+			return
+		}
+		rels[u] = r
+		if r.Empty() {
 			sawEmpty.Store(true)
 		}
 	}); err != nil {
 		// Canceled between bags: report what materialized; the caller
 		// surfaces ctx.Err() and discards the partial tree.
+		sawEmpty.Store(true)
+	}
+	if m.Tripped() {
+		// A trip mid-materialization leaves a partial bag set; the caller
+		// reads the typed error from the meter and discards the result.
 		sawEmpty.Store(true)
 	}
 	bagRows = make([]int, nb)
@@ -383,7 +413,7 @@ func Materialize(q *query.CQ, rt *Route, workers int, ctx context.Context) (t *y
 		headVars[v] = true
 	}
 	return &yannakakis.Tree{Forest: tree, Rels: rels, SubtreeVars: subtreeVars,
-		HeadVars: headVars, Workers: workers, Ctx: ctx}, bagRows, false
+		HeadVars: headVars, Workers: workers, Ctx: ctx, Meter: m}, bagRows, false
 }
 
 // materializeBag builds one bag relation: guard joins in plan.Build order

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"pyquery/internal/governor"
 	"pyquery/internal/parallel"
 	"pyquery/internal/query"
 	"pyquery/internal/relation"
@@ -115,6 +116,82 @@ func stopFlag(ctx context.Context) (*atomic.Bool, func()) {
 	return &f, func() { detach() }
 }
 
+// stopMeter is stopFlag under a governor meter: the meter's own stop flag
+// (flipped by every trip) doubles as the cursor poll flag, and a cancelable
+// context flips the same flag, so the per-node hot path stays a single
+// atomic load no matter how many stop sources exist.
+func stopMeter(ctx context.Context, m *governor.Meter) (*atomic.Bool, func()) {
+	if m == nil {
+		return stopFlag(ctx)
+	}
+	f := m.StopFlag()
+	if ctx != nil && ctx.Done() != nil {
+		detach := context.AfterFunc(ctx, func() { f.Store(true) })
+		return f, func() { detach() }
+	}
+	return f, func() {}
+}
+
+// enter and finish are the execution-boundary checkpoints: typed through
+// the meter when one is threaded, the plain ctx poll otherwise.
+func enter(ctx context.Context, m *governor.Meter) error {
+	if m != nil {
+		return m.Check("start")
+	}
+	return parallel.CtxErr(ctx)
+}
+
+func finish(ctx context.Context, m *governor.Meter) error {
+	if m != nil {
+		return m.Check("finish")
+	}
+	return parallel.CtxErr(ctx)
+}
+
+// emitBatch is how many emitted rows a worker accumulates locally before
+// charging the meter: the emission hot path pays a local counter increment
+// and branch, with one pair of atomic adds per batch.
+const emitBatch = 64
+
+// rowMeter batches per-worker row charges. Each worker owns one; flush
+// charges the remainder when the worker's search ends.
+type rowMeter struct {
+	m        *governor.Meter
+	rowBytes int64
+	pend     int64
+}
+
+// add records one emitted row; false means the meter tripped and the
+// search should stop.
+func (rm *rowMeter) add() bool {
+	rm.pend++
+	if rm.pend < emitBatch {
+		return true
+	}
+	err := rm.m.Charge(rm.pend, rm.pend*rm.rowBytes, "emit")
+	rm.pend = 0
+	return err == nil
+}
+
+func (rm *rowMeter) flush() {
+	if rm.pend > 0 {
+		rm.m.Charge(rm.pend, rm.pend*rm.rowBytes, "emit")
+		rm.pend = 0
+	}
+}
+
+// meteredEmit wraps a collector emission with the row meter; the returned
+// flush must run after the worker's search drains.
+func meteredEmit(emit func() bool, m *governor.Meter, width int) (func() bool, func()) {
+	rm := &rowMeter{m: m, rowBytes: governor.RelBytes(1, width)}
+	return func() bool {
+		if !emit() {
+			return false
+		}
+		return rm.add()
+	}, rm.flush
+}
+
 // bind installs the pre-bound values into the cursor and evaluates the
 // constraints that involve pre-bound variables only; false means the
 // bindings alone falsify the query.
@@ -161,11 +238,14 @@ func (c *Compiled) checkVals(vals []relation.Value) error {
 
 // Exec runs the compiled plan and returns the deduplicated answer relation
 // over the positional head schema. vals supplies the pre-bound values in
-// Binds() order; ctx cancels the search at node granularity.
-func (c *Compiled) Exec(ctx context.Context, vals []relation.Value) (*relation.Relation, error) {
+// Binds() order; ctx cancels the search at node granularity. m, when
+// non-nil, is the execution's resource meter: emitted rows are charged in
+// per-worker batches, and a trip (row/byte budget, timeout, injected
+// fault) flips the shared stop flag the cursors already poll.
+func (c *Compiled) Exec(ctx context.Context, vals []relation.Value, m *governor.Meter) (*relation.Relation, error) {
 	e := c.e
 	out := query.NewTable(len(e.q.Head))
-	if err := parallel.CtxErr(ctx); err != nil {
+	if err := enter(ctx, m); err != nil {
 		return nil, err
 	}
 	if err := c.checkVals(vals); err != nil {
@@ -174,16 +254,24 @@ func (c *Compiled) Exec(ctx context.Context, vals []relation.Value) (*relation.R
 	if e.trivialFalse {
 		return out, nil
 	}
-	stop, release := stopFlag(ctx)
+	stop, release := stopMeter(ctx, m)
 	defer release()
 	workers := e.fanWidth(parallel.Workers(e.opts.Parallelism))
 	if workers <= 1 {
 		cur := e.newCursor()
 		cur.stop = stop
 		if c.bind(cur, vals) {
-			cur.run(e.collector(cur, out, relation.NewTupleSet(len(e.q.Head))))
+			emit := e.collector(cur, out, relation.NewTupleSet(len(e.q.Head)))
+			var flush func()
+			if m != nil {
+				emit, flush = meteredEmit(emit, m, len(e.q.Head))
+			}
+			cur.run(emit)
+			if flush != nil {
+				flush() // charge the partial batch before the finish check
+			}
 		}
-		if err := parallel.CtxErr(ctx); err != nil {
+		if err := finish(ctx, m); err != nil {
 			return nil, err
 		}
 		return out, nil
@@ -200,6 +288,11 @@ func (c *Compiled) Exec(ctx context.Context, vals []relation.Value) (*relation.R
 			return
 		}
 		emit := e.collector(cur, local, relation.NewTupleSet(len(e.q.Head)))
+		if m != nil {
+			var flush func()
+			emit, flush = meteredEmit(emit, m, len(e.q.Head))
+			defer flush()
+		}
 		for i := lo; i < hi; i++ {
 			if stop != nil && stop.Load() {
 				break
@@ -211,7 +304,7 @@ func (c *Compiled) Exec(ctx context.Context, vals []relation.Value) (*relation.R
 		}
 		outs[w] = local
 	})
-	if err := parallel.CtxErr(ctx); err != nil {
+	if err := finish(ctx, m); err != nil {
 		return nil, err
 	}
 	seen := relation.NewTupleSet(len(e.q.Head))
@@ -230,10 +323,11 @@ func (c *Compiled) Exec(ctx context.Context, vals []relation.Value) (*relation.R
 }
 
 // ExecBool decides emptiness with the compiled plan, stopping at the first
-// witness.
-func (c *Compiled) ExecBool(ctx context.Context, vals []relation.Value) (bool, error) {
+// witness. A meter adds the typed checkpoint at entry and exit; the
+// decision search materializes nothing, so no rows are charged.
+func (c *Compiled) ExecBool(ctx context.Context, vals []relation.Value, m *governor.Meter) (bool, error) {
 	e := c.e
-	if err := parallel.CtxErr(ctx); err != nil {
+	if err := enter(ctx, m); err != nil {
 		return false, err
 	}
 	if err := c.checkVals(vals); err != nil {
@@ -242,10 +336,16 @@ func (c *Compiled) ExecBool(ctx context.Context, vals []relation.Value) (bool, e
 	if e.trivialFalse {
 		return false, nil
 	}
-	// halt stops every worker on cancellation or on the first witness;
-	// found records which of the two it was.
-	var halt atomic.Bool
+	// halt stops every worker on cancellation, a meter trip, or the first
+	// witness; found records whether a witness was seen. With a meter the
+	// meter's stop flag is halt, so a trip anywhere stops the search.
+	var halt *atomic.Bool
 	var found atomic.Bool
+	if m != nil {
+		halt = m.StopFlag()
+	} else {
+		halt = new(atomic.Bool)
+	}
 	if ctx != nil && ctx.Done() != nil {
 		detach := context.AfterFunc(ctx, func() { halt.Store(true) })
 		defer detach()
@@ -253,7 +353,7 @@ func (c *Compiled) ExecBool(ctx context.Context, vals []relation.Value) (bool, e
 	workers := e.fanWidth(parallel.Workers(e.opts.Parallelism))
 	if workers <= 1 {
 		cur := e.newCursor()
-		cur.stop = &halt
+		cur.stop = halt
 		if c.bind(cur, vals) {
 			cur.run(func() bool {
 				found.Store(true)
@@ -261,8 +361,10 @@ func (c *Compiled) ExecBool(ctx context.Context, vals []relation.Value) (bool, e
 				return false
 			})
 		}
-		if err := parallel.CtxErr(ctx); err != nil {
-			return false, err
+		if !found.Load() {
+			if err := finish(ctx, m); err != nil {
+				return false, err
+			}
 		}
 		return found.Load(), nil
 	}
@@ -270,7 +372,7 @@ func (c *Compiled) ExecBool(ctx context.Context, vals []relation.Value) (bool, e
 	st := &e.plan[fs]
 	parallel.Chunks(workers, st.rel.Len(), func(_, lo, hi int) {
 		cur := e.newCursor()
-		cur.stop = &halt
+		cur.stop = halt
 		if !c.bind(cur, vals) {
 			return
 		}
@@ -288,8 +390,10 @@ func (c *Compiled) ExecBool(ctx context.Context, vals []relation.Value) (bool, e
 			}
 		}
 	})
-	if err := parallel.CtxErr(ctx); err != nil {
-		return false, err
+	if !found.Load() {
+		if err := finish(ctx, m); err != nil {
+			return false, err
+		}
 	}
 	return found.Load(), nil
 }
@@ -299,9 +403,9 @@ func (c *Compiled) ExecBool(ctx context.Context, vals []relation.Value) (bool, e
 // fn returning false stops the enumeration early (no error). The tuple
 // slice is reused between calls — copy it to retain it. Streaming always
 // runs the serial search regardless of the compiled Parallelism.
-func (c *Compiled) ForEach(ctx context.Context, vals []relation.Value, fn func(tuple []relation.Value) bool) error {
+func (c *Compiled) ForEach(ctx context.Context, vals []relation.Value, m *governor.Meter, fn func(tuple []relation.Value) bool) error {
 	e := c.e
-	if err := parallel.CtxErr(ctx); err != nil {
+	if err := enter(ctx, m); err != nil {
 		return err
 	}
 	if err := c.checkVals(vals); err != nil {
@@ -310,7 +414,7 @@ func (c *Compiled) ForEach(ctx context.Context, vals []relation.Value, fn func(t
 	if e.trivialFalse {
 		return nil
 	}
-	stop, release := stopFlag(ctx)
+	stop, release := stopMeter(ctx, m)
 	defer release()
 	cur := e.newCursor()
 	cur.stop = stop
@@ -328,6 +432,9 @@ func (c *Compiled) ForEach(ctx context.Context, vals []relation.Value, fn func(t
 			tuple[i] = t.Const
 		}
 	}
+	// stopped distinguishes the consumer ending the stream (fn → false,
+	// not an error) from a trip/cancellation ending it (typed error).
+	consumerStop := false
 	cur.run(func() bool {
 		for i, s := range headSlots {
 			if s >= 0 {
@@ -337,7 +444,21 @@ func (c *Compiled) ForEach(ctx context.Context, vals []relation.Value, fn func(t
 		if !seen.Add(tuple) {
 			return true
 		}
-		return fn(tuple)
+		if m != nil {
+			// Streamed tuples live only for the callback, but they still
+			// count toward the row budget: the dedup set grows with each.
+			if m.Charge(1, governor.RelBytes(1, len(tuple)), "stream") != nil {
+				return false
+			}
+		}
+		if !fn(tuple) {
+			consumerStop = true
+			return false
+		}
+		return true
 	})
-	return parallel.CtxErr(ctx)
+	if consumerStop {
+		return nil
+	}
+	return finish(ctx, m)
 }

@@ -1,9 +1,18 @@
 package eval
 
 import (
+	"errors"
+	"fmt"
+
 	"pyquery/internal/query"
 	"pyquery/internal/relation"
 )
+
+// ErrUnboundVariable is returned when formula evaluation reaches an atom
+// with an unbound variable — a formula that escaped validation (every
+// public entry point validates first, so user queries get the specific
+// validation message; this sentinel is the evaluator's own backstop).
+var ErrUnboundVariable = errors.New("eval: unbound variable in atom")
 
 // FirstOrder evaluates a first-order query under active-domain semantics:
 // quantifiers range over the set of values occurring in the database. The
@@ -53,6 +62,9 @@ func FirstOrder(q *query.FOQuery, db *query.DB) (*relation.Relation, error) {
 		}
 	}
 	rec(0)
+	if ev.err != nil {
+		return nil, ev.err
+	}
 	return out, nil
 }
 
@@ -69,7 +81,11 @@ func FirstOrderBool(q *query.FOQuery, db *query.DB) (bool, error) {
 		return false, err
 	}
 	ev := newFOEvaluator(db)
-	return ev.eval(q.Body), nil
+	ok := ev.eval(q.Body)
+	if ev.err != nil {
+		return false, ev.err
+	}
+	return ok, nil
 }
 
 // Positive evaluates a positive query (no ¬, no ∀) — it is the same
@@ -105,6 +121,10 @@ type foEvaluator struct {
 	// scratch holds atom arguments during membership checks (max EDB
 	// arity), so atom evaluation does not allocate.
 	scratch []relation.Value
+	// err records the first structural failure (unbound variable, unknown
+	// node) instead of panicking; once set, eval short-circuits to false
+	// and the caller returns err instead of the garbage result.
+	err error
 }
 
 type binding struct {
@@ -162,6 +182,9 @@ func (ev *foEvaluator) unbind(v query.Var) {
 }
 
 func (ev *foEvaluator) eval(f query.Formula) bool {
+	if ev.err != nil {
+		return false
+	}
 	switch g := f.(type) {
 	case query.FAtom:
 		buf := ev.scratch[:len(g.Atom.Args)]
@@ -169,7 +192,9 @@ func (ev *foEvaluator) eval(f query.Formula) bool {
 			if t.IsVar {
 				val, ok := ev.env[t.Var]
 				if !ok {
-					panic("eval: unbound variable in atom (query not validated?)")
+					ev.err = fmt.Errorf("%w: variable x%d in atom %s (query not validated?)",
+						ErrUnboundVariable, t.Var, g.Atom.Rel)
+					return false
 				}
 				buf[i] = val
 			} else {
@@ -214,5 +239,6 @@ func (ev *foEvaluator) eval(f query.Formula) bool {
 		}
 		return true
 	}
-	panic("eval: unknown formula node")
+	ev.err = fmt.Errorf("eval: unknown formula node %T", f)
+	return false
 }

@@ -1,0 +1,59 @@
+// Package faults is the fault-injection harness behind the governor's
+// robustness tests: an Injector counts every governor checkpoint the
+// process passes (across all meters — compile-time and execution-time) and
+// can force a typed trip, or a panic, at the Nth one. Tests first run with
+// a counting-only injector to learn how many checkpoints an operation
+// crosses, then sweep N over that range asserting that every engine fails
+// cleanly from every checkpoint.
+//
+// The package is test support: it drives governor.SetTestHook and must not
+// be imported by production code.
+package faults
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"pyquery/internal/governor"
+)
+
+// Injector forces a governor trip (or a panic) at a chosen checkpoint.
+// The zero value counts checkpoints without injecting anything.
+type Injector struct {
+	// Kind is the error injected at checkpoint At — typically one of the
+	// governor sentinels, so the surfaced error is errors.Is-matchable.
+	Kind error
+	// At is the 1-based checkpoint ordinal to trip at (0 = never).
+	At int64
+	// PanicAt is the 1-based checkpoint ordinal to panic at (0 = never);
+	// it exercises the facade's panic-recovery boundary.
+	PanicAt int64
+
+	n atomic.Int64
+}
+
+// Install makes this injector the process-wide governor hook. Meters
+// capture the hook at construction, so Install before the run under test
+// and Uninstall after.
+func (in *Injector) Install() { governor.SetTestHook(in.hook) }
+
+// Uninstall removes any installed governor hook.
+func Uninstall() { governor.SetTestHook(nil) }
+
+// Count reports how many checkpoints fired through this injector.
+func (in *Injector) Count() int64 { return in.n.Load() }
+
+// hook implements governor.Hook with the injector's own cross-meter
+// counter: one operation may create several meters (a governed decomp
+// compile plus the execution meter), and the sweep's "Nth checkpoint"
+// counts across all of them.
+func (in *Injector) hook(_ int64, engine, step string) error {
+	n := in.n.Add(1)
+	if in.PanicAt > 0 && n == in.PanicAt {
+		panic(fmt.Sprintf("faults: injected panic at checkpoint %d (engine=%s step=%s)", n, engine, step))
+	}
+	if in.At > 0 && n == in.At {
+		return in.Kind
+	}
+	return nil
+}

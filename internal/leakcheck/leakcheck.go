@@ -1,0 +1,38 @@
+// Package leakcheck is a shared test helper that fails a test when it
+// leaves goroutines behind. The engines' contract is that every execution —
+// completed, canceled, or tripped by the governor — drains its worker pool
+// before returning; cancellation and fault-injection tests register Check
+// to enforce it.
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Check snapshots the goroutine count and registers a cleanup that waits
+// for the count to settle back to (at most) the snapshot. Short-lived
+// runtime goroutines (context.AfterFunc callbacks, finished pool workers)
+// get a grace period; a count still above the baseline after the deadline
+// fails the test with a full stack dump.
+func Check(t testing.TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				buf = buf[:runtime.Stack(buf, true)]
+				t.Errorf("leakcheck: %d goroutines before, %d after settle; stacks:\n%s",
+					before, runtime.NumGoroutine(), buf)
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	})
+}

@@ -5,9 +5,12 @@ import (
 	"errors"
 	"sync/atomic"
 	"testing"
+
+	"pyquery/internal/leakcheck"
 )
 
 func TestForEachCtxRunsAllWhenLive(t *testing.T) {
+	leakcheck.Check(t)
 	for _, workers := range []int{1, 4} {
 		var n atomic.Int64
 		if err := ForEachCtx(context.Background(), workers, 100, func(int) { n.Add(1) }); err != nil {
@@ -20,6 +23,7 @@ func TestForEachCtxRunsAllWhenLive(t *testing.T) {
 }
 
 func TestForEachCtxStopsWhenCanceled(t *testing.T) {
+	leakcheck.Check(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	for _, workers := range []int{1, 4} {
@@ -35,6 +39,7 @@ func TestForEachCtxStopsWhenCanceled(t *testing.T) {
 }
 
 func TestForEachCtxMidRunCancel(t *testing.T) {
+	leakcheck.Check(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	var n atomic.Int64
 	err := ForEachCtx(ctx, 2, 10_000, func(i int) {
@@ -51,6 +56,7 @@ func TestForEachCtxMidRunCancel(t *testing.T) {
 }
 
 func TestForEachCtxNilContext(t *testing.T) {
+	leakcheck.Check(t)
 	var n atomic.Int64
 	if err := ForEachCtx(nil, 3, 10, func(int) { n.Add(1) }); err != nil || n.Load() != 10 {
 		t.Fatalf("nil ctx should degrade to ForEach (err=%v, n=%d)", err, n.Load())

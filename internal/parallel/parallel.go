@@ -22,10 +22,42 @@ package parallel
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// WorkerPanic carries a panic recovered in a pool goroutine back to the
+// calling goroutine, preserving the worker's stack. Do and Chunks re-panic
+// with it after the pool drains, so a panic anywhere inside a parallel
+// engine surfaces on the caller — where the facade's recovery boundary can
+// convert it into a typed internal error instead of crashing the process.
+// When several workers panic, the first recovered one wins.
+type WorkerPanic struct {
+	Value any    // the original panic value
+	Stack []byte // the panicking worker's stack
+}
+
+func (p *WorkerPanic) String() string {
+	return fmt.Sprintf("panic in parallel worker: %v\n%s", p.Value, p.Stack)
+}
+
+// guard wraps a worker body so a panic is captured instead of crashing the
+// process; the pool re-raises the first captured panic on the caller.
+func guard(captured *atomic.Pointer[WorkerPanic], body func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			if wp, ok := r.(*WorkerPanic); ok {
+				captured.CompareAndSwap(nil, wp)
+				return
+			}
+			captured.CompareAndSwap(nil, &WorkerPanic{Value: r, Stack: debug.Stack()})
+		}
+	}()
+	body()
+}
 
 // Workers resolves a Parallelism option value: n > 0 means n workers,
 // anything else (the zero value) means GOMAXPROCS.
@@ -63,14 +95,18 @@ func Do(workers int, fn func(w int)) {
 		return
 	}
 	var wg sync.WaitGroup
+	var panicked atomic.Pointer[WorkerPanic]
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
-			fn(w)
+			guard(&panicked, func() { fn(w) })
 		}(w)
 	}
 	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(p)
+	}
 }
 
 // Chunks splits the index range [0, n) into at most workers contiguous
@@ -90,6 +126,7 @@ func Chunks(workers, n int, fn func(w, lo, hi int)) {
 		workers = n
 	}
 	var wg sync.WaitGroup
+	var panicked atomic.Pointer[WorkerPanic]
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		lo := w * n / workers
@@ -97,11 +134,14 @@ func Chunks(workers, n int, fn func(w, lo, hi int)) {
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			if lo < hi {
-				fn(w, lo, hi)
+				guard(&panicked, func() { fn(w, lo, hi) })
 			}
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(p)
+	}
 }
 
 // ForEach runs fn(i) for every i in [0, n), distributing indices to workers

@@ -199,7 +199,7 @@ func (q *CQ) ValidateBound(db *DB, preBound map[Var]bool) error {
 	for _, a := range q.Atoms {
 		r, ok := db.Rel(a.Rel)
 		if !ok {
-			return fmt.Errorf("query: unknown relation %q", a.Rel)
+			return fmt.Errorf("%w %q", ErrUnknownRelation, a.Rel)
 		}
 		if r.Width() != len(a.Args) {
 			return fmt.Errorf("query: atom %v has %d arguments but relation %q has arity %d",

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -8,6 +9,12 @@ import (
 
 	"pyquery/internal/relation"
 )
+
+// ErrUnknownRelation is the typed kind behind every "relation not in the
+// database" failure: query validation wraps it (with the relation name),
+// and MustRel panics with an error wrapping it. Callers dispatch with
+// errors.Is(err, ErrUnknownRelation).
+var ErrUnknownRelation = errors.New("query: unknown relation")
 
 // DB is a database instance: a set of named relations over a shared domain.
 // Base relations use positional schemas (attributes 0…arity−1); engines
@@ -101,11 +108,13 @@ func (db *DB) Rel(name string) (*relation.Relation, bool) {
 }
 
 // MustRel returns the named relation or panics; for tests and workloads
-// where absence is a programming error.
+// where absence is a programming error. The panic value is an error
+// wrapping ErrUnknownRelation, so a recovery boundary (the facade's) can
+// classify it instead of reporting an opaque string.
 func (db *DB) MustRel(name string) *relation.Relation {
 	r, ok := db.rels[name]
 	if !ok {
-		panic(fmt.Sprintf("query: no relation %q in database", name))
+		panic(fmt.Errorf("%w: no relation %q in database", ErrUnknownRelation, name))
 	}
 	return r
 }

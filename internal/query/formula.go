@@ -215,7 +215,7 @@ func ValidateFormula(f Formula, db *DB) error {
 	case FAtom:
 		r, ok := db.Rel(g.Atom.Rel)
 		if !ok {
-			return fmt.Errorf("query: unknown relation %q", g.Atom.Rel)
+			return fmt.Errorf("%w %q", ErrUnknownRelation, g.Atom.Rel)
 		}
 		if r.Width() != len(g.Atom.Args) {
 			return fmt.Errorf("query: atom %v has %d arguments but relation %q has arity %d",

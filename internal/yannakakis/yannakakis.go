@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 
 	"pyquery/internal/eval"
+	"pyquery/internal/governor"
 	"pyquery/internal/hypergraph"
 	"pyquery/internal/parallel"
 	"pyquery/internal/plan"
@@ -121,6 +122,12 @@ type Tree struct {
 	// steps; a caller that set it must treat the result as garbage once
 	// Ctx.Err() is non-nil (the facade's prepared layer does).
 	Ctx context.Context
+	// Meter, when non-nil, is the execution's resource governor: every pass
+	// boundary that polls Ctx becomes a typed checkpoint, and each freshly
+	// materialized pass relation is charged against the row/byte budget. A
+	// trip makes the passes bail out like a cancellation; the caller reads
+	// the typed error from Meter.Err and must then discard the result.
+	Meter *governor.Meter
 	// copyOnWrite makes the semijoin passes build new relations instead of
 	// filtering in place, so a Fork of a frozen prepared template never
 	// mutates the template's relations.
@@ -159,11 +166,40 @@ func (t *Tree) Fork() *Tree {
 // canceled reports whether the tree's context has been canceled.
 func (t *Tree) canceled() bool { return t.Ctx != nil && t.Ctx.Err() != nil }
 
+// stopped is the pass-boundary checkpoint: the governed check (typed trips,
+// fault hook, ctx classification) when a meter is threaded, the plain ctx
+// poll otherwise. True means abandon the pass; the caller reads the typed
+// error from the meter (or the context) afterwards.
+func (t *Tree) stopped(step string) bool {
+	if t.Meter != nil {
+		return t.Meter.Check(step) != nil
+	}
+	return t.canceled()
+}
+
+// tripped is the cheap worker-side poll (one atomic load, no checkpoint
+// accounting) used inside parallel levels.
+func (t *Tree) tripped() bool {
+	if t.Meter != nil && t.Meter.Tripped() {
+		return true
+	}
+	return t.canceled()
+}
+
+// charge bills a freshly materialized pass relation to the meter. A trip
+// here flips the stop flag; the pass notices at its next checkpoint.
+func (t *Tree) charge(r *relation.Relation, step string) {
+	if t.Meter != nil {
+		t.Meter.Charge(int64(r.Len()), governor.RelBytes(r.Len(), r.Width()), step)
+	}
+}
+
 // semijoinNode filters node dst by node src with the given worker budget,
 // honoring copy-on-write, and reports whether dst became empty.
 func (t *Tree) semijoinNode(dst, src, workers int) bool {
 	if t.copyOnWrite {
 		t.Rels[dst] = relation.SemijoinPar(t.Rels[dst], t.Rels[src], workers)
+		t.charge(t.Rels[dst], "semijoin")
 		return t.Rels[dst].Empty()
 	}
 	return relation.SemijoinInPlacePar(t.Rels[dst], t.Rels[src], workers).Empty()
@@ -265,7 +301,7 @@ func (t *Tree) levels() [][]int {
 func (t *Tree) BottomUpSemijoin() bool {
 	if t.Workers <= 1 {
 		for _, j := range t.Forest.Order {
-			if t.canceled() {
+			if t.stopped("bottomup-semijoin") {
 				return false
 			}
 			u := t.Forest.Parent[j]
@@ -281,7 +317,7 @@ func (t *Tree) BottomUpSemijoin() bool {
 	lv := t.levels()
 	var empty atomic.Bool
 	for d := len(lv) - 2; d >= 0; d-- {
-		if t.canceled() {
+		if t.stopped("bottomup-semijoin") {
 			return false
 		}
 		var parents []int
@@ -297,6 +333,9 @@ func (t *Tree) BottomUpSemijoin() bool {
 		parallel.ForEach(outer, len(parents), func(i int) {
 			u := parents[i]
 			for _, c := range t.Forest.Children[u] {
+				if t.tripped() {
+					return
+				}
 				if t.semijoinNode(u, c, inner) {
 					empty.Store(true)
 					return
@@ -320,7 +359,7 @@ func (t *Tree) FullReduce() bool {
 	if t.Workers <= 1 {
 		// Top-down: parents filter children, in reverse bottom-up order.
 		for i := len(t.Forest.Order) - 1; i >= 0; i-- {
-			if t.canceled() {
+			if t.stopped("topdown-semijoin") {
 				return false
 			}
 			j := t.Forest.Order[i]
@@ -340,13 +379,16 @@ func (t *Tree) FullReduce() bool {
 	lv := t.levels()
 	var empty atomic.Bool
 	for d := 1; d < len(lv); d++ {
-		if t.canceled() {
+		if t.stopped("topdown-semijoin") {
 			return false
 		}
 		nodes := lv[d]
 		outer, inner := parallel.Split(t.Workers, len(nodes))
 		parallel.ForEach(outer, len(nodes), func(i int) {
 			j := nodes[i]
+			if t.tripped() {
+				return
+			}
 			if t.semijoinNode(j, t.Forest.Parent[j], inner) {
 				empty.Store(true)
 			}
@@ -377,10 +419,16 @@ func (t *Tree) projSchema(j, u int) relation.Schema {
 // and head variables, and returns π_Z(⋈ all) over the head variables. With
 // Workers > 1 the independent parents of each level absorb their subtrees
 // concurrently (same answer set; row order may differ from serial).
+//
+// A governed run that trips (or a canceled context) makes the pass bail
+// between joins, leaving the tree partially joined — the root may not even
+// carry the head attributes yet — so JoinProject returns nil in that case
+// and the caller must read the typed error from the meter (or context)
+// instead of using the result.
 func (t *Tree) JoinProject() *relation.Relation {
 	if t.Workers <= 1 {
 		for _, j := range t.Forest.Order {
-			if t.canceled() {
+			if t.stopped("join-project") {
 				break
 			}
 			u := t.Forest.Parent[j]
@@ -388,10 +436,11 @@ func (t *Tree) JoinProject() *relation.Relation {
 				continue
 			}
 			t.Rels[u] = relation.NaturalJoin(t.Rels[u], relation.Project(t.Rels[j], t.projSchema(j, u)))
+			t.charge(t.Rels[u], "join-project")
 		}
 	} else {
 		lv := t.levels()
-		for d := len(lv) - 2; d >= 0 && !t.canceled(); d-- {
+		for d := len(lv) - 2; d >= 0 && !t.stopped("join-project"); d-- {
 			var parents []int
 			for _, u := range lv[d] {
 				if len(t.Forest.Children[u]) > 0 {
@@ -405,10 +454,17 @@ func (t *Tree) JoinProject() *relation.Relation {
 			parallel.ForEach(outer, len(parents), func(i int) {
 				u := parents[i]
 				for _, c := range t.Forest.Children[u] {
+					if t.tripped() {
+						return
+					}
 					t.Rels[u] = relation.NaturalJoinPar(t.Rels[u], relation.Project(t.Rels[c], t.projSchema(c, u)), inner)
+					t.charge(t.Rels[u], "join-project")
 				}
 			})
 		}
+	}
+	if t.tripped() {
+		return nil
 	}
 	root := t.Forest.Roots[0]
 	zs := make(relation.Schema, 0, len(t.HeadVars))

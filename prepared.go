@@ -11,6 +11,7 @@ import (
 	"pyquery/internal/core"
 	"pyquery/internal/decomp"
 	"pyquery/internal/eval"
+	"pyquery/internal/governor"
 	"pyquery/internal/order"
 	"pyquery/internal/parallel"
 	"pyquery/internal/query"
@@ -84,6 +85,12 @@ type prepState struct {
 	tree *yannakakis.Tree
 	prog *core.Program // Theorem 2 color-coding program
 
+	// govRows/govBytes are the rows/bytes the governed compile step already
+	// materialized into the frozen template (decomposition bags). Every
+	// governed execution pre-charges them, so a per-execution budget
+	// accounts for the frozen state it joins against.
+	govRows, govBytes int64
+
 	decide atomic.Pointer[decideState] // lazy Decide program (head-bound membership)
 }
 
@@ -109,8 +116,9 @@ func groundFalseCmps(q *CQ) bool {
 // placeholders (query.P / pyquery.P); their values are supplied per
 // execution. The query is cloned — later mutations of q do not affect the
 // prepared statement.
-func Prepare(q *CQ, db *DB, opts Options) (*Prepared, error) {
-	p := &Prepared{q: q.Clone(), db: db, opts: opts, params: q.Params()}
+func Prepare(q *CQ, db *DB, opts Options) (p *Prepared, err error) {
+	defer recoverInternal("prepare", &err)
+	p = &Prepared{q: q.Clone(), db: db, opts: opts, params: q.Params()}
 	st, err := p.compile()
 	if err != nil {
 		return nil, err
@@ -186,9 +194,29 @@ func (p *Prepared) compile() (*prepState, error) {
 		}
 		if !opts.NoDecomp {
 			if rt, err := decomp.PlanFor(q, db); err == nil && rt.Use {
-				tree, _, empty := decomp.Materialize(q, rt, parallel.Workers(opts.Parallelism), nil)
-				st.tree, st.trivial = tree, empty
-				break
+				// The bag joins are the one compile step that materializes
+				// O(n^width) state, so they run under their own meter with
+				// the execution budget. On a trip: without Degrade the limit
+				// error surfaces from Prepare; with Degrade the partial bags
+				// are dropped (nothing retains them — GC reclaims) and the
+				// query falls through to the backtracker, which runs under
+				// the full per-execution budget instead.
+				cm := governor.New(nil, "decomp", opts.MaxRows, opts.MemoryLimit)
+				tree, _, empty := decomp.Materialize(q, rt, parallel.Workers(opts.Parallelism), nil, cm)
+				if gerr := cm.Err(); gerr != nil {
+					if !opts.Degrade {
+						return nil, gerr
+					}
+				} else {
+					if tree != nil {
+						// Detach the compile meter: each execution forks the
+						// template under its own meter.
+						tree.Meter = nil
+					}
+					st.tree, st.trivial = tree, empty
+					st.govRows, st.govBytes = cm.Rows(), cm.Bytes()
+					break
+				}
 			}
 		}
 		st.engine = EngineGeneric
@@ -288,36 +316,63 @@ func (p *Prepared) argVals(args []Arg) ([]relation.Value, error) {
 // them, by name); ctx cancels the evaluation at the engine's natural
 // boundaries — search nodes for the backtracker, pass steps for the tree
 // engines, trial batches for color coding.
-func (p *Prepared) Exec(ctx context.Context, args ...Arg) (*Relation, error) {
-	st, vals, err := p.begin(ctx, args)
+func (p *Prepared) Exec(ctx context.Context, args ...Arg) (res *Relation, err error) {
+	st, vals, ectx, m, done, err := p.begin(ctx, args)
+	defer done()
 	if err != nil {
 		return nil, err
 	}
-	return p.execWith(ctx, st, vals)
+	defer recoverInternal(engineLabel(st.engine), &err)
+	return p.execWith(ectx, st, vals, m)
+}
+
+// govErr is the end-of-execution checkpoint: the governed check when a
+// meter is live, the plain ctx poll otherwise.
+func govErr(ctx context.Context, m *governor.Meter) error {
+	if m != nil {
+		return m.Check("finish")
+	}
+	return parallel.CtxErr(ctx)
+}
+
+// classifyCtx wraps a finished context's error into the typed taxonomy at
+// a boundary that runs before any meter exists. The result matches both
+// the sentinel (ErrTimeout/ErrCanceled) and the underlying context error.
+func classifyCtx(engine, step string, cerr error) error {
+	kind := governor.ErrCanceled
+	if errors.Is(cerr, context.DeadlineExceeded) {
+		kind = governor.ErrTimeout
+	}
+	return &governor.Error{Kind: kind, Engine: engine, Step: step, Cause: cerr}
 }
 
 // execWith dispatches an execution on an already revalidated state with
-// already resolved argument values.
-func (p *Prepared) execWith(ctx context.Context, st *prepState, vals []relation.Value) (*Relation, error) {
+// already resolved argument values, under the execution's meter (nil when
+// nothing is governed).
+func (p *Prepared) execWith(ctx context.Context, st *prepState, vals []relation.Value, m *governor.Meter) (*Relation, error) {
 	switch {
 	case st.unsat || st.trivial:
 		return query.NewTable(len(p.q.Head)), nil
 	case st.bt != nil:
-		return st.bt.Exec(ctx, vals)
+		return st.bt.Exec(ctx, vals, m)
 	case st.prog != nil:
+		if m != nil {
+			return st.prog.ExecMeter(ctx, m)
+		}
 		return st.prog.Exec(ctx)
 	default:
 		t := st.tree.Fork()
 		t.Workers = parallel.Workers(p.opts.Parallelism)
 		t.Ctx = ctx
+		t.Meter = m
 		if t.FullReduce() {
-			if err := parallel.CtxErr(ctx); err != nil {
+			if err := govErr(ctx, m); err != nil {
 				return nil, err
 			}
 			return query.NewTable(len(p.q.Head)), nil
 		}
 		pstar := t.JoinProject()
-		if err := parallel.CtxErr(ctx); err != nil {
+		if err := govErr(ctx, m); err != nil {
 			return nil, err
 		}
 		return yannakakis.HeadTuples(p.q, pstar), nil
@@ -326,44 +381,70 @@ func (p *Prepared) execWith(ctx context.Context, st *prepState, vals []relation.
 
 // ExecBool decides Q(d) ≠ ∅ with the frozen plan, stopping at the first
 // witness where the engine supports it.
-func (p *Prepared) ExecBool(ctx context.Context, args ...Arg) (bool, error) {
-	st, vals, err := p.begin(ctx, args)
+func (p *Prepared) ExecBool(ctx context.Context, args ...Arg) (ok bool, err error) {
+	st, vals, ectx, m, done, err := p.begin(ctx, args)
+	defer done()
 	if err != nil {
 		return false, err
 	}
+	defer recoverInternal(engineLabel(st.engine), &err)
 	switch {
 	case st.unsat || st.trivial:
 		return false, nil
 	case st.bt != nil:
-		return st.bt.ExecBool(ctx, vals)
+		return st.bt.ExecBool(ectx, vals, m)
 	case st.prog != nil:
-		return st.prog.ExecBool(ctx)
+		if m != nil {
+			return st.prog.ExecBoolMeter(ectx, m)
+		}
+		return st.prog.ExecBool(ectx)
 	default:
 		t := st.tree.Fork()
 		t.Workers = parallel.Workers(p.opts.Parallelism)
-		t.Ctx = ctx
+		t.Ctx = ectx
+		t.Meter = m
 		empty := t.BottomUpSemijoin()
-		if err := parallel.CtxErr(ctx); err != nil {
+		if err := govErr(ectx, m); err != nil {
 			return false, err
 		}
 		return !empty, nil
 	}
 }
 
-// begin revalidates the epoch, resolves arguments, and checks the context.
-func (p *Prepared) begin(ctx context.Context, args []Arg) (*prepState, []relation.Value, error) {
-	if err := parallel.CtxErr(ctx); err != nil {
-		return nil, nil, err
+// begin revalidates the epoch, resolves arguments, applies Options.Timeout
+// to the context, and builds the execution's meter. done must be called
+// (deferred) by every caller — it releases the timeout's timer; m is nil
+// when nothing is governed (no limits, no cancelable context, no fault
+// hook), which keeps ungoverned executions at their pre-governor cost.
+func (p *Prepared) begin(ctx context.Context, args []Arg) (st *prepState, vals []relation.Value, ectx context.Context, m *governor.Meter, done func(), err error) {
+	done = func() {}
+	ectx = ctx
+	if p.opts.Timeout > 0 {
+		if ectx == nil {
+			ectx = context.Background()
+		}
+		var cancel context.CancelFunc
+		ectx, cancel = context.WithTimeout(ectx, p.opts.Timeout)
+		done = cancel
 	}
-	st, err := p.current()
-	if err != nil {
-		return nil, nil, err
+	if cerr := parallel.CtxErr(ectx); cerr != nil {
+		err = classifyCtx("prepare", "begin", cerr)
+		return nil, nil, ectx, nil, done, err
 	}
-	vals, err := p.argVals(args)
-	if err != nil {
-		return nil, nil, err
+	if st, err = p.current(); err != nil {
+		return nil, nil, ectx, nil, done, err
 	}
-	return st, vals, nil
+	if vals, err = p.argVals(args); err != nil {
+		return nil, nil, ectx, nil, done, err
+	}
+	if m = governor.New(ectx, engineLabel(st.engine), p.opts.MaxRows, p.opts.MemoryLimit); m != nil {
+		// The frozen decomposition bags this execution joins against count
+		// toward its budget; a trip here surfaces at the first checkpoint.
+		if st.govRows > 0 || st.govBytes > 0 {
+			m.Charge(st.govRows, st.govBytes, "frozen-bags")
+		}
+	}
+	return st, vals, ectx, m, done, nil
 }
 
 // ForEach streams the answer tuples to fn, stopping early when fn returns
@@ -371,23 +452,25 @@ func (p *Prepared) begin(ctx context.Context, args []Arg) (*prepState, []relatio
 // parameterized template) the tuples stream directly out of the search
 // without materializing the answer; the tree engines materialize first.
 // The tuple slice is reused between calls — copy it to retain it.
-func (p *Prepared) ForEach(ctx context.Context, fn func(tuple []Value) bool, args ...Arg) error {
-	st, vals, err := p.begin(ctx, args)
+func (p *Prepared) ForEach(ctx context.Context, fn func(tuple []Value) bool, args ...Arg) (err error) {
+	st, vals, ectx, m, done, err := p.begin(ctx, args)
+	defer done()
 	if err != nil {
 		return err
 	}
+	defer recoverInternal(engineLabel(st.engine), &err)
 	if st.unsat || st.trivial {
 		return nil
 	}
 	if st.bt != nil {
-		return st.bt.ForEach(ctx, vals, fn)
+		return st.bt.ForEach(ectx, vals, m, fn)
 	}
-	res, err := p.execWith(ctx, st, vals)
+	res, err := p.execWith(ectx, st, vals, m)
 	if err != nil {
 		return err
 	}
 	for i := 0; i < res.Len(); i++ {
-		if err := parallel.CtxErr(ctx); err != nil {
+		if err := parallel.CtxErr(ectx); err != nil {
 			return err
 		}
 		if !fn(res.Row(i)) {
@@ -422,9 +505,21 @@ func (p *Prepared) Rows(ctx context.Context, args ...Arg) iter.Seq2[[]Value, err
 // alongside the main plan), so repeated membership tests amortize exactly
 // like repeated executions — no per-call BindHead re-planning. args bind
 // the template's parameters as in Exec.
-func (p *Prepared) Decide(ctx context.Context, t []Value, args ...Arg) (bool, error) {
-	if err := parallel.CtxErr(ctx); err != nil {
-		return false, err
+func (p *Prepared) Decide(ctx context.Context, t []Value, args ...Arg) (ok bool, err error) {
+	defer recoverInternal("decide", &err)
+	ectx := ctx
+	done := func() {}
+	if p.opts.Timeout > 0 {
+		if ectx == nil {
+			ectx = context.Background()
+		}
+		var cancel context.CancelFunc
+		ectx, cancel = context.WithTimeout(ectx, p.opts.Timeout)
+		done = cancel
+	}
+	defer done()
+	if cerr := parallel.CtxErr(ectx); cerr != nil {
+		return false, classifyCtx("decide", "begin", cerr)
 	}
 	if len(t) != len(p.q.Head) {
 		return false, fmt.Errorf("pyquery: tuple arity %d does not match head arity %d", len(t), len(p.q.Head))
@@ -474,7 +569,7 @@ func (p *Prepared) Decide(ctx context.Context, t []Value, args ...Arg) (bool, er
 		dvals = append(dvals, vals[pi])
 	}
 	dvals = append(dvals, headVals...)
-	return ds.prog.ExecBool(ctx, dvals)
+	return ds.prog.ExecBool(ectx, dvals, governor.New(ectx, "decide", p.opts.MaxRows, p.opts.MemoryLimit))
 }
 
 // headKind classifies one head position of the frozen decide plan.

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"pyquery"
+	"pyquery/internal/leakcheck"
 	"pyquery/internal/relation"
 	"pyquery/internal/workload"
 )
@@ -433,6 +434,7 @@ func TestPreparedDecideWithParams(t *testing.T) {
 // A context that is already canceled must surface ctx.Err() from every
 // engine class before any work runs.
 func TestPreparedCanceledContext(t *testing.T) {
+	leakcheck.Check(t)
 	rnd := rand.New(rand.NewSource(42))
 	db := pathDB(rnd)
 	tridb := pyquery.NewDB()
@@ -492,6 +494,7 @@ func TestPreparedCanceledContext(t *testing.T) {
 // A deadline that expires mid-search must abort the backtracker and return
 // ctx.Err() — the search would otherwise enumerate millions of nodes.
 func TestPreparedDeadlineMidRun(t *testing.T) {
+	leakcheck.Check(t)
 	n := 160
 	edges := pyquery.NewTable(2)
 	for i := 0; i < n; i++ {

@@ -234,7 +234,8 @@ func Decide(q *CQ, db *DB, t []Value) (bool, error) {
 }
 
 // EvaluateFO evaluates a first-order query under active-domain semantics.
-func EvaluateFO(q *FOQuery, db *DB) (*Relation, error) {
+func EvaluateFO(q *FOQuery, db *DB) (res *Relation, err error) {
+	defer recoverInternal("firstorder", &err)
 	return eval.FirstOrder(q, db)
 }
 
@@ -463,7 +464,8 @@ func ExplainDB(q *CQ, db *DB) (string, error) {
 
 // EvaluateStats runs the Theorem 2 engine explicitly with options and
 // returns its statistics; the query must be acyclic with inequalities.
-func EvaluateStats(q *CQ, db *DB, opts Options) (*Relation, Stats, error) {
+func EvaluateStats(q *CQ, db *DB, opts Options) (res *Relation, st Stats, err error) {
+	defer recoverInternal("colorcoding", &err)
 	return core.EvaluateStats(q, db, opts)
 }
 
@@ -485,6 +487,7 @@ type (
 // arbitrary ∧/∨ formula of inequality atoms (the paper's parameter-q
 // extension of Theorem 2). The query must carry no ≠/comparison atoms of
 // its own — the constraints live in φ.
-func EvaluateIneqFormula(q *CQ, phi IneqFormula, db *DB, opts Options) (*Relation, error) {
+func EvaluateIneqFormula(q *CQ, phi IneqFormula, db *DB, opts Options) (res *Relation, err error) {
+	defer recoverInternal("colorcoding", &err)
 	return core.EvaluateIneqFormula(q, phi, db, opts)
 }
