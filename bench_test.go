@@ -1,4 +1,4 @@
-// Benchmarks, one per experiment of EXPERIMENTS.md (E1–E8, A1–A6) plus
+// Benchmarks, one per experiment of EXPERIMENTS.md (E1–E10, A1–A6) plus
 // engine micro-benchmarks. cmd/benchrunner produces the full sweep tables;
 // these targets pin each experiment's workload into `go test -bench`.
 package pyquery_test
@@ -317,6 +317,43 @@ func BenchmarkE9_Prepared(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- E10: worst-case-optimal join on dense cyclic workloads ----------------
+
+func BenchmarkE10_WCOJ(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		q    *pyquery.CQ
+		db   *pyquery.DB
+	}{
+		{"triangle-hub", workload.TriangleQuery(), workload.HubGraphDB(400, 6)},
+		{"k4-hub", workload.CliqueQuery(4), workload.HubGraphDB(400, 6)},
+	} {
+		r, err := pyquery.PlanDB(tc.q, tc.db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Engine != pyquery.EngineWCOJ {
+			b.Fatalf("%s routed to %v, want wcoj", tc.name, r.Engine)
+		}
+		b.Run(tc.name+"/wcoj", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := pyquery.EvaluateOpts(tc.q, tc.db, pyquery.Options{Parallelism: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(tc.name+"/nowcoj", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := pyquery.EvaluateOpts(tc.q, tc.db, pyquery.Options{Parallelism: 1, NoWCOJ: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // --- Ablations ---------------------------------------------------------------

@@ -4,7 +4,8 @@
 // (E4), the Section 5 example queries (E5), the Hamiltonian-path combined-
 // complexity blowup (E6), the Vardi Datalog family (E7), the cyclic
 // low-width decomposition workload (E8), the prepared-statement
-// amortization (E9), and the ablations A1–A6.
+// amortization (E9), the worst-case-optimal join workload (E10), and the
+// ablations A1–A7.
 //
 // Usage:
 //
@@ -27,7 +28,7 @@ type experiment struct {
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E9, A1..A6, PAR) or 'all'")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E10, A1..A7, PAR) or 'all'")
 	quick := flag.Bool("quick", false, "smaller sweeps (CI-sized)")
 	flag.Parse()
 
@@ -41,12 +42,14 @@ func main() {
 		{"E7", "Section 4: Vardi's n^k Datalog family (arity-k IDB)", runE7},
 		{"E8", "Cyclic low-width queries: decomposition engine vs n^O(q) backtracker", runE8},
 		{"E9", "Prepared statements: compile-once/execute-many vs one-shot planning", runE9},
+		{"E10", "Dense cyclic queries: worst-case-optimal leapfrog triejoin vs backtracker", runE10},
 		{"A1", "Ablation: I2 pushdown vs all-hashed inequalities", runA1},
 		{"A2", "Ablation: Yannakakis full reducer on/off", runA2},
 		{"A3", "Ablation: join-order heuristic on/off", runA3},
 		{"A4", "Ablation: Monte-Carlo confidence c vs measured success rate", runA4},
 		{"A5", "Ablation: stats-driven join order vs legacy greedy heuristic", runA5},
 		{"A6", "Ablation: decomposition routing vs NoDecomp backtracker (cyclic low-width)", runA6},
+		{"A7", "Ablation: wcoj routing vs NoWCOJ backtracker (dense cyclic)", runA7},
 		{"PAR", "Parallel scaling: Parallelism sweep across engines and the join kernel", runPAR},
 	}
 

@@ -23,6 +23,7 @@ import (
 	"pyquery/internal/order"
 	"pyquery/internal/parser"
 	"pyquery/internal/relation"
+	"pyquery/internal/wcoj"
 	"pyquery/internal/yannakakis"
 
 	"pyquery/internal/core"
@@ -40,7 +41,7 @@ func main() {
 	var rels relFlags
 	queryText := flag.String("query", "", "query in rule syntax (or FO syntax with -fo)")
 	fo := flag.Bool("fo", false, "parse the query as a first-order query { (head) | formula }")
-	engine := flag.String("engine", "auto", "auto | generic | yannakakis | colorcoding | comparisons | decomp")
+	engine := flag.String("engine", "auto", "auto | generic | yannakakis | colorcoding | comparisons | decomp | wcoj")
 	boolOnly := flag.Bool("bool", false, "only decide emptiness")
 	par := flag.Int("par", 0, "parallelism: worker count (0 = GOMAXPROCS, 1 = serial)")
 	repeat := flag.Int("repeat", 0, "prepare once and execute N times, reporting amortized ns/exec (auto engine only)")
@@ -160,6 +161,8 @@ func main() {
 		res, err = order.EvaluateOpts(q, db, eval.Options{Parallelism: *par})
 	case "decomp":
 		res, err = decomp.EvaluateOpts(q, db, decomp.Options{Parallelism: *par})
+	case "wcoj":
+		res, err = wcoj.Evaluate(q, db, *par)
 	default:
 		fatal(fmt.Errorf("unknown engine %q", *engine))
 	}

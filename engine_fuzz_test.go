@@ -1,0 +1,197 @@
+package pyquery_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pyquery"
+	"pyquery/internal/eval"
+	"pyquery/internal/relation"
+	"pyquery/internal/wcoj"
+	"pyquery/internal/workload"
+)
+
+// Randomized differential suite across the whole engine surface: every case
+// builds a random (query, database) instance, takes the NoReorder generic
+// backtracker as ground truth, and pins set-equality through the facade at
+// Parallelism {1,3}, prepared vs one-shot (NoCache), the routing ablations
+// (NoDecomp, NoWCOJ, both), and — for eligible pure queries — the leapfrog
+// engine forced past its cost gate. The shape generator is biased so every
+// one of the six engine classes is exercised many times per run; the test
+// asserts that coverage at the end, so routing drift cannot silently shrink
+// the suite. Run under -race in CI, the concurrent shards double as a data-
+// race probe.
+
+// fuzzShape enumerates the query shapes the generator rotates through, each
+// targeting one routing class (the free-form shape lands anywhere).
+const (
+	shapeAcyclicPath = iota // yannakakis
+	shapeColorCoding        // acyclic + I₁ inequality
+	shapeComparisons        // acyclic + variable comparison
+	shapeCyclicPure         // decomp candidate (sparse → generic)
+	shapeCyclicIneq         // generic backtracker
+	shapeHubTriangle        // dense skewed hub → wcoj
+	shapeFreeForm           // anything
+	numFuzzShapes
+)
+
+// fuzzInstance builds one random (query, db) pair of the given shape.
+func fuzzInstance(rnd *rand.Rand, shape int) (*pyquery.CQ, *pyquery.DB) {
+	db := pyquery.NewDB()
+	for i := 0; i < 2; i++ {
+		db.Set(fmt.Sprintf("E%d", i), randEdges(rnd, 15+rnd.Intn(45), 5+rnd.Intn(5)))
+	}
+	u := pyquery.NewTable(1)
+	for i := 0; i < 1+rnd.Intn(5); i++ {
+		u.Append(pyquery.Value(rnd.Intn(6)))
+	}
+	db.Set("U", u.Dedup())
+	rel := func() string { return fmt.Sprintf("E%d", rnd.Intn(2)) }
+
+	q := &pyquery.CQ{}
+	switch shape {
+	case shapeAcyclicPath, shapeColorCoding, shapeComparisons:
+		n := 2 + rnd.Intn(3)
+		for i := 0; i < n; i++ {
+			q.Atoms = append(q.Atoms, pyquery.NewAtom(rel(),
+				pyquery.V(pyquery.Var(i)), pyquery.V(pyquery.Var(i+1))))
+		}
+		q.Head = []pyquery.Term{pyquery.V(0), pyquery.V(pyquery.Var(n))}
+		if shape == shapeColorCoding {
+			// Endpoints never share an atom for n ≥ 2, so the ≠ lands in I₁.
+			q.Ineqs = []pyquery.Ineq{pyquery.NeqVars(0, pyquery.Var(n))}
+		}
+		if shape == shapeComparisons {
+			q.Cmps = []pyquery.Cmp{pyquery.Lt(pyquery.V(0), pyquery.V(pyquery.Var(n)))}
+		}
+	case shapeCyclicPure, shapeCyclicIneq:
+		n := 3 + rnd.Intn(4)
+		for i := 0; i < n; i++ {
+			q.Atoms = append(q.Atoms, pyquery.NewAtom(rel(),
+				pyquery.V(pyquery.Var(i)), pyquery.V(pyquery.Var((i+1)%n))))
+		}
+		if rnd.Intn(3) == 0 { // chord
+			a, b := rnd.Intn(n), rnd.Intn(n)
+			if a != b {
+				q.Atoms = append(q.Atoms, pyquery.NewAtom(rel(), pyquery.V(pyquery.Var(a)), pyquery.V(pyquery.Var(b))))
+			}
+		}
+		q.Head = []pyquery.Term{pyquery.V(pyquery.Var(rnd.Intn(n)))}
+		if shape == shapeCyclicIneq {
+			q.Ineqs = []pyquery.Ineq{pyquery.NeqVars(0, pyquery.Var(1+rnd.Intn(n-1)))}
+		}
+	case shapeHubTriangle:
+		db = workload.HubGraphDB(60+rnd.Intn(120), 4+rnd.Intn(4))
+		if rnd.Intn(2) == 0 {
+			q = workload.TriangleQuery()
+		} else {
+			q = workload.CliqueQuery(4)
+		}
+	default: // free-form
+		nAtoms := 2 + rnd.Intn(3)
+		randTerm := func() pyquery.Term {
+			if rnd.Intn(8) == 0 {
+				return pyquery.C(pyquery.Value(rnd.Intn(6)))
+			}
+			return pyquery.V(pyquery.Var(rnd.Intn(5)))
+		}
+		for i := 0; i < nAtoms; i++ {
+			if rnd.Intn(4) == 0 {
+				q.Atoms = append(q.Atoms, pyquery.NewAtom("U", randTerm()))
+			} else {
+				q.Atoms = append(q.Atoms, pyquery.NewAtom(rel(), randTerm(), randTerm()))
+			}
+		}
+		body := q.BodyVars()
+		if len(body) == 0 {
+			q.Atoms = append(q.Atoms, pyquery.NewAtom("U", pyquery.V(0)))
+			body = q.BodyVars()
+		}
+		switch rnd.Intn(4) {
+		case 0: // Boolean head
+		case 1:
+			q.Head = []pyquery.Term{pyquery.C(7), pyquery.V(body[rnd.Intn(len(body))])}
+		default:
+			for i := 0; i < 1+rnd.Intn(2); i++ {
+				q.Head = append(q.Head, pyquery.V(body[rnd.Intn(len(body))]))
+			}
+		}
+		if len(body) >= 2 && rnd.Intn(3) == 0 {
+			q.Ineqs = append(q.Ineqs, pyquery.NeqVars(body[0], body[len(body)-1]))
+		}
+		if len(body) >= 2 && rnd.Intn(4) == 0 {
+			q.Cmps = append(q.Cmps, pyquery.Lt(pyquery.V(body[0]), pyquery.V(body[len(body)-1])))
+		}
+	}
+	return q, db
+}
+
+// wcojEligible mirrors the leapfrog engine's structural class: pure
+// conjunctive, at least one atom, no parameters.
+func wcojEligible(q *pyquery.CQ) bool {
+	return len(q.Atoms) > 0 && len(q.Ineqs) == 0 && len(q.Cmps) == 0 && len(q.Params()) == 0
+}
+
+func TestEngineDifferentialFuzz(t *testing.T) {
+	cases := 560
+	if testing.Short() {
+		cases = 120
+	}
+	seenEngine := map[pyquery.Engine]int{}
+	for seed := 0; seed < cases; seed++ {
+		rnd := rand.New(rand.NewSource(int64(seed)))
+		q, db := fuzzInstance(rnd, seed%numFuzzShapes)
+		tag := fmt.Sprintf("seed=%d q=%v", seed, q)
+
+		want, err := eval.ConjunctiveOpts(q, db, eval.Options{Parallelism: 1, NoReorder: true})
+		if err != nil {
+			t.Fatalf("%s baseline: %v", tag, err)
+		}
+		r, err := pyquery.PlanDB(q, db)
+		if err != nil {
+			t.Fatalf("%s plan: %v", tag, err)
+		}
+		seenEngine[r.Engine]++
+
+		for _, par := range []int{1, 3} {
+			for _, opts := range []pyquery.Options{
+				{Parallelism: par},                // prepared (plan-cache) path
+				{Parallelism: par, NoCache: true}, // one-shot path
+				{Parallelism: par, NoDecomp: true},
+				{Parallelism: par, NoWCOJ: true},
+				{Parallelism: par, NoDecomp: true, NoWCOJ: true},
+			} {
+				got, err := pyquery.EvaluateOpts(q, db, opts)
+				if err != nil {
+					t.Fatalf("%s opts=%+v: %v", tag, opts, err)
+				}
+				if !relation.EqualSet(got, want) {
+					t.Fatalf("%s opts=%+v: answer drift\nwant %v\ngot %v", tag, opts, want, got)
+				}
+				ok, err := pyquery.EvaluateBoolOpts(q, db, opts)
+				if err != nil || ok != want.Bool() {
+					t.Fatalf("%s opts=%+v bool: got (%v,%v), want %v", tag, opts, ok, err, want.Bool())
+				}
+			}
+			if wcojEligible(q) {
+				lf, err := wcoj.Evaluate(q, db, par)
+				if err != nil {
+					t.Fatalf("%s wcoj par=%d: %v", tag, par, err)
+				}
+				if !relation.EqualSet(lf, want) {
+					t.Fatalf("%s: forced wcoj par=%d drifts\nwant %v\ngot %v", tag, par, want, lf)
+				}
+			}
+		}
+	}
+	for _, e := range []pyquery.Engine{
+		pyquery.EngineYannakakis, pyquery.EngineColorCoding, pyquery.EngineComparisons,
+		pyquery.EngineGeneric, pyquery.EngineDecomp, pyquery.EngineWCOJ,
+	} {
+		if seenEngine[e] == 0 {
+			t.Fatalf("differential fuzz never routed to %v — generator coverage drifted (%v)", e, seenEngine)
+		}
+	}
+	t.Logf("engine coverage over %d cases: %v", cases, seenEngine)
+}

@@ -96,6 +96,8 @@ func engineLabel(e Engine) string {
 		return "comparisons"
 	case EngineDecomp:
 		return "decomp"
+	case EngineWCOJ:
+		return "wcoj"
 	default:
 		return "generic"
 	}

@@ -31,11 +31,12 @@ type faultCase struct {
 	db     *pyquery.DB
 }
 
-// faultCases covers all five engine classes, mirroring the routing in
+// faultCases covers all six engine classes, mirroring the routing in
 // TestPreparedCanceledContext: an acyclic path (yannakakis), the same path
 // with an inequality (colorcoding) and with a comparison (comparisons), a
-// triangle with an inequality (generic backtracker), and a 4-cycle
-// (hypertree decomposition).
+// triangle with an inequality (generic backtracker), a 4-cycle (hypertree
+// decomposition), and a pure triangle on a skewed hub graph (worst-case-
+// optimal leapfrog).
 func faultCases() []faultCase {
 	rnd := rand.New(rand.NewSource(42))
 	db := pathDB(rnd)
@@ -61,6 +62,7 @@ func faultCases() []faultCase {
 		{"comparisons", pyquery.EngineComparisons, cmp, db},
 		{"generic", pyquery.EngineGeneric, tri, tridb},
 		{"decomp", pyquery.EngineDecomp, workload.CycleQuery(4), tridb},
+		{"wcoj", pyquery.EngineWCOJ, workload.TriangleQuery(), workload.HubGraphDB(200, 5)},
 	}
 }
 

@@ -78,6 +78,12 @@ type Options struct {
 	// consumed by the facade's routing (pyquery.EvaluateOpts); this engine
 	// ignores it.
 	NoDecomp bool
+	// NoWCOJ disables the worst-case-optimal leapfrog-triejoin engine
+	// (ablation A7): dense cyclic queries that would route there fall back
+	// to the generic backtracker (or the decomposition engine when its own
+	// gate fires first). It is consumed by the facade's routing
+	// (pyquery.EvaluateOpts); this engine ignores it.
+	NoWCOJ bool
 	// NoCache makes the facade's Evaluate* free functions plan from scratch
 	// instead of consulting the per-database prepared-plan cache — the
 	// pre-PR-5 one-shot behavior, kept for benchmarking the amortization

@@ -439,15 +439,17 @@ func planInputs(q *query.CQ, db *query.DB, reds []reduced) []plan.Input {
 		rd := reds[i]
 		base := stats.For(db, a.Rel)
 		dist := make([]int, len(rd.vars))
+		freq := make([]int, len(rd.vars))
 		for k, v := range rd.vars {
 			for j, t := range a.Args {
 				if t.IsVar && t.Var == v {
 					dist[k] = base.Cols[j].Distinct
+					freq[k] = base.Cols[j].MaxFreq
 					break
 				}
 			}
 		}
-		inputs[i] = plan.Input{Label: a.Rel, Rows: rd.rel.Len(), Vars: rd.vars, Distinct: dist}
+		inputs[i] = plan.Input{Label: a.Rel, Rows: rd.rel.Len(), Vars: rd.vars, Distinct: dist, MaxFreq: freq}
 	}
 	return inputs
 }

@@ -1,0 +1,56 @@
+package parser
+
+import (
+	"testing"
+)
+
+// FuzzParseQuery: the rule-syntax parser must never panic on arbitrary
+// input, and any input it accepts must survive a render/re-parse loop —
+// the rendered text (the plan cache's fingerprint, CQ.String) re-parses to
+// a structurally identical query, and rendering is a fixpoint after one
+// round trip (the first re-parse canonicalizes variable numbering to
+// first-occurrence order; after that the text must be stable).
+func FuzzParseQuery(f *testing.F) {
+	f.Add("G(x) :- E(x,y).")
+	f.Add("G(e) :- EP(e,p), EP(e,q), p != q.")
+	f.Add("G(x,z) :- R0(x,y), R1(y,z), x != z, y < 7.")
+	f.Add("G() :- E(x,x).")
+	f.Add("G(7,x) :- E(x,\"sym\"), x <= 3.")
+	f.Add("G(x) :- E(x,y), E(y,z), E(z,x), x != 0.")
+	f.Add("G(x) :- ")
+	f.Add("G(x :- E(x)")
+	f.Add("((((((((")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return
+		}
+		q, err := New().ParseCQ(src) // must not panic, whatever the input
+		if err != nil {
+			return
+		}
+		s1 := q.String()
+		q2, err := New().ParseCQ(s1)
+		if err != nil {
+			t.Fatalf("accepted input %q rendered to %q, which does not re-parse: %v", src, s1, err)
+		}
+		if len(q2.Head) != len(q.Head) || len(q2.Atoms) != len(q.Atoms) ||
+			len(q2.Ineqs) != len(q.Ineqs) || len(q2.Cmps) != len(q.Cmps) {
+			t.Fatalf("round trip of %q changed structure: %q -> head %d/%d atoms %d/%d ineqs %d/%d cmps %d/%d",
+				src, s1, len(q.Head), len(q2.Head), len(q.Atoms), len(q2.Atoms),
+				len(q.Ineqs), len(q2.Ineqs), len(q.Cmps), len(q2.Cmps))
+		}
+		for i := range q.Atoms {
+			if q2.Atoms[i].Rel != q.Atoms[i].Rel || len(q2.Atoms[i].Args) != len(q.Atoms[i].Args) {
+				t.Fatalf("round trip of %q changed atom %d: %v vs %v", src, i, q.Atoms[i], q2.Atoms[i])
+			}
+		}
+		s2 := q2.String()
+		q3, err := New().ParseCQ(s2)
+		if err != nil {
+			t.Fatalf("canonical render %q does not re-parse: %v", s2, err)
+		}
+		if s3 := q3.String(); s3 != s2 {
+			t.Fatalf("render is not a fixpoint: %q -> %q", s2, s3)
+		}
+	})
+}

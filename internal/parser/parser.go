@@ -213,6 +213,16 @@ func appendIneq(q *query.CQ, l, r query.Term) error {
 		if l.Const == r.Const {
 			// Ground-false inequality: encode as unsatisfiable comparison.
 			q.Cmps = append(q.Cmps, query.Lt(query.C(0), query.C(0)))
+		} else {
+			// Ground-true inequality: keep a trivially-true comparison
+			// rather than dropping the item — a body consisting only of
+			// ground-true constraints must stay non-empty so the rendered
+			// rule (the plan-cache fingerprint) re-parses.
+			lo, hi := l.Const, r.Const
+			if hi < lo {
+				lo, hi = hi, lo
+			}
+			q.Cmps = append(q.Cmps, query.Lt(query.C(lo), query.C(hi)))
 		}
 	}
 	return nil

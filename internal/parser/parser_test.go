@@ -92,9 +92,24 @@ func TestGroundIneqBecomesMarker(t *testing.T) {
 	if len(q.Cmps) != 1 || q.Cmps[0].Holds(0, 0) {
 		t.Fatalf("ground-false ≠ should become unsatisfiable marker: %v", q)
 	}
+	// Ground-true ≠ becomes a trivially-true ground comparison (3 < 4): it
+	// cannot vanish, or a body holding only ground-true constraints would
+	// render empty and stop re-parsing.
 	q2, err := p.ParseCQ(`G() :- R(x), 3 != 4`)
-	if err != nil || len(q2.Ineqs) != 0 || len(q2.Cmps) != 0 {
-		t.Fatalf("ground-true ≠ should vanish: %v %v", q2, err)
+	if err != nil || len(q2.Ineqs) != 0 || len(q2.Cmps) != 1 {
+		t.Fatalf("ground-true ≠ should become a comparison: %v %v", q2, err)
+	}
+	if c := q2.Cmps[0]; c.Left.Const != 3 || c.Right.Const != 4 || !c.Strict {
+		t.Fatalf("want trivially-true 3 < 4 marker, got %v", c)
+	}
+	// A body consisting only of a ground-true ≠ must stay renderable and
+	// re-parseable (it is the plan-cache fingerprint).
+	q3, err := p.ParseCQ(`G(0) :- 0 != 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New().ParseCQ(q3.String()); err != nil {
+		t.Fatalf("render %q does not re-parse: %v", q3.String(), err)
 	}
 }
 

@@ -31,6 +31,11 @@ type Input struct {
 	// internal/stats). nil means unknown: every column is assumed fully
 	// distinct (Rows), the conservative choice.
 	Distinct []int
+	// MaxFreq estimates the multiplicity of the most frequent value per Vars
+	// entry (from internal/stats) — the worst-case fanout of probing this
+	// input on that column alone. nil means unknown: every column may be
+	// fully skewed (Rows), the conservative choice. Consumed by WorstCost.
+	MaxFreq []int
 }
 
 // distinct returns the clamped distinct estimate of Vars[i]: at least 1, at
@@ -47,6 +52,22 @@ func (in Input) distinct(i int) float64 {
 		d = 1
 	}
 	return float64(d)
+}
+
+// maxFreq returns the clamped max-frequency estimate of Vars[i]: at least
+// 1, at most Rows (for nonempty inputs).
+func (in Input) maxFreq(i int) float64 {
+	m := in.Rows
+	if in.MaxFreq != nil {
+		m = in.MaxFreq[i]
+	}
+	if m > in.Rows {
+		m = in.Rows
+	}
+	if m < 1 {
+		m = 1
+	}
+	return float64(m)
 }
 
 // Step is one ordered join step of a logical plan.

@@ -1,0 +1,200 @@
+package plan
+
+// This file is the worst-case-optimal-join cost policy: the AGM
+// fractional-cover output bound, the skew-aware worst-case bound on the
+// backtracker's search, and the global variable order the leapfrog engine
+// intersects along. Both bounds price the *worst case*, so the routing gate
+// in pyquery.PlanDB compares like against like — comparing the AGM bound
+// against Build's uniform-average estimate would essentially never fire.
+
+import (
+	"math"
+
+	"pyquery/internal/query"
+)
+
+// agmMaxAtoms bounds the half-integral cover enumeration (3^n covers); at
+// most agmMaxVars variables fit the coverage bitmask. Queries beyond either
+// limit get an +Inf AGM bound, so the gate conservatively keeps the
+// backtracker.
+const (
+	agmMaxAtoms = 12
+	agmMaxVars  = 62
+)
+
+// AGM returns the AGM output bound of joining inputs: min Π Rows_j^{w_j}
+// over fractional edge covers w of the variables, minimized here over
+// half-integral weights w_j ∈ {0, ½, 1}. Half-integral covers are optimal
+// for graph-shaped queries (all arities ≤ 2, the LP's half-integrality);
+// for wider atoms the result is still a feasible cover and hence a valid
+// upper bound on the join's output, just possibly not the LP minimum.
+// Inputs with no variables are skipped; any empty input makes the join
+// empty and the bound 0. Returns +Inf when no cover exists (a variable
+// appears in no input) or the query exceeds the enumeration caps.
+func AGM(inputs []Input) float64 {
+	var active []Input
+	for _, in := range inputs {
+		if in.Rows == 0 {
+			return 0
+		}
+		if len(in.Vars) > 0 {
+			active = append(active, in)
+		}
+	}
+	if len(active) == 0 {
+		return 1
+	}
+	if len(active) > agmMaxAtoms {
+		return math.Inf(1)
+	}
+	id := make(map[query.Var]int)
+	for _, in := range active {
+		for _, v := range in.Vars {
+			if _, ok := id[v]; !ok {
+				id[v] = len(id)
+			}
+		}
+	}
+	nv := len(id)
+	if nv > agmMaxVars {
+		return math.Inf(1)
+	}
+	logRows := make([]float64, len(active))
+	varsOf := make([][]int, len(active))
+	for j, in := range active {
+		logRows[j] = math.Log2(float64(in.Rows))
+		seen := make(map[int]bool, len(in.Vars))
+		for _, v := range in.Vars {
+			i := id[v]
+			if !seen[i] {
+				seen[i] = true
+				varsOf[j] = append(varsOf[j], i)
+			}
+		}
+	}
+	// DFS over half-integral weights, coverage tracked in half-units per
+	// variable (covered when ≥ 2), pruned against the best log-cost so far.
+	best := math.Inf(1)
+	halves := make([]int, nv)
+	var dfs func(j int, cost float64)
+	dfs = func(j int, cost float64) {
+		if cost >= best {
+			return
+		}
+		if j == len(active) {
+			for _, h := range halves {
+				if h < 2 {
+					return
+				}
+			}
+			best = cost
+			return
+		}
+		for _, w := range [3]int{0, 1, 2} { // weight in half-units
+			for _, i := range varsOf[j] {
+				halves[i] += w
+			}
+			dfs(j+1, cost+float64(w)/2*logRows[j])
+			for _, i := range varsOf[j] {
+				halves[i] -= w
+			}
+		}
+	}
+	dfs(0, 0)
+	if math.IsInf(best, 1) {
+		return best
+	}
+	return math.Exp2(best)
+}
+
+// WorstCost bounds the partial assignments a backtracking join over inputs
+// can touch when executed in the given atom order, using per-column
+// max-frequency statistics instead of distinct counts: extending an
+// intermediate through an input multiplies by the input's worst probe
+// fanout — 1 when every column is already bound (a membership check), the
+// smallest MaxFreq over the bound shared columns when it can be probed, the
+// full Rows when it shares nothing. The sum of the running products is the
+// worst-case analogue of Build's Cost, and the number the WCOJ gate weighs
+// against the AGM bound.
+func WorstCost(inputs []Input, order []int) float64 {
+	bound := make(map[query.Var]bool)
+	card, cost := 1.0, 0.0
+	for _, j := range order {
+		in := inputs[j]
+		factor := math.Inf(1)
+		unbound := false
+		for i, v := range in.Vars {
+			if bound[v] {
+				if f := in.maxFreq(i); f < factor {
+					factor = f
+				}
+			} else {
+				unbound = true
+			}
+		}
+		switch {
+		case !unbound:
+			factor = 1 // fully bound: one membership check per assignment
+		case math.IsInf(factor, 1):
+			factor = float64(in.Rows) // no shared bound column: full scan
+		}
+		for _, v := range in.Vars {
+			bound[v] = true
+		}
+		card *= factor
+		cost += card
+	}
+	return cost
+}
+
+// VarOrder picks the leapfrog engine's global variable order: greedily the
+// variable with the smallest minimum distinct-count over the inputs
+// containing it, restricted (once started) to variables sharing an input
+// with one already chosen so each new level is constrained by earlier
+// bindings. Ties break toward the smaller variable, so orders are
+// deterministic. Covers every variable of every input.
+func VarOrder(inputs []Input) []query.Var {
+	dmin := make(map[query.Var]float64)
+	touches := make(map[query.Var][]int)
+	for j, in := range inputs {
+		for i, v := range in.Vars {
+			d := in.distinct(i)
+			if old, ok := dmin[v]; !ok || d < old {
+				dmin[v] = d
+			}
+			touches[v] = append(touches[v], j)
+		}
+	}
+	chosenInput := make([]bool, len(inputs))
+	done := make(map[query.Var]bool, len(dmin))
+	order := make([]query.Var, 0, len(dmin))
+	for len(order) < len(dmin) {
+		best, bestD, connected := query.Var(-1), 0.0, false
+		for v, d := range dmin {
+			if done[v] {
+				continue
+			}
+			conn := false
+			for _, j := range touches[v] {
+				if chosenInput[j] {
+					conn = true
+					break
+				}
+			}
+			if len(order) > 0 && connected && !conn {
+				continue
+			}
+			better := best == -1 || (conn && !connected) ||
+				(conn == connected && (d < bestD || (d == bestD && v < best)))
+			if better {
+				best, bestD, connected = v, d, conn
+			}
+		}
+		done[best] = true
+		order = append(order, best)
+		for _, j := range touches[best] {
+			chosenInput[j] = true
+		}
+	}
+	return order
+}

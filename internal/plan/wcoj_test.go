@@ -1,0 +1,118 @@
+package plan
+
+import (
+	"math"
+	"testing"
+
+	"pyquery/internal/query"
+)
+
+// AGM on the triangle is |E|^{3/2} — the half-integral cover (½,½,½) is
+// optimal for graph-shaped queries.
+func TestAGMTriangle(t *testing.T) {
+	e := func(x, y query.Var) Input {
+		return Input{Label: "E", Rows: 64, Vars: []query.Var{x, y}}
+	}
+	got := AGM([]Input{e(0, 1), e(1, 2), e(2, 0)})
+	if want := math.Pow(64, 1.5); math.Abs(got-want) > 1e-6*want {
+		t.Fatalf("AGM(triangle) = %g, want %g", got, want)
+	}
+}
+
+// On an acyclic path the optimal cover is integral: both edges at weight 1.
+func TestAGMPath(t *testing.T) {
+	in := []Input{
+		{Label: "E", Rows: 10, Vars: []query.Var{0, 1}},
+		{Label: "F", Rows: 20, Vars: []query.Var{1, 2}},
+	}
+	if got := AGM(in); math.Abs(got-200) > 1e-6*200 {
+		t.Fatalf("AGM(path) = %g, want 200", got)
+	}
+}
+
+// Degenerate cases: an empty input empties the join; a variable no input
+// covers (impossible from real queries, but the guard must hold) and
+// over-cap queries return +Inf; a fully ground query costs 1.
+func TestAGMDegenerate(t *testing.T) {
+	if got := AGM([]Input{{Rows: 0, Vars: []query.Var{0}}}); got != 0 {
+		t.Fatalf("empty input: AGM = %g, want 0", got)
+	}
+	if got := AGM(nil); got != 1 {
+		t.Fatalf("no inputs: AGM = %g, want 1", got)
+	}
+	big := make([]Input, agmMaxAtoms+1)
+	for i := range big {
+		big[i] = Input{Rows: 2, Vars: []query.Var{query.Var(i)}}
+	}
+	if got := AGM(big); !math.IsInf(got, 1) {
+		t.Fatalf("over atom cap: AGM = %g, want +Inf", got)
+	}
+}
+
+// WorstCost prices the skewed probe chain: scan × min-MaxFreq fanout per
+// shared-variable step, ×1 for fully bound membership checks.
+func TestWorstCostTriangle(t *testing.T) {
+	e := func(x, y query.Var) Input {
+		return Input{
+			Label: "E", Rows: 4,
+			Vars:    []query.Var{x, y},
+			MaxFreq: []int{2, 2},
+		}
+	}
+	in := []Input{e(0, 1), e(1, 2), e(2, 0)}
+	// Order 0,1,2: scan 4 (cost 4) → probe fanout 2 (card 8, cost 12) →
+	// fully bound ×1 (card 8, cost 20).
+	if got := WorstCost(in, []int{0, 1, 2}); got != 20 {
+		t.Fatalf("WorstCost = %g, want 20", got)
+	}
+}
+
+// nil MaxFreq is the conservative worst case: every probe may fan out to
+// the whole input.
+func TestWorstCostNilMaxFreq(t *testing.T) {
+	in := []Input{
+		{Label: "R", Rows: 10, Vars: []query.Var{0, 1}},
+		{Label: "S", Rows: 10, Vars: []query.Var{1, 2}},
+	}
+	// scan 10 (cost 10) → fanout 10 (card 100, cost 110).
+	if got := WorstCost(in, []int{0, 1}); got != 110 {
+		t.Fatalf("WorstCost = %g, want 110", got)
+	}
+}
+
+// VarOrder starts at the smallest min-distinct variable, stays connected,
+// covers every variable, and is deterministic.
+func TestVarOrder(t *testing.T) {
+	in := []Input{
+		{Label: "R", Rows: 100, Vars: []query.Var{0, 1}, Distinct: []int{100, 5}},
+		{Label: "S", Rows: 100, Vars: []query.Var{1, 2}, Distinct: []int{100, 80}},
+		{Label: "T", Rows: 100, Vars: []query.Var{2, 3}, Distinct: []int{80, 90}},
+	}
+	got := VarOrder(in)
+	if len(got) != 4 {
+		t.Fatalf("order %v must cover 4 variables", got)
+	}
+	if got[0] != 1 {
+		t.Fatalf("order %v must start at the min-distinct variable x1", got)
+	}
+	seen := map[query.Var]bool{got[0]: true}
+	for i := 1; i < len(got); i++ {
+		if seen[got[i]] {
+			t.Fatalf("order %v repeats %v", got, got[i])
+		}
+		seen[got[i]] = true
+	}
+	// Connectivity: x3 (only in T) must come after x2 links T in.
+	pos := map[query.Var]int{}
+	for i, v := range got {
+		pos[v] = i
+	}
+	if pos[3] < pos[2] {
+		t.Fatalf("order %v visits x3 before its only link x2", got)
+	}
+	for i := 0; i < 5; i++ {
+		if again := VarOrder(in); len(again) != len(got) || again[0] != got[0] || again[3] != got[3] {
+			t.Fatalf("VarOrder must be deterministic: %v vs %v", got, again)
+		}
+	}
+}

@@ -30,6 +30,12 @@ type Col struct {
 	// Distinct is the (estimated) number of distinct values; exact when the
 	// relation has at most sampleCap rows.
 	Distinct int
+	// MaxFreq is the (estimated) multiplicity of the column's most frequent
+	// value — the worst-case fanout of an index probe on this column alone.
+	// Exact at or below sampleCap rows; extrapolated like Distinct above it.
+	// It feeds plan.WorstCost, the skew-aware backtracker bound the
+	// worst-case-optimal join gate compares against the AGM estimate.
+	MaxFreq int
 	// Min and Max bound the column's values over the sampled prefix (exact
 	// when the relation has at most sampleCap rows; both zero for empty
 	// relations). No engine consumes them yet — they are part of the stats
@@ -57,8 +63,10 @@ func Of(r *relation.Relation) *Rel {
 		sample = sampleCap
 	}
 	sets := make([]*relation.TupleSet, w)
+	counts := make([]map[relation.Value]int, w)
 	for c := range sets {
 		sets[c] = relation.NewTupleSetSized(1, sample)
+		counts[c] = make(map[relation.Value]int, sample)
 	}
 	first := r.Row(0)
 	for c := range s.Cols {
@@ -76,6 +84,7 @@ func Of(r *relation.Relation) *Rel {
 			}
 			buf[0] = v
 			sets[c].Add(buf)
+			counts[c][v]++
 		}
 	}
 	for c := range s.Cols {
@@ -88,6 +97,21 @@ func Of(r *relation.Relation) *Rel {
 			}
 		}
 		s.Cols[c].Distinct = d
+		mf := 0
+		for _, n := range counts[c] {
+			if n > mf {
+				mf = n
+			}
+		}
+		if r.Len() > sample {
+			// MaxFreq is a worst-case bound, so extrapolate pessimistically:
+			// assume the sampled skew holds across the whole relation.
+			mf = int(float64(mf) * float64(r.Len()) / float64(sample))
+			if mf > r.Len() {
+				mf = r.Len()
+			}
+		}
+		s.Cols[c].MaxFreq = mf
 	}
 	return s
 }

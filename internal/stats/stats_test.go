@@ -84,3 +84,41 @@ func TestForCachesAndInvalidates(t *testing.T) {
 		t.Fatalf("stats after in-place Append: %+v", s4)
 	}
 }
+
+// MaxFreq is the worst-case probe fanout: exact below the cap, and
+// extrapolated pessimistically (sampled skew assumed global) above it.
+func TestOfMaxFreq(t *testing.T) {
+	r := query.Table(2,
+		[]relation.Value{1, 10},
+		[]relation.Value{2, 10},
+		[]relation.Value{3, 20},
+		[]relation.Value{1, 10},
+	)
+	s := Of(r)
+	if s.Cols[0].MaxFreq != 2 {
+		t.Fatalf("col0 MaxFreq = %d, want 2 (value 1 twice)", s.Cols[0].MaxFreq)
+	}
+	if s.Cols[1].MaxFreq != 3 {
+		t.Fatalf("col1 MaxFreq = %d, want 3 (value 10 thrice)", s.Cols[1].MaxFreq)
+	}
+
+	// Above the cap: a hub column whose sampled half is one value must
+	// extrapolate to about half the relation; a unique column to about
+	// Rows/sample.
+	n := sampleCap * 4
+	big := query.NewTable(2)
+	for i := 0; i < n; i++ {
+		hub := relation.Value(0)
+		if i%2 == 1 {
+			hub = relation.Value(i)
+		}
+		big.Append(hub, relation.Value(i))
+	}
+	s = Of(big)
+	if got := s.Cols[0].MaxFreq; got < n/3 || got > n {
+		t.Fatalf("hub column MaxFreq = %d, want about %d", got, n/2)
+	}
+	if got := s.Cols[1].MaxFreq; got != n/sampleCap {
+		t.Fatalf("unique column MaxFreq = %d, want %d (1 scaled by Rows/sample)", got, n/sampleCap)
+	}
+}

@@ -1,0 +1,71 @@
+package wcoj
+
+import (
+	"sort"
+
+	"pyquery/internal/relation"
+)
+
+// Trie is the sorted, column-major trie view of one reduced relation under
+// a column permutation: rows are sorted lexicographically by the permuted
+// columns and stored one slice per trie level, so the subtrie below any
+// prefix of values is a contiguous row range [lo, hi) and descending a
+// level is a pair of binary searches, not a pointer chase. The view is
+// read-only after Build, so concurrent cursors share it freely.
+type Trie struct {
+	n    int
+	cols [][]relation.Value
+}
+
+// BuildTrie sorts r's rows lexicographically under perm (perm[level] is the
+// source column read at trie level `level`) and lays them out column-major.
+// Duplicate rows are preserved — the engine's answer dedup happens at
+// emission, and multiplicities keep Seek/Next ranges honest about fanout.
+func BuildTrie(r *relation.Relation, perm []int) *Trie {
+	n := r.Len()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ra, rb := r.Row(idx[a]), r.Row(idx[b])
+		for _, c := range perm {
+			if ra[c] != rb[c] {
+				return ra[c] < rb[c]
+			}
+		}
+		return idx[a] < idx[b] // stable for determinism
+	})
+	t := &Trie{n: n, cols: make([][]relation.Value, len(perm))}
+	for l, c := range perm {
+		col := make([]relation.Value, n)
+		for i, ri := range idx {
+			col[i] = r.Row(ri)[c]
+		}
+		t.cols[l] = col
+	}
+	return t
+}
+
+// Len returns the number of rows (trie leaves).
+func (t *Trie) Len() int { return t.n }
+
+// Width returns the number of levels.
+func (t *Trie) Width() int { return len(t.cols) }
+
+// At returns the value at trie level l of sorted row i.
+func (t *Trie) At(l, i int) relation.Value { return t.cols[l][i] }
+
+// Seek returns the first row in [lo, hi) whose level-l value is ≥ v, or hi.
+func (t *Trie) Seek(l, lo, hi int, v relation.Value) int {
+	col := t.cols[l]
+	return lo + sort.Search(hi-lo, func(i int) bool { return col[lo+i] >= v })
+}
+
+// Next returns the first row in [lo, hi) whose level-l value is > v, or hi.
+// It is the dedicated upper bound — Seek(v+1) would overflow at the value
+// domain's edge.
+func (t *Trie) Next(l, lo, hi int, v relation.Value) int {
+	col := t.cols[l]
+	return lo + sort.Search(hi-lo, func(i int) bool { return col[lo+i] > v })
+}

@@ -1,0 +1,266 @@
+package wcoj
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pyquery/internal/query"
+	"pyquery/internal/relation"
+)
+
+// randRelation builds a random relation of the given width, with
+// duplicates (the trie must preserve multiplicities).
+func randRelation(rnd *rand.Rand, rows, width, domain int) *relation.Relation {
+	r := query.NewTable(width)
+	row := make([]relation.Value, width)
+	for i := 0; i < rows; i++ {
+		for c := range row {
+			row[c] = relation.Value(rnd.Intn(domain))
+		}
+		r.Append(row...)
+	}
+	return r
+}
+
+// randPerm is a random permutation of 0…n−1.
+func randPerm(rnd *rand.Rand, n int) []int {
+	p := rnd.Perm(n)
+	return p
+}
+
+// TestTriePreservesMultiset: building a trie is a permutation of the rows —
+// the multiset of (permuted) tuples is unchanged.
+func TestTriePreservesMultiset(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rnd := rand.New(rand.NewSource(seed))
+		w := 1 + rnd.Intn(4)
+		r := randRelation(rnd, rnd.Intn(50), w, 1+rnd.Intn(8))
+		perm := randPerm(rnd, w)
+		tr := BuildTrie(r, perm)
+		if tr.Len() != r.Len() || tr.Width() != w {
+			t.Fatalf("seed=%d: dims %dx%d, want %dx%d", seed, tr.Len(), tr.Width(), r.Len(), w)
+		}
+		count := func(rows [][]relation.Value) map[string]int {
+			m := make(map[string]int)
+			for _, row := range rows {
+				key := ""
+				for _, v := range row {
+					key += string(rune(v)) + ","
+				}
+				m[key]++
+			}
+			return m
+		}
+		var orig, got [][]relation.Value
+		for i := 0; i < r.Len(); i++ {
+			row := r.Row(i)
+			p := make([]relation.Value, w)
+			for l, c := range perm {
+				p[l] = row[c]
+			}
+			orig = append(orig, p)
+			g := make([]relation.Value, w)
+			for l := 0; l < w; l++ {
+				g[l] = tr.At(l, i)
+			}
+			got = append(got, g)
+		}
+		om, gm := count(orig), count(got)
+		if len(om) != len(gm) {
+			t.Fatalf("seed=%d: multiset size changed", seed)
+		}
+		for k, n := range om {
+			if gm[k] != n {
+				t.Fatalf("seed=%d: multiplicity of %q changed %d→%d", seed, k, n, gm[k])
+			}
+		}
+	}
+}
+
+// TestTrieSortedPerLevel: rows are sorted lexicographically under the
+// permutation, so every level is sorted within its parent's equal-prefix
+// range — equivalently, the permuted row sequence is globally
+// lexicographically nondecreasing.
+func TestTrieSortedPerLevel(t *testing.T) {
+	for seed := int64(100); seed < 130; seed++ {
+		rnd := rand.New(rand.NewSource(seed))
+		w := 1 + rnd.Intn(4)
+		r := randRelation(rnd, rnd.Intn(60), w, 1+rnd.Intn(6))
+		tr := BuildTrie(r, randPerm(rnd, w))
+		for i := 1; i < tr.Len(); i++ {
+			for l := 0; l < w; l++ {
+				a, b := tr.At(l, i-1), tr.At(l, i)
+				if a < b {
+					break
+				}
+				if a > b {
+					t.Fatalf("seed=%d: rows %d,%d out of order at level %d", seed, i-1, i, l)
+				}
+			}
+		}
+	}
+}
+
+// TestTrieSeekNextReference: Seek and Next agree with a linear scan on
+// every *valid* window — an equal-prefix range of the earlier levels,
+// reached by descending the trie the way the engine does (a level is only
+// sorted within such ranges, so arbitrary windows are out of contract).
+func TestTrieSeekNextReference(t *testing.T) {
+	for seed := int64(200); seed < 230; seed++ {
+		rnd := rand.New(rand.NewSource(seed))
+		w := 1 + rnd.Intn(3)
+		r := randRelation(rnd, 1+rnd.Intn(60), w, 1+rnd.Intn(10))
+		tr := BuildTrie(r, randPerm(rnd, w))
+		probe := func(l, lo, hi int) {
+			for trial := 0; trial < 20; trial++ {
+				v := relation.Value(rnd.Intn(12))
+				wantSeek, wantNext := hi, hi
+				for i := lo; i < hi; i++ {
+					if tr.At(l, i) >= v {
+						wantSeek = i
+						break
+					}
+				}
+				for i := lo; i < hi; i++ {
+					if tr.At(l, i) > v {
+						wantNext = i
+						break
+					}
+				}
+				if got := tr.Seek(l, lo, hi, v); got != wantSeek {
+					t.Fatalf("seed=%d: Seek(%d,[%d,%d),%d)=%d, want %d", seed, l, lo, hi, v, got, wantSeek)
+				}
+				if got := tr.Next(l, lo, hi, v); got != wantNext {
+					t.Fatalf("seed=%d: Next(%d,[%d,%d),%d)=%d, want %d", seed, l, lo, hi, v, got, wantNext)
+				}
+			}
+		}
+		var walk func(l, lo, hi int)
+		walk = func(l, lo, hi int) {
+			if l >= w || lo >= hi {
+				return
+			}
+			probe(l, lo, hi)
+			// Descend at a random present value: [Seek, Next) is the child
+			// window, exactly how the engine narrows.
+			v := tr.At(l, lo+rnd.Intn(hi-lo))
+			walk(l+1, tr.Seek(l, lo, hi, v), tr.Next(l, lo, hi, v))
+		}
+		walk(0, 0, tr.Len())
+	}
+}
+
+// leapfrogIntersect intersects the level-0 value sets of tries with the
+// engine's Seek/At loop — the unit under FuzzTrieIntersect.
+func leapfrogIntersect(tries []*Trie) []relation.Value {
+	var out []relation.Value
+	lo := make([]int, len(tries))
+	var v relation.Value
+	for i, tr := range tries {
+		if tr.Len() == 0 {
+			return nil
+		}
+		if w := tr.At(0, 0); i == 0 || w > v {
+			v = w
+		}
+	}
+	for {
+		aligned := true
+		for i, tr := range tries {
+			pos := tr.Seek(0, lo[i], tr.Len(), v)
+			if pos == tr.Len() {
+				return out
+			}
+			lo[i] = pos
+			if w := tr.At(0, pos); w > v {
+				v = w
+				aligned = false
+				break
+			}
+		}
+		if !aligned {
+			continue
+		}
+		out = append(out, v)
+		for i, tr := range tries {
+			lo[i] = tr.Next(0, lo[i], tr.Len(), v)
+			if lo[i] == tr.Len() {
+				return out
+			}
+		}
+		for i, tr := range tries {
+			if w := tr.At(0, lo[i]); i == 0 || w > v {
+				v = w
+			}
+		}
+	}
+}
+
+// refIntersect is the naive reference: sorted distinct values present in
+// every list.
+func refIntersect(lists [][]relation.Value) []relation.Value {
+	counts := make(map[relation.Value]int)
+	for _, l := range lists {
+		seen := make(map[relation.Value]bool)
+		for _, v := range l {
+			if !seen[v] {
+				seen[v] = true
+				counts[v]++
+			}
+		}
+	}
+	var out []relation.Value
+	for v, n := range counts {
+		if n == len(lists) {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func bytesToColumn(b []byte) (*relation.Relation, []relation.Value) {
+	r := query.NewTable(1)
+	vals := make([]relation.Value, 0, len(b))
+	for _, c := range b {
+		v := relation.Value(c)
+		r.Append(v)
+		vals = append(vals, v)
+	}
+	return r, vals
+}
+
+// FuzzTrieIntersect: the trie-based leapfrog intersection of two (or, with
+// the third input, three) unsorted multisets equals the naive sorted
+// set-intersection reference.
+func FuzzTrieIntersect(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{2, 3, 4}, []byte{})
+	f.Add([]byte{5, 5, 5, 1}, []byte{5, 1, 9}, []byte{1, 5})
+	f.Add([]byte{}, []byte{1}, []byte{2})
+	f.Add([]byte{0, 255, 128, 0}, []byte{255, 0}, []byte{0, 0, 255})
+	f.Add([]byte{7}, []byte{7}, []byte{7})
+	f.Fuzz(func(t *testing.T, a, b, c []byte) {
+		inputs := [][]byte{a, b}
+		if len(c) > 0 {
+			inputs = append(inputs, c)
+		}
+		tries := make([]*Trie, len(inputs))
+		lists := make([][]relation.Value, len(inputs))
+		for i, in := range inputs {
+			r, vals := bytesToColumn(in)
+			tries[i] = BuildTrie(r, []int{0})
+			lists[i] = vals
+		}
+		got := leapfrogIntersect(tries)
+		want := refIntersect(lists)
+		if len(got) != len(want) {
+			t.Fatalf("intersection size %d, want %d (got %v want %v)", len(got), len(want), got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("intersection[%d] = %d, want %d", i, got[i], want[i])
+			}
+		}
+	})
+}

@@ -290,6 +290,63 @@ func CyclicLowWidth(spec CyclicLowWidthSpec) (*query.CQ, *query.DB) {
 	return q, GraphDB(spec.Nodes, spec.Nodes*spec.Degree, spec.Seed)
 }
 
+// TriangleQuery is the directed-triangle join with full-variable head
+// G(x,y,z) ← E(x,y), E(y,z), E(z,x): the smallest cyclic query, and the
+// canonical worst-case-optimal-join workload (AGM bound |E|^{3/2} vs the
+// backtracker's quadratic blowup on skewed graphs).
+func TriangleQuery() *query.CQ {
+	return &query.CQ{
+		Head: []query.Term{query.V(0), query.V(1), query.V(2)},
+		Atoms: []query.Atom{
+			query.NewAtom("E", query.V(0), query.V(1)),
+			query.NewAtom("E", query.V(1), query.V(2)),
+			query.NewAtom("E", query.V(2), query.V(0)),
+		},
+	}
+}
+
+// CliqueQuery is the k-clique join with full-variable head: one E(x_i,x_j)
+// atom per ordered pair i < j. Cyclic for k ≥ 3 with (k choose 2) atoms —
+// the high-width end of the E10 worst-case-optimal family.
+func CliqueQuery(k int) *query.CQ {
+	q := &query.CQ{}
+	for i := 0; i < k; i++ {
+		q.Head = append(q.Head, query.V(query.Var(i)))
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			q.Atoms = append(q.Atoms, query.NewAtom("E", query.V(query.Var(i)), query.V(query.Var(j))))
+		}
+	}
+	return q
+}
+
+// HubGraphDB is the skewed instance of the E10 family: one hub wired to
+// leaves bidirectionally (maximal degree skew — the hub's frequency is
+// ~half the edge list) plus a small bidirectional clique so triangle and
+// k-clique queries have nonempty answers. A backtracker binding an edge
+// into the hub then scans the hub's whole neighborhood per candidate
+// (Θ(leaves²) over the query), while the leapfrog intersection meets each
+// neighborhood list with a binary search. Deterministic, no seed.
+func HubGraphDB(leaves, clique int) *query.DB {
+	db := query.NewDB()
+	e := query.NewTable(2)
+	for i := 1; i <= leaves; i++ {
+		e.Append(relation.Value(0), relation.Value(i))
+		e.Append(relation.Value(i), relation.Value(0))
+	}
+	cnode := func(i int) relation.Value { return relation.Value(1_000_000 + i) }
+	for i := 0; i < clique; i++ {
+		for j := 0; j < clique; j++ {
+			if i != j {
+				e.Append(cnode(i), cnode(j))
+			}
+		}
+	}
+	db.Set("E", e)
+	return db
+}
+
 // CompleteDigraphDB returns the complete digraph with self-loops — the
 // worst case for the Vardi family (E7).
 func CompleteDigraphDB(n int) *query.DB {

@@ -1,12 +1,14 @@
 package yannakakis
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
 	"pyquery/internal/eval"
+	"pyquery/internal/governor"
 	"pyquery/internal/query"
 	"pyquery/internal/relation"
 )
@@ -255,5 +257,65 @@ func TestQuickAgainstBrute(t *testing.T) {
 	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(61))}
 	if err := quick.Check(f, cfg); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestJoinProjectNilBail pins the documented contract of the upward pass: a
+// canceled context or a tripped meter makes JoinProject return nil (the tree
+// is left partially joined, so any relation it could return would be
+// garbage), in both the serial and the level-parallel variants, and the
+// typed cause is readable from the context / meter afterwards.
+func TestJoinProjectNilBail(t *testing.T) {
+	q := &query.CQ{
+		Head: []query.Term{query.V(0), query.V(2)},
+		Atoms: []query.Atom{
+			query.NewAtom("E", query.V(0), query.V(1)),
+			query.NewAtom("E", query.V(1), query.V(2)),
+		},
+	}
+	compile := func() *Tree {
+		t.Helper()
+		tr, trivial, err := Compile(q, pathDB())
+		if err != nil || trivial {
+			t.Fatalf("Compile: trivial=%v err=%v", trivial, err)
+		}
+		return tr.Fork()
+	}
+
+	// Control: an undisturbed pass returns the head-variable relation.
+	ft := compile()
+	ft.Workers = 1
+	if pstar := ft.JoinProject(); pstar == nil || pstar.Empty() {
+		t.Fatalf("control JoinProject = %v, want non-empty relation", pstar)
+	}
+
+	// Canceled context: both the serial walk and the level-parallel walk
+	// must bail and return nil.
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 3} {
+		ft := compile()
+		ft.Workers = workers
+		ft.Ctx = canceled
+		if pstar := ft.JoinProject(); pstar != nil {
+			t.Fatalf("workers=%d: JoinProject under canceled ctx = %v, want nil", workers, pstar)
+		}
+		if ft.Ctx.Err() == nil {
+			t.Fatalf("workers=%d: canceled ctx lost its error", workers)
+		}
+	}
+
+	// Tripped meter: a 1-row budget trips on the first join-project charge;
+	// the pass must return nil and the meter must carry the typed cause.
+	for _, workers := range []int{1, 3} {
+		ft := compile()
+		ft.Workers = workers
+		ft.Meter = governor.New(context.Background(), "yannakakis", 1, 1<<40)
+		if pstar := ft.JoinProject(); pstar != nil {
+			t.Fatalf("workers=%d: JoinProject under tripped meter = %v, want nil", workers, pstar)
+		}
+		if err := ft.Meter.Err(); !errors.Is(err, governor.ErrRowLimit) {
+			t.Fatalf("workers=%d: meter error = %v, want ErrRowLimit", workers, err)
+		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"pyquery/internal/datalog"
 	"pyquery/internal/decomp"
 	"pyquery/internal/relation"
+	"pyquery/internal/wcoj"
 	"pyquery/internal/workload"
 )
 
@@ -156,6 +157,47 @@ func TestParallelDeterminismDecomp(t *testing.T) {
 			}
 			if !relation.EqualSet(got, serial) {
 				t.Fatalf("%s: direct decomp Parallelism=%d differs from serial", tag, par)
+			}
+		}
+	}
+}
+
+// TestParallelDeterminismWCOJ drives the leapfrog engine through the facade
+// on skewed hub graphs (the routing is database-dependent, so PlanDB — not
+// Plan — pins the class) and directly, so the top-level domain sharding
+// runs at several worker budgets.
+func TestParallelDeterminismWCOJ(t *testing.T) {
+	for i, q := range []*pyquery.CQ{workload.TriangleQuery(), workload.CliqueQuery(4)} {
+		db := workload.HubGraphDB(100+30*i, 6)
+		tag := fmt.Sprintf("wcoj/case=%d", i)
+		r, err := pyquery.PlanDB(q, db)
+		if err != nil {
+			t.Fatalf("%s plan: %v", tag, err)
+		}
+		if r.Engine != pyquery.EngineWCOJ {
+			t.Fatalf("%s: routed to %v, want wcoj", tag, r.Engine)
+		}
+		serial, err := pyquery.EvaluateOpts(q, db, pyquery.Options{Parallelism: 1})
+		if err != nil {
+			t.Fatalf("%s serial: %v", tag, err)
+		}
+		if serial.Len() == 0 {
+			t.Fatalf("%s: workload should have answers", tag)
+		}
+		for _, par := range []int{2, 3, 4} {
+			got, err := pyquery.EvaluateOpts(q, db, pyquery.Options{Parallelism: par})
+			if err != nil {
+				t.Fatalf("%s par=%d: %v", tag, par, err)
+			}
+			if !relation.EqualSet(got, serial) {
+				t.Fatalf("%s: Parallelism=%d answer differs from serial", tag, par)
+			}
+			direct, err := wcoj.Evaluate(q, db, par)
+			if err != nil {
+				t.Fatalf("%s direct par=%d: %v", tag, par, err)
+			}
+			if !relation.EqualSet(direct, serial) {
+				t.Fatalf("%s: direct wcoj Parallelism=%d differs from serial", tag, par)
 			}
 		}
 	}

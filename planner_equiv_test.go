@@ -9,6 +9,7 @@ import (
 	"pyquery/internal/decomp"
 	"pyquery/internal/eval"
 	"pyquery/internal/relation"
+	"pyquery/internal/wcoj"
 )
 
 // Planner equivalence (the A3/A5 ablation contract): on randomized
@@ -170,8 +171,19 @@ func TestPlannerCyclicDecompEquivalence(t *testing.T) {
 		if !relation.EqualSet(direct, want) {
 			t.Fatalf("%s: decomp engine disagrees\nwant %v\ngot %v", tag, want, direct)
 		}
+		// The leapfrog engine, forced past its cost gate (these instances are
+		// pure, so they are always in its eligibility class).
+		lf, err := wcoj.Evaluate(q, db, 1)
+		if err != nil {
+			t.Fatalf("%s wcoj: %v", tag, err)
+		}
+		if !relation.EqualSet(lf, want) {
+			t.Fatalf("%s: wcoj engine disagrees\nwant %v\ngot %v", tag, want, lf)
+		}
 		for _, opts := range []pyquery.Options{
-			{Parallelism: 1}, {Parallelism: 3}, {Parallelism: 1, NoDecomp: true},
+			{Parallelism: 1}, {Parallelism: 3},
+			{Parallelism: 1, NoDecomp: true}, {Parallelism: 3, NoDecomp: true},
+			{Parallelism: 1, NoWCOJ: true}, {Parallelism: 1, NoDecomp: true, NoWCOJ: true},
 		} {
 			auto, err := pyquery.EvaluateOpts(q, db, opts)
 			if err != nil {

@@ -71,12 +71,27 @@ func TestPlanReportGolden(t *testing.T) {
 		{"comparisons", cmp, "engine: comparisons (Theorem 3 territory, generic join)\nquery size q=14, variables v=4\nplan (stats-driven join order):\n  1. R2(x2,x3) rows=2 binds=2 est=2\n  2. R1(x1,x2) rows=3 binds=1 est=3\n  3. R0(x0,x1) rows=4 binds=1 est=4\nestimated search cost: 9 (Σ intermediate cardinalities)\nestimated answer rows: 4"},
 		{"generic", triIneq, "engine: generic backtracking join (n^O(q))\nquery size q=13, variables v=3\nplan (stats-driven join order):\n  1. E(x0,x1) rows=4 binds=2 est=4\n  2. E(x1,x2) rows=4 binds=1 est=5.333\n  3. E(x2,x0) rows=4 binds=0 est=2.37\nestimated search cost: 11.7 (Σ intermediate cardinalities)\nestimated answer rows: 2.37"},
 		{"decomp", cyc4, "engine: hypertree decomposition (bag join + Yannakakis, width ≤ 3)\nquery size q=14, variables v=4\nplan (stats-driven join order):\n  1. E(x0,x1) rows=4 binds=2 est=4\n  2. E(x1,x2) rows=4 binds=1 est=5.333\n  3. E(x2,x3) rows=4 binds=1 est=7.111\n  4. E(x3,x0) rows=4 binds=0 est=3.16\nestimated search cost: 19.6 (Σ intermediate cardinalities)\ndecomposition (width 2, est cost 18.67):\n  bag 1. {E(x0,x1), E(x1,x2)} vars=(x0,x1,x2) est=5.333\n  bag 2. {E(x2,x3), E(x3,x0)} vars=(x0,x2,x3) est=5.333\nbag-tree root: bag 1\nestimated answer rows: 3.16"},
-		{"decomp-rejected", tri, "engine: generic backtracking join (n^O(q))\nquery size q=10, variables v=3\nplan (stats-driven join order):\n  1. E(x0,x1) rows=4 binds=2 est=4\n  2. E(x1,x2) rows=4 binds=1 est=5.333\n  3. E(x2,x0) rows=4 binds=0 est=2.37\nestimated search cost: 11.7 (Σ intermediate cardinalities)\ndecomposition (width 3) rejected: est cost 11.7 ≥ backtracker 11.7\nestimated answer rows: 2.37"},
+		// The triangle loses the decomposition gate but wins the wcoj gate:
+		// AGM bound 4^1.5 = 8 beats the skew-aware backtracker bound 20
+		// (scan 4, then a probe chain whose max fanout is 2 per column).
+		{"wcoj", tri, "engine: worst-case-optimal join (leapfrog triejoin, Õ(AGM bound))\nquery size q=10, variables v=3\nplan (stats-driven join order):\n  1. E(x0,x1) rows=4 binds=2 est=4\n  2. E(x1,x2) rows=4 binds=1 est=5.333\n  3. E(x2,x0) rows=4 binds=0 est=2.37\nestimated search cost: 11.7 (Σ intermediate cardinalities)\ndecomposition (width 3) rejected: est cost 11.7 ≥ backtracker 11.7\nworst-case-optimal join: order (x0,x1,x2), AGM bound 8 < worst-case backtracker 20\nestimated answer rows: 2.37"},
 		{"unsatisfiable", unsat, "engine: color-coding (Theorem 2, f(k)·n log n)\nquery size q=14, variables v=4\nunsatisfiable constraints: empty answer"},
 	}
+	// On a sparse uniform graph the AGM bound loses to the backtracker
+	// bound — the report must say so (and keep the generic engine).
+	sparse := workload.GraphDB(400, 800, 7)
+	cases = append(cases, struct {
+		name string
+		q    *pyquery.CQ
+		want string
+	}{"wcoj-rejected", workload.TriangleQuery(), "engine: generic backtracking join (n^O(q))\nquery size q=12, variables v=3\nplan (stats-driven join order):\n  1. E(x0,x1) rows=798 binds=2 est=798\n  2. E(x1,x2) rows=798 binds=1 est=1840\n  3. E(x2,x0) rows=798 binds=0 est=12.27\nestimated search cost: 2651 (Σ intermediate cardinalities)\ndecomposition (width 3) rejected: est cost 2651 ≥ backtracker 2651\nworst-case-optimal join rejected: AGM bound 2.254e+04 ≥ worst-case backtracker 1.676e+04\nestimated answer rows: 12.27"})
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			r, err := pyquery.PlanDB(tc.q, db)
+			tdb := db
+			if tc.name == "wcoj-rejected" {
+				tdb = sparse
+			}
+			r, err := pyquery.PlanDB(tc.q, tdb)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -16,6 +16,7 @@ import (
 	"pyquery/internal/parallel"
 	"pyquery/internal/query"
 	"pyquery/internal/relation"
+	"pyquery/internal/wcoj"
 	"pyquery/internal/yannakakis"
 )
 
@@ -84,6 +85,10 @@ type prepState struct {
 	// bag joins are paid at Prepare, per the compile/execute split).
 	tree *yannakakis.Tree
 	prog *core.Program // Theorem 2 color-coding program
+	// wc is the frozen leapfrog-triejoin plan (EngineWCOJ): the per-atom
+	// sorted tries are built at Prepare, executions only run the
+	// intersection search.
+	wc *wcoj.Compiled
 
 	// govRows/govBytes are the rows/bytes the governed compile step already
 	// materialized into the frozen template (decomposition bags). Every
@@ -192,6 +197,7 @@ func (p *Prepared) compile() (*prepState, error) {
 			st.unsat = true
 			break
 		}
+		degraded := false
 		if !opts.NoDecomp {
 			if rt, err := decomp.PlanFor(q, db); err == nil && rt.Use {
 				// The bag joins are the one compile step that materializes
@@ -207,6 +213,7 @@ func (p *Prepared) compile() (*prepState, error) {
 					if !opts.Degrade {
 						return nil, gerr
 					}
+					degraded = true
 				} else {
 					if tree != nil {
 						// Detach the compile meter: each execution forks the
@@ -217,6 +224,24 @@ func (p *Prepared) compile() (*prepState, error) {
 					st.govRows, st.govBytes = cm.Rows(), cm.Bytes()
 					break
 				}
+			}
+		}
+		// Second gate: a cyclic pure query the decomposition passed over may
+		// still beat the backtracker worst-case-optimally — weigh the AGM
+		// bound against the skew-aware backtracker bound and freeze the
+		// leapfrog plan (tries sorted here, at Prepare) when it wins. A
+		// degraded decomposition skips this: the budget already tripped once,
+		// and trie building materializes comparable state up front.
+		// Options.NoWCOJ (ablation A7) forces the generic fallback.
+		if !degraded && !opts.NoWCOJ {
+			if wr, err := wcoj.PlanFor(q, db); err == nil && wr.Use {
+				wc, err := wcoj.Compile(q, wr)
+				if err != nil {
+					return nil, err
+				}
+				st.engine = EngineWCOJ
+				st.wc = wc
+				break
 			}
 		}
 		st.engine = EngineGeneric
@@ -355,6 +380,8 @@ func (p *Prepared) execWith(ctx context.Context, st *prepState, vals []relation.
 		return query.NewTable(len(p.q.Head)), nil
 	case st.bt != nil:
 		return st.bt.Exec(ctx, vals, m)
+	case st.wc != nil:
+		return st.wc.Exec(ctx, parallel.Workers(p.opts.Parallelism), m)
 	case st.prog != nil:
 		if m != nil {
 			return st.prog.ExecMeter(ctx, m)
@@ -393,6 +420,8 @@ func (p *Prepared) ExecBool(ctx context.Context, args ...Arg) (ok bool, err erro
 		return false, nil
 	case st.bt != nil:
 		return st.bt.ExecBool(ectx, vals, m)
+	case st.wc != nil:
+		return st.wc.ExecBool(ectx, m)
 	case st.prog != nil:
 		if m != nil {
 			return st.prog.ExecBoolMeter(ectx, m)

@@ -147,6 +147,38 @@ func TestPreparedEquivDecomp(t *testing.T) {
 	}
 }
 
+// The worst-case-optimal class: dense skewed hub graphs route triangle and
+// clique queries to the leapfrog engine, whose frozen tries must keep
+// answering like the one-shot path across repeats, parallelism, and
+// streaming.
+func TestPreparedEquivWCOJ(t *testing.T) {
+	for i, q := range []*pyquery.CQ{workload.TriangleQuery(), workload.CliqueQuery(4)} {
+		db := workload.HubGraphDB(120+20*i, 5)
+		p, err := pyquery.Prepare(q, db, pyquery.Options{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.Engine(); got != pyquery.EngineWCOJ {
+			t.Fatalf("case %d: prepared engine %v, want wcoj", i, got)
+		}
+		assertPreparedAgrees(t, fmt.Sprintf("wcoj/case=%d", i), q, db)
+		// The A7 ablation must re-route to the backtracker with the same
+		// answers.
+		pa, err := pyquery.Prepare(q, db, pyquery.Options{Parallelism: 1, NoWCOJ: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := pa.Engine(); got == pyquery.EngineWCOJ {
+			t.Fatalf("case %d: NoWCOJ still routed to wcoj", i)
+		}
+		want := oneShot(t, q, db, 1)
+		got, err := pa.Exec(context.Background())
+		if err != nil || !relation.EqualSet(got, want) {
+			t.Fatalf("case %d: NoWCOJ answer drifted (%v)", i, err)
+		}
+	}
+}
+
 // Parameter bindings must answer exactly like the same template with the
 // constants inlined, for every engine class's parameterized variant.
 func TestPreparedParamsMatchInlinedConstants(t *testing.T) {
@@ -467,6 +499,7 @@ func TestPreparedCanceledContext(t *testing.T) {
 		{"comparisons", cmp, db},
 		{"generic", tri, tridb},
 		{"decomp", cyc, tridb},
+		{"wcoj", workload.TriangleQuery(), workload.HubGraphDB(150, 5)},
 	} {
 		p, err := pyquery.Prepare(tc.q, tc.db, pyquery.Options{})
 		if err != nil {

@@ -2,7 +2,7 @@
 // query evaluation, reproducing Papadimitriou & Yannakakis, "On the
 // Complexity of Database Queries" (PODS 1997 / JCSS 1999).
 //
-// The package exposes five engines behind one Evaluate call:
+// The package exposes six engines behind one Evaluate call:
 //
 //   - Yannakakis' acyclic-join algorithm for pure acyclic conjunctive
 //     queries (polynomial in input + output);
@@ -14,6 +14,10 @@
 //     generalized hypertree width ≤ 3 (bags materialized by hash joins,
 //     then the shared Yannakakis passes — polynomial for fixed width,
 //     cost-gated against the backtracker estimate);
+//   - a worst-case-optimal leapfrog-triejoin engine for dense cyclic pure
+//     queries: sorted-trie intersections under one global variable order,
+//     running in Õ(AGM bound) — selected when that bound beats the
+//     backtracker's skew-aware worst case;
 //   - generic backtracking join for everything else (the n^{O(q)} baseline
 //     whose exponent Theorem 1 classifies as inherent).
 //
@@ -37,6 +41,7 @@ import (
 	"pyquery/internal/plan"
 	"pyquery/internal/query"
 	"pyquery/internal/relation"
+	"pyquery/internal/wcoj"
 )
 
 // Re-exported core types. Downstream code uses pyquery.CQ etc.; the
@@ -126,6 +131,13 @@ const (
 	// cost gate in PlanDB/EvaluateOpts may still keep the backtracker when
 	// the bag estimates lose (and Options.NoDecomp forces that fallback).
 	EngineDecomp
+	// EngineWCOJ: cyclic pure query the decomposition engine passed over,
+	// whose AGM fractional-cover bound beats the backtracker's skew-aware
+	// worst-case cost — evaluated by leapfrog triejoin over sorted tries, in
+	// time Õ(AGM). Database-dependent, so only PlanDB/EvaluateOpts report it
+	// (Plan's query-only classification cannot); Options.NoWCOJ forces the
+	// generic fallback.
+	EngineWCOJ
 )
 
 func (e Engine) String() string {
@@ -140,6 +152,8 @@ func (e Engine) String() string {
 		return "generic backtracking join (n^O(q))"
 	case EngineDecomp:
 		return "hypertree decomposition (bag join + Yannakakis, width ≤ 3)"
+	case EngineWCOJ:
+		return "worst-case-optimal join (leapfrog triejoin, Õ(AGM bound))"
 	}
 	return "unknown"
 }
@@ -299,6 +313,14 @@ type PlanReport struct {
 	DecompCost float64
 	// RootBag indexes Bags at the weighted bag-tree root (-1 otherwise).
 	RootBag int
+	// AGMCost, WorstCost, and WCOJOrder describe the worst-case-optimal
+	// route of a cyclic pure query the decomposition engine passed over:
+	// the AGM fractional-cover bound on the join's output, the skew-aware
+	// worst-case cost of the backtracker it was weighed against, and the
+	// global variable order (all zero/empty when wcoj was not considered).
+	// Engine is EngineWCOJ exactly when AGMCost strictly beat WorstCost.
+	AGMCost, WorstCost float64
+	WCOJOrder          string
 	// EstRows is the estimated answer cardinality.
 	EstRows float64
 	// EstCost is the plan's cost annotation: the sum of estimated
@@ -369,36 +391,58 @@ func PlanDB(q *CQ, db *DB) (*PlanReport, error) {
 		rt, err := decomp.PlanFor(q, db)
 		if err != nil {
 			r.Engine = EngineGeneric
-			return r, nil
-		}
-		r.Width = rt.Width
-		r.DecompCost = rt.Cost
-		for _, bag := range rt.Bags {
-			pb := PlanBag{Atoms: bag.Guards, Est: bag.Est}
-			var lb, vb strings.Builder
-			lb.WriteByte('{')
-			for i, ai := range bag.Guards {
-				if i > 0 {
-					lb.WriteString(", ")
-				}
-				lb.WriteString(q.Atoms[ai].String())
-			}
-			lb.WriteByte('}')
-			vb.WriteByte('(')
-			for i, v := range bag.Vars {
-				if i > 0 {
-					vb.WriteByte(',')
-				}
-				fmt.Fprintf(&vb, "x%d", v)
-			}
-			vb.WriteByte(')')
-			pb.Label, pb.Vars = lb.String(), vb.String()
-			r.Bags = append(r.Bags, pb)
-		}
-		if rt.Use {
-			r.RootBag = rt.Root
 		} else {
-			r.Engine = EngineGeneric
+			r.Width = rt.Width
+			r.DecompCost = rt.Cost
+			for _, bag := range rt.Bags {
+				pb := PlanBag{Atoms: bag.Guards, Est: bag.Est}
+				var lb, vb strings.Builder
+				lb.WriteByte('{')
+				for i, ai := range bag.Guards {
+					if i > 0 {
+						lb.WriteString(", ")
+					}
+					lb.WriteString(q.Atoms[ai].String())
+				}
+				lb.WriteByte('}')
+				vb.WriteByte('(')
+				for i, v := range bag.Vars {
+					if i > 0 {
+						vb.WriteByte(',')
+					}
+					fmt.Fprintf(&vb, "x%d", v)
+				}
+				vb.WriteByte(')')
+				pb.Label, pb.Vars = lb.String(), vb.String()
+				r.Bags = append(r.Bags, pb)
+			}
+			if rt.Use {
+				r.RootBag = rt.Root
+			} else {
+				r.Engine = EngineGeneric
+			}
+		}
+		// Cyclic pure query without a winning decomposition: weigh the AGM
+		// bound against the backtracker's worst case — the wcoj gate. Both
+		// are bounds (not estimates), so this comparison is like-for-like
+		// and independent of the estimate-based EstCost above.
+		if r.Engine == EngineGeneric {
+			if wr, err := wcoj.PlanFor(q, db); err == nil {
+				r.AGMCost, r.WorstCost = wr.Cost, wr.WorstCost
+				var ob strings.Builder
+				ob.WriteByte('(')
+				for i, v := range wr.Order {
+					if i > 0 {
+						ob.WriteByte(',')
+					}
+					fmt.Fprintf(&ob, "x%d", v)
+				}
+				ob.WriteByte(')')
+				r.WCOJOrder = ob.String()
+				if wr.Use {
+					r.Engine = EngineWCOJ
+				}
+			}
 		}
 	}
 	return r, nil
@@ -438,6 +482,15 @@ func (r *PlanReport) String() string {
 		} else {
 			fmt.Fprintf(&b, "\ndecomposition (width %d) rejected: est cost %s ≥ backtracker %s",
 				r.Width, fmtEst(r.DecompCost), fmtEst(r.EstCost))
+		}
+	}
+	if r.WCOJOrder != "" {
+		if r.Engine == EngineWCOJ {
+			fmt.Fprintf(&b, "\nworst-case-optimal join: order %s, AGM bound %s < worst-case backtracker %s",
+				r.WCOJOrder, fmtEst(r.AGMCost), fmtEst(r.WorstCost))
+		} else {
+			fmt.Fprintf(&b, "\nworst-case-optimal join rejected: AGM bound %s ≥ worst-case backtracker %s",
+				fmtEst(r.AGMCost), fmtEst(r.WorstCost))
 		}
 	}
 	if r.RootAtom >= 0 {
