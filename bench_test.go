@@ -1,4 +1,4 @@
-// Benchmarks, one per experiment of EXPERIMENTS.md (E1–E10, A1–A6) plus
+// Benchmarks, one per experiment of EXPERIMENTS.md (E1–E11, A1–A6) plus
 // engine micro-benchmarks. cmd/benchrunner produces the full sweep tables;
 // these targets pin each experiment's workload into `go test -bench`.
 package pyquery_test
@@ -350,6 +350,56 @@ func BenchmarkE10_WCOJ(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := pyquery.EvaluateOpts(tc.q, tc.db, pyquery.Options{Parallelism: 1, NoWCOJ: true}); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E11: incremental view maintenance, 1-row update -----------------------
+
+// BenchmarkE11_Refresh prices one 1-row update (alternating insert/delete of
+// the same edge, so the database size is pinned) plus bringing a standing
+// query's answer current: delta Refresh vs. full re-execution of the same
+// prepared statement. cmd/benchrunner -exp E11 produces the full table.
+func BenchmarkE11_Refresh(b *testing.B) {
+	q := &pyquery.CQ{
+		Head: []pyquery.Term{pyquery.V(0), pyquery.V(2)},
+		Atoms: []pyquery.Atom{
+			pyquery.NewAtom("E", pyquery.V(0), pyquery.V(1)),
+			pyquery.NewAtom("E", pyquery.V(1), pyquery.V(2)),
+		},
+	}
+	extra := []pyquery.Value{9001, 9002}
+	ctx := context.Background()
+	for _, mode := range []string{"refresh", "reexec"} {
+		b.Run(mode, func(b *testing.B) {
+			db := workload.GraphDB(400, 400*12, 93)
+			p, err := pyquery.Prepare(q, db, pyquery.Options{Parallelism: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := p.Refresh(ctx); err != nil {
+				b.Fatal(err)
+			}
+			flip := false
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if flip {
+					db.Delete("E", extra)
+				} else {
+					db.Insert("E", extra)
+				}
+				flip = !flip
+				if mode == "refresh" {
+					if _, _, err := p.Refresh(ctx); err != nil {
+						b.Fatal(err)
+					}
+				} else {
+					if _, err := p.Exec(ctx); err != nil {
+						b.Fatal(err)
+					}
 				}
 			}
 		})

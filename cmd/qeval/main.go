@@ -6,6 +6,12 @@
 // Each -rel flag names a relation and a CSV file; integer fields stay
 // numeric, other fields are interned symbols. The engine is chosen
 // automatically (see -explain) or forced with -engine.
+//
+// With -watch the command becomes a standing query: it prints the initial
+// answer, then polls the CSV files and, when one changes, reloads it, diffs
+// it against the loaded relation, applies the exact tuple deltas, and
+// incrementally refreshes the answer — printing only the rows that appeared
+// (+) or disappeared (-).
 package main
 
 import (
@@ -14,7 +20,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"pyquery"
@@ -50,6 +58,8 @@ func main() {
 	maxRows := flag.Int64("max-rows", 0, "abort after materializing this many rows (0 = no limit; auto engine only)")
 	memLimit := flag.Int64("mem-limit", 0, "abort after approximately this many materialized bytes (0 = no limit; auto engine only)")
 	degrade := flag.Bool("degrade", false, "when a decomposition blows the budget at prepare time, fall back to the backtracker instead of failing")
+	watch := flag.Bool("watch", false, "keep running: poll the -rel files, apply tuple deltas on change, and refresh the answer incrementally")
+	interval := flag.Duration("interval", 500*time.Millisecond, "poll interval for -watch")
 	flag.Var(&rels, "rel", "NAME=FILE.csv (repeatable)")
 	flag.Parse()
 
@@ -82,6 +92,9 @@ func main() {
 	}
 
 	if *fo {
+		if *watch {
+			fatal(errors.New("-watch supports conjunctive queries only (not -fo)"))
+		}
 		q, err := p.ParseFOQuery(*queryText)
 		if err != nil {
 			fatal(err)
@@ -110,6 +123,14 @@ func main() {
 		} else {
 			fmt.Println(pyquery.Explain(q))
 		}
+	}
+
+	if *watch {
+		if *repeat > 0 || *engine != "auto" {
+			fatal(errors.New("-watch works with the auto engine and excludes -repeat"))
+		}
+		runWatch(q, db, syms, rels, *interval)
+		return
 	}
 
 	if *repeat > 0 {
@@ -172,6 +193,151 @@ func main() {
 	printResult(res, syms, *boolOnly)
 	if report != nil && !*boolOnly && res.Width() > 0 {
 		fmt.Printf("cardinality: estimated %.0f, actual %d\n", report.EstRows, res.Len())
+	}
+}
+
+// runWatch turns qeval into a standing query: it prints the initial answer,
+// then polls the -rel files and, whenever one's mtime or size changes,
+// reloads the CSV, diffs it against the relation currently loaded, applies
+// the exact tuple deltas (so the prepared statement's incremental
+// maintenance sees O(Δ) work, not a wholesale replacement), and refreshes —
+// printing only the appeared/disappeared rows. Ctrl-C exits.
+func runWatch(q *pyquery.CQ, db *pyquery.DB, syms *parser.Symbols, rels []string, every time.Duration) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	type watched struct {
+		name, path string
+		mtime      time.Time
+		size       int64
+	}
+	var files []*watched
+	for _, spec := range rels {
+		parts := strings.SplitN(spec, "=", 2)
+		st, err := os.Stat(parts[1])
+		if err != nil {
+			fatal(err)
+		}
+		files = append(files, &watched{name: parts[0], path: parts[1], mtime: st.ModTime(), size: st.Size()})
+	}
+
+	prep, err := pyquery.Prepare(q, db, govOpts)
+	if err != nil {
+		fatal(err)
+	}
+	added, _, err := prep.Refresh(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	printResult(added, syms, false)
+
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		changed := false
+		for _, f := range files {
+			st, err := os.Stat(f.path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "qeval: %s: %v (keeping previous contents)\n", f.path, err)
+				continue
+			}
+			if st.ModTime().Equal(f.mtime) && st.Size() == f.size {
+				continue
+			}
+			f.mtime, f.size = st.ModTime(), st.Size()
+			if err := applyFileDelta(db, f.name, f.path, syms); err != nil {
+				fmt.Fprintf(os.Stderr, "qeval: %s: %v (keeping previous contents)\n", f.path, err)
+				continue
+			}
+			changed = true
+		}
+		if !changed {
+			continue
+		}
+		added, removed, err := prep.Refresh(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			fatal(err)
+		}
+		printChange(added, removed, syms)
+	}
+}
+
+// applyFileDelta reloads one CSV and converts the file-level change into
+// tuple-level Insert/Delete calls against the loaded relation. If the file's
+// arity changed, the relation is replaced wholesale (the refresh then falls
+// back to a rebuild).
+func applyFileDelta(db *pyquery.DB, name, path string, syms *parser.Symbols) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	scratch := pyquery.NewDB()
+	err = parser.LoadCSV(scratch, name, f, syms)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	nu := scratch.MustRel(name).Dedup()
+	old, ok := db.Rel(name)
+	if !ok || old.Width() != nu.Width() {
+		db.Set(name, nu)
+		return nil
+	}
+	inOld := relation.NewTupleMapSized(old.Width(), old.Len())
+	for i := 0; i < old.Len(); i++ {
+		inOld.Set(old.Row(i), 1)
+	}
+	inNew := relation.NewTupleMapSized(nu.Width(), nu.Len())
+	var adds [][]pyquery.Value
+	for i := 0; i < nu.Len(); i++ {
+		row := nu.Row(i)
+		inNew.Set(row, 1)
+		if _, ok := inOld.Get(row); !ok {
+			adds = append(adds, row)
+		}
+	}
+	var dels [][]pyquery.Value
+	for i := 0; i < old.Len(); i++ {
+		row := old.Row(i)
+		if _, ok := inNew.Get(row); !ok {
+			// Copy: Delete swap-removes inside the relation backing old.
+			dels = append(dels, append([]pyquery.Value(nil), row...))
+		}
+	}
+	db.Delete(name, dels...)
+	db.Insert(name, adds...)
+	return nil
+}
+
+// printChange renders one refresh's delta: appeared rows with a leading +,
+// disappeared rows with a leading -. Boolean (width-0) standing queries
+// print the new truth value instead.
+func printChange(added, removed *relation.Relation, syms *parser.Symbols) {
+	if added.Width() == 0 {
+		if added.Len() > 0 {
+			fmt.Println("true")
+		} else if removed.Len() > 0 {
+			fmt.Println("false")
+		}
+		return
+	}
+	for _, sign := range []struct {
+		mark string
+		rel  *relation.Relation
+	}{{"-", removed}, {"+", added}} {
+		for _, line := range strings.Split(parser.FormatRelation(sign.rel.Sort(), syms), "\n") {
+			if line != "" {
+				fmt.Println(sign.mark, line)
+			}
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package pyquery_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -191,6 +192,142 @@ func TestEngineDifferentialFuzz(t *testing.T) {
 	} {
 		if seenEngine[e] == 0 {
 			t.Fatalf("differential fuzz never routed to %v — generator coverage drifted (%v)", e, seenEngine)
+		}
+	}
+	t.Logf("engine coverage over %d cases: %v", cases, seenEngine)
+}
+
+// TestRefreshEquivalenceFuzz is the update-equivalence dimension of the
+// differential suite: the same shape generator, but each instance now
+// lives through random Insert/Delete/Set sequences with Prepared.Refresh
+// interleaved. The incrementally maintained view (the folded Refresh
+// deltas) must stay set-equal to a fresh prepare-and-execute after every
+// batch, at Parallelism 1 and 3, and the deltas themselves must be exact —
+// added tuples new, removed tuples present. Engine-class coverage is
+// asserted like the one-shot suite so routing drift cannot shrink it.
+func TestRefreshEquivalenceFuzz(t *testing.T) {
+	cases := 84
+	rounds := 6
+	if testing.Short() {
+		cases, rounds = 28, 4
+	}
+	seenEngine := map[pyquery.Engine]int{}
+	for seed := 0; seed < cases; seed++ {
+		rnd := rand.New(rand.NewSource(int64(1000 + seed)))
+		q, db := fuzzInstance(rnd, seed%numFuzzShapes)
+		tag := fmt.Sprintf("seed=%d q=%v", seed, q)
+		r, err := pyquery.PlanDB(q, db)
+		if err != nil {
+			t.Fatalf("%s plan: %v", tag, err)
+		}
+		seenEngine[r.Engine]++
+
+		// The relations the query reads, for targeted mutations.
+		var rels []string
+		seen := map[string]bool{}
+		for _, a := range q.Atoms {
+			if !seen[a.Rel] {
+				seen[a.Rel] = true
+				rels = append(rels, a.Rel)
+			}
+		}
+		mutate := func() {
+			name := rels[rnd.Intn(len(rels))]
+			rel, _ := db.Rel(name)
+			w := rel.Width()
+			randRow := func() []pyquery.Value {
+				row := make([]pyquery.Value, w)
+				for i := range row {
+					row[i] = pyquery.Value(rnd.Intn(12))
+				}
+				return row
+			}
+			switch rnd.Intn(5) {
+			case 0: // delete an existing tuple, so deletions actually land
+				if rel.Len() > 0 {
+					row := append([]pyquery.Value(nil), rel.Row(rnd.Intn(rel.Len()))...)
+					db.Delete(name, row)
+				}
+			case 1:
+				db.Delete(name, randRow())
+			case 2: // wholesale replacement: forces the rebuild-and-diff path
+				nr := pyquery.NewTable(w)
+				for i := 0; i < 5+rnd.Intn(20); i++ {
+					nr.Append(randRow()...)
+				}
+				db.Set(name, nr.Dedup())
+			default:
+				db.Insert(name, randRow(), randRow())
+			}
+		}
+
+		for _, par := range []int{1, 3} {
+			p, err := pyquery.Prepare(q, db, pyquery.Options{Parallelism: par})
+			if err != nil {
+				t.Fatalf("%s prepare: %v", tag, err)
+			}
+			view := relation.NewTupleSet(len(q.Head))
+			viewRows := pyquery.NewTable(len(q.Head))
+			for round := 0; round <= rounds; round++ {
+				if round > 0 {
+					for n := 1 + rnd.Intn(3); n > 0; n-- {
+						mutate()
+					}
+				}
+				added, removed, err := p.Refresh(context.Background())
+				if err != nil {
+					t.Fatalf("%s par=%d round=%d refresh: %v", tag, par, round, err)
+				}
+				for i := 0; i < removed.Len(); i++ {
+					if !view.Contains(removed.Row(i)) {
+						t.Fatalf("%s par=%d round=%d: removed %v not in view", tag, par, round, removed.Row(i))
+					}
+				}
+				for i := 0; i < added.Len(); i++ {
+					if view.Contains(added.Row(i)) {
+						t.Fatalf("%s par=%d round=%d: added %v already in view", tag, par, round, added.Row(i))
+					}
+				}
+				next := pyquery.NewTable(len(q.Head))
+				rebuilt := relation.NewTupleSet(len(q.Head))
+				for i := 0; i < viewRows.Len(); i++ {
+					if !removed.Contains(viewRows.Row(i)) {
+						next.Append(viewRows.Row(i)...)
+						rebuilt.Add(viewRows.Row(i))
+					}
+				}
+				for i := 0; i < added.Len(); i++ {
+					next.Append(added.Row(i)...)
+					rebuilt.Add(added.Row(i))
+				}
+				viewRows, view = next, rebuilt
+
+				want, err := eval.ConjunctiveOpts(q, db, eval.Options{Parallelism: 1, NoReorder: true})
+				if err != nil {
+					t.Fatalf("%s round=%d baseline: %v", tag, round, err)
+				}
+				if !relation.EqualSet(viewRows.Sort(), want.Sort()) {
+					t.Fatalf("%s par=%d round=%d: maintained view drifts\nwant %v\ngot %v",
+						tag, par, round, want, viewRows)
+				}
+				// The prepared one-shot path must agree too (it shares the
+				// database the refresh just consumed the changelog of).
+				got, err := p.Exec(context.Background())
+				if err != nil {
+					t.Fatalf("%s par=%d round=%d exec: %v", tag, par, round, err)
+				}
+				if !relation.EqualSet(got.Sort(), want.Sort()) {
+					t.Fatalf("%s par=%d round=%d: exec drifts after refresh", tag, par, round)
+				}
+			}
+		}
+	}
+	for _, e := range []pyquery.Engine{
+		pyquery.EngineYannakakis, pyquery.EngineColorCoding, pyquery.EngineComparisons,
+		pyquery.EngineGeneric, pyquery.EngineDecomp, pyquery.EngineWCOJ,
+	} {
+		if seenEngine[e] == 0 {
+			t.Fatalf("refresh fuzz never routed to %v — generator coverage drifted (%v)", e, seenEngine)
 		}
 	}
 	t.Logf("engine coverage over %d cases: %v", cases, seenEngine)

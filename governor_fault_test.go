@@ -348,6 +348,196 @@ func TestDecompDegradeFallsBack(t *testing.T) {
 	}
 }
 
+// ivmCase is a maintainable standing query with a deterministic base state
+// and a mutation batch whose delta the maintenance refresh processes.
+type ivmCase struct {
+	name   string
+	q      *pyquery.CQ
+	setup  func() *pyquery.DB
+	mutate func(db *pyquery.DB)
+}
+
+// ivmCases covers the maintainable shapes: the acyclic path, the same path
+// with a comparison filter, and a triangle with a repeated relation (three
+// occurrences of E — the self-join case the telescoped delta rules handle).
+func ivmCases() []ivmCase {
+	cmp := pathQuery()
+	cmp.Cmps = []pyquery.Cmp{pyquery.Lt(pyquery.V(0), pyquery.V(3))}
+	pathSetup := func() *pyquery.DB {
+		db := pathDB(rand.New(rand.NewSource(9)))
+		db.Insert("R1", []pyquery.Value{0, 1})
+		return db
+	}
+	pathMutate := func(db *pyquery.DB) {
+		db.Delete("R1", []pyquery.Value{0, 1})
+		db.Insert("R0", []pyquery.Value{2, 3})
+		db.Insert("R2", []pyquery.Value{4, 5})
+	}
+	triSetup := func() *pyquery.DB {
+		db := pyquery.NewDB()
+		db.Set("E", randEdges(rand.New(rand.NewSource(11)), 200, 20))
+		db.Insert("E", []pyquery.Value{0, 1})
+		return db
+	}
+	triMutate := func(db *pyquery.DB) {
+		db.Delete("E", []pyquery.Value{0, 1})
+		db.Insert("E", []pyquery.Value{3, 17})
+	}
+	return []ivmCase{
+		{"path", pathQuery(), pathSetup, pathMutate},
+		{"cmp", cmp, pathSetup, pathMutate},
+		{"triangle", workload.TriangleQuery(), triSetup, triMutate},
+	}
+}
+
+// ivmOp is one full standing-query maintenance cycle from scratch: a fresh
+// database and Prepare, the initializing Refresh (rebuild), a mutation
+// batch, the delta Refresh, and a final Exec for the answer.
+func ivmOp(tc ivmCase, par int) (*pyquery.Relation, error) {
+	db := tc.setup()
+	p, err := pyquery.Prepare(tc.q, db, pyquery.Options{Parallelism: par})
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	if _, _, err := p.Refresh(ctx); err != nil {
+		return nil, err
+	}
+	tc.mutate(db)
+	if _, _, err := p.Refresh(ctx); err != nil {
+		return nil, err
+	}
+	return p.Exec(ctx)
+}
+
+// TestFaultSweepIVMRefresh extends the sweep to incremental maintenance:
+// a forced ErrRowLimit trip at each governor checkpoint a full maintenance
+// cycle crosses — the rebuild's reduce charges, every per-atom delta pass,
+// the batched delta-join charges, and the finish barrier. Each trip must
+// surface typed with an engine label, and a clean cycle afterwards still
+// produces the exact answer. The sweep must visit at least one "delta-pass"
+// checkpoint under the "ivm" engine label — the contract ISSUE 8 names.
+func TestFaultSweepIVMRefresh(t *testing.T) {
+	leakcheck.Check(t)
+	defer faults.Uninstall()
+	stepsSeen := map[string]bool{}
+	enginesSeen := map[string]bool{}
+	for _, tc := range ivmCases() {
+		for _, par := range []int{1, 3} {
+			faults.Uninstall()
+			want, err := ivmOp(tc, par)
+			if err != nil {
+				t.Fatalf("%s par=%d baseline: %v", tc.name, par, err)
+			}
+
+			counter := &faults.Injector{}
+			counter.Install()
+			if _, err := ivmOp(tc, par); err != nil {
+				t.Fatalf("%s par=%d counting run: %v", tc.name, par, err)
+			}
+			faults.Uninstall()
+			total := counter.Count()
+			if total == 0 {
+				t.Fatalf("%s par=%d maintenance cycle crossed no governor checkpoints", tc.name, par)
+			}
+
+			for _, k := range sweepPoints(total, 24) {
+				inj := &faults.Injector{Kind: governor.ErrRowLimit, At: k}
+				inj.Install()
+				_, err := ivmOp(tc, par)
+				faults.Uninstall()
+				if inj.Count() < k {
+					continue
+				}
+				if err == nil {
+					t.Fatalf("%s par=%d: injected trip at checkpoint %d/%d was swallowed", tc.name, par, k, total)
+				}
+				if !errors.Is(err, pyquery.ErrRowLimit) {
+					t.Fatalf("%s par=%d checkpoint %d/%d: got %v, want ErrRowLimit", tc.name, par, k, total, err)
+				}
+				var le *pyquery.LimitError
+				if !errors.As(err, &le) {
+					t.Fatalf("%s par=%d checkpoint %d/%d: not a *LimitError: %v", tc.name, par, k, total, err)
+				}
+				if le.Engine == "" {
+					t.Fatalf("%s par=%d checkpoint %d/%d: LimitError without engine label: %+v", tc.name, par, k, total, le)
+				}
+				stepsSeen[le.Step] = true
+				enginesSeen[le.Engine] = true
+			}
+
+			got, err := ivmOp(tc, par)
+			if err != nil {
+				t.Fatalf("%s par=%d clean run after sweep: %v", tc.name, par, err)
+			}
+			if !relation.EqualSet(got, want) {
+				t.Fatalf("%s par=%d: answer differs after fault sweep\nwant %v\ngot  %v", tc.name, par, want, got)
+			}
+		}
+	}
+	if !enginesSeen["ivm"] {
+		t.Fatalf("sweep never tripped a maintenance meter: engines %v", enginesSeen)
+	}
+	if !stepsSeen["delta-pass"] {
+		t.Fatalf("sweep never tripped a delta-pass checkpoint: steps %v", stepsSeen)
+	}
+}
+
+// TestFaultIVMRefreshRecovers: a trip mid-refresh must not poison the
+// statement — the SAME Prepared's next clean Refresh reports deltas
+// relative to the last successfully reported result, and folding them into
+// the subscriber's view reconverges with a fresh execution.
+func TestFaultIVMRefreshRecovers(t *testing.T) {
+	leakcheck.Check(t)
+	defer faults.Uninstall()
+	tc := ivmCases()[0]
+	db := tc.setup()
+	p, err := pyquery.Prepare(tc.q, db, pyquery.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	view := pyquery.NewTable(len(tc.q.Head))
+	fold := func() {
+		t.Helper()
+		added, removed, err := p.Refresh(ctx)
+		if err != nil {
+			t.Fatalf("Refresh: %v", err)
+		}
+		next := pyquery.NewTable(len(tc.q.Head))
+		for i := 0; i < view.Len(); i++ {
+			if !removed.Contains(view.Row(i)) {
+				next.Append(view.Row(i)...)
+			}
+		}
+		for i := 0; i < added.Len(); i++ {
+			next.Append(added.Row(i)...)
+		}
+		view = next
+	}
+	fold()
+	tc.mutate(db)
+
+	// Checkpoint 2 from here lands inside the delta refresh (1 is the
+	// "refresh" entry check, 2 the first per-atom delta pass).
+	inj := &faults.Injector{Kind: governor.ErrMemoryLimit, At: 2}
+	inj.Install()
+	_, _, err = p.Refresh(ctx)
+	faults.Uninstall()
+	if !errors.Is(err, pyquery.ErrMemoryLimit) {
+		t.Fatalf("tripped refresh: got %v, want ErrMemoryLimit", err)
+	}
+
+	fold()
+	want, err := pyquery.EvaluateOpts(tc.q, db, pyquery.Options{Parallelism: 1, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relation.EqualSet(view.Sort(), want.Sort()) {
+		t.Fatalf("view diverged after recovered trip\nwant %v\ngot  %v", want, view)
+	}
+}
+
 // TestPlanStateValidAfterTrip: a governed statement that trips must not
 // poison later statements for the same query — a fresh ungoverned Prepare
 // against the same database still answers correctly, and re-executing the

@@ -273,17 +273,27 @@ func evalNaive(ctx context.Context, p *Program, work *query.DB, cur map[string]*
 		if err != nil {
 			return err
 		}
-		grew := false
+		added := make(map[string]*relation.Relation)
 		for i, out := range outs {
-			dst := cur[firings[i].head.Rel]
+			name := firings[i].head.Rel
+			dst := cur[name]
 			for r := 0; r < out.Len(); r++ {
-				if dst.add(out.Row(r)) {
-					grew = true
+				row := out.Row(r)
+				if dst.add(row) {
+					if added[name] == nil {
+						added[name] = query.NewTable(dst.rel.Width())
+					}
+					added[name].Append(row...)
 				}
 			}
 		}
-		if !grew {
+		if len(added) == 0 {
 			return nil
+		}
+		// The tables grew in place; record the inserted tuples so the
+		// changelog and per-relation generations stay truthful.
+		for name, a := range added {
+			work.GrewInPlace(name, a)
 		}
 	}
 }
@@ -318,6 +328,9 @@ func evalSemiNaive(ctx context.Context, p *Program, idb map[string]int, work *qu
 				delta[name].Append(row...)
 			}
 		}
+	}
+	for name, d := range delta {
+		work.GrewInPlace(name, d)
 	}
 
 	// Recursive firings: one per IDB body position per rule, substituting
@@ -382,6 +395,7 @@ func evalSemiNaive(ctx context.Context, p *Program, idb map[string]int, work *qu
 			}
 			delta[name] = nd
 			work.Set(deltaName(name), nd)
+			work.GrewInPlace(name, nd)
 		}
 	}
 }

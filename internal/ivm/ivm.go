@@ -1,0 +1,740 @@
+// Package ivm maintains the materialized result of a conjunctive query
+// incrementally: instead of re-executing the join when base relations
+// change, it consumes the database changelog (query.DeltasSince) and
+// applies the classic counting delta rules. For a view R1 ⋈ … ⋈ Rk and a
+// batch of per-relation deltas, one rule per atom occurrence i joins
+// atom i's delta against the other k−1 atoms — occurrences before i
+// already folded to their new state, occurrences from i on still old —
+// which telescopes to the exact change of the join under ℤ-multiset
+// semantics. A per-result-tuple derivation count turns multiset changes
+// into set-level membership changes: a tuple enters the view when its
+// count rises above zero and leaves when it returns to zero.
+//
+// The deltas the rules consume are exact at the reduced-atom level:
+// ReduceAtom's projection is injective on the selected tuples (dropped
+// columns are constants or copies of a kept column), so a base-tuple
+// insert or delete maps to exactly one reduced-tuple insert or delete.
+//
+// Refreshes are priced with the planner's selectivity model
+// (plan.Maintenance): when the accumulated delta volume times the
+// per-tuple rule cost exceeds the estimated cost of re-executing from
+// scratch — or when the changelog has a gap or a wholesale Set — the
+// maintainer rebuilds and diffs against the last reported result, so
+// callers always see correct deltas regardless of the path taken.
+package ivm
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"pyquery/internal/eval"
+	"pyquery/internal/governor"
+	"pyquery/internal/parallel"
+	"pyquery/internal/plan"
+	"pyquery/internal/query"
+	"pyquery/internal/relation"
+	"pyquery/internal/stats"
+)
+
+// ErrNotMaintainable marks query shapes the delta rules cannot maintain —
+// currently queries with no relational atoms (their result is constant)
+// and queries with unbound parameters. Callers fall back to re-execution.
+var ErrNotMaintainable = errors.New("ivm: query not incrementally maintainable")
+
+// parallelThreshold is the delta size below which a rule runs serially —
+// fan-out bookkeeping costs more than it saves on tiny deltas.
+const parallelThreshold = 64
+
+// chargeBatch matches the engines' batched governor accounting: workers
+// charge the meter every chargeBatch enumerated assignments.
+const chargeBatch = 64
+
+// Maint incrementally maintains one query's materialized result against
+// one database. It is not safe for concurrent use; the prepared layer
+// serializes refreshes.
+type Maint struct {
+	q  *query.CQ
+	db *query.DB
+
+	names  map[string]bool
+	slotOf map[query.Var]int
+	nslots int
+	width  int
+
+	headSlots  []int // per head position: assignment slot, or −1 for a constant
+	headConsts []relation.Value
+	ineqs      []ineqCheck
+	cmps       []cmpCheck
+
+	atoms  []*atomState
+	counts *relation.TupleCounter // result tuple → derivation count
+	result *relation.Relation     // last reported result (set)
+	resPos *relation.TupleMap     // result tuple → row in result
+	price  *plan.MaintPlan        // refresh pricing, recomputed on rebuild
+
+	seq    uint64 // changelog watermark the state is current through
+	inited bool
+	broken bool // state corrupted by a failed refresh: rebuild next
+}
+
+type ineqCheck struct {
+	xSlot, ySlot int
+	c            relation.Value
+	yIsVar       bool
+}
+
+type cmpCheck struct {
+	lSlot, rSlot   int // −1 for constants
+	lConst, rConst relation.Value
+	strict         bool
+}
+
+// atomState is one atom occurrence's folded reduced relation: an
+// append-only row arena with tombstones, a tuple→row map, and growable
+// (unfrozen) probe indexes per column set. Rows never move between
+// compactions, so index entries stay valid; probes skip tombstoned rows.
+type atomState struct {
+	atom  query.Atom
+	vars  []query.Var
+	slots []int // assignment slot per reduced column
+
+	rel  *relation.Relation
+	dead []bool
+	live int
+	loc  *relation.TupleMap
+	idx  map[uint64]idxEntry
+}
+
+type idxEntry struct {
+	ix   *relation.TupleIndex
+	cols []int
+}
+
+// New builds a maintainer for q over db. The query must be parameter-free
+// and have at least one relational atom; otherwise ErrNotMaintainable.
+// No state is materialized until the first Refresh.
+func New(q *query.CQ, db *query.DB) (*Maint, error) {
+	if len(q.Atoms) == 0 {
+		return nil, ErrNotMaintainable
+	}
+	if len(q.Params()) > 0 {
+		return nil, ErrNotMaintainable
+	}
+	if err := q.Validate(db); err != nil {
+		return nil, err
+	}
+	m := &Maint{
+		q: q, db: db,
+		names:  make(map[string]bool, len(q.Atoms)),
+		slotOf: make(map[query.Var]int),
+		width:  len(q.Head),
+	}
+	for _, v := range q.BodyVars() {
+		m.slotOf[v] = m.nslots
+		m.nslots++
+	}
+	for _, a := range q.Atoms {
+		m.names[a.Rel] = true
+	}
+	m.headSlots = make([]int, len(q.Head))
+	m.headConsts = make([]relation.Value, len(q.Head))
+	for i, t := range q.Head {
+		if t.IsVar {
+			m.headSlots[i] = m.slotOf[t.Var]
+		} else {
+			m.headSlots[i] = -1
+			m.headConsts[i] = t.Const
+		}
+	}
+	for _, iq := range q.Ineqs {
+		c := ineqCheck{xSlot: m.slotOf[iq.X], c: iq.C, yIsVar: iq.YIsVar}
+		if iq.YIsVar {
+			c.ySlot = m.slotOf[iq.Y]
+		}
+		m.ineqs = append(m.ineqs, c)
+	}
+	for _, cp := range q.Cmps {
+		c := cmpCheck{lSlot: -1, rSlot: -1, strict: cp.Strict}
+		if cp.Left.IsVar {
+			c.lSlot = m.slotOf[cp.Left.Var]
+		} else {
+			c.lConst = cp.Left.Const
+		}
+		if cp.Right.IsVar {
+			c.rSlot = m.slotOf[cp.Right.Var]
+		} else {
+			c.rConst = cp.Right.Const
+		}
+		m.cmps = append(m.cmps, c)
+	}
+	return m, nil
+}
+
+// Names returns the set of base relations the view depends on.
+func (m *Maint) Names() map[string]bool { return m.names }
+
+// Result returns the maintained result as of the last successful Refresh.
+// The relation is owned by the maintainer; callers must not modify it.
+func (m *Maint) Result() *relation.Relation { return m.result }
+
+// Refresh brings the materialized result up to date with the database and
+// returns the exact tuple-level change: tuples that entered and tuples
+// that left since the previous successful Refresh. The first call
+// materializes the view and returns it wholesale as added. When the
+// changelog cannot serve the refresh (gap, wholesale Set) or the priced
+// delta volume exceeds re-execution, it transparently rebuilds and diffs.
+// workers bounds rule-level parallelism (≤1 means serial); meter may be
+// nil for ungoverned refreshes.
+func (m *Maint) Refresh(ctx context.Context, meter *governor.Meter, workers int) (added, removed *relation.Relation, err error) {
+	if err := meter.Check("refresh"); err != nil {
+		return nil, nil, err
+	}
+	if !m.inited || m.broken {
+		return m.rebuild(ctx, meter, workers)
+	}
+	ds, ok := m.db.DeltasSince(m.seq, m.names)
+	if !ok {
+		return m.rebuild(ctx, meter, workers)
+	}
+	newSeq := m.db.Seq()
+	if len(ds) == 0 {
+		m.seq = newSeq
+		return query.NewTable(m.width), query.NewTable(m.width), nil
+	}
+
+	// Consolidate the batch into one signed tuple counter per relation,
+	// then push each net delta through every dependent atom's selection
+	// and projection. Net counts are ±1 (the DB enforces set semantics).
+	net := make(map[string]*relation.TupleCounter)
+	for _, d := range ds {
+		c := net[d.Rel]
+		if c == nil {
+			w := 0
+			if d.Added != nil {
+				w = d.Added.Width()
+			} else {
+				w = d.Removed.Width()
+			}
+			c = relation.NewTupleCounter(w)
+			net[d.Rel] = c
+		}
+		if d.Added != nil {
+			for i := 0; i < d.Added.Len(); i++ {
+				c.Add(d.Added.Row(i), 1)
+			}
+		}
+		if d.Removed != nil {
+			for i := 0; i < d.Removed.Len(); i++ {
+				c.Add(d.Removed.Row(i), -1)
+			}
+		}
+	}
+	plus := make([]*relation.Relation, len(m.atoms))
+	minus := make([]*relation.Relation, len(m.atoms))
+	deltaVolume := 0.0
+	for i, st := range m.atoms {
+		plus[i], minus[i] = st.reduceDelta(net[st.atom.Rel])
+		deltaVolume += float64(plus[i].Len()+minus[i].Len()) * m.price.RuleCost[i]
+	}
+	if deltaVolume > m.price.ReexecCost {
+		return m.rebuild(ctx, meter, workers)
+	}
+
+	touched := relation.NewTupleCounter(m.width)
+	for i := range m.atoms {
+		if plus[i].Len() == 0 && minus[i].Len() == 0 {
+			continue
+		}
+		if err := meter.Check("delta-pass"); err != nil {
+			m.broken = true
+			return nil, nil, err
+		}
+		steps := m.ruleSteps(i)
+		if err := m.runRule(steps, m.atoms[i], minus[i], -1, touched, meter, workers); err != nil {
+			m.broken = true
+			return nil, nil, err
+		}
+		if err := m.runRule(steps, m.atoms[i], plus[i], +1, touched, meter, workers); err != nil {
+			m.broken = true
+			return nil, nil, err
+		}
+		// Fold the delta into atom i's state: rules for later atoms must
+		// see occurrence i at its new contents (the telescoping product
+		// rule), and the counts already reflect this delta.
+		if !m.atoms[i].fold(plus[i], minus[i]) {
+			m.broken = true
+			return m.rebuild(ctx, meter, workers)
+		}
+	}
+	if err := meter.Check("finish"); err != nil {
+		m.broken = true
+		return nil, nil, err
+	}
+
+	// Membership changes: a touched tuple is in the view iff its count is
+	// positive; reconcile against the reported result.
+	added = query.NewTable(m.width)
+	removed = query.NewTable(m.width)
+	touched.Each(func(row []relation.Value, _ int64) bool {
+		want := m.counts.Count(row) > 0
+		p, have := m.resPos.Get(row)
+		switch {
+		case want && !have:
+			m.resPos.Set(row, int32(m.result.Len()))
+			m.result.Append(row...)
+			added.Append(row...)
+		case !want && have:
+			last := m.result.Len() - 1
+			if int(p) != last {
+				m.resPos.Set(m.result.Row(last), p)
+			}
+			m.resPos.Delete(row)
+			m.result.SwapRemove(int(p))
+			removed.Append(row...)
+		}
+		return true
+	})
+	m.seq = newSeq
+	return added, removed, nil
+}
+
+// rebuild rematerializes every atom state and the derivation counts from
+// the current database, then diffs the fresh result against the last
+// reported one. It is both the first-Refresh initializer and the fallback
+// for unpriceable or unserviceable deltas.
+func (m *Maint) rebuild(ctx context.Context, meter *governor.Meter, workers int) (added, removed *relation.Relation, err error) {
+	m.broken = true // stays set unless the rebuild completes
+	seq := m.db.Seq()
+	atoms := make([]*atomState, len(m.q.Atoms))
+	reduced := 0
+	for i, a := range m.q.Atoms {
+		rel, vars := eval.ReduceAtom(a, m.db)
+		st := &atomState{atom: a, vars: vars, slots: make([]int, len(vars)), idx: make(map[uint64]idxEntry)}
+		for k, v := range vars {
+			st.slots[k] = m.slotOf[v]
+		}
+		st.rel = rel
+		st.live = rel.Len()
+		st.dead = make([]bool, rel.Len())
+		st.loc = relation.NewTupleMapSized(rel.Width(), rel.Len())
+		for r := 0; r < rel.Len(); r++ {
+			st.loc.Set(rel.Row(r), int32(r))
+		}
+		atoms[i] = st
+		reduced += rel.Len()
+	}
+	if err := meter.Charge(int64(reduced), governor.RelBytes(reduced, m.nslots), "reduce"); err != nil {
+		return nil, nil, err
+	}
+	m.atoms = atoms
+	m.counts = relation.NewTupleCounter(m.width)
+	m.price = plan.Maintenance(m.planInputs(), m.q.HeadVars())
+	// Initialize the counts by running the last atom's delta rule with its
+	// entire reduced relation as the inserted delta: occurrences before it
+	// are fully folded and it never probes itself, so every satisfying
+	// assignment is counted exactly once. On error the broken flag stays
+	// set (the reported result is untouched) and the next Refresh retries
+	// the rebuild from scratch.
+	last := len(atoms) - 1
+	if err := meter.Check("delta-pass"); err != nil {
+		return nil, nil, err
+	}
+	touched := relation.NewTupleCounter(m.width)
+	if err := m.runRule(m.ruleSteps(last), atoms[last], atoms[last].rel, +1, touched, meter, workers); err != nil {
+		return nil, nil, err
+	}
+	if err := meter.Check("finish"); err != nil {
+		return nil, nil, err
+	}
+	// Fresh result from the counts, then diff against the reported one.
+	result := query.NewTable(m.width)
+	pos := relation.NewTupleMap(m.width)
+	m.counts.Each(func(row []relation.Value, n int64) bool {
+		if n > 0 {
+			pos.Set(row, int32(result.Len()))
+			result.Append(row...)
+		}
+		return true
+	})
+	added = query.NewTable(m.width)
+	removed = query.NewTable(m.width)
+	for i := 0; i < result.Len(); i++ {
+		row := result.Row(i)
+		if m.resPos == nil {
+			added.Append(row...)
+			continue
+		}
+		if _, ok := m.resPos.Get(row); !ok {
+			added.Append(row...)
+		}
+	}
+	if m.result != nil {
+		for i := 0; i < m.result.Len(); i++ {
+			row := m.result.Row(i)
+			if _, ok := pos.Get(row); !ok {
+				removed.Append(row...)
+			}
+		}
+	}
+	m.result, m.resPos = result, pos
+	m.seq = seq
+	m.inited = true
+	m.broken = false
+	return added, removed, nil
+}
+
+func atomMatches(a query.Atom, firstPos map[query.Var]int, row []relation.Value) bool {
+	for j, t := range a.Args {
+		if t.IsVar {
+			if row[firstPos[t.Var]] != row[j] {
+				return false
+			}
+		} else if row[j] != t.Const {
+			return false
+		}
+	}
+	return true
+}
+
+// reduceDelta maps a signed base-relation delta through the atom's
+// selection and projection. Because the projection is injective on the
+// selected tuples, each base change yields at most one reduced change.
+func (s *atomState) reduceDelta(net *relation.TupleCounter) (plus, minus *relation.Relation) {
+	plus = relation.New(s.rel.Schema())
+	minus = relation.New(s.rel.Schema())
+	if net == nil {
+		return plus, minus
+	}
+	firstPos := make(map[query.Var]int, len(s.atom.Args))
+	for i, t := range s.atom.Args {
+		if t.IsVar {
+			if _, ok := firstPos[t.Var]; !ok {
+				firstPos[t.Var] = i
+			}
+		}
+	}
+	buf := make([]relation.Value, len(s.vars))
+	net.Each(func(row []relation.Value, n int64) bool {
+		if n == 0 || !atomMatches(s.atom, firstPos, row) {
+			return true
+		}
+		for j, v := range s.vars {
+			buf[j] = row[firstPos[v]]
+		}
+		if n > 0 {
+			plus.Append(buf...)
+		} else {
+			minus.Append(buf...)
+		}
+		return true
+	})
+	return plus, minus
+}
+
+// fold applies the atom's own delta to its state: removed tuples are
+// tombstoned, added tuples appended to the arena and to every cached
+// index. It reports false when the delta contradicts the state (a remove
+// of an unknown tuple or an add of a present one) — the caller rebuilds.
+func (s *atomState) fold(plus, minus *relation.Relation) bool {
+	for i := 0; i < minus.Len(); i++ {
+		row := minus.Row(i)
+		id, ok := s.loc.Get(row)
+		if !ok {
+			return false
+		}
+		s.dead[id] = true
+		s.live--
+		s.loc.Delete(row)
+	}
+	for i := 0; i < plus.Len(); i++ {
+		row := plus.Row(i)
+		if _, dup := s.loc.Get(row); dup {
+			return false
+		}
+		id := int32(s.rel.Len())
+		s.rel.Append(row...)
+		s.dead = append(s.dead, false)
+		s.live++
+		s.loc.Set(row, id)
+		for _, e := range s.idx {
+			key := make([]relation.Value, len(e.cols))
+			for k, c := range e.cols {
+				key[k] = row[c]
+			}
+			e.ix.Add(key, id)
+		}
+	}
+	s.maybeCompact()
+	return true
+}
+
+// maybeCompact rebuilds the arena when tombstones dominate, dropping the
+// cached indexes (they reference retired row ids).
+func (s *atomState) maybeCompact() {
+	deadCount := s.rel.Len() - s.live
+	if deadCount <= 64 || deadCount <= s.live {
+		return
+	}
+	fresh := relation.New(s.rel.Schema())
+	loc := relation.NewTupleMapSized(s.rel.Width(), s.live)
+	for i := 0; i < s.rel.Len(); i++ {
+		if s.dead[i] {
+			continue
+		}
+		loc.Set(s.rel.Row(i), int32(fresh.Len()))
+		fresh.Append(s.rel.Row(i)...)
+	}
+	s.rel, s.loc = fresh, loc
+	s.dead = make([]bool, fresh.Len())
+	s.idx = make(map[uint64]idxEntry)
+}
+
+// index returns (building if needed) the growable probe index over the
+// given column set. Dead rows are skipped at probe time, so indexes never
+// need entry removal.
+func (s *atomState) index(cols []int) *relation.TupleIndex {
+	var mask uint64
+	for _, c := range cols {
+		mask |= 1 << uint(c)
+	}
+	if e, ok := s.idx[mask]; ok {
+		return e.ix
+	}
+	ix := relation.NewTupleIndexSized(len(cols), s.live)
+	key := make([]relation.Value, len(cols))
+	for i := 0; i < s.rel.Len(); i++ {
+		if s.dead[i] {
+			continue
+		}
+		row := s.rel.Row(i)
+		for k, c := range cols {
+			key[k] = row[c]
+		}
+		ix.Add(key, int32(i))
+	}
+	s.idx[mask] = idxEntry{ix: ix, cols: cols}
+	return ix
+}
+
+// ruleStep is one probe of rule i's join: against atom st, on the columns
+// bound so far (keyCols, fed from keySlots), binding the rest.
+type ruleStep struct {
+	st        *atomState
+	ix        *relation.TupleIndex
+	keySlots  []int
+	bindCols  []int
+	bindSlots []int
+}
+
+// ruleSteps compiles rule i: the join order over the other atoms comes
+// from the maintenance pricing, and each step's probe index is built
+// eagerly (serially) so parallel workers only read.
+func (m *Maint) ruleSteps(i int) []ruleStep {
+	bound := make([]bool, m.nslots)
+	for _, sl := range m.atoms[i].slots {
+		bound[sl] = true
+	}
+	order := m.price.Orders[i]
+	steps := make([]ruleStep, 0, len(order))
+	for _, j := range order {
+		st := m.atoms[j]
+		var keyCols, keySlots, bindCols, bindSlots []int
+		for c, sl := range st.slots {
+			if bound[sl] {
+				keyCols = append(keyCols, c)
+				keySlots = append(keySlots, sl)
+			} else {
+				bindCols = append(bindCols, c)
+				bindSlots = append(bindSlots, sl)
+				bound[sl] = true
+			}
+		}
+		steps = append(steps, ruleStep{
+			st: st, ix: st.index(keyCols),
+			keySlots: keySlots, bindCols: bindCols, bindSlots: bindSlots,
+		})
+	}
+	return steps
+}
+
+// runRule joins each delta tuple of atom i against the other atoms and
+// accumulates signed derivation counts. Large deltas fan out across
+// workers with private counters, merged serially into the maintainer's
+// counts (and the touched set) afterwards.
+func (m *Maint) runRule(steps []ruleStep, at *atomState, delta *relation.Relation, sign int64, touched *relation.TupleCounter, meter *governor.Meter, workers int) error {
+	n := delta.Len()
+	if n == 0 {
+		return nil
+	}
+	workers = parallel.Workers(workers)
+	if workers > n/parallelThreshold {
+		workers = n/parallelThreshold + 1
+	}
+	locals := make([]*relation.TupleCounter, workers)
+	var errSlot atomic.Pointer[error]
+	run := func(w, lo, hi int) {
+		r := &ruleRun{
+			m: m, steps: steps, sign: sign, meter: meter,
+			assign: make([]relation.Value, m.nslots),
+			head:   make([]relation.Value, m.width),
+			local:  relation.NewTupleCounter(m.width),
+		}
+		r.keys = make([][]relation.Value, len(steps))
+		for s := range steps {
+			r.keys[s] = make([]relation.Value, len(steps[s].keySlots))
+		}
+		for i := lo; i < hi; i++ {
+			row := delta.Row(i)
+			for c, sl := range at.slots {
+				r.assign[sl] = row[c]
+			}
+			if !r.rec(0) {
+				break
+			}
+		}
+		if r.err == nil && r.pend > 0 {
+			r.err = meter.Charge(r.pend, governor.RelBytes(int(r.pend), m.width), "delta-join")
+		}
+		if r.err != nil {
+			errSlot.CompareAndSwap(nil, &r.err)
+		}
+		locals[w] = r.local
+	}
+	if workers <= 1 {
+		run(0, 0, n)
+	} else {
+		parallel.Chunks(workers, n, run)
+	}
+	if ep := errSlot.Load(); ep != nil {
+		return *ep
+	}
+	for _, local := range locals {
+		if local == nil {
+			continue
+		}
+		local.Each(func(row []relation.Value, d int64) bool {
+			if d != 0 {
+				m.counts.Add(row, d)
+				touched.Add(row, d)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// ruleRun is one worker's mutable state for one rule execution.
+type ruleRun struct {
+	m      *Maint
+	steps  []ruleStep
+	assign []relation.Value
+	keys   [][]relation.Value
+	head   []relation.Value
+	local  *relation.TupleCounter
+	sign   int64
+	meter  *governor.Meter
+	pend   int64
+	err    error
+}
+
+// rec enumerates the remaining steps; false aborts the worker (meter trip).
+func (r *ruleRun) rec(s int) bool {
+	if s == len(r.steps) {
+		return r.leaf()
+	}
+	st := &r.steps[s]
+	key := r.keys[s]
+	for k, sl := range st.keySlots {
+		key[k] = r.assign[sl]
+	}
+	ok := true
+	st.ix.Each(key, func(id int32) bool {
+		if st.st.dead[id] {
+			return true
+		}
+		row := st.st.rel.Row(int(id))
+		for b, c := range st.bindCols {
+			r.assign[st.bindSlots[b]] = row[c]
+		}
+		if !r.rec(s + 1) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// leaf checks the query's (in)equality and comparison atoms on the full
+// assignment and, when they hold, adds one signed derivation of the head
+// tuple. Returns false only on a governor trip.
+func (r *ruleRun) leaf() bool {
+	for _, iq := range r.m.ineqs {
+		x := r.assign[iq.xSlot]
+		if iq.yIsVar {
+			if x == r.assign[iq.ySlot] {
+				return true
+			}
+		} else if x == iq.c {
+			return true
+		}
+	}
+	for _, c := range r.m.cmps {
+		l, rt := c.lConst, c.rConst
+		if c.lSlot >= 0 {
+			l = r.assign[c.lSlot]
+		}
+		if c.rSlot >= 0 {
+			rt = r.assign[c.rSlot]
+		}
+		if c.strict {
+			if !(l < rt) {
+				return true
+			}
+		} else if !(l <= rt) {
+			return true
+		}
+	}
+	for j, hs := range r.m.headSlots {
+		if hs >= 0 {
+			r.head[j] = r.assign[hs]
+		} else {
+			r.head[j] = r.m.headConsts[j]
+		}
+	}
+	r.local.Add(r.head, r.sign)
+	r.pend++
+	if r.pend >= chargeBatch {
+		if err := r.meter.Charge(r.pend, governor.RelBytes(int(r.pend), len(r.head)), "delta-join"); err != nil {
+			r.err = err
+			return false
+		}
+		r.pend = 0
+	}
+	return true
+}
+
+// planInputs assembles the pricing inputs from the current atom states:
+// exact live cardinalities plus the base tables' cached column statistics,
+// mirroring the planner inputs the engines use.
+func (m *Maint) planInputs() []plan.Input {
+	inputs := make([]plan.Input, len(m.atoms))
+	for i, st := range m.atoms {
+		a := st.atom
+		base := stats.For(m.db, a.Rel)
+		dist := make([]int, len(st.vars))
+		freq := make([]int, len(st.vars))
+		for k, v := range st.vars {
+			for j, t := range a.Args {
+				if t.IsVar && t.Var == v {
+					dist[k] = base.Cols[j].Distinct
+					freq[k] = base.Cols[j].MaxFreq
+					break
+				}
+			}
+		}
+		inputs[i] = plan.Input{Label: a.Rel, Rows: st.live, Vars: st.vars, Distinct: dist, MaxFreq: freq}
+	}
+	return inputs
+}

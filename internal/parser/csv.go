@@ -33,7 +33,11 @@ func LoadCSV(db *query.DB, name string, r io.Reader, syms *Symbols) error {
 		}
 		row := make([]relation.Value, len(record))
 		for i, f := range record {
-			row[i] = syms.Value(f)
+			v, err := syms.Literal(f)
+			if err != nil {
+				return fmt.Errorf("parser: csv %q: %w", name, err)
+			}
+			row[i] = v
 		}
 		rel.Append(row...)
 	}

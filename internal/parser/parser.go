@@ -18,16 +18,41 @@ const StringBase = relation.Value(1) << 40
 // Symbols interns symbolic constants for one database/query universe.
 type Symbols struct{ d *relation.Dict }
 
-// NewSymbols returns an empty symbol table.
-func NewSymbols() *Symbols { return &Symbols{d: relation.NewDict()} }
+// NewSymbols returns an empty symbol table. The underlying dictionary is
+// banded to [0, StringBase) so interned ids can never overflow past
+// 2·StringBase into undefined territory.
+func NewSymbols() *Symbols {
+	d := relation.NewDict()
+	d.SetMax(StringBase)
+	return &Symbols{d: d}
+}
 
 // Value converts a literal token: integers map to themselves, anything else
-// is interned above StringBase.
+// is interned above StringBase. Integer literals that land inside the
+// symbol band would be rendered back as unrelated symbols; Literal detects
+// them — Value keeps the historical silent behaviour for callers that
+// guarantee small literals.
 func (s *Symbols) Value(tok string) relation.Value {
 	if n, err := strconv.ParseInt(tok, 10, 64); err == nil {
 		return relation.Value(n)
 	}
 	return StringBase + s.d.ID(tok)
+}
+
+// Literal is Value with the strict collision guard for data loading: an
+// integer field ≥ StringBase shares the value space with interned symbols
+// (it would render back as a symbol name, or offset by StringBase), so it
+// is rejected instead of silently misrendering. Symbolic round trips are
+// unaffected — FormatRelation renders symbols by name, never as in-band
+// numbers.
+func (s *Symbols) Literal(tok string) (relation.Value, error) {
+	if n, err := strconv.ParseInt(tok, 10, 64); err == nil {
+		if relation.Value(n) >= StringBase {
+			return 0, fmt.Errorf("parser: integer literal %s collides with the symbol-interning range [%d,∞) — rescale the data or quote it as a symbol", tok, StringBase)
+		}
+		return relation.Value(n), nil
+	}
+	return StringBase + s.d.ID(tok), nil
 }
 
 // String renders a value: interned symbols by name, numbers numerically.
@@ -268,6 +293,10 @@ func (p *Parser) parseTerm(ts *tokenStream) (query.Term, error) {
 		}
 		return query.V(p.varID(t.text)), nil
 	case tokNumber:
+		// In-band integers are accepted here on purpose: CQ.String renders
+		// symbol constants numerically and that fingerprint must re-parse
+		// against any symbol table (plan-cache key round trip). The collision
+		// guard runs where raw data enters — Literal in the CSV loader.
 		n, err := strconv.ParseInt(t.text, 10, 64)
 		if err != nil {
 			return query.Term{}, fmt.Errorf("parser: bad number %q: %v", t.text, err)

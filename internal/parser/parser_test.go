@@ -276,6 +276,23 @@ func TestLoadCSV(t *testing.T) {
 	}
 }
 
+// Integer fields that land inside the symbol-interning band must be
+// rejected at load time: they would render back as symbol names (or offset
+// by StringBase), the long-documented silent collision.
+func TestLoadCSVCollidingLiteral(t *testing.T) {
+	db := query.NewDB()
+	syms := NewSymbols()
+	in := "alice,1099511627777\n" // 2^40 + 1
+	err := LoadCSV(db, "EP", strings.NewReader(in), syms)
+	if err == nil || !strings.Contains(err.Error(), "collides with the symbol-interning range") {
+		t.Fatalf("colliding literal accepted: %v", err)
+	}
+	// Just below the band still loads.
+	if err := LoadCSV(db, "OK", strings.NewReader("alice,1099511627775\n"), syms); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestCommentsAndWhitespace(t *testing.T) {
 	p := New()
 	q, err := p.ParseCQ(`

@@ -1,0 +1,61 @@
+package plan
+
+import "pyquery/internal/query"
+
+// Maintenance prices the delta-join rules of incremental view maintenance
+// (internal/ivm) with the same distinct-count selectivity model every
+// engine plans with. The view R1 ⋈ … ⋈ Rk is maintained by one rule per
+// atom occurrence: rule i joins the delta of atom i against the other k−1
+// frozen atoms, with atom i's variables pre-bound (each delta tuple fixes
+// them to single values, exactly like a parameter probe). The returned
+// RuleCost[i] is therefore the model's per-delta-tuple work for rule i,
+// and ReexecCost is the full re-execution alternative (Build's join cost
+// plus rescanning every input) — the refresh layer falls back to full
+// re-execution when Σᵢ |δᵢ|·RuleCost[i] exceeds it.
+type MaintPlan struct {
+	// Orders[i] is the join order of rule i over the OTHER atoms: a
+	// permutation of the input indices excluding i (empty for single-atom
+	// views).
+	Orders [][]int
+	// RuleCost[i] estimates the intermediate tuples one delta tuple of
+	// atom i generates under rule i (at least 1 — the delta tuple itself
+	// must be inspected).
+	RuleCost []float64
+	// ReexecCost estimates discarding the view and re-executing: the full
+	// join's Build cost plus one scan of every input.
+	ReexecCost float64
+}
+
+// Maintenance builds the maintenance pricing for the given inputs (one per
+// atom occurrence, as handed to Build) and head variables.
+func Maintenance(inputs []Input, headVars []query.Var) *MaintPlan {
+	m := &MaintPlan{
+		Orders:   make([][]int, len(inputs)),
+		RuleCost: make([]float64, len(inputs)),
+	}
+	full := Build(inputs, headVars)
+	m.ReexecCost = full.Cost
+	for _, in := range inputs {
+		m.ReexecCost += float64(in.Rows)
+	}
+	for i, in := range inputs {
+		others := make([]Input, 0, len(inputs)-1)
+		idx := make([]int, 0, len(inputs)-1)
+		for j, o := range inputs {
+			if j != i {
+				others = append(others, o)
+				idx = append(idx, j)
+			}
+		}
+		p := BuildBound(others, headVars, in.Vars)
+		m.Orders[i] = make([]int, len(p.Steps))
+		for s, st := range p.Steps {
+			m.Orders[i][s] = idx[st.Atom]
+		}
+		m.RuleCost[i] = p.Cost
+		if m.RuleCost[i] < 1 {
+			m.RuleCost[i] = 1
+		}
+	}
+	return m
+}

@@ -1,0 +1,49 @@
+package plan
+
+import (
+	"testing"
+
+	"pyquery/internal/query"
+)
+
+// A path join E(x,y) ⋈ E(y,z): each delta rule pre-binds one atom's
+// variables, so the other atom joins as a selective probe — per-tuple cost
+// far below the re-execution cost.
+func TestMaintenancePricesDeltaRules(t *testing.T) {
+	e := func(vs ...query.Var) Input {
+		return Input{Label: "E", Rows: 10_000, Vars: vs, Distinct: []int{100, 100}}
+	}
+	inputs := []Input{e(0, 1), e(1, 2)}
+	m := Maintenance(inputs, []query.Var{0, 2})
+	if len(m.Orders) != 2 || len(m.RuleCost) != 2 {
+		t.Fatalf("want one rule per atom, got %d/%d", len(m.Orders), len(m.RuleCost))
+	}
+	for i := range inputs {
+		if len(m.Orders[i]) != 1 || m.Orders[i][0] == i {
+			t.Fatalf("rule %d order = %v, want the other atom", i, m.Orders[i])
+		}
+		// Probing 10k rows through a pre-bound shared variable with 100
+		// distinct values estimates ~100 tuples per delta tuple.
+		if m.RuleCost[i] < 1 || m.RuleCost[i] > 1000 {
+			t.Fatalf("rule %d cost = %v, want a selective probe estimate", i, m.RuleCost[i])
+		}
+		if m.RuleCost[i]*10 >= m.ReexecCost {
+			t.Fatalf("rule %d cost %v not clearly below reexec %v", i, m.RuleCost[i], m.ReexecCost)
+		}
+	}
+	// ReexecCost includes rescanning the inputs.
+	if m.ReexecCost < 20_000 {
+		t.Fatalf("ReexecCost = %v, must include input scans", m.ReexecCost)
+	}
+}
+
+// Single-atom views have empty rule orders and unit rule cost.
+func TestMaintenanceSingleAtom(t *testing.T) {
+	m := Maintenance([]Input{{Label: "R", Rows: 50, Vars: []query.Var{0}}}, []query.Var{0})
+	if len(m.Orders[0]) != 0 {
+		t.Fatalf("single-atom order = %v, want empty", m.Orders[0])
+	}
+	if m.RuleCost[0] != 1 {
+		t.Fatalf("single-atom rule cost = %v, want 1", m.RuleCost[0])
+	}
+}

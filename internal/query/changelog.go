@@ -1,0 +1,278 @@
+package query
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"pyquery/internal/relation"
+)
+
+// Per-relation changelog: the plumbing the incremental-maintenance layer
+// (internal/ivm) consumes. Every mutation of a DB bumps the touched
+// relation's generation counter and, for tuple-level mutations (Insert,
+// Delete, GrewInPlace), appends the exact inserted/deleted tuple sets to a
+// bounded in-memory log. Consumers hold a sequence watermark and ask for
+// the deltas since it; a wholesale Set (no tuple-level delta) appears as a
+// Reset entry, and an evicted watermark reports !ok — both mean "recompute
+// from scratch".
+//
+// Mutations follow the DB contract: one writer, no writes concurrent with
+// reads. The changelog bookkeeping itself is guarded by the DB mutex so
+// Subscribe-style consumers may register watchers concurrently.
+
+// Delta is one changelog entry: the tuples relation Rel gained and lost at
+// sequence number Seq. Added and Removed are disjoint tuple sets (nil when
+// empty) owned by the changelog — callers must not modify them. Reset
+// marks a wholesale replacement (DB.Set) with no tuple-level delta.
+type Delta struct {
+	Rel            string
+	Seq            uint64
+	Added, Removed *relation.Relation
+	Reset          bool
+}
+
+// rows returns the number of tuples the entry retains.
+func (d Delta) rows() int {
+	n := 0
+	if d.Added != nil {
+		n += d.Added.Len()
+	}
+	if d.Removed != nil {
+		n += d.Removed.Len()
+	}
+	return n
+}
+
+const (
+	// changelogCap bounds the number of retained entries; changelogRowCap
+	// bounds the total tuples they hold. Past either, the oldest entries
+	// are evicted and consumers behind them fall back to full recompute.
+	changelogCap    = 512
+	changelogRowCap = 1 << 16
+)
+
+// relLog is the per-relation live-row map: tuple → current row position.
+// It enforces set semantics for Insert/Delete and makes deletion O(1) via
+// swap-remove.
+type relLog struct {
+	pos *relation.TupleMap
+}
+
+// RelGen returns the named relation's generation counter, creating it on
+// first use. The counter object is stable across Sets of the name, so
+// consumers may cache the pointer at compile time and revalidate with one
+// atomic load per execution — the per-relation half of the prepared-
+// statement staleness check.
+func (db *DB) RelGen(name string) *atomic.Uint64 {
+	db.mu.Lock()
+	g := db.relGenLocked(name)
+	db.mu.Unlock()
+	return g
+}
+
+func (db *DB) relGenLocked(name string) *atomic.Uint64 {
+	if db.relGens == nil {
+		db.relGens = make(map[string]*atomic.Uint64)
+	}
+	g := db.relGens[name]
+	if g == nil {
+		g = new(atomic.Uint64)
+		db.relGens[name] = g
+	}
+	return g
+}
+
+// Seq returns the changelog's current sequence number: the Seq of the most
+// recent entry, 0 when nothing was ever recorded. A consumer that has
+// applied every delta up to and including Seq() is up to date.
+func (db *DB) Seq() uint64 {
+	db.mu.Lock()
+	s := db.clogSeq
+	db.mu.Unlock()
+	return s
+}
+
+// DeltasSince returns the changelog entries with sequence numbers above
+// since that touch one of the named relations, in order. ok is false when
+// the tuple-level history is unusable from that watermark: entries at or
+// below the horizon were evicted, or a tracked relation was wholesale
+// replaced (Reset) in the range — either way the consumer must recompute
+// from scratch and restart from Seq(). The returned entries (and their
+// tuple sets) are owned by the changelog and must not be modified.
+func (db *DB) DeltasSince(since uint64, names map[string]bool) (ds []Delta, ok bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if since < db.clogEvicted {
+		return nil, false
+	}
+	for _, d := range db.clog {
+		if d.Seq <= since || !names[d.Rel] {
+			continue
+		}
+		if d.Reset {
+			return nil, false
+		}
+		ds = append(ds, d)
+	}
+	return ds, true
+}
+
+// Watch registers a mutation watcher: the returned channel receives a
+// coalesced signal after every Set/Insert/Delete/GrewInPlace. stop
+// unregisters the watcher; it must be called when done.
+func (db *DB) Watch() (ch <-chan struct{}, stop func()) {
+	c := make(chan struct{}, 1)
+	db.mu.Lock()
+	if db.watchers == nil {
+		db.watchers = make(map[int]chan struct{})
+	}
+	id := db.watcherSeq
+	db.watcherSeq++
+	db.watchers[id] = c
+	db.mu.Unlock()
+	return c, func() {
+		db.mu.Lock()
+		delete(db.watchers, id)
+		db.mu.Unlock()
+	}
+}
+
+// recordLocked appends a changelog entry, bumps the relation's generation,
+// and signals watchers. Caller holds db.mu.
+func (db *DB) recordLocked(d Delta) {
+	db.clogSeq++
+	d.Seq = db.clogSeq
+	db.clog = append(db.clog, d)
+	db.clogRows += d.rows()
+	for len(db.clog) > changelogCap || (db.clogRows > changelogRowCap && len(db.clog) > 1) {
+		db.clogEvicted = db.clog[0].Seq
+		db.clogRows -= db.clog[0].rows()
+		db.clog = db.clog[1:]
+	}
+	db.relGenLocked(d.Rel).Add(1)
+	for _, c := range db.watchers {
+		select {
+		case c <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// logFor returns the relation's live-row map, building it on first use.
+// Building dedups the relation in place (set semantics are canonical from
+// the first tuple-level mutation on).
+func (db *DB) logFor(name string, r *relation.Relation) *relLog {
+	if db.logs == nil {
+		db.logs = make(map[string]*relLog)
+	}
+	if l := db.logs[name]; l != nil {
+		return l
+	}
+	pos := relation.NewTupleMapSized(r.Width(), r.Len())
+	for i := 0; i < r.Len(); {
+		if _, dup := pos.Get(r.Row(i)); dup {
+			r.SwapRemove(i)
+			continue
+		}
+		pos.Set(r.Row(i), int32(i))
+		i++
+	}
+	l := &relLog{pos: pos}
+	db.logs[name] = l
+	return l
+}
+
+// Insert adds tuples to the named relation in place under set semantics
+// (already-present tuples are skipped) and records the exact inserted set
+// in the changelog. It returns the number of tuples actually added.
+// Mutations must not run concurrently with reads (the DB contract); frozen
+// consumers revalidate through the relation's generation counter.
+func (db *DB) Insert(name string, rows ...[]relation.Value) int {
+	r := db.MustRel(name)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	l := db.logFor(name, r)
+	var added *relation.Relation
+	for _, row := range rows {
+		if len(row) != r.Width() {
+			panic(fmt.Sprintf("query: Insert(%s): tuple has %d values, want %d", name, len(row), r.Width()))
+		}
+		if _, ok := l.pos.Get(row); ok {
+			continue
+		}
+		l.pos.Set(row, int32(r.Len()))
+		r.Append(row...)
+		if added == nil {
+			added = relation.New(r.Schema())
+		}
+		added.Append(row...)
+	}
+	if added == nil {
+		return 0
+	}
+	db.gen.Add(1)
+	delete(db.memo, name)
+	db.recordLocked(Delta{Rel: name, Added: added})
+	return added.Len()
+}
+
+// Delete removes tuples from the named relation in place (swap-remove, so
+// row order is not preserved) and records the exact removed set in the
+// changelog. Tuples not present are skipped; it returns the number
+// actually removed.
+func (db *DB) Delete(name string, rows ...[]relation.Value) int {
+	r := db.MustRel(name)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	l := db.logFor(name, r)
+	var removed *relation.Relation
+	for _, row := range rows {
+		if len(row) != r.Width() {
+			panic(fmt.Sprintf("query: Delete(%s): tuple has %d values, want %d", name, len(row), r.Width()))
+		}
+		p, ok := l.pos.Get(row)
+		if !ok {
+			continue
+		}
+		last := r.Len() - 1
+		if int(p) != last {
+			l.pos.Set(r.Row(last), p)
+		}
+		l.pos.Delete(row)
+		r.SwapRemove(int(p))
+		if removed == nil {
+			removed = relation.New(r.Schema())
+		}
+		removed.Append(row...)
+	}
+	if removed == nil {
+		return 0
+	}
+	db.gen.Add(1)
+	delete(db.memo, name)
+	db.recordLocked(Delta{Rel: name, Removed: removed})
+	return removed.Len()
+}
+
+// GrewInPlace records that the caller appended the given tuples to the
+// named relation in place (append-only Datalog tables): the changelog
+// gains an insert entry and the relation's generation moves, without the
+// DB copying or re-validating the rows. added is retained by the changelog
+// and must not be modified afterwards.
+func (db *DB) GrewInPlace(name string, added *relation.Relation) {
+	if added == nil || added.Len() == 0 {
+		return
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	delete(db.memo, name)
+	if l := db.logs[name]; l != nil {
+		// Keep the live-row map honest if tuple-level mutations were used.
+		r := db.MustRel(name)
+		base := r.Len() - added.Len()
+		for i := 0; i < added.Len(); i++ {
+			l.pos.Set(added.Row(i), int32(base+i))
+		}
+	}
+	db.recordLocked(Delta{Rel: name, Added: added})
+}

@@ -1,0 +1,229 @@
+package query
+
+import (
+	"testing"
+
+	"pyquery/internal/relation"
+)
+
+func row(vs ...relation.Value) []relation.Value { return vs }
+
+func TestInsertDeleteSetSemantics(t *testing.T) {
+	db := NewDB()
+	db.Set("E", Table(2, row(1, 2), row(2, 3)))
+	if n := db.Insert("E", row(3, 4), row(1, 2), row(3, 4)); n != 1 {
+		t.Fatalf("Insert added %d, want 1 (dups and existing skipped)", n)
+	}
+	if n := db.MustRel("E").Len(); n != 3 {
+		t.Fatalf("E has %d rows, want 3", n)
+	}
+	if n := db.Delete("E", row(9, 9), row(1, 2)); n != 1 {
+		t.Fatalf("Delete removed %d, want 1", n)
+	}
+	r := db.MustRel("E")
+	if r.Len() != 2 || r.Contains([]relation.Value{1, 2}) {
+		t.Fatalf("unexpected E after delete: %v", r)
+	}
+	if !r.Contains([]relation.Value{2, 3}) || !r.Contains([]relation.Value{3, 4}) {
+		t.Fatalf("delete dropped the wrong tuple: %v", r)
+	}
+	// Reinserting a deleted tuple must count as new again.
+	if n := db.Insert("E", row(1, 2)); n != 1 {
+		t.Fatalf("reinsert added %d, want 1", n)
+	}
+}
+
+func TestInsertDedupsBaseRelation(t *testing.T) {
+	db := NewDB()
+	dup := Table(1, row(7), row(7), row(8))
+	db.Set("R", dup)
+	db.Insert("R", row(9))
+	r := db.MustRel("R")
+	if r.Len() != 3 {
+		t.Fatalf("first tuple-level mutation must dedup in place: %d rows, want 3", r.Len())
+	}
+	// After dedup, deleting each distinct tuple once empties the relation.
+	if n := db.Delete("R", row(7), row(8), row(9)); n != 3 {
+		t.Fatalf("Delete removed %d, want 3", n)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("R not empty after deleting all: %v", r)
+	}
+}
+
+func TestDeltasSinceTracksExactTuples(t *testing.T) {
+	db := NewDB()
+	db.Set("E", Table(2, row(1, 2)))
+	db.Set("F", Table(1, row(5)))
+	start := db.Seq()
+
+	db.Insert("E", row(2, 3), row(3, 4))
+	db.Insert("F", row(6)) // not tracked below
+	db.Delete("E", row(1, 2))
+
+	ds, ok := db.DeltasSince(start, map[string]bool{"E": true})
+	if !ok {
+		t.Fatal("DeltasSince reported a gap on a live range")
+	}
+	if len(ds) != 2 {
+		t.Fatalf("got %d deltas, want 2 (F filtered out): %v", len(ds), ds)
+	}
+	if ds[0].Rel != "E" || ds[0].Added == nil || ds[0].Added.Len() != 2 || ds[0].Removed != nil {
+		t.Fatalf("first delta wrong: %+v", ds[0])
+	}
+	if ds[1].Removed == nil || ds[1].Removed.Len() != 1 || !ds[1].Removed.Contains([]relation.Value{1, 2}) {
+		t.Fatalf("second delta wrong: %+v", ds[1])
+	}
+	if ds[0].Seq <= start || ds[1].Seq <= ds[0].Seq {
+		t.Fatalf("sequence numbers not increasing: %d, %d (start %d)", ds[0].Seq, ds[1].Seq, start)
+	}
+
+	// No-op mutations record nothing.
+	seq := db.Seq()
+	db.Insert("E", row(2, 3))
+	db.Delete("E", row(99, 99))
+	if db.Seq() != seq {
+		t.Fatal("no-op Insert/Delete must not advance the changelog")
+	}
+}
+
+func TestSetRecordsReset(t *testing.T) {
+	db := NewDB()
+	db.Set("E", Table(2, row(1, 2)))
+	start := db.Seq()
+	db.Insert("E", row(2, 3))
+	db.Set("E", Table(2, row(9, 9)))
+	if _, ok := db.DeltasSince(start, map[string]bool{"E": true}); ok {
+		t.Fatal("Set must poison tuple-level history for the relation")
+	}
+	// Untracked names are unaffected by E's reset.
+	db.Set("F", Table(1))
+	db.Insert("F", row(1))
+	ds, ok := db.DeltasSince(start, map[string]bool{"G": true})
+	if !ok || len(ds) != 0 {
+		t.Fatalf("unrelated tracking broken: ds=%v ok=%v", ds, ok)
+	}
+}
+
+func TestChangelogEviction(t *testing.T) {
+	db := NewDB()
+	db.Set("E", Table(1))
+	start := db.Seq()
+	for i := 0; i < changelogCap+10; i++ {
+		db.Insert("E", row(relation.Value(i)))
+	}
+	if _, ok := db.DeltasSince(start, map[string]bool{"E": true}); ok {
+		t.Fatal("watermark behind the evicted horizon must report !ok")
+	}
+	// A fresh watermark still works.
+	seq := db.Seq()
+	db.Insert("E", row(relation.Value(1<<30)))
+	ds, ok := db.DeltasSince(seq, map[string]bool{"E": true})
+	if !ok || len(ds) != 1 {
+		t.Fatalf("fresh watermark broken: ds=%v ok=%v", ds, ok)
+	}
+}
+
+func TestChangelogRowCapEviction(t *testing.T) {
+	db := NewDB()
+	db.Set("E", Table(1))
+	start := db.Seq()
+	// A few huge batches blow the row cap long before the entry cap.
+	batch := make([][]relation.Value, changelogRowCap/2)
+	next := 0
+	for i := 0; i < 4; i++ {
+		for j := range batch {
+			batch[j] = row(relation.Value(next))
+			next++
+		}
+		db.Insert("E", batch...)
+	}
+	if _, ok := db.DeltasSince(start, map[string]bool{"E": true}); ok {
+		t.Fatal("row-cap eviction must invalidate old watermarks")
+	}
+}
+
+func TestRelGenStableAcrossSet(t *testing.T) {
+	db := NewDB()
+	db.Set("E", Table(1))
+	g := db.RelGen("E")
+	before := g.Load()
+	db.Insert("E", row(1))
+	if g.Load() == before {
+		t.Fatal("Insert must bump the relation generation")
+	}
+	mid := g.Load()
+	db.Set("E", Table(1, row(2)))
+	if db.RelGen("E") != g {
+		t.Fatal("generation counter object must be stable across Set")
+	}
+	if g.Load() == mid {
+		t.Fatal("Set must bump the relation generation")
+	}
+	// Unrelated relations keep their own counters.
+	f := db.RelGen("F")
+	fBefore := f.Load()
+	db.Insert("E", row(3))
+	if f.Load() != fBefore {
+		t.Fatal("mutating E must not bump F's generation")
+	}
+}
+
+func TestWatchCoalescesSignals(t *testing.T) {
+	db := NewDB()
+	db.Set("E", Table(1))
+	ch, stop := db.Watch()
+	defer stop()
+	drain := func() bool {
+		select {
+		case <-ch:
+			return true
+		default:
+			return false
+		}
+	}
+	drain() // the Set above may have signaled
+	db.Insert("E", row(1))
+	db.Insert("E", row(2))
+	if !drain() {
+		t.Fatal("mutation did not signal the watcher")
+	}
+	if drain() {
+		t.Fatal("signals must coalesce, not queue")
+	}
+	stop()
+	db.Insert("E", row(3))
+	if drain() {
+		t.Fatal("stopped watcher still receiving")
+	}
+}
+
+func TestGrewInPlace(t *testing.T) {
+	db := NewDB()
+	db.Set("E", Table(1, row(1)))
+	seq := db.Seq()
+	g := db.RelGen("E")
+	before := g.Load()
+
+	r := db.MustRel("E")
+	grown := Table(1, row(2), row(3))
+	for i := 0; i < grown.Len(); i++ {
+		r.Append(grown.Row(i)...)
+	}
+	db.GrewInPlace("E", grown)
+
+	if g.Load() == before {
+		t.Fatal("GrewInPlace must bump the relation generation")
+	}
+	ds, ok := db.DeltasSince(seq, map[string]bool{"E": true})
+	if !ok || len(ds) != 1 || ds[0].Added.Len() != 2 {
+		t.Fatalf("GrewInPlace delta wrong: ds=%v ok=%v", ds, ok)
+	}
+	// The live-row map (if built) must stay honest: delete a grown tuple.
+	if n := db.Delete("E", row(3)); n != 1 {
+		t.Fatalf("Delete after GrewInPlace removed %d, want 1", n)
+	}
+	if n := db.Insert("E", row(2)); n != 0 {
+		t.Fatalf("grown tuple reinserted as new (%d), live-row map stale", n)
+	}
+}

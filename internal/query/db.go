@@ -42,6 +42,21 @@ type DB struct {
 	// plans is the lazily created per-database prepared-plan LRU (see
 	// PlanCache); guarded by mu for initialization only.
 	plans *PlanCache
+
+	// Changelog state (see changelog.go), all guarded by mu: relGens holds
+	// the stable per-relation generation counters, clog the bounded delta
+	// ring (clogSeq the last assigned sequence number, clogEvicted the
+	// highest evicted one, clogRows the retained tuple total), logs the
+	// lazily built per-relation live-row maps behind Insert/Delete, and
+	// watchers the Subscribe-style mutation channels.
+	relGens     map[string]*atomic.Uint64
+	clog        []Delta
+	clogSeq     uint64
+	clogEvicted uint64
+	clogRows    int
+	logs        map[string]*relLog
+	watchers    map[int]chan struct{}
+	watcherSeq  int
 }
 
 // NewDB returns an empty database.
@@ -49,12 +64,16 @@ func NewDB() *DB { return &DB{rels: make(map[string]*relation.Relation)} }
 
 // Set installs (or replaces) relation name. The relation should use the
 // positional schema produced by NewTable. Any cached derived artifact for
-// the name is invalidated.
+// the name is invalidated, and the changelog records a Reset entry (there
+// is no tuple-level delta for a wholesale replacement — incremental
+// consumers recompute from scratch).
 func (db *DB) Set(name string, r *relation.Relation) {
 	db.rels[name] = r
 	db.gen.Add(1)
 	db.mu.Lock()
 	delete(db.memo, name)
+	delete(db.logs, name)
+	db.recordLocked(Delta{Rel: name, Reset: true})
 	db.mu.Unlock()
 }
 

@@ -1,0 +1,170 @@
+package relation
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestTupleMapAgainstModel drives a TupleMap through random Set/Delete/Get
+// churn mirrored in a Go map, across widths and hostile value pools.
+func TestTupleMapAgainstModel(t *testing.T) {
+	for _, width := range []int{0, 1, 2, 3} {
+		t.Run(fmt.Sprintf("width=%d", width), func(t *testing.T) {
+			rnd := rand.New(rand.NewSource(int64(width)))
+			m := NewTupleMap(width)
+			model := map[string]int32{}
+			key := func(row []Value) string { return fmt.Sprint(row) }
+			randRow := func() []Value {
+				row := make([]Value, width)
+				for i := range row {
+					switch rnd.Intn(3) {
+					case 0:
+						row[i] = Value(rnd.Intn(4))
+					case 1:
+						row[i] = Value(rnd.Intn(4)) << 32
+					default:
+						row[i] = -Value(rnd.Intn(1000))
+					}
+				}
+				return row
+			}
+			for step := 0; step < 4000; step++ {
+				row := randRow()
+				switch rnd.Intn(3) {
+				case 0:
+					v := int32(rnd.Intn(1000))
+					_, existed := model[key(row)]
+					if added := m.Set(row, v); added == existed {
+						t.Fatalf("step %d: Set(%v) new=%v, model disagrees", step, row, added)
+					}
+					model[key(row)] = v
+				case 1:
+					_, existed := model[key(row)]
+					if deleted := m.Delete(row); deleted != existed {
+						t.Fatalf("step %d: Delete(%v) = %v, model says %v", step, row, deleted, existed)
+					}
+					delete(model, key(row))
+				default:
+					want, existed := model[key(row)]
+					got, ok := m.Get(row)
+					if ok != existed || (ok && got != want) {
+						t.Fatalf("step %d: Get(%v) = (%d,%v), want (%d,%v)", step, row, got, ok, want, existed)
+					}
+				}
+				if m.Len() != len(model) {
+					t.Fatalf("step %d: Len = %d, model has %d", step, m.Len(), len(model))
+				}
+			}
+		})
+	}
+}
+
+// TestTupleMapSurvivesHeavyChurn deletes and reinserts the same band of
+// tuples repeatedly so backward-shift compaction and arena swaps are
+// exercised across grow boundaries.
+func TestTupleMapSurvivesHeavyChurn(t *testing.T) {
+	m := NewTupleMap(2)
+	row := make([]Value, 2)
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 500; i++ {
+			row[0], row[1] = Value(i), Value(i*7)
+			m.Set(row, int32(i))
+		}
+		if m.Len() != 500 {
+			t.Fatalf("round %d: Len = %d after inserts", round, m.Len())
+		}
+		for i := 0; i < 500; i += 2 {
+			row[0], row[1] = Value(i), Value(i*7)
+			if !m.Delete(row) {
+				t.Fatalf("round %d: lost tuple %d", round, i)
+			}
+		}
+		for i := 0; i < 500; i++ {
+			row[0], row[1] = Value(i), Value(i*7)
+			v, ok := m.Get(row)
+			if want := i%2 == 1; ok != want || (ok && v != int32(i)) {
+				t.Fatalf("round %d: Get(%d) = (%d,%v)", round, i, v, ok)
+			}
+		}
+		for i := 0; i < 500; i += 2 {
+			row[0], row[1] = Value(i), Value(i*7)
+			m.Set(row, int32(i))
+		}
+	}
+}
+
+// TestTupleCounterAlgebra checks the signed-count semantics, including
+// counts crossing zero and width-0 (Boolean) tuples.
+func TestTupleCounterAlgebra(t *testing.T) {
+	c := NewTupleCounter(2)
+	ab := []Value{1, 2}
+	if n := c.Add(ab, 3); n != 3 {
+		t.Fatalf("Add = %d, want 3", n)
+	}
+	if n := c.Add(ab, -3); n != 0 {
+		t.Fatalf("Add to zero = %d", n)
+	}
+	if n := c.Count(ab); n != 0 {
+		t.Fatalf("Count = %d, want 0", n)
+	}
+	if n := c.Add(ab, -1); n != -1 {
+		t.Fatalf("negative counts must be representable, got %d", n)
+	}
+	c.Add([]Value{5, 6}, 1)
+	got := map[string]int64{}
+	c.Each(func(row []Value, n int64) bool {
+		got[fmt.Sprint(row)] = n
+		return true
+	})
+	if len(got) != 2 || got["[1 2]"] != -1 || got["[5 6]"] != 1 {
+		t.Fatalf("Each saw %v", got)
+	}
+
+	b := NewTupleCounter(0)
+	if n := b.Add(nil, 1); n != 1 {
+		t.Fatalf("width-0 Add = %d", n)
+	}
+	if n := b.Add([]Value{}, 1); n != 2 {
+		t.Fatalf("width-0 re-Add = %d (empty tuples must unify)", n)
+	}
+	if b.Len() != 1 {
+		t.Fatalf("width-0 Len = %d", b.Len())
+	}
+}
+
+// TestTupleCounterGrowth pushes the counter across several grow boundaries
+// and verifies every count survives rehashing.
+func TestTupleCounterGrowth(t *testing.T) {
+	c := NewTupleCounter(1)
+	row := make([]Value, 1)
+	for i := 0; i < 3000; i++ {
+		row[0] = Value(i)
+		c.Add(row, int64(i%5)-2)
+	}
+	for i := 0; i < 3000; i++ {
+		row[0] = Value(i)
+		if got := c.Count(row); got != int64(i%5)-2 {
+			t.Fatalf("Count(%d) = %d, want %d", i, got, int64(i%5)-2)
+		}
+	}
+}
+
+func TestSwapRemove(t *testing.T) {
+	r := New(Schema{0, 1})
+	r.Append(1, 2)
+	r.Append(3, 4)
+	r.Append(5, 6)
+	r.SwapRemove(0)
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if !r.Contains([]Value{5, 6}) || !r.Contains([]Value{3, 4}) || r.Contains([]Value{1, 2}) {
+		t.Fatalf("unexpected rows after SwapRemove: %v", r)
+	}
+	r.SwapRemove(1)
+	r.SwapRemove(0)
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d after removing all", r.Len())
+	}
+}

@@ -1,5 +1,7 @@
 package relation
 
+import "fmt"
+
 // Dict interns strings as Values. The parser and the CSV loader use one
 // dictionary per database so that symbolic constants ("alice", "cs101")
 // become small integers before reaching the engines, which all operate on
@@ -7,20 +9,37 @@ package relation
 type Dict struct {
 	toID  map[string]Value
 	toStr []string
+	// max, when positive, bounds the id space: ID panics rather than hand
+	// out an id ≥ max. Callers that embed interned ids into a wider value
+	// space (the parser offsets them above its StringBase) set the band
+	// width here so symbol ids can never silently collide with the plain
+	// integer constants that share the space.
+	max Value
 }
 
-// NewDict returns an empty dictionary.
+// NewDict returns an empty dictionary with an unbounded id space.
 func NewDict() *Dict {
 	return &Dict{toID: make(map[string]Value)}
 }
 
+// SetMax bounds the id space to [0, max): interning a string that would
+// receive an id ≥ max panics instead of silently colliding with the value
+// band the caller reserved above the dictionary. max ≤ 0 removes the bound.
+// Lowering max below Len does not affect already-interned strings.
+func (d *Dict) SetMax(max Value) { d.max = max }
+
 // ID interns s, returning its Value. Repeated calls with the same string
-// return the same Value.
+// return the same Value. When a band limit is set (SetMax), running out of
+// id space panics — the caller's value-space partition would otherwise be
+// violated silently.
 func (d *Dict) ID(s string) Value {
 	if v, ok := d.toID[s]; ok {
 		return v
 	}
 	v := Value(len(d.toStr))
+	if d.max > 0 && v >= d.max {
+		panic(fmt.Sprintf("relation: dict id space exhausted: interning %q would assign id %d beyond the reserved band [0,%d)", s, v, d.max))
+	}
 	d.toID[s] = v
 	d.toStr = append(d.toStr, s)
 	return v

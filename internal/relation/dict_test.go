@@ -1,0 +1,73 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDictRoundTrip(t *testing.T) {
+	d := NewDict()
+	a := d.ID("alice")
+	b := d.ID("bob")
+	if a == b {
+		t.Fatal("distinct strings share an id")
+	}
+	if d.ID("alice") != a {
+		t.Fatal("re-interning moved the id")
+	}
+	if got := d.String(a); got != "alice" {
+		t.Fatalf("String(%d) = %q, want alice", a, got)
+	}
+	if v, ok := d.Lookup("bob"); !ok || v != b {
+		t.Fatalf("Lookup(bob) = (%d,%v), want (%d,true)", v, ok, b)
+	}
+	if _, ok := d.Lookup("carol"); ok {
+		t.Fatal("Lookup invented an entry")
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+}
+
+// String on values outside the interned range must fall back to a numeric
+// rendering — negative values and never-interned ids are plain integers
+// that merely share the value space.
+func TestDictStringNeverInterned(t *testing.T) {
+	d := NewDict()
+	d.ID("alice")
+	for v, want := range map[Value]string{
+		-1:         "-1",
+		-987654321: "-987654321",
+		1:          "1", // beyond Len: never interned
+		1 << 40:    "1099511627776",
+	} {
+		if got := d.String(v); got != want {
+			t.Fatalf("String(%d) = %q, want %q", v, got, want)
+		}
+	}
+	if got := d.String(0); got != "alice" {
+		t.Fatalf("String(0) = %q, want alice", got)
+	}
+}
+
+// A banded dictionary must refuse to intern past its reserved id space
+// instead of silently colliding with the values above the band.
+func TestDictBandGuard(t *testing.T) {
+	d := NewDict()
+	d.SetMax(2)
+	d.ID("a")
+	d.ID("b")
+	if d.ID("a") != 0 {
+		t.Fatal("re-interning within the band must not panic")
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("interning beyond the band did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "id space exhausted") {
+			t.Fatalf("unexpected panic value %v", r)
+		}
+	}()
+	d.ID("c")
+}

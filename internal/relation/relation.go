@@ -185,6 +185,19 @@ func (r *Relation) Append(tuple ...Value) {
 	r.n++
 }
 
+// SwapRemove deletes the i-th tuple in O(width): the last tuple moves into
+// position i (set semantics — row order is not meaningful) and the relation
+// shrinks by one. Callers holding row ids into r (frozen indexes) must
+// treat them as invalidated.
+func (r *Relation) SwapRemove(i int) {
+	last := r.n - 1
+	if i != last {
+		copy(r.Row(i), r.Row(last))
+	}
+	r.rows = r.rows[:last*r.width]
+	r.n--
+}
+
 // Pos returns the column position of a, or -1.
 func (r *Relation) Pos(a Attr) int { return r.schema.Pos(a) }
 

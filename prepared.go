@@ -12,6 +12,7 @@ import (
 	"pyquery/internal/decomp"
 	"pyquery/internal/eval"
 	"pyquery/internal/governor"
+	"pyquery/internal/ivm"
 	"pyquery/internal/order"
 	"pyquery/internal/parallel"
 	"pyquery/internal/query"
@@ -59,6 +60,16 @@ type Prepared struct {
 
 	mu    sync.Mutex // guards recompilation; state is read lock-free
 	state atomic.Pointer[prepState]
+
+	// Standing-query state (Refresh/Subscribe), guarded by refMu: the
+	// incremental maintainer when the shape supports it (maintTried marks
+	// the one-time ivm.New attempt), and the last reported result for the
+	// re-execute-and-diff fallback when it does not.
+	refMu       sync.Mutex
+	maint       *ivm.Maint
+	maintTried  bool
+	reported    *relation.Relation
+	reportedPos *relation.TupleMap
 }
 
 // prepState is one frozen compilation: the routing decision plus exactly
@@ -67,8 +78,7 @@ type Prepared struct {
 // by concurrent executions.
 type prepState struct {
 	engine Engine
-	gen    uint64
-	lens   []relLen
+	epochs []relEpoch
 
 	// unsat marks queries whose comparison constraints alone are
 	// inconsistent (the collapse preprocessing failed): every execution
@@ -99,8 +109,18 @@ type prepState struct {
 	decide atomic.Pointer[decideState] // lazy Decide program (head-bound membership)
 }
 
-type relLen struct {
+// relEpoch pins one frozen relation: the stable per-relation generation
+// counter (resolved once at compile, so revalidation is an atomic load —
+// no lock, no map lookup), the generation value the plan was built at, the
+// relation pointer, and its row count. The pointer is safe to cache
+// because replacing the relation (DB.Set) always bumps the generation,
+// which is checked first; the length check additionally catches rows
+// appended in place by callers that bypass the changelog.
+type relEpoch struct {
 	name string
+	gen  *atomic.Uint64
+	at   uint64
+	rel  *relation.Relation
 	n    int
 }
 
@@ -144,7 +164,7 @@ func (p *Prepared) Params() []string { return append([]string(nil), p.params...)
 // compile builds a fresh prepState from the current database snapshot.
 func (p *Prepared) compile() (*prepState, error) {
 	q, db, opts := p.q, p.db, p.opts
-	st := &prepState{gen: db.Generation()}
+	st := &prepState{}
 	evalOpts := eval.Options{Parallelism: opts.Parallelism}
 
 	if len(p.params) > 0 {
@@ -256,8 +276,11 @@ func (p *Prepared) compile() (*prepState, error) {
 	return p.snapshotLens(st), nil
 }
 
-// snapshotLens records the row count of every relation the plan froze, for
-// the in-place-growth half of the staleness check.
+// snapshotLens records, for every relation the plan froze, its stable
+// generation counter, the value it holds now, and its row count — the
+// per-relation staleness epoch. Writes to relations the query does not
+// mention leave the epoch intact, so unrelated mutations no longer force a
+// recompile.
 func (p *Prepared) snapshotLens(st *prepState) *prepState {
 	seen := make(map[string]bool, len(p.q.Atoms))
 	for _, a := range p.q.Atoms {
@@ -266,23 +289,22 @@ func (p *Prepared) snapshotLens(st *prepState) *prepState {
 		}
 		seen[a.Rel] = true
 		if r, ok := p.db.Rel(a.Rel); ok {
-			st.lens = append(st.lens, relLen{a.Rel, r.Len()})
+			g := p.db.RelGen(a.Rel)
+			st.epochs = append(st.epochs, relEpoch{name: a.Rel, gen: g, at: g.Load(), rel: r, n: r.Len()})
 		}
 	}
 	return st
 }
 
-// fresh reports whether the compiled state still matches the database: the
-// generation must not have moved and every frozen relation must still hold
-// the row count it was reduced at (relations grown in place — append-only
-// Datalog tables — change length without bumping the generation).
+// fresh reports whether the compiled state still matches the database:
+// every frozen relation's generation must not have moved and it must still
+// hold the row count it was reduced at (relations grown in place by
+// callers that bypass the changelog change length without bumping any
+// generation). Only the query's own relations are consulted — k atomic
+// loads and k length checks, no locks.
 func (p *Prepared) fresh(st *prepState) bool {
-	if p.db.Generation() != st.gen {
-		return false
-	}
-	for _, rl := range st.lens {
-		r, ok := p.db.Rel(rl.name)
-		if !ok || r.Len() != rl.n {
+	for _, e := range st.epochs {
+		if e.gen.Load() != e.at || e.rel.Len() != e.n {
 			return false
 		}
 	}
@@ -676,6 +698,142 @@ func (p *Prepared) decideProg(st *prepState) (*decideState, error) {
 	}
 	st.decide.Store(ds)
 	return ds, nil
+}
+
+// ErrNotMaintainable is returned by Refresh and Subscribe for templates
+// whose materialized result is not well defined without per-call input —
+// currently parameterized templates (bind the parameters and prepare the
+// bound query instead).
+var ErrNotMaintainable = ivm.ErrNotMaintainable
+
+// Change is one batch of standing-query output: the tuples that entered
+// and left the result since the previous batch. Both relations use the
+// positional head schema; either may be empty, never nil.
+type Change struct {
+	Added, Removed *Relation
+}
+
+// Refresh brings the query's materialized result up to date and returns
+// the exact membership change since the previous successful Refresh. The
+// first call materializes the result and returns it wholesale as added.
+//
+// When the query shape is maintainable, the refresh applies the counting
+// delta rules to the database changelog — O(Δ) work for small updates
+// instead of re-execution — and transparently falls back to re-executing
+// (and diffing) when the accumulated delta volume prices above a full run,
+// when a relation was wholesale replaced, or when the changelog has been
+// evicted past the last watermark. Unmaintainable shapes always take the
+// re-execute-and-diff path, so Refresh is correct for every template.
+//
+// Refresh honors Options.Timeout, MaxRows, and MemoryLimit like Exec; a
+// governed trip surfaces as a *governor.Error and leaves the previously
+// reported result intact (the next Refresh recovers by rebuilding).
+// Parameterized templates return ErrNotMaintainable. Calls are serialized
+// internally; Refresh must not run concurrently with database writes.
+func (p *Prepared) Refresh(ctx context.Context) (added, removed *Relation, err error) {
+	if len(p.params) > 0 {
+		return nil, nil, ErrNotMaintainable
+	}
+	defer recoverInternal("ivm", &err)
+	ectx := ctx
+	done := func() {}
+	if p.opts.Timeout > 0 {
+		if ectx == nil {
+			ectx = context.Background()
+		}
+		var cancel context.CancelFunc
+		ectx, cancel = context.WithTimeout(ectx, p.opts.Timeout)
+		done = cancel
+	}
+	defer done()
+	if cerr := parallel.CtxErr(ectx); cerr != nil {
+		return nil, nil, classifyCtx("ivm", "begin", cerr)
+	}
+	p.refMu.Lock()
+	defer p.refMu.Unlock()
+	if !p.maintTried {
+		p.maintTried = true
+		mt, merr := ivm.New(p.q, p.db)
+		if merr == nil {
+			p.maint = mt
+		} else if !errors.Is(merr, ivm.ErrNotMaintainable) {
+			p.maintTried = false
+			return nil, nil, merr
+		}
+	}
+	if p.maint != nil {
+		m := governor.New(ectx, "ivm", p.opts.MaxRows, p.opts.MemoryLimit)
+		return p.maint.Refresh(ectx, m, p.opts.Parallelism)
+	}
+	// Unmaintainable shape: re-execute and diff against the last report.
+	res, err := p.Exec(ectx)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := len(p.q.Head)
+	pos := relation.NewTupleMapSized(w, res.Len())
+	added = query.NewTable(w)
+	removed = query.NewTable(w)
+	for i := 0; i < res.Len(); i++ {
+		row := res.Row(i)
+		pos.Set(row, int32(i))
+		if p.reportedPos == nil {
+			added.Append(row...)
+		} else if _, ok := p.reportedPos.Get(row); !ok {
+			added.Append(row...)
+		}
+	}
+	if p.reported != nil {
+		for i := 0; i < p.reported.Len(); i++ {
+			row := p.reported.Row(i)
+			if _, ok := pos.Get(row); !ok {
+				removed.Append(row...)
+			}
+		}
+	}
+	p.reported, p.reportedPos = res, pos
+	return added, removed, nil
+}
+
+// Subscribe turns the prepared query into a standing query: an iterator
+// that yields the initial result as its first Change and then one Change
+// per database mutation batch that actually moves the result (empty
+// refreshes are skipped). Iteration blocks between yields waiting for
+// writes; cancel ctx to end the sequence (the cancellation itself is
+// silent — it does not surface as an error). Any other refresh failure is
+// yielded once and ends the sequence. The watcher is unregistered when the
+// iterator returns, whether by break, cancellation, or error; no goroutine
+// is spawned.
+func (p *Prepared) Subscribe(ctx context.Context) iter.Seq2[Change, error] {
+	return func(yield func(Change, error) bool) {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		ch, stop := p.db.Watch()
+		defer stop()
+		first := true
+		for {
+			added, removed, err := p.Refresh(ctx)
+			if err != nil {
+				if ctx.Err() != nil {
+					return
+				}
+				yield(Change{}, err)
+				return
+			}
+			if first || added.Len() > 0 || removed.Len() > 0 {
+				if !yield(Change{Added: added, Removed: removed}, nil) {
+					return
+				}
+				first = false
+			}
+			select {
+			case <-ch:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}
 }
 
 // planKey fingerprints a (query, options) pair for the per-database plan

@@ -1,0 +1,217 @@
+package pyquery
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"pyquery/internal/leakcheck"
+	"pyquery/internal/query"
+	"pyquery/internal/relation"
+)
+
+func pathCQ() *CQ {
+	return &CQ{
+		Head: []query.Term{query.V(0), query.V(2)},
+		Atoms: []query.Atom{
+			query.NewAtom("E", query.V(0), query.V(1)),
+			query.NewAtom("E", query.V(1), query.V(2)),
+		},
+	}
+}
+
+// White-box: writes to relations the query does not mention must leave the
+// compiled state untouched — the per-relation epoch check.
+func TestPreparedEpochIgnoresUnrelatedWrites(t *testing.T) {
+	db := query.NewDB()
+	db.Set("E", query.Table(2, []Value{1, 2}, []Value{2, 3}))
+	db.Set("Other", query.Table(1, []Value{9}))
+	p, err := Prepare(pathCQ(), db, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Exec(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	before := p.state.Load()
+	db.Set("Other", query.Table(1, []Value{10}))
+	db.Insert("Other", []Value{11})
+	if _, err := p.Exec(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if p.state.Load() != before {
+		t.Fatal("unrelated Set/Insert invalidated the compiled state")
+	}
+	// A write to a mentioned relation must still invalidate.
+	db.Insert("E", []Value{3, 4})
+	res, err := p.Exec(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.state.Load() == before {
+		t.Fatal("related Insert did not invalidate the compiled state")
+	}
+	if !res.Contains([]Value{2, 4}) {
+		t.Fatalf("stale result after related insert: %v", res)
+	}
+}
+
+func TestPreparedRefreshMatchesExec(t *testing.T) {
+	db := query.NewDB()
+	db.Set("E", query.Table(2, []Value{1, 2}, []Value{2, 3}))
+	p, err := Prepare(pathCQ(), db, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := query.NewTable(2)
+	apply := func() {
+		t.Helper()
+		added, removed, err := p.Refresh(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		next := query.NewTable(2)
+		for i := 0; i < view.Len(); i++ {
+			if !removed.Contains(view.Row(i)) {
+				next.Append(view.Row(i)...)
+			}
+		}
+		for i := 0; i < added.Len(); i++ {
+			next.Append(added.Row(i)...)
+		}
+		view = next
+		want, err := p.Exec(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !relation.EqualSet(view.Sort(), want.Sort()) {
+			t.Fatalf("view %v != exec %v", view, want)
+		}
+	}
+	apply()
+	db.Insert("E", []Value{3, 4}, []Value{4, 1})
+	apply()
+	db.Delete("E", []Value{2, 3})
+	apply()
+	db.Set("E", query.Table(2, []Value{5, 6}, []Value{6, 7}))
+	apply()
+}
+
+// The re-execute-and-diff fallback must serve shapes the maintainer
+// rejects — here a zero-atom constant head.
+func TestPreparedRefreshFallbackShape(t *testing.T) {
+	db := query.NewDB()
+	db.Set("E", query.Table(2, []Value{1, 2}))
+	q := &CQ{Head: []query.Term{query.C(7)}}
+	p, err := Prepare(q, db, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	added, removed, err := p.Refresh(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added.Len() != 1 || removed.Len() != 0 {
+		t.Fatalf("first refresh: %d/%d, want 1/0", added.Len(), removed.Len())
+	}
+	added, removed, err = p.Refresh(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added.Len() != 0 || removed.Len() != 0 {
+		t.Fatalf("second refresh: %d/%d, want 0/0", added.Len(), removed.Len())
+	}
+}
+
+func TestPreparedRefreshParamsRejected(t *testing.T) {
+	db := query.NewDB()
+	db.Set("E", query.Table(2, []Value{1, 2}))
+	q := &CQ{
+		Head:  []query.Term{query.V(1)},
+		Atoms: []query.Atom{query.NewAtom("E", P("src"), query.V(1))},
+	}
+	p, err := Prepare(q, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Refresh(context.Background()); !errors.Is(err, ErrNotMaintainable) {
+		t.Fatalf("err = %v, want ErrNotMaintainable", err)
+	}
+}
+
+// Subscribe must deliver the initial snapshot, then exactly the changed
+// tuples per mutation, and leave no goroutines behind on cancellation.
+func TestPreparedSubscribe(t *testing.T) {
+	leakcheck.Check(t)
+	db := query.NewDB()
+	db.Set("E", query.Table(2, []Value{1, 2}, []Value{2, 3}))
+	p, err := Prepare(pathCQ(), db, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var got []Change
+	for ch, err := range p.Subscribe(ctx) {
+		if err != nil {
+			t.Fatalf("subscribe error: %v", err)
+		}
+		got = append(got, ch)
+		switch len(got) {
+		case 1:
+			if ch.Added.Len() != 1 || !ch.Added.Contains([]Value{1, 3}) {
+				t.Fatalf("initial snapshot wrong: %v", ch.Added)
+			}
+			// The DB contract forbids writes concurrent with reads; the
+			// iterator is suspended at this yield, so writing here is safe.
+			db.Insert("E", []Value{3, 4})
+		case 2:
+			if !ch.Added.Contains([]Value{2, 4}) || ch.Removed.Len() != 0 {
+				t.Fatalf("second change wrong: +%v -%v", ch.Added, ch.Removed)
+			}
+			db.Delete("E", []Value{1, 2})
+		case 3:
+			if !ch.Removed.Contains([]Value{1, 3}) || ch.Added.Len() != 0 {
+				t.Fatalf("third change wrong: +%v -%v", ch.Added, ch.Removed)
+			}
+			cancel()
+		}
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d changes, want 3", len(got))
+	}
+}
+
+// A canceled subscription ends silently even when cancellation races the
+// wait; a pre-canceled context yields nothing.
+func TestPreparedSubscribeCancel(t *testing.T) {
+	leakcheck.Check(t)
+	db := query.NewDB()
+	db.Set("E", query.Table(2, []Value{1, 2}))
+	p, err := Prepare(pathCQ(), db, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, err := range p.Subscribe(ctx) {
+		if err != nil {
+			t.Fatalf("pre-canceled subscribe yielded error: %v", err)
+		}
+		t.Fatal("pre-canceled subscribe yielded a change")
+	}
+
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel2()
+	n := 0
+	for _, err := range p.Subscribe(ctx2) {
+		if err != nil {
+			t.Fatalf("subscribe error: %v", err)
+		}
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("expected only the initial snapshot before timeout, got %d", n)
+	}
+}
