@@ -1,4 +1,4 @@
-// Benchmarks, one per experiment of EXPERIMENTS.md (E1–E11, A1–A6) plus
+// Benchmarks, one per experiment of EXPERIMENTS.md (E1–E12, A1–A6) plus
 // engine micro-benchmarks. cmd/benchrunner produces the full sweep tables;
 // these targets pin each experiment's workload into `go test -bench`.
 package pyquery_test
@@ -18,6 +18,7 @@ import (
 	"pyquery/internal/query"
 	"pyquery/internal/reductions"
 	"pyquery/internal/relation"
+	"pyquery/internal/stats"
 	"pyquery/internal/workload"
 	"pyquery/internal/yannakakis"
 )
@@ -402,6 +403,60 @@ func BenchmarkE11_Refresh(b *testing.B) {
 					}
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkE12_Columnar prices the columnar substrate's narrow-code
+// representation on an interned workload: each sub-benchmark runs a hot
+// kernel (stats scan, semijoin, natural join) under both arms of the
+// relation.SetNarrowCodes ablation — narrow 4-byte codes vs wide 8-byte
+// cells — and reports the resident input bytes per arm. The relations are
+// rebuilt under each setting (the toggle only affects new columns).
+// cmd/benchrunner -exp E12 produces the full A/B table.
+func BenchmarkE12_Columnar(b *testing.B) {
+	const n = 100000
+	build := func() (lhs, rhs *relation.Relation) {
+		lhs = relation.New(relation.Schema{0, 1})
+		rhs = relation.New(relation.Schema{1, 2})
+		for i := 0; i < n; i++ {
+			lhs.Append(relation.Value(i%(n/40)), relation.Value(i%(n/20)))
+			rhs.Append(relation.Value(i%(n/80)), relation.Value(i%250))
+		}
+		return lhs, rhs
+	}
+	for _, arm := range []struct {
+		name   string
+		narrow bool
+	}{{"narrow", true}, {"wide", false}} {
+		b.Run(arm.name, func(b *testing.B) {
+			prev := relation.SetNarrowCodes(arm.narrow)
+			defer relation.SetNarrowCodes(prev)
+			lhs, rhs := build()
+			// Reported per sub-benchmark: a parent with sub-benchmarks
+			// emits no result line of its own.
+			inputBytes := float64(lhs.Bytes() + rhs.Bytes())
+			b.Run("scan", func(b *testing.B) {
+				b.ReportAllocs()
+				b.ReportMetric(inputBytes, "input-bytes")
+				for i := 0; i < b.N; i++ {
+					stats.Of(lhs)
+				}
+			})
+			b.Run("semijoin", func(b *testing.B) {
+				b.ReportAllocs()
+				b.ReportMetric(inputBytes, "input-bytes")
+				for i := 0; i < b.N; i++ {
+					relation.Semijoin(lhs, rhs)
+				}
+			})
+			b.Run("join", func(b *testing.B) {
+				b.ReportAllocs()
+				b.ReportMetric(inputBytes, "input-bytes")
+				for i := 0; i < b.N; i++ {
+					relation.NaturalJoin(lhs, rhs)
+				}
+			})
 		})
 	}
 }

@@ -367,7 +367,7 @@ func prepare(q *query.CQ, db *query.DB, opts Options) (*prepared, error) {
 			if inV1[v] {
 				col := s.Pos(relation.Attr(v))
 				for r := 0; r < s.Len(); r++ {
-					relevantSet[s.Row(r)[col]] = true
+					relevantSet[s.At(col, r)] = true
 				}
 			}
 		}
@@ -570,10 +570,9 @@ func (p *prepared) extend(j int, h colorcoding.Func) *relation.Relation {
 
 	row := make([]relation.Value, len(schema))
 	for r := 0; r < s.Len(); r++ {
-		src := s.Row(r)
 		skip := false
 		for _, cc := range ccs {
-			if h.Color(src[cc.pos]) == cc.color {
+			if h.Color(s.At(cc.pos, r)) == cc.color {
 				skip = true
 				break
 			}
@@ -581,9 +580,9 @@ func (p *prepared) extend(j int, h colorcoding.Func) *relation.Relation {
 		if skip {
 			continue
 		}
-		copy(row, src)
+		s.RowTo(row[:s.Width()], r)
 		for i := range hashedVars {
-			row[s.Width()+i] = relation.Value(h.Color(src[srcPos[i]]))
+			row[s.Width()+i] = relation.Value(h.Color(s.At(srcPos[i], r)))
 		}
 		out.Append(row...)
 	}
@@ -701,10 +700,9 @@ func (p *prepared) headTuples(pstar *relation.Relation) *relation.Relation {
 	}
 	tuple := make([]relation.Value, len(q.Head))
 	for r := 0; r < pstar.Len(); r++ {
-		row := pstar.Row(r)
 		for i, t := range q.Head {
 			if pos[i] >= 0 {
-				tuple[i] = row[pos[i]]
+				tuple[i] = pstar.At(pos[i], r)
 			} else {
 				tuple[i] = t.Const
 			}

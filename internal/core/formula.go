@@ -188,7 +188,7 @@ func EvaluateIneqFormula(q *query.CQ, phi IneqFormula, db *query.DB, opts Option
 			if inPhi[v] {
 				col := s.Pos(relation.Attr(v))
 				for r := 0; r < s.Len(); r++ {
-					relevant[s.Row(r)[col]] = true
+					relevant[s.At(col, r)] = true
 				}
 			}
 		}
@@ -365,9 +365,9 @@ func extendColors(s *relation.Relation, vars []query.Var, inPhi map[query.Var]bo
 	out := relation.New(schema)
 	row := make([]relation.Value, len(schema))
 	for r := 0; r < s.Len(); r++ {
-		copy(row, s.Row(r))
+		s.RowTo(row[:s.Width()], r)
 		for i := range hashed {
-			row[s.Width()+i] = relation.Value(hf.Color(s.Row(r)[src[i]]))
+			row[s.Width()+i] = relation.Value(hf.Color(s.At(src[i], r)))
 		}
 		out.Append(row...)
 	}

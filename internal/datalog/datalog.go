@@ -210,14 +210,13 @@ func fireAll(ctx context.Context, firings []firing, work *query.DB, cur map[stri
 			outs[i] = out
 			return
 		}
-		fresh := query.NewTable(out.Width())
+		sel := make([]int32, 0, out.Len())
 		for r := 0; r < out.Len(); r++ {
-			row := out.Row(r)
-			if !dst.has(row) {
-				fresh.Append(row...)
+			if !dst.set.ContainsRelRow(out, r) {
+				sel = append(sel, int32(r))
 			}
 		}
-		outs[i] = fresh
+		outs[i] = out.Gather(sel)
 	})
 	if ctxFailed != nil {
 		return nil, ctxFailed
@@ -250,7 +249,7 @@ func evalNaive(ctx context.Context, p *Program, work *query.DB, cur map[string]*
 				}
 				dst := cur[r.Head.Rel]
 				for i := 0; i < out.Len(); i++ {
-					if dst.add(out.Row(i)) {
+					if dst.addRel(out, i) {
 						grew = true
 					}
 				}
@@ -278,12 +277,11 @@ func evalNaive(ctx context.Context, p *Program, work *query.DB, cur map[string]*
 			name := firings[i].head.Rel
 			dst := cur[name]
 			for r := 0; r < out.Len(); r++ {
-				row := out.Row(r)
-				if dst.add(row) {
+				if dst.addRel(out, r) {
 					if added[name] == nil {
 						added[name] = query.NewTable(dst.rel.Width())
 					}
-					added[name].Append(row...)
+					added[name].AppendRowOf(out, r)
 				}
 			}
 		}
@@ -323,9 +321,8 @@ func evalSemiNaive(ctx context.Context, p *Program, idb map[string]int, work *qu
 	for i, out := range outs {
 		name := seeds[i].head.Rel
 		for r := 0; r < out.Len(); r++ {
-			row := out.Row(r)
-			if cur[name].add(row) {
-				delta[name].Append(row...)
+			if cur[name].addRel(out, r) {
+				delta[name].AppendRowOf(out, r)
 			}
 		}
 	}
@@ -378,7 +375,7 @@ func evalSemiNaive(ctx context.Context, p *Program, idb map[string]int, work *qu
 		for i, out := range outs {
 			dst := next[recs[i].head.Rel]
 			for r := 0; r < out.Len(); r++ {
-				dst.add(out.Row(r))
+				dst.addRel(out, r)
 			}
 		}
 		for name := range idb {
@@ -389,9 +386,8 @@ func evalSemiNaive(ctx context.Context, p *Program, idb map[string]int, work *qu
 			// re-planning contract depends on it.
 			nd := query.NewTable(next[name].rel.Width())
 			for i := 0; i < next[name].rel.Len(); i++ {
-				row := next[name].rel.Row(i)
-				cur[name].add(row)
-				nd.Append(row...)
+				cur[name].addRel(next[name].rel, i)
+				nd.AppendRowOf(next[name].rel, i)
 			}
 			delta[name] = nd
 			work.Set(deltaName(name), nd)
@@ -410,14 +406,13 @@ func newTable(arity int) *table {
 	return &table{rel: query.NewTable(arity), set: relation.NewTupleSet(arity)}
 }
 
-func (t *table) has(row []relation.Value) bool { return t.set.Contains(row) }
-
-// add inserts the row if new, reporting whether it was added.
-func (t *table) add(row []relation.Value) bool {
-	if !t.set.Add(row) {
+// addRel inserts row i of r if new, reading the columns in place, with no
+// row materialization.
+func (t *table) addRel(r *relation.Relation, i int) bool {
+	if !t.set.AddRelRow(r, i) {
 		return false
 	}
-	t.rel.Append(row...)
+	t.rel.AppendRowOf(r, i)
 	return true
 }
 

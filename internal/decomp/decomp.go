@@ -354,7 +354,7 @@ func Materialize(q *query.CQ, rt *Route, workers int, ctx context.Context, m *go
 			return
 		}
 		r := rt.materializeBag(u, inner)
-		if m.Charge(int64(r.Len()), governor.RelBytes(r.Len(), r.Width()), "bag") != nil {
+		if m.Charge(int64(r.Len()), r.Bytes(), "bag") != nil {
 			// Over budget on this bag: leave the slot nil so the caller
 			// (which must consult the meter before trusting empty) can
 			// release exactly the rows/bytes that were charged.

@@ -297,7 +297,7 @@ func (c *Compiled) Exec(ctx context.Context, vals []relation.Value, m *governor.
 			if stop != nil && stop.Load() {
 				break
 			}
-			if !cur.bindRow(st, st.rel.Row(i)) {
+			if !cur.bindRowID(st, i) {
 				continue
 			}
 			cur.rec(fs+1, emit)
@@ -313,9 +313,8 @@ func (c *Compiled) Exec(ctx context.Context, vals []relation.Value, m *governor.
 			continue
 		}
 		for i := 0; i < local.Len(); i++ {
-			row := local.Row(i)
-			if seen.Add(row) {
-				out.Append(row...)
+			if seen.AddRelRow(local, i) {
+				out.AppendRowOf(local, i)
 			}
 		}
 	}
@@ -382,7 +381,7 @@ func (c *Compiled) ExecBool(ctx context.Context, vals []relation.Value, m *gover
 			return false
 		}
 		for i := lo; i < hi && !halt.Load(); i++ {
-			if !cur.bindRow(st, st.rel.Row(i)) {
+			if !cur.bindRowID(st, i) {
 				continue
 			}
 			if !cur.rec(fs+1, emit) {

@@ -68,7 +68,7 @@ func ConjunctiveOpts(q *query.CQ, db *query.DB, opts Options) (*relation.Relatio
 		local := query.NewTable(len(e.q.Head))
 		emit := e.collector(c, local, relation.NewTupleSet(len(e.q.Head)))
 		for i := lo; i < hi; i++ {
-			if !c.bindRow(st, st.rel.Row(i)) {
+			if !c.bindRowID(st, i) {
 				continue
 			}
 			c.rec(fs+1, emit)
@@ -81,9 +81,8 @@ func ConjunctiveOpts(q *query.CQ, db *query.DB, opts Options) (*relation.Relatio
 			continue
 		}
 		for i := 0; i < local.Len(); i++ {
-			row := local.Row(i)
-			if seen.Add(row) {
-				out.Append(row...)
+			if seen.AddRelRow(local, i) {
+				out.AppendRowOf(local, i)
 			}
 		}
 	}
@@ -155,7 +154,7 @@ func ConjunctiveBoolOpts(q *query.CQ, db *query.DB, opts Options) (bool, error) 
 			return false // stop this worker
 		}
 		for i := lo; i < hi && !found.Load(); i++ {
-			if !c.bindRow(st, st.rel.Row(i)) {
+			if !c.bindRowID(st, i) {
 				continue
 			}
 			if !c.rec(fs+1, emit) {
@@ -545,11 +544,11 @@ func (e *backtracker) newCursor() *cursor {
 	return c
 }
 
-// bindRow binds one row of a zero-key step into the assignment, reporting
-// whether the step's attached constraints hold.
-func (c *cursor) bindRow(st *planStep, row []relation.Value) bool {
-	for i, s := range st.newSlots {
-		c.assign[s] = row[st.newPos[i]]
+// bindRowID binds row i of a zero-key step into the assignment by direct
+// column reads, reporting whether the step's attached constraints hold.
+func (c *cursor) bindRowID(st *planStep, i int) bool {
+	for k, s := range st.newSlots {
+		c.assign[s] = st.rel.At(st.newPos[k], i)
 	}
 	return c.checkStep(st)
 }
@@ -581,18 +580,21 @@ func (c *cursor) rec(step int, emit func() bool) bool {
 	for i, s := range st.keySlots {
 		c.key[step][i] = c.assign[s]
 	}
-	cont := true
-	st.index.Each(c.key[step], func(row []relation.Value) bool {
-		for i, s := range st.newSlots {
-			c.assign[s] = row[st.newPos[i]]
+	// Probe the frozen index and read matched rows straight off the
+	// relation's columns — no row view is materialized per match.
+	for _, ri := range st.index.Lookup(c.key[step]) {
+		i := int(ri)
+		for k, s := range st.newSlots {
+			c.assign[s] = st.rel.At(st.newPos[k], i)
 		}
 		if !c.checkStep(st) {
-			return true // constraint failed; next tuple
+			continue
 		}
-		cont = c.rec(step+1, emit)
-		return cont
-	})
-	return cont
+		if !c.rec(step+1, emit) {
+			return false
+		}
+	}
+	return true
 }
 
 func (c *cursor) checkStep(st *planStep) bool {
@@ -645,32 +647,28 @@ func ReduceAtom(a query.Atom, db *query.DB) (*relation.Relation, []query.Var) {
 	for i, v := range vars {
 		schema[i] = relation.Attr(v)
 	}
-	out := relation.New(schema)
+	pcols := make([]int, len(vars))
+	for j, v := range vars {
+		pcols[j] = firstPos[v]
+	}
 	seen := relation.NewTupleSet(len(vars))
-	buf := make([]relation.Value, len(vars))
+	sel := make([]int32, 0, r.Len())
 	for i := 0; i < r.Len(); i++ {
-		row := r.Row(i)
 		ok := true
 		for j, t := range a.Args {
 			if t.IsVar {
-				if row[firstPos[t.Var]] != row[j] {
+				if r.At(firstPos[t.Var], i) != r.At(j, i) {
 					ok = false
 					break
 				}
-			} else if row[j] != t.Const {
+			} else if r.At(j, i) != t.Const {
 				ok = false
 				break
 			}
 		}
-		if !ok {
-			continue
-		}
-		for j, v := range vars {
-			buf[j] = row[firstPos[v]]
-		}
-		if seen.Add(buf) {
-			out.Append(buf...)
+		if ok && seen.AddRel(r, i, pcols) {
+			sel = append(sel, int32(i))
 		}
 	}
-	return out, vars
+	return r.GatherCols(schema, pcols, sel), vars
 }

@@ -157,7 +157,7 @@ func makeMemberSets(db *query.DB) map[string]*relation.TupleSet {
 		r := db.MustRel(name)
 		set := relation.NewTupleSetSized(r.Width(), r.Len())
 		for i := 0; i < r.Len(); i++ {
-			set.Add(r.Row(i))
+			set.AddRelRow(r, i)
 		}
 		member[name] = set
 	}

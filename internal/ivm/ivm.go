@@ -219,14 +219,15 @@ func (m *Maint) Refresh(ctx context.Context, meter *governor.Meter, workers int)
 			c = relation.NewTupleCounter(w)
 			net[d.Rel] = c
 		}
+		buf := make([]relation.Value, c.Width())
 		if d.Added != nil {
 			for i := 0; i < d.Added.Len(); i++ {
-				c.Add(d.Added.Row(i), 1)
+				c.Add(d.Added.RowTo(buf, i), 1)
 			}
 		}
 		if d.Removed != nil {
 			for i := 0; i < d.Removed.Len(); i++ {
-				c.Add(d.Removed.Row(i), -1)
+				c.Add(d.Removed.RowTo(buf, i), -1)
 			}
 		}
 	}
@@ -276,6 +277,7 @@ func (m *Maint) Refresh(ctx context.Context, meter *governor.Meter, workers int)
 	// positive; reconcile against the reported result.
 	added = query.NewTable(m.width)
 	removed = query.NewTable(m.width)
+	lastBuf := make([]relation.Value, m.width)
 	touched.Each(func(row []relation.Value, _ int64) bool {
 		want := m.counts.Count(row) > 0
 		p, have := m.resPos.Get(row)
@@ -287,7 +289,7 @@ func (m *Maint) Refresh(ctx context.Context, meter *governor.Meter, workers int)
 		case !want && have:
 			last := m.result.Len() - 1
 			if int(p) != last {
-				m.resPos.Set(m.result.Row(last), p)
+				m.resPos.Set(m.result.RowTo(lastBuf, last), p)
 			}
 			m.resPos.Delete(row)
 			m.result.SwapRemove(int(p))
@@ -318,8 +320,9 @@ func (m *Maint) rebuild(ctx context.Context, meter *governor.Meter, workers int)
 		st.live = rel.Len()
 		st.dead = make([]bool, rel.Len())
 		st.loc = relation.NewTupleMapSized(rel.Width(), rel.Len())
+		rowBuf := make([]relation.Value, rel.Width())
 		for r := 0; r < rel.Len(); r++ {
-			st.loc.Set(rel.Row(r), int32(r))
+			st.loc.Set(rel.RowTo(rowBuf, r), int32(r))
 		}
 		atoms[i] = st
 		reduced += rel.Len()
@@ -359,8 +362,9 @@ func (m *Maint) rebuild(ctx context.Context, meter *governor.Meter, workers int)
 	})
 	added = query.NewTable(m.width)
 	removed = query.NewTable(m.width)
+	diffBuf := make([]relation.Value, m.width)
 	for i := 0; i < result.Len(); i++ {
-		row := result.Row(i)
+		row := result.RowTo(diffBuf, i)
 		if m.resPos == nil {
 			added.Append(row...)
 			continue
@@ -371,7 +375,7 @@ func (m *Maint) rebuild(ctx context.Context, meter *governor.Meter, workers int)
 	}
 	if m.result != nil {
 		for i := 0; i < m.result.Len(); i++ {
-			row := m.result.Row(i)
+			row := m.result.RowTo(diffBuf, i)
 			if _, ok := pos.Get(row); !ok {
 				removed.Append(row...)
 			}
@@ -437,8 +441,9 @@ func (s *atomState) reduceDelta(net *relation.TupleCounter) (plus, minus *relati
 // index. It reports false when the delta contradicts the state (a remove
 // of an unknown tuple or an add of a present one) — the caller rebuilds.
 func (s *atomState) fold(plus, minus *relation.Relation) bool {
+	buf := make([]relation.Value, s.rel.Width())
 	for i := 0; i < minus.Len(); i++ {
-		row := minus.Row(i)
+		row := minus.RowTo(buf, i)
 		id, ok := s.loc.Get(row)
 		if !ok {
 			return false
@@ -448,21 +453,17 @@ func (s *atomState) fold(plus, minus *relation.Relation) bool {
 		s.loc.Delete(row)
 	}
 	for i := 0; i < plus.Len(); i++ {
-		row := plus.Row(i)
+		row := plus.RowTo(buf, i)
 		if _, dup := s.loc.Get(row); dup {
 			return false
 		}
 		id := int32(s.rel.Len())
-		s.rel.Append(row...)
+		s.rel.AppendRowOf(plus, i)
 		s.dead = append(s.dead, false)
 		s.live++
 		s.loc.Set(row, id)
 		for _, e := range s.idx {
-			key := make([]relation.Value, len(e.cols))
-			for k, c := range e.cols {
-				key[k] = row[c]
-			}
-			e.ix.Add(key, id)
+			e.ix.AddRel(plus, i, e.cols, id)
 		}
 	}
 	s.maybeCompact()
@@ -476,14 +477,17 @@ func (s *atomState) maybeCompact() {
 	if deadCount <= 64 || deadCount <= s.live {
 		return
 	}
-	fresh := relation.New(s.rel.Schema())
-	loc := relation.NewTupleMapSized(s.rel.Width(), s.live)
+	sel := make([]int32, 0, s.live)
 	for i := 0; i < s.rel.Len(); i++ {
-		if s.dead[i] {
-			continue
+		if !s.dead[i] {
+			sel = append(sel, int32(i))
 		}
-		loc.Set(s.rel.Row(i), int32(fresh.Len()))
-		fresh.Append(s.rel.Row(i)...)
+	}
+	fresh := s.rel.Gather(sel)
+	loc := relation.NewTupleMapSized(s.rel.Width(), s.live)
+	buf := make([]relation.Value, fresh.Width())
+	for i := 0; i < fresh.Len(); i++ {
+		loc.Set(fresh.RowTo(buf, i), int32(i))
 	}
 	s.rel, s.loc = fresh, loc
 	s.dead = make([]bool, fresh.Len())
@@ -502,16 +506,11 @@ func (s *atomState) index(cols []int) *relation.TupleIndex {
 		return e.ix
 	}
 	ix := relation.NewTupleIndexSized(len(cols), s.live)
-	key := make([]relation.Value, len(cols))
 	for i := 0; i < s.rel.Len(); i++ {
 		if s.dead[i] {
 			continue
 		}
-		row := s.rel.Row(i)
-		for k, c := range cols {
-			key[k] = row[c]
-		}
-		ix.Add(key, int32(i))
+		ix.AddRel(s.rel, i, cols, int32(i))
 	}
 	s.idx[mask] = idxEntry{ix: ix, cols: cols}
 	return ix
@@ -585,9 +584,8 @@ func (m *Maint) runRule(steps []ruleStep, at *atomState, delta *relation.Relatio
 			r.keys[s] = make([]relation.Value, len(steps[s].keySlots))
 		}
 		for i := lo; i < hi; i++ {
-			row := delta.Row(i)
 			for c, sl := range at.slots {
-				r.assign[sl] = row[c]
+				r.assign[sl] = delta.At(c, i)
 			}
 			if !r.rec(0) {
 				break
@@ -653,9 +651,8 @@ func (r *ruleRun) rec(s int) bool {
 		if st.st.dead[id] {
 			return true
 		}
-		row := st.st.rel.Row(int(id))
 		for b, c := range st.bindCols {
-			r.assign[st.bindSlots[b]] = row[c]
+			r.assign[st.bindSlots[b]] = st.st.rel.At(c, int(id))
 		}
 		if !r.rec(s + 1) {
 			ok = false

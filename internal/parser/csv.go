@@ -53,8 +53,9 @@ func LoadCSV(db *query.DB, name string, r io.Reader, syms *Symbols) error {
 // line, for the CLIs.
 func FormatRelation(r *relation.Relation, syms *Symbols) string {
 	out := ""
+	buf := make([]relation.Value, r.Width())
 	for i := 0; i < r.Len(); i++ {
-		row := r.Row(i)
+		row := r.RowTo(buf, i)
 		line := ""
 		for j, v := range row {
 			if j > 0 {

@@ -169,12 +169,14 @@ func (db *DB) logFor(name string, r *relation.Relation) *relLog {
 		return l
 	}
 	pos := relation.NewTupleMapSized(r.Width(), r.Len())
+	buf := make([]relation.Value, r.Width())
 	for i := 0; i < r.Len(); {
-		if _, dup := pos.Get(r.Row(i)); dup {
+		row := r.RowTo(buf, i)
+		if _, dup := pos.Get(row); dup {
 			r.SwapRemove(i)
 			continue
 		}
-		pos.Set(r.Row(i), int32(i))
+		pos.Set(row, int32(i))
 		i++
 	}
 	l := &relLog{pos: pos}
@@ -226,6 +228,7 @@ func (db *DB) Delete(name string, rows ...[]relation.Value) int {
 	defer db.mu.Unlock()
 	l := db.logFor(name, r)
 	var removed *relation.Relation
+	lastBuf := make([]relation.Value, r.Width())
 	for _, row := range rows {
 		if len(row) != r.Width() {
 			panic(fmt.Sprintf("query: Delete(%s): tuple has %d values, want %d", name, len(row), r.Width()))
@@ -236,7 +239,7 @@ func (db *DB) Delete(name string, rows ...[]relation.Value) int {
 		}
 		last := r.Len() - 1
 		if int(p) != last {
-			l.pos.Set(r.Row(last), p)
+			l.pos.Set(r.RowTo(lastBuf, last), p)
 		}
 		l.pos.Delete(row)
 		r.SwapRemove(int(p))
@@ -270,8 +273,9 @@ func (db *DB) GrewInPlace(name string, added *relation.Relation) {
 		// Keep the live-row map honest if tuple-level mutations were used.
 		r := db.MustRel(name)
 		base := r.Len() - added.Len()
+		buf := make([]relation.Value, added.Width())
 		for i := 0; i < added.Len(); i++ {
-			l.pos.Set(added.Row(i), int32(base+i))
+			l.pos.Set(added.RowTo(buf, i), int32(base+i))
 		}
 	}
 	db.recordLocked(Delta{Rel: name, Added: added})

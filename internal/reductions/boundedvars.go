@@ -70,7 +70,7 @@ func BoundedVars(q *query.CQ, db *query.DB) (*query.CQ, *query.DB, error) {
 		// Store positionally like any base table.
 		table := query.NewTable(len(vars))
 		for i := 0; i < acc.Len(); i++ {
-			table.Append(acc.Row(i)...)
+			table.AppendRowOf(acc, i)
 		}
 		newDB.Set(name, table)
 		args := make([]query.Term, len(vars))

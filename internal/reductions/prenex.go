@@ -87,8 +87,9 @@ func PrenexPositiveToWeightedFormula(q *query.FOQuery, db *query.DB) (boolcirc.F
 				return nil, fmt.Errorf("reductions: unknown relation %q", g.Atom.Rel)
 			}
 			var disj []boolcirc.Formula
+			rowBuf := make([]relation.Value, rel.Width())
 			for r := 0; r < rel.Len(); r++ {
-				row := rel.Row(r)
+				row := rel.RowTo(rowBuf, r)
 				match := true
 				var lits []boolcirc.Formula
 				for j, t := range g.Atom.Args {

@@ -48,6 +48,28 @@ func hashRowCols(row []Value, cols []int) uint64 {
 	return h
 }
 
+// hashRelRow hashes row i of r — identical to hashRow(r.Row(i)) without
+// materializing the row: the columns are read in place, narrow codes
+// widened on the fly (the hash is over Values, so narrow and wide storage
+// of the same tuple hash identically).
+func hashRelRow(r *Relation, i int) uint64 {
+	h := hashSeed ^ uint64(r.width)*hashMult
+	for c := range r.cols {
+		h = mix64(h ^ (uint64(r.cols[c].at(i)) * hashMult))
+	}
+	return h
+}
+
+// hashRelCols hashes the projection of row i of r onto the column
+// positions cols — identical to hashRowCols(r.Row(i), cols).
+func hashRelCols(r *Relation, i int, cols []int) uint64 {
+	h := hashSeed ^ uint64(len(cols))*hashMult
+	for _, c := range cols {
+		h = mix64(h ^ (uint64(r.cols[c].at(i)) * hashMult))
+	}
+	return h
+}
+
 // rowsEqual reports element-wise equality of two same-width tuples.
 func rowsEqual(a, b []Value) bool {
 	for i, v := range a {
@@ -62,6 +84,27 @@ func rowsEqual(a, b []Value) bool {
 func rowEqualCols(row []Value, cols []int, key []Value) bool {
 	for i, c := range cols {
 		if row[c] != key[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// relEqualRow reports whether row i of r equals key element-wise.
+func relEqualRow(r *Relation, i int, key []Value) bool {
+	for c := range r.cols {
+		if r.cols[c].at(i) != key[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// relEqualCols reports whether the projection of row i of r onto cols
+// equals key.
+func relEqualCols(r *Relation, i int, cols []int, key []Value) bool {
+	for k, c := range cols {
+		if r.cols[c].at(i) != key[k] {
 			return false
 		}
 	}

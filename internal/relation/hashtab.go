@@ -131,6 +131,108 @@ func (s *TupleSet) AddCols(row []Value, cols []int) bool {
 	}
 }
 
+// AddRel inserts the projection of r's row i onto the column positions
+// cols, reading the columns in place — the columnar counterpart of
+// AddCols. It reports whether the tuple was new.
+func (s *TupleSet) AddRel(r *Relation, i int, cols []int) bool {
+	if s.m1 != nil {
+		v := r.cols[cols[0]].at(i)
+		if _, ok := s.m1[v]; ok {
+			return false
+		}
+		s.m1[v] = struct{}{}
+		return true
+	}
+	s.maybeGrow()
+	h := hashRelCols(r, i, cols)
+	mask := uint64(len(s.slots) - 1)
+	for j := h & mask; ; j = (j + 1) & mask {
+		e := s.slots[j]
+		if e == emptySlot {
+			s.slots[j] = int32(s.n)
+			s.hashes = append(s.hashes, h)
+			for _, c := range cols {
+				s.keys = append(s.keys, r.cols[c].at(i))
+			}
+			s.n++
+			return true
+		}
+		if s.hashes[e] == h && relEqualCols(r, i, cols, s.row(int(e))) {
+			return false
+		}
+	}
+}
+
+// AddRelRow inserts r's full row i (width must equal the set's width),
+// reading the columns in place.
+func (s *TupleSet) AddRelRow(r *Relation, i int) bool {
+	if s.m1 != nil {
+		v := r.cols[0].at(i)
+		if _, ok := s.m1[v]; ok {
+			return false
+		}
+		s.m1[v] = struct{}{}
+		return true
+	}
+	s.maybeGrow()
+	h := hashRelRow(r, i)
+	mask := uint64(len(s.slots) - 1)
+	for j := h & mask; ; j = (j + 1) & mask {
+		e := s.slots[j]
+		if e == emptySlot {
+			s.slots[j] = int32(s.n)
+			s.hashes = append(s.hashes, h)
+			for c := range r.cols {
+				s.keys = append(s.keys, r.cols[c].at(i))
+			}
+			s.n++
+			return true
+		}
+		if s.hashes[e] == h && relEqualRow(r, i, s.row(int(e))) {
+			return false
+		}
+	}
+}
+
+// ContainsRel reports membership of the projection of r's row i onto cols,
+// reading the columns in place.
+func (s *TupleSet) ContainsRel(r *Relation, i int, cols []int) bool {
+	if s.m1 != nil {
+		_, ok := s.m1[r.cols[cols[0]].at(i)]
+		return ok
+	}
+	h := hashRelCols(r, i, cols)
+	mask := uint64(len(s.slots) - 1)
+	for j := h & mask; ; j = (j + 1) & mask {
+		e := s.slots[j]
+		if e == emptySlot {
+			return false
+		}
+		if s.hashes[e] == h && relEqualCols(r, i, cols, s.row(int(e))) {
+			return true
+		}
+	}
+}
+
+// ContainsRelRow reports membership of r's full row i.
+func (s *TupleSet) ContainsRelRow(r *Relation, i int) bool {
+	if s.m1 != nil {
+		_, ok := s.m1[r.cols[0].at(i)]
+		return ok
+	}
+	h := hashRelRow(r, i)
+	mask := uint64(len(s.slots) - 1)
+	for j := h & mask; ; j = (j + 1) & mask {
+		e := s.slots[j]
+		if e == emptySlot {
+			return false
+		}
+		if s.hashes[e] == h && relEqualRow(r, i, s.row(int(e))) {
+			return true
+		}
+	}
+}
+
 // Contains reports membership of the tuple.
 func (s *TupleSet) Contains(row []Value) bool {
 	if s.m1 != nil {
@@ -283,6 +385,29 @@ func (ix *TupleIndex) findCols(row []Value, cols []int) int32 {
 	}
 }
 
+// findRel is find for the projection of r's row i onto cols, reading the
+// columns in place.
+func (ix *TupleIndex) findRel(r *Relation, i int, cols []int) int32 {
+	if ix.m1 != nil {
+		e, ok := ix.m1[r.cols[cols[0]].at(i)]
+		if !ok {
+			return -1
+		}
+		return e
+	}
+	h := hashRelCols(r, i, cols)
+	mask := uint64(len(ix.slots) - 1)
+	for j := h & mask; ; j = (j + 1) & mask {
+		e := ix.slots[j]
+		if e == emptySlot {
+			return -1
+		}
+		if ix.hashes[e] == h && relEqualCols(r, i, cols, ix.key(int(e))) {
+			return e
+		}
+	}
+}
+
 func (ix *TupleIndex) key(e int) []Value {
 	return ix.keys[e*ix.width : (e+1)*ix.width]
 }
@@ -358,6 +483,55 @@ func (ix *TupleIndex) Add(key []Value, id int32) {
 	ix.count[e]++
 }
 
+// AddRel records id under the projection of r's row i onto cols, reading
+// the columns in place — the columnar counterpart of Add. It panics after
+// Freeze.
+func (ix *TupleIndex) AddRel(r *Relation, i int, cols []int, id int32) {
+	if ix.frozen {
+		panic("relation: TupleIndex.AddRel after Freeze")
+	}
+	var e int32
+	if ix.m1 != nil {
+		v := r.cols[cols[0]].at(i)
+		var ok bool
+		if e, ok = ix.m1[v]; !ok {
+			e = int32(len(ix.head))
+			ix.m1[v] = e
+			ix.addEntry()
+		}
+	} else {
+		ix.maybeGrow()
+		h := hashRelCols(r, i, cols)
+		mask := uint64(len(ix.slots) - 1)
+		for j := h & mask; ; j = (j + 1) & mask {
+			e = ix.slots[j]
+			if e == emptySlot {
+				e = int32(len(ix.head))
+				ix.slots[j] = e
+				ix.hashes = append(ix.hashes, h)
+				for _, c := range cols {
+					ix.keys = append(ix.keys, r.cols[c].at(i))
+				}
+				ix.addEntry()
+				break
+			}
+			if ix.hashes[e] == h && relEqualCols(r, i, cols, ix.key(int(e))) {
+				break
+			}
+		}
+	}
+	p := int32(len(ix.rows))
+	ix.rows = append(ix.rows, id)
+	ix.next = append(ix.next, -1)
+	if ix.tail[e] >= 0 {
+		ix.next[ix.tail[e]] = p
+	} else {
+		ix.head[e] = p
+	}
+	ix.tail[e] = p
+	ix.count[e]++
+}
+
 // Freeze lays each key's id list out contiguously so IDs can return
 // subslice views. Idempotent; called implicitly by the first IDs.
 func (ix *TupleIndex) Freeze() {
@@ -404,6 +578,15 @@ func (ix *TupleIndex) IDsCols(row []Value, cols []int) []int32 {
 		ix.Freeze()
 	}
 	return ix.span(ix.findCols(row, cols))
+}
+
+// IDsRel is IDs keyed by the projection of r's row i onto cols, reading
+// the columns in place.
+func (ix *TupleIndex) IDsRel(r *Relation, i int, cols []int) []int32 {
+	if !ix.frozen {
+		ix.Freeze()
+	}
+	return ix.span(ix.findRel(r, i, cols))
 }
 
 // Each calls fn with every id under key, in insertion order, stopping

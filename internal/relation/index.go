@@ -27,13 +27,8 @@ func NewIndex(r *Relation, attrs Schema) *Index {
 
 func newIndexOn(r *Relation, cols []int) *Index {
 	tix := NewTupleIndexSized(len(cols), r.n)
-	buf := make([]Value, len(cols))
 	for i := 0; i < r.n; i++ {
-		row := r.Row(i)
-		for j, c := range cols {
-			buf[j] = row[c]
-		}
-		tix.Add(buf, int32(i))
+		tix.AddRel(r, i, cols, int32(i))
 	}
 	tix.Freeze()
 	return &Index{rel: r, cols: cols, tix: tix}
@@ -46,18 +41,25 @@ func (ix *Index) Lookup(key []Value) []int32 {
 	return ix.tix.IDs(key)
 }
 
-// lookupRow returns the matching row numbers keyed by the projection of a
-// full row of another relation onto the given column positions, without
+// lookupRel returns the matching row numbers keyed by the projection of
+// row i of another relation p onto the given column positions, without
 // materializing the key tuple.
-func (ix *Index) lookupRow(row []Value, cols []int) []int32 {
-	return ix.tix.IDsCols(row, cols)
+func (ix *Index) lookupRel(p *Relation, i int, cols []int) []int32 {
+	return ix.tix.IDsRel(p, i, cols)
 }
 
-// Each calls fn with the row view of every row matching key, stopping early
-// if fn returns false. Like Lookup, it performs no allocation.
+// Each calls fn with every row matching key, stopping early if fn returns
+// false. The yielded slice is a shared buffer overwritten between calls —
+// fn must not retain it. Probes after the first perform no allocation;
+// callers in hot loops should prefer Lookup and direct At reads.
 func (ix *Index) Each(key []Value, fn func(row []Value) bool) {
-	for _, ri := range ix.tix.IDs(key) {
-		if !fn(ix.rel.Row(int(ri))) {
+	ids := ix.tix.IDs(key)
+	if len(ids) == 0 {
+		return
+	}
+	buf := make([]Value, ix.rel.width)
+	for _, ri := range ids {
+		if !fn(ix.rel.RowTo(buf, int(ri))) {
 			return
 		}
 	}

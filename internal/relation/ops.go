@@ -5,18 +5,20 @@ import "fmt"
 // Select returns the tuples of r satisfying pred. The predicate receives a
 // row view and must not retain it.
 func Select(r *Relation, pred func(row []Value) bool) *Relation {
-	out := New(r.schema)
+	sel := make([]int32, 0, r.n)
+	buf := make([]Value, r.width)
 	for i := 0; i < r.n; i++ {
-		row := r.Row(i)
-		if pred(row) {
-			out.Append(row...)
+		if pred(r.RowTo(buf, i)) {
+			sel = append(sel, int32(i))
 		}
 	}
-	return out
+	return r.Gather(sel)
 }
 
 // Project returns the projection of r onto attrs (which must all occur in
-// r's schema), deduplicated.
+// r's schema), deduplicated. The output is built by column gather: a
+// selection vector of the first row holding each distinct projected tuple,
+// then one bulk copy per projected column.
 func Project(r *Relation, attrs Schema) *Relation {
 	pos := make([]int, len(attrs))
 	for i, a := range attrs {
@@ -34,17 +36,16 @@ func Project(r *Relation, attrs Schema) *Relation {
 		return out
 	}
 	seen := NewTupleSetSized(len(attrs), r.n)
-	buf := make([]Value, len(attrs))
+	sel := make([]int32, 0, r.n)
 	for i := 0; i < r.n; i++ {
-		row := r.Row(i)
-		if !seen.AddCols(row, pos) {
-			continue
+		if seen.AddRel(r, i, pos) {
+			sel = append(sel, int32(i))
 		}
-		for j, p := range pos {
-			buf[j] = row[p]
-		}
-		out.Append(buf...)
 	}
+	for j, p := range pos {
+		out.cols[j] = r.cols[p].gather(sel)
+	}
+	out.n = len(sel)
 	return out
 }
 
@@ -61,7 +62,9 @@ func Rename(r *Relation, m map[Attr]Attr) *Relation {
 		}
 	}
 	out := New(schema)
-	out.rows = append(out.rows, r.rows...)
+	for c := range r.cols {
+		out.cols[c] = r.cols[c].clone()
+	}
 	out.n = r.n
 	return out
 }
@@ -71,106 +74,129 @@ func Rename(r *Relation, m map[Attr]Attr) *Relation {
 // schema followed by s's private attributes.
 func NaturalJoin(r, s *Relation) *Relation {
 	common := r.schema.Intersect(s.schema)
-	sPrivate := s.schema.Minus(r.schema)
-	out := New(r.schema.Union(s.schema))
-
-	// Positions of common attrs in each side, and of s's private attrs.
-	rc := make([]int, len(common))
-	sc := make([]int, len(common))
-	for i, a := range common {
-		rc[i] = r.Pos(a)
-		sc[i] = s.Pos(a)
-	}
-	sp := make([]int, len(sPrivate))
-	for i, a := range sPrivate {
-		sp[i] = s.Pos(a)
-	}
+	rc, sc := keyCols(r, s, common)
 
 	// Build a hash index on s keyed by the common attrs; probe with r's rows
 	// directly (no key tuple is materialized). Probing with r keeps the
-	// output column order stable.
-	buildIdx := newIndexOn(s, sc)
-	outRow := make([]Value, out.width)
+	// output row order stable. Matches accumulate as an (rID, sID) pair
+	// vector; the output is materialized by one bulk gather per column.
+	idx := newIndexOn(s, sc)
+	// Seed the pair vectors at the probe cardinality: joins at least that
+	// large skip the early doubling steps, smaller ones waste one slice.
+	rIDs := make([]int32, 0, r.n)
+	sIDs := make([]int32, 0, r.n)
 	for i := 0; i < r.n; i++ {
-		row := r.Row(i)
-		for _, si := range buildIdx.lookupRow(row, rc) {
-			srow := s.Row(int(si))
-			copy(outRow, row)
-			for j, p := range sp {
-				outRow[r.width+j] = srow[p]
-			}
-			out.Append(outRow...)
+		for _, si := range idx.lookupRel(r, i, rc) {
+			rIDs = append(rIDs, int32(i))
+			sIDs = append(sIDs, si)
 		}
 	}
+	return joinGather(r, s, rIDs, sIDs)
+}
+
+// joinGather materializes the join output for matched (rID, sID) pairs:
+// r's columns gathered by rIDs, s's private columns by sIDs.
+func joinGather(r, s *Relation, rIDs, sIDs []int32) *Relation {
+	sPrivate := s.schema.Minus(r.schema)
+	out := New(r.schema.Union(s.schema))
+	for c := range r.cols {
+		out.cols[c] = r.cols[c].gather(rIDs)
+	}
+	for j, a := range sPrivate {
+		out.cols[r.width+j] = s.cols[s.Pos(a)].gather(sIDs)
+	}
+	out.n = len(rIDs)
 	return out
+}
+
+// SemijoinSel returns the selection vector of r ⋉ s over current selection
+// vectors: the ids of r's rows (restricted to rsel; nil means all rows, in
+// order) whose common-attribute key matches some s row (restricted to
+// ssel). The result is always non-nil, ascending within rsel order, and no
+// relation is materialized — this is the unit the Yannakakis passes chain.
+// With no common attributes the semijoin degenerates to "keep everything
+// iff the s side is nonempty".
+func SemijoinSel(r *Relation, rsel []int32, s *Relation, ssel []int32) []int32 {
+	common := r.schema.Intersect(s.schema)
+	rn := selCount(r, rsel)
+	if len(common) == 0 {
+		if selCount(s, ssel) == 0 {
+			return []int32{}
+		}
+		return selIdentity(r, rsel)
+	}
+	rc, sc := keyCols(r, s, common)
+	set := semijoinKeySet(s, ssel, sc)
+	sel := make([]int32, 0, rn)
+	if rsel == nil {
+		for i := 0; i < r.n; i++ {
+			if set.ContainsRel(r, i, rc) {
+				sel = append(sel, int32(i))
+			}
+		}
+		return sel
+	}
+	for _, i := range rsel {
+		if set.ContainsRel(r, int(i), rc) {
+			sel = append(sel, i)
+		}
+	}
+	return sel
+}
+
+// selCount returns the current cardinality under a selection vector.
+func selCount(r *Relation, sel []int32) int {
+	if sel == nil {
+		return r.n
+	}
+	return len(sel)
+}
+
+// selIdentity materializes the explicit form of a selection vector: sel
+// itself, or the identity vector when sel is nil.
+func selIdentity(r *Relation, sel []int32) []int32 {
+	if sel != nil {
+		return sel
+	}
+	out := make([]int32, r.n)
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
+}
+
+// semijoinKeySet builds the set of s's key tuples over the columns sc,
+// restricted to ssel (nil = all rows).
+func semijoinKeySet(s *Relation, ssel []int32, sc []int) *TupleSet {
+	set := NewTupleSetSized(len(sc), selCount(s, ssel))
+	if ssel == nil {
+		for i := 0; i < s.n; i++ {
+			set.AddRel(s, i, sc)
+		}
+		return set
+	}
+	for _, i := range ssel {
+		set.AddRel(s, int(i), sc)
+	}
+	return set
 }
 
 // Semijoin returns r ⋉ s: the tuples of r that join with at least one tuple
 // of s on their common attributes. With no common attributes, it is r if s
 // is nonempty and empty otherwise.
 func Semijoin(r, s *Relation) *Relation {
-	common := r.schema.Intersect(s.schema)
-	if len(common) == 0 {
-		if s.n > 0 {
-			return r.Clone()
-		}
-		return New(r.schema)
-	}
-	set, rc := semijoinSet(r, s, common)
-	out := New(r.schema)
-	for i := 0; i < r.n; i++ {
-		row := r.Row(i)
-		if set.ContainsCols(row, rc) {
-			out.Append(row...)
-		}
-	}
-	return out
+	return r.Gather(SemijoinSel(r, nil, s, nil))
 }
 
 // SemijoinInPlace filters r to r ⋉ s in place and returns r. It is the
-// operator behind repeated semijoin passes (the Yannakakis full reducer),
-// where rebuilding a fresh relation per pass would double the tuple
-// traffic.
+// operator behind standalone semijoin passes, where rebuilding a fresh
+// relation would double the tuple traffic.
 func SemijoinInPlace(r, s *Relation) *Relation {
-	common := r.schema.Intersect(s.schema)
-	if len(common) == 0 {
-		if s.n == 0 {
-			r.rows = r.rows[:0]
-			r.n = 0
-		}
+	sel := SemijoinSel(r, nil, s, nil)
+	if len(sel) == r.n {
 		return r
 	}
-	set, rc := semijoinSet(r, s, common)
-	w := 0
-	for i := 0; i < r.n; i++ {
-		row := r.Row(i)
-		if !set.ContainsCols(row, rc) {
-			continue
-		}
-		if w != i {
-			copy(r.rows[w*r.width:(w+1)*r.width], row)
-		}
-		w++
-	}
-	r.rows = r.rows[:w*r.width]
-	r.n = w
-	return r
-}
-
-// semijoinSet builds the set of s's key tuples over the common attributes
-// and returns it with r's key column positions.
-func semijoinSet(r, s *Relation, common Schema) (*TupleSet, []int) {
-	rc := make([]int, len(common))
-	sc := make([]int, len(common))
-	for i, a := range common {
-		rc[i] = r.Pos(a)
-		sc[i] = s.Pos(a)
-	}
-	set := NewTupleSetSized(len(common), s.n)
-	for i := 0; i < s.n; i++ {
-		set.AddCols(s.Row(i), sc)
-	}
-	return set, rc
+	return r.Compact(sel)
 }
 
 // Union returns r ∪ s, deduplicated. The schemas must contain the same
@@ -180,18 +206,13 @@ func Union(r, s *Relation) *Relation {
 		panic(fmt.Sprintf("relation: union of incompatible schemas %v and %v", r.schema, s.schema))
 	}
 	out := r.Clone()
-	perm := make([]int, r.width)
-	for i, a := range r.schema {
-		perm[i] = s.Pos(a)
-	}
-	buf := make([]Value, r.width)
-	for i := 0; i < s.n; i++ {
-		row := s.Row(i)
-		for c := range perm {
-			buf[c] = row[perm[c]]
+	for c, a := range r.schema {
+		sc := s.Pos(a)
+		for i := 0; i < s.n; i++ {
+			out.cols[c].push(s.cols[sc].at(i))
 		}
-		out.Append(buf...)
 	}
+	out.n += s.n
 	return out.Dedup()
 }
 
@@ -204,22 +225,22 @@ func Difference(r, s *Relation) *Relation {
 	if r.width == 0 {
 		return NewBool(r.n > 0 && s.n == 0)
 	}
+	// Key s's tuples in r's column order, then keep r's non-members.
 	perm := make([]int, r.width)
 	for i, a := range r.schema {
 		perm[i] = s.Pos(a)
 	}
 	set := NewTupleSetSized(r.width, s.n)
 	for i := 0; i < s.n; i++ {
-		set.AddCols(s.Row(i), perm)
+		set.AddRel(s, i, perm)
 	}
-	out := New(r.schema)
+	sel := make([]int32, 0, r.n)
 	for i := 0; i < r.n; i++ {
-		row := r.Row(i)
-		if !set.Contains(row) {
-			out.Append(row...)
+		if !set.ContainsRelRow(r, i) {
+			sel = append(sel, int32(i))
 		}
 	}
-	return out.Dedup()
+	return r.Gather(sel).Dedup()
 }
 
 // CrossProduct returns r × s. The schemas must be disjoint.

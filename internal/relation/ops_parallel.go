@@ -6,10 +6,11 @@ import "pyquery/internal/parallel"
 // side is hash-partitioned by join key into per-shard TupleIndex/TupleSet
 // containers built concurrently, and the probe side is scanned in
 // contiguous per-worker chunks, each probing whichever shard its row's key
-// hashes to (shards are frozen and read-only by then). Per-worker outputs
-// are concatenated in worker order, so every partitioned operator produces
-// exactly the tuple order of its serial counterpart — callers can switch
-// between them freely without perturbing downstream iteration order.
+// hashes to (shards are frozen and read-only by then). Per-worker match
+// vectors are concatenated in worker order, so every partitioned operator
+// produces exactly the tuple order of its serial counterpart — callers can
+// switch between them freely without perturbing downstream iteration
+// order.
 //
 // The shard id is taken from the TOP bits of the same splitmix64 tuple hash
 // (hash.go) the containers key on; the containers' open-addressed tables
@@ -42,107 +43,100 @@ func shardPlan(workers int) (shards int, shift uint) {
 // NaturalJoinPar is NaturalJoin evaluated with the given worker budget:
 // the build side s is hash-partitioned by the common attributes into
 // per-shard indexes built concurrently, and r's rows are probed in
-// parallel chunks. workers <= 1, small inputs, and attribute-disjoint
-// schemas fall back to the serial kernel. The output is identical to
-// NaturalJoin(r, s), including tuple order.
+// parallel chunks collecting per-worker (rID, sID) match vectors; the
+// output is then materialized by one bulk gather per column. workers <= 1,
+// small inputs, and attribute-disjoint schemas fall back to the serial
+// kernel. The output is identical to NaturalJoin(r, s), including tuple
+// order.
 func NaturalJoinPar(r, s *Relation, workers int) *Relation {
 	common := r.schema.Intersect(s.schema)
 	if workers <= 1 || len(common) == 0 || r.n+s.n < parMinRows {
 		return NaturalJoin(r, s)
 	}
-	sPrivate := s.schema.Minus(r.schema)
-	out := New(r.schema.Union(s.schema))
-
 	rc, sc := keyCols(r, s, common)
-	sp := make([]int, len(sPrivate))
-	for i, a := range sPrivate {
-		sp[i] = s.Pos(a)
-	}
-
 	idx, shift := shardedIndexes(s, sc, workers)
 
-	outs := make([]*Relation, workers)
+	type pairs struct{ rIDs, sIDs []int32 }
+	outs := make([]pairs, workers)
 	parallel.Chunks(workers, r.n, func(w, lo, hi int) {
-		local := New(out.schema)
-		outRow := make([]Value, out.width)
+		var p pairs
 		for i := lo; i < hi; i++ {
-			row := r.Row(i)
-			sh := hashRowCols(row, rc) >> shift
-			for _, si := range idx[sh].IDsCols(row, rc) {
-				srow := s.Row(int(si))
-				copy(outRow, row)
-				for j, p := range sp {
-					outRow[r.width+j] = srow[p]
-				}
-				local.Append(outRow...)
+			sh := hashRelCols(r, i, rc) >> shift
+			for _, si := range idx[sh].IDsRel(r, i, rc) {
+				p.rIDs = append(p.rIDs, int32(i))
+				p.sIDs = append(p.sIDs, si)
+			}
+		}
+		outs[w] = p
+	})
+	total := 0
+	for w := range outs {
+		total += len(outs[w].rIDs)
+	}
+	rIDs := make([]int32, 0, total)
+	sIDs := make([]int32, 0, total)
+	for w := range outs {
+		rIDs = append(rIDs, outs[w].rIDs...)
+		sIDs = append(sIDs, outs[w].sIDs...)
+	}
+	return joinGather(r, s, rIDs, sIDs)
+}
+
+// SemijoinSelPar is SemijoinSel evaluated with the given worker budget:
+// the s side is hash-partitioned into per-shard key sets built
+// concurrently, and the r side is probed in parallel chunks. The result is
+// identical to SemijoinSel(r, rsel, s, ssel), including order.
+func SemijoinSelPar(r *Relation, rsel []int32, s *Relation, ssel []int32, workers int) []int32 {
+	common := r.schema.Intersect(s.schema)
+	rn, sn := selCount(r, rsel), selCount(s, ssel)
+	if workers <= 1 || len(common) == 0 || rn+sn < parMinRows {
+		return SemijoinSel(r, rsel, s, ssel)
+	}
+	rc, sc := keyCols(r, s, common)
+	sets, shift := shardedKeySets(s, ssel, sc, workers)
+
+	outs := make([][]int32, workers)
+	parallel.Chunks(workers, rn, func(w, lo, hi int) {
+		var local []int32
+		for k := lo; k < hi; k++ {
+			i := k
+			if rsel != nil {
+				i = int(rsel[k])
+			}
+			sh := hashRelCols(r, i, rc) >> shift
+			if sets[sh].ContainsRel(r, i, rc) {
+				local = append(local, int32(i))
 			}
 		}
 		outs[w] = local
 	})
-	concat(out, outs)
-	return out
+	total := 0
+	for _, o := range outs {
+		total += len(o)
+	}
+	sel := make([]int32, 0, total)
+	for _, o := range outs {
+		sel = append(sel, o...)
+	}
+	return sel
 }
 
 // SemijoinPar is Semijoin evaluated with the given worker budget. The
 // output is identical to Semijoin(r, s), including tuple order.
 func SemijoinPar(r, s *Relation, workers int) *Relation {
-	common := r.schema.Intersect(s.schema)
-	if workers <= 1 || len(common) == 0 || r.n+s.n < parMinRows {
-		return Semijoin(r, s)
-	}
-	rc, sc := keyCols(r, s, common)
-	sets, shift := shardedKeySets(s, sc, workers)
-
-	out := New(r.schema)
-	outs := make([]*Relation, workers)
-	parallel.Chunks(workers, r.n, func(w, lo, hi int) {
-		local := New(r.schema)
-		for i := lo; i < hi; i++ {
-			row := r.Row(i)
-			sh := hashRowCols(row, rc) >> shift
-			if sets[sh].ContainsCols(row, rc) {
-				local.Append(row...)
-			}
-		}
-		outs[w] = local
-	})
-	concat(out, outs)
-	return out
+	return r.Gather(SemijoinSelPar(r, nil, s, nil, workers))
 }
 
 // SemijoinInPlacePar is SemijoinInPlace evaluated with the given worker
-// budget: the survivor test runs in parallel chunks against per-shard key
-// sets, then r is compacted serially. The result is identical to
-// SemijoinInPlace(r, s), including tuple order.
+// budget: the survivor ids are computed in parallel chunks against
+// per-shard key sets, then r's columns are compacted serially. The result
+// is identical to SemijoinInPlace(r, s), including tuple order.
 func SemijoinInPlacePar(r, s *Relation, workers int) *Relation {
-	common := r.schema.Intersect(s.schema)
-	if workers <= 1 || len(common) == 0 || r.n+s.n < parMinRows {
-		return SemijoinInPlace(r, s)
+	sel := SemijoinSelPar(r, nil, s, nil, workers)
+	if len(sel) == r.n {
+		return r
 	}
-	rc, sc := keyCols(r, s, common)
-	sets, shift := shardedKeySets(s, sc, workers)
-
-	keep := make([]bool, r.n)
-	parallel.Chunks(workers, r.n, func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			row := r.Row(i)
-			sh := hashRowCols(row, rc) >> shift
-			keep[i] = sets[sh].ContainsCols(row, rc)
-		}
-	})
-	w := 0
-	for i := 0; i < r.n; i++ {
-		if !keep[i] {
-			continue
-		}
-		if w != i {
-			copy(r.rows[w*r.width:(w+1)*r.width], r.Row(i))
-		}
-		w++
-	}
-	r.rows = r.rows[:w*r.width]
-	r.n = w
-	return r
+	return r.Compact(sel)
 }
 
 // keyCols maps the shared key attributes onto each side's column
@@ -163,18 +157,13 @@ func keyCols(r, s *Relation, common Schema) (rc, sc []int) {
 // each shard, so per-key insertion order matches a serial build.
 func shardedIndexes(s *Relation, sc []int, workers int) ([]*TupleIndex, uint) {
 	shards, shift := shardPlan(workers)
-	byShard, off := shardRows(s, sc, shards, shift, workers)
+	byShard, off := shardRows(s, nil, sc, shards, shift, workers)
 	idx := make([]*TupleIndex, shards)
 	parallel.ForEach(workers, shards, func(sh int) {
 		ids := byShard[off[sh]:off[sh+1]]
 		ix := NewTupleIndexSized(len(sc), len(ids))
-		buf := make([]Value, len(sc))
 		for _, i := range ids {
-			row := s.Row(int(i))
-			for j, c := range sc {
-				buf[j] = row[c]
-			}
-			ix.Add(buf, i)
+			ix.AddRel(s, int(i), sc, i)
 		}
 		ix.Freeze()
 		idx[sh] = ix
@@ -182,33 +171,39 @@ func shardedIndexes(s *Relation, sc []int, workers int) ([]*TupleIndex, uint) {
 	return idx, shift
 }
 
-// shardedKeySets hash-partitions s's key tuples (columns sc) into one
-// TupleSet per shard, built concurrently.
-func shardedKeySets(s *Relation, sc []int, workers int) ([]*TupleSet, uint) {
+// shardedKeySets hash-partitions s's key tuples (columns sc, restricted to
+// ssel) into one TupleSet per shard, built concurrently.
+func shardedKeySets(s *Relation, ssel []int32, sc []int, workers int) ([]*TupleSet, uint) {
 	shards, shift := shardPlan(workers)
-	byShard, off := shardRows(s, sc, shards, shift, workers)
+	byShard, off := shardRows(s, ssel, sc, shards, shift, workers)
 	sets := make([]*TupleSet, shards)
 	parallel.ForEach(workers, shards, func(sh int) {
 		ids := byShard[off[sh]:off[sh+1]]
 		set := NewTupleSetSized(len(sc), len(ids))
 		for _, i := range ids {
-			set.AddCols(s.Row(int(i)), sc)
+			set.AddRel(s, int(i), sc)
 		}
 		sets[sh] = set
 	})
 	return sets, shift
 }
 
-// shardRows hash-partitions s's row ids by shard (top hash bits of the key
-// columns): shard ids are computed in parallel chunks, then one serial
-// counting pass groups the ids so that byShard[off[sh]:off[sh+1]] lists
-// shard sh's rows in ascending order — each shard build touches only its
-// own rows instead of rescanning all of s.
-func shardRows(s *Relation, sc []int, shards int, shift uint, workers int) (byShard, off []int32) {
-	shardOf := make([]uint8, s.n)
-	parallel.Chunks(workers, s.n, func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			shardOf[i] = uint8(hashRowCols(s.Row(i), sc) >> shift)
+// shardRows hash-partitions s's row ids (restricted to ssel; nil = all) by
+// shard (top hash bits of the key columns): shard ids are computed in
+// parallel chunks, then one serial counting pass groups the ids so that
+// byShard[off[sh]:off[sh+1]] lists shard sh's rows in ascending selection
+// order — each shard build touches only its own rows instead of rescanning
+// all of s.
+func shardRows(s *Relation, ssel []int32, sc []int, shards int, shift uint, workers int) (byShard, off []int32) {
+	n := selCount(s, ssel)
+	shardOf := make([]uint8, n)
+	parallel.Chunks(workers, n, func(_, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			i := k
+			if ssel != nil {
+				i = int(ssel[k])
+			}
+			shardOf[k] = uint8(hashRelCols(s, i, sc) >> shift)
 		}
 	})
 	off = make([]int32, shards+1)
@@ -218,30 +213,15 @@ func shardRows(s *Relation, sc []int, shards int, shift uint, workers int) (bySh
 	for i := 0; i < shards; i++ {
 		off[i+1] += off[i]
 	}
-	byShard = make([]int32, s.n)
+	byShard = make([]int32, n)
 	cursor := append([]int32(nil), off[:shards]...)
-	for i, sh := range shardOf {
-		byShard[cursor[sh]] = int32(i)
+	for k, sh := range shardOf {
+		i := int32(k)
+		if ssel != nil {
+			i = ssel[k]
+		}
+		byShard[cursor[sh]] = i
 		cursor[sh]++
 	}
 	return byShard, off
-}
-
-// concat appends the per-worker outputs to out in worker order (nil entries
-// are workers that received no chunk).
-func concat(out *Relation, outs []*Relation) {
-	total := 0
-	for _, o := range outs {
-		if o != nil {
-			total += len(o.rows)
-		}
-	}
-	out.rows = make([]Value, 0, total)
-	for _, o := range outs {
-		if o == nil {
-			continue
-		}
-		out.rows = append(out.rows, o.rows...)
-		out.n += o.n
-	}
 }

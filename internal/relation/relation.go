@@ -1,8 +1,15 @@
 // Package relation implements the in-memory relational substrate used by
-// every engine in this repository: values, schemas, relations with flat
-// tuple storage, and the relational-algebra operators (selection,
-// projection, natural join, semijoin, union, difference, rename) in the
-// exact vocabulary of the paper's algorithms.
+// every engine in this repository: values, schemas, column-major relations
+// with per-column narrow codes, and the relational-algebra operators
+// (selection, projection, natural join, semijoin, union, difference,
+// rename) in the exact vocabulary of the paper's algorithms.
+//
+// Relations are stored column-major (see column.go): each column is an
+// independent vector, narrow (4-byte int32 codes) while every value fits
+// int32 — which, after Dict interning, is nearly always — and wide
+// ([]Value) otherwise. Hot operators work directly on columns and exchange
+// selection vectors ([]int32 row ids) instead of materialized rows; Row
+// materializes a fresh tuple and is the cold-path/compatibility accessor.
 //
 // Relations are multiset-free: Append performs no deduplication, but every
 // operator that can introduce duplicates (projection, union) deduplicates
@@ -121,27 +128,32 @@ func (s Schema) String() string {
 	return "(" + strings.Join(parts, ",") + ")"
 }
 
-// Relation is a set of tuples over a schema. Tuples are stored flattened in
-// a single backing slice; the zero-width relation is valid and represents a
-// Boolean: empty means false, one (empty) tuple means true.
+// Relation is a set of tuples over a schema, stored column-major. The
+// zero-width relation is valid and represents a Boolean: empty means false,
+// one (empty) tuple means true.
 type Relation struct {
 	schema Schema
 	width  int
 	n      int // number of tuples; needed explicitly because width may be 0
-	rows   []Value
+	cols   []column
 }
 
 // New returns an empty relation over schema. The schema must not repeat
 // attributes.
 func New(schema Schema) *Relation {
-	seen := make(map[Attr]bool, len(schema))
-	for _, a := range schema {
-		if seen[a] {
-			panic(fmt.Sprintf("relation: duplicate attribute a%d in schema %v", a, schema))
+	for i, a := range schema {
+		for _, b := range schema[:i] {
+			if a == b {
+				panic(fmt.Sprintf("relation: duplicate attribute a%d in schema %v", a, schema))
+			}
 		}
-		seen[a] = true
 	}
-	return &Relation{schema: schema.Clone(), width: len(schema)}
+	r := &Relation{schema: schema.Clone(), width: len(schema)}
+	r.cols = make([]column, r.width)
+	for c := range r.cols {
+		r.cols[c] = newColumn()
+	}
+	return r
 }
 
 // NewBool returns a zero-ary relation holding the given truth value.
@@ -169,10 +181,28 @@ func (r *Relation) Empty() bool { return r.n == 0 }
 // It is also meaningful for wider relations ("is the answer nonempty?").
 func (r *Relation) Bool() bool { return r.n > 0 }
 
-// Row returns the i-th tuple as a view into the backing store. Callers must
-// not modify or retain it across Appends.
+// At returns the value in column c of row i — the zero-allocation accessor
+// hot loops read through.
+func (r *Relation) At(c, i int) Value { return r.cols[c].at(i) }
+
+// Row materializes the i-th tuple into a fresh slice. It is the
+// compatibility accessor for cold paths; hot loops read At or RowTo
+// instead. The result is the caller's to keep.
 func (r *Relation) Row(i int) []Value {
-	return r.rows[i*r.width : (i+1)*r.width : (i+1)*r.width]
+	return r.RowTo(make([]Value, r.width), i)
+}
+
+// RowTo fills dst (reallocating if too small) with the i-th tuple and
+// returns it, letting scanning callers reuse one buffer across rows.
+func (r *Relation) RowTo(dst []Value, i int) []Value {
+	if cap(dst) < r.width {
+		dst = make([]Value, r.width)
+	}
+	dst = dst[:r.width]
+	for c := range r.cols {
+		dst[c] = r.cols[c].at(i)
+	}
+	return dst
 }
 
 // Append adds one tuple. The number of values must equal the width.
@@ -181,7 +211,21 @@ func (r *Relation) Append(tuple ...Value) {
 		panic(fmt.Sprintf("relation: appended tuple has %d values, schema %v has width %d",
 			len(tuple), r.schema, r.width))
 	}
-	r.rows = append(r.rows, tuple...)
+	for c := range r.cols {
+		r.cols[c].push(tuple[c])
+	}
+	r.n++
+}
+
+// AppendRowOf appends row i of src, which must have the same width, by
+// positional column copy — no intermediate tuple is materialized.
+func (r *Relation) AppendRowOf(src *Relation, i int) {
+	if src.width != r.width {
+		panic(fmt.Sprintf("relation: AppendRowOf width %d into width %d", src.width, r.width))
+	}
+	for c := range r.cols {
+		r.cols[c].push(src.cols[c].at(i))
+	}
 	r.n++
 }
 
@@ -191,10 +235,12 @@ func (r *Relation) Append(tuple ...Value) {
 // treat them as invalidated.
 func (r *Relation) SwapRemove(i int) {
 	last := r.n - 1
-	if i != last {
-		copy(r.Row(i), r.Row(last))
+	for c := range r.cols {
+		if i != last {
+			r.cols[c].set(i, r.cols[c].at(last))
+		}
+		r.cols[c].truncate(last)
 	}
-	r.rows = r.rows[:last*r.width]
 	r.n--
 }
 
@@ -204,9 +250,70 @@ func (r *Relation) Pos(a Attr) int { return r.schema.Pos(a) }
 // Clone returns a deep copy of r.
 func (r *Relation) Clone() *Relation {
 	out := New(r.schema)
-	out.rows = append(out.rows, r.rows...)
+	for c := range r.cols {
+		out.cols[c] = r.cols[c].clone()
+	}
 	out.n = r.n
 	return out
+}
+
+// Bytes returns the resident payload bytes of the relation's columns: 4 per
+// narrow cell, 8 per wide cell. It is the actual-cost input to governor
+// charging, replacing the width×8 estimate for materialized relations.
+func (r *Relation) Bytes() int64 {
+	var b int64
+	for c := range r.cols {
+		b += r.cols[c].bytes()
+	}
+	return b
+}
+
+// ColNarrow returns column c's narrow int32 backing, or nil if the column
+// is stored wide. The slice is a read-only view — callers must not modify
+// it or retain it across appends.
+func (r *Relation) ColNarrow(c int) []int32 { return r.cols[c].nv }
+
+// ColWide returns column c's wide []Value backing, or nil if the column is
+// stored narrow. The slice is a read-only view — callers must not modify
+// it or retain it across appends.
+func (r *Relation) ColWide(c int) []Value { return r.cols[c].wv }
+
+// Gather returns a new relation holding r's rows at the given row ids, in
+// sel order, by per-column bulk copy. It is the materialization boundary of
+// selection-vector execution: passes accumulate row-id vectors and Gather
+// pays the copy once.
+func (r *Relation) Gather(sel []int32) *Relation {
+	out := New(r.schema)
+	for c := range r.cols {
+		out.cols[c] = r.cols[c].gather(sel)
+	}
+	out.n = len(sel)
+	return out
+}
+
+// GatherCols returns a relation over schema whose j-th column is r's
+// column cols[j] gathered at the sel row ids — a fused select-project for
+// callers that compute their own selection vector and column mapping.
+func (r *Relation) GatherCols(schema Schema, cols []int, sel []int32) *Relation {
+	if len(schema) != len(cols) {
+		panic("relation: GatherCols schema/cols length mismatch")
+	}
+	out := New(schema)
+	for j, c := range cols {
+		out.cols[j] = r.cols[c].gather(sel)
+	}
+	out.n = len(sel)
+	return out
+}
+
+// Compact keeps exactly the rows at the (ascending) row ids of sel, in
+// place, and returns r. It is the in-place counterpart of Gather.
+func (r *Relation) Compact(sel []int32) *Relation {
+	for c := range r.cols {
+		r.cols[c].compact(sel)
+	}
+	r.n = len(sel)
+	return r
 }
 
 // Dedup removes duplicate tuples in place and returns r.
@@ -219,19 +326,16 @@ func (r *Relation) Dedup() *Relation {
 		return r
 	}
 	seen := NewTupleSetSized(r.width, r.n)
-	w := 0
+	sel := make([]int32, 0, r.n)
 	for i := 0; i < r.n; i++ {
-		if !seen.Add(r.Row(i)) {
-			continue
+		if seen.AddRelRow(r, i) {
+			sel = append(sel, int32(i))
 		}
-		if w != i {
-			copy(r.rows[w*r.width:(w+1)*r.width], r.Row(i))
-		}
-		w++
 	}
-	r.rows = r.rows[:w*r.width]
-	r.n = w
-	return r
+	if len(sel) == r.n {
+		return r
+	}
+	return r.Compact(sel)
 }
 
 // Contains reports whether tuple is present in r (linear scan; use an Index
@@ -244,7 +348,7 @@ func (r *Relation) Contains(tuple []Value) bool {
 		return r.n > 0
 	}
 	for i := 0; i < r.n; i++ {
-		if rowsEqual(r.Row(i), tuple) {
+		if relEqualRow(r, i, tuple) {
 			return true
 		}
 	}
@@ -257,24 +361,23 @@ func (r *Relation) Sort() *Relation {
 	if r.width == 0 || r.n <= 1 {
 		return r
 	}
-	idx := make([]int, r.n)
+	idx := make([]int32, r.n)
 	for i := range idx {
-		idx[i] = i
+		idx[i] = int32(i)
 	}
 	sort.Slice(idx, func(a, b int) bool {
-		ra, rb := r.Row(idx[a]), r.Row(idx[b])
-		for c := 0; c < r.width; c++ {
-			if ra[c] != rb[c] {
-				return ra[c] < rb[c]
+		ia, ib := int(idx[a]), int(idx[b])
+		for c := range r.cols {
+			va, vb := r.cols[c].at(ia), r.cols[c].at(ib)
+			if va != vb {
+				return va < vb
 			}
 		}
 		return false
 	})
-	out := make([]Value, 0, len(r.rows))
-	for _, i := range idx {
-		out = append(out, r.Row(i)...)
+	for c := range r.cols {
+		r.cols[c] = r.cols[c].gather(idx)
 	}
-	r.rows = out
 	return r
 }
 
@@ -295,15 +398,14 @@ func EqualSet(r, s *Relation) bool {
 	}
 	rk := NewTupleSetSized(r.width, r.n)
 	for i := 0; i < r.n; i++ {
-		rk.Add(r.Row(i))
+		rk.AddRelRow(r, i)
 	}
 	sk := NewTupleSetSized(r.width, s.n)
 	for i := 0; i < s.n; i++ {
-		row := s.Row(i)
-		if !rk.ContainsCols(row, perm) {
+		if !rk.ContainsRel(s, i, perm) {
 			return false
 		}
-		sk.AddCols(row, perm)
+		sk.AddRel(s, i, perm)
 	}
 	return rk.Len() == sk.Len()
 }
@@ -313,8 +415,16 @@ func EqualSet(r, s *Relation) bool {
 func ActiveDomain(rels ...*Relation) []Value {
 	seen := make(map[Value]bool)
 	for _, r := range rels {
-		for _, v := range r.rows {
-			seen[v] = true
+		for c := range r.cols {
+			if wv := r.cols[c].wv; wv != nil {
+				for _, v := range wv {
+					seen[v] = true
+				}
+				continue
+			}
+			for _, v := range r.cols[c].nv {
+				seen[Value(v)] = true
+			}
 		}
 	}
 	out := make([]Value, 0, len(seen))
@@ -334,10 +444,9 @@ func (r *Relation) String() string {
 		limit = 20
 	}
 	for i := 0; i < limit; i++ {
-		row := r.Row(i)
-		parts := make([]string, len(row))
-		for j, v := range row {
-			parts[j] = fmt.Sprintf("%d", v)
+		parts := make([]string, r.width)
+		for j := range parts {
+			parts[j] = fmt.Sprintf("%d", r.At(j, i))
 		}
 		b.WriteString("  [" + strings.Join(parts, " ") + "]\n")
 	}

@@ -4,9 +4,11 @@
 // engine's join-order and join-tree decision is driven by these numbers
 // instead of per-engine ad-hoc heuristics.
 //
-// Distinct counts go through the width-1 fast path of the existing
-// relation.TupleSet machinery (a map keyed by Value directly), so no string
-// keys and no per-tuple allocation. Relations larger than sampleCap rows
+// Each column is scanned in place through the relation's columnar views
+// (ColNarrow/ColWide) — a contiguous slice of 4-byte codes or 8-byte
+// values, counted in a map keyed by the value directly, so no string keys,
+// no row materialization, and no per-tuple allocation beyond the count
+// maps. Relations larger than sampleCap rows
 // are summarized from a deterministic prefix sample — a column whose
 // distinct sample is half-saturated or more (mostly-unique values)
 // extrapolates linearly, anything else is treated as saturated and keeps
@@ -50,8 +52,10 @@ type Rel struct {
 	Cols []Col
 }
 
-// Of computes statistics for r with a single pass over at most sampleCap
-// tuples.
+// Of computes statistics for r one column at a time: each column is a
+// contiguous slice (4-byte codes when narrow), so the sampled prefix is
+// scanned in place with no row materialization. Semantics are unchanged
+// from the row-at-a-time version — same sampleCap, same extrapolation.
 func Of(r *relation.Relation) *Rel {
 	w := r.Width()
 	s := &Rel{Rows: r.Len(), Cols: make([]Col, w)}
@@ -62,56 +66,65 @@ func Of(r *relation.Relation) *Rel {
 	if sample > sampleCap {
 		sample = sampleCap
 	}
-	sets := make([]*relation.TupleSet, w)
-	counts := make([]map[relation.Value]int, w)
-	for c := range sets {
-		sets[c] = relation.NewTupleSetSized(1, sample)
-		counts[c] = make(map[relation.Value]int, sample)
-	}
-	first := r.Row(0)
-	for c := range s.Cols {
-		s.Cols[c].Min, s.Cols[c].Max = first[c], first[c]
-	}
-	buf := make([]relation.Value, 1)
-	for i := 0; i < sample; i++ {
-		row := r.Row(i)
-		for c, v := range row {
-			if v < s.Cols[c].Min {
-				s.Cols[c].Min = v
+	for c := 0; c < w; c++ {
+		col := &s.Cols[c]
+		var distinct, maxFreq int
+		if nv := r.ColNarrow(c); nv != nil {
+			counts := make(map[int32]int, sample)
+			col.Min, col.Max = relation.Value(nv[0]), relation.Value(nv[0])
+			for _, code := range nv[:sample] {
+				v := relation.Value(code)
+				if v < col.Min {
+					col.Min = v
+				}
+				if v > col.Max {
+					col.Max = v
+				}
+				counts[code]++
 			}
-			if v > s.Cols[c].Max {
-				s.Cols[c].Max = v
+			distinct = len(counts)
+			for _, n := range counts {
+				if n > maxFreq {
+					maxFreq = n
+				}
 			}
-			buf[0] = v
-			sets[c].Add(buf)
-			counts[c][v]++
+		} else {
+			wv := r.ColWide(c)
+			counts := make(map[relation.Value]int, sample)
+			col.Min, col.Max = wv[0], wv[0]
+			for _, v := range wv[:sample] {
+				if v < col.Min {
+					col.Min = v
+				}
+				if v > col.Max {
+					col.Max = v
+				}
+				counts[v]++
+			}
+			distinct = len(counts)
+			for _, n := range counts {
+				if n > maxFreq {
+					maxFreq = n
+				}
+			}
 		}
-	}
-	for c := range s.Cols {
-		d := sets[c].Len()
-		if r.Len() > sample && d*2 >= sample {
+		if r.Len() > sample && distinct*2 >= sample {
 			// High-cardinality column: extrapolate the sample density.
-			d = int(float64(d) * float64(r.Len()) / float64(sample))
-			if d > r.Len() {
-				d = r.Len()
+			distinct = int(float64(distinct) * float64(r.Len()) / float64(sample))
+			if distinct > r.Len() {
+				distinct = r.Len()
 			}
 		}
-		s.Cols[c].Distinct = d
-		mf := 0
-		for _, n := range counts[c] {
-			if n > mf {
-				mf = n
-			}
-		}
+		col.Distinct = distinct
 		if r.Len() > sample {
 			// MaxFreq is a worst-case bound, so extrapolate pessimistically:
 			// assume the sampled skew holds across the whole relation.
-			mf = int(float64(mf) * float64(r.Len()) / float64(sample))
-			if mf > r.Len() {
-				mf = r.Len()
+			maxFreq = int(float64(maxFreq) * float64(r.Len()) / float64(sample))
+			if maxFreq > r.Len() {
+				maxFreq = r.Len()
 			}
 		}
-		s.Cols[c].MaxFreq = mf
+		col.MaxFreq = maxFreq
 	}
 	return s
 }

@@ -63,6 +63,68 @@ func TestOfSampledEstimates(t *testing.T) {
 	}
 }
 
+// Pins the sampled-vs-exact contract on a relation above the cap, on both
+// column representations: the narrow (int32-coded) column and a wide column
+// (values past the int32 range) must produce the same estimates they would
+// row-at-a-time — exact distinct for a saturated low-cardinality column,
+// linear extrapolation for a mostly-unique one — and the exact counts are
+// recomputed here by brute force rather than trusted from Of.
+func TestOfSampledVsExactDistinct(t *testing.T) {
+	const wideBase = relation.Value(1) << 40 // force the wide representation
+	n := 3*sampleCap + 17                    // >1024 rows, not a cap multiple
+	r := query.NewTable(3)
+	for i := 0; i < n; i++ {
+		r.Append(
+			relation.Value(i%13),          // narrow, low cardinality
+			relation.Value(i),             // narrow, unique
+			wideBase+relation.Value(i%13), // wide, low cardinality
+		)
+	}
+	exact := make([]map[relation.Value]bool, 3)
+	for c := range exact {
+		exact[c] = make(map[relation.Value]bool)
+		for i := 0; i < r.Len(); i++ {
+			exact[c][r.At(c, i)] = true
+		}
+	}
+	if r.ColNarrow(0) == nil || r.ColNarrow(2) != nil {
+		t.Fatalf("representation: col0 narrow=%v col2 narrow=%v, want true/false",
+			r.ColNarrow(0) != nil, r.ColNarrow(2) != nil)
+	}
+	s := Of(r)
+	// Low-cardinality columns saturate the sample: sampled == exact.
+	if got := s.Cols[0].Distinct; got != len(exact[0]) {
+		t.Fatalf("narrow low-card sampled distinct = %d, exact = %d", got, len(exact[0]))
+	}
+	if got := s.Cols[2].Distinct; got != len(exact[2]) {
+		t.Fatalf("wide low-card sampled distinct = %d, exact = %d", got, len(exact[2]))
+	}
+	// The unique column extrapolates linearly: sample density 1 scales to
+	// Rows, matching the exact count here.
+	if got := s.Cols[1].Distinct; got != len(exact[1]) {
+		t.Fatalf("unique column sampled distinct = %d, exact = %d", got, len(exact[1]))
+	}
+	// Cross-check against an exact computation on the full relation (no
+	// sampling path: trim to the cap).
+	small := r.Gather(func() []int32 {
+		sel := make([]int32, sampleCap)
+		for i := range sel {
+			sel[i] = int32(i)
+		}
+		return sel
+	}())
+	se := Of(small)
+	for c := 0; c < 3; c++ {
+		ex := make(map[relation.Value]bool)
+		for i := 0; i < small.Len(); i++ {
+			ex[small.At(c, i)] = true
+		}
+		if se.Cols[c].Distinct != len(ex) {
+			t.Fatalf("col %d at-cap distinct = %d, exact = %d", c, se.Cols[c].Distinct, len(ex))
+		}
+	}
+}
+
 func TestForCachesAndInvalidates(t *testing.T) {
 	db := query.NewDB()
 	db.Set("R", query.Table(1, []relation.Value{1}, []relation.Value{2}))

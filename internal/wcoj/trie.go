@@ -23,24 +23,50 @@ type Trie struct {
 // emission, and multiplicities keep Seek/Next ranges honest about fanout.
 func BuildTrie(r *relation.Relation, perm []int) *Trie {
 	n := r.Len()
+	// Resolve each level's column representation once: the comparator and
+	// the gather below read the narrow or wide slice directly instead of
+	// paying a branch (or a row materialization) per access.
+	narrow := make([][]int32, len(perm))
+	wide := make([][]relation.Value, len(perm))
+	for l, c := range perm {
+		if nv := r.ColNarrow(c); nv != nil {
+			narrow[l] = nv
+		} else {
+			wide[l] = r.ColWide(c)
+		}
+	}
+	at := func(l, i int) relation.Value {
+		if nv := narrow[l]; nv != nil {
+			return relation.Value(nv[i])
+		}
+		return wide[l][i]
+	}
 	idx := make([]int, n)
 	for i := range idx {
 		idx[i] = i
 	}
 	sort.Slice(idx, func(a, b int) bool {
-		ra, rb := r.Row(idx[a]), r.Row(idx[b])
-		for _, c := range perm {
-			if ra[c] != rb[c] {
-				return ra[c] < rb[c]
+		ia, ib := idx[a], idx[b]
+		for l := range perm {
+			va, vb := at(l, ia), at(l, ib)
+			if va != vb {
+				return va < vb
 			}
 		}
-		return idx[a] < idx[b] // stable for determinism
+		return ia < ib // stable for determinism
 	})
 	t := &Trie{n: n, cols: make([][]relation.Value, len(perm))}
-	for l, c := range perm {
+	for l := range perm {
 		col := make([]relation.Value, n)
-		for i, ri := range idx {
-			col[i] = r.Row(ri)[c]
+		if nv := narrow[l]; nv != nil {
+			for i, ri := range idx {
+				col[i] = relation.Value(nv[ri])
+			}
+		} else {
+			wv := wide[l]
+			for i, ri := range idx {
+				col[i] = wv[ri]
+			}
 		}
 		t.cols[l] = col
 	}

@@ -532,9 +532,8 @@ func (c *Compiled) Exec(ctx context.Context, workers int, m *governor.Meter) (*r
 			continue
 		}
 		for i := 0; i < local.Len(); i++ {
-			row := local.Row(i)
-			if seen.Add(row) {
-				out.Append(row...)
+			if seen.AddRelRow(local, i) {
+				out.AppendRowOf(local, i)
 			}
 		}
 	}

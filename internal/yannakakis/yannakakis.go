@@ -128,10 +128,13 @@ type Tree struct {
 	// trip makes the passes bail out like a cancellation; the caller reads
 	// the typed error from Meter.Err and must then discard the result.
 	Meter *governor.Meter
-	// copyOnWrite makes the semijoin passes build new relations instead of
-	// filtering in place, so a Fork of a frozen prepared template never
-	// mutates the template's relations.
-	copyOnWrite bool
+	// sels[j], once a pass has run, is node j's current selection vector:
+	// the surviving row ids of Rels[j], in ascending order. nil means "all
+	// rows". The semijoin passes only ever narrow sels — Rels is never
+	// mutated — and JoinProject materializes each node at most once, so a
+	// Fork of a frozen prepared template shares the template's relations
+	// safely by construction.
+	sels [][]int32
 }
 
 // Compile validates, reduces atoms, and freezes the planned join tree for
@@ -159,7 +162,7 @@ func Compile(q *query.CQ, db *query.DB) (t *Tree, trivial bool, err error) {
 func (t *Tree) Fork() *Tree {
 	ft := *t
 	ft.Rels = append([]*relation.Relation(nil), t.Rels...)
-	ft.copyOnWrite = true
+	ft.sels = nil
 	return &ft
 }
 
@@ -186,23 +189,47 @@ func (t *Tree) tripped() bool {
 	return t.canceled()
 }
 
-// charge bills a freshly materialized pass relation to the meter. A trip
-// here flips the stop flag; the pass notices at its next checkpoint.
+// charge bills a freshly materialized pass relation to the meter at its
+// actual encoded size (4 bytes per narrow cell, 8 per wide). A trip here
+// flips the stop flag; the pass notices at its next checkpoint.
 func (t *Tree) charge(r *relation.Relation, step string) {
 	if t.Meter != nil {
-		t.Meter.Charge(int64(r.Len()), governor.RelBytes(r.Len(), r.Width()), step)
+		t.Meter.Charge(int64(r.Len()), r.Bytes(), step)
 	}
 }
 
-// semijoinNode filters node dst by node src with the given worker budget,
-// honoring copy-on-write, and reports whether dst became empty.
-func (t *Tree) semijoinNode(dst, src, workers int) bool {
-	if t.copyOnWrite {
-		t.Rels[dst] = relation.SemijoinPar(t.Rels[dst], t.Rels[src], workers)
-		t.charge(t.Rels[dst], "semijoin")
-		return t.Rels[dst].Empty()
+// ensureSels sizes the per-node selection-vector state before a pass.
+func (t *Tree) ensureSels() {
+	if t.sels == nil {
+		t.sels = make([][]int32, len(t.Rels))
 	}
-	return relation.SemijoinInPlacePar(t.Rels[dst], t.Rels[src], workers).Empty()
+}
+
+// semijoinNode filters node dst by node src with the given worker budget
+// and reports whether dst became empty. Nothing is materialized: the
+// result is dst's narrowed selection vector over its frozen relation, and
+// the meter is charged the vector's actual bytes (4 per surviving row id).
+func (t *Tree) semijoinNode(dst, src, workers int) bool {
+	sel := relation.SemijoinSelPar(t.Rels[dst], t.sels[dst], t.Rels[src], t.sels[src], workers)
+	t.sels[dst] = sel
+	if t.Meter != nil {
+		t.Meter.Charge(int64(len(sel)), 4*int64(len(sel)), "semijoin")
+	}
+	return len(sel) == 0
+}
+
+// cur returns node j's current relation — Rels[j] narrowed by its
+// selection vector, materialized if a pass has filtered it. The
+// materialization is recorded so it happens at most once per node.
+func (t *Tree) cur(j int) *relation.Relation {
+	if t.sels == nil || t.sels[j] == nil {
+		return t.Rels[j]
+	}
+	if len(t.sels[j]) != t.Rels[j].Len() {
+		t.Rels[j] = t.Rels[j].Gather(t.sels[j])
+	}
+	t.sels[j] = nil
+	return t.Rels[j]
 }
 
 // prepare validates, reduces atoms, and builds the join tree. It returns
@@ -299,6 +326,7 @@ func (t *Tree) levels() [][]int {
 // of a level absorbs its children independently of the level's other
 // parents, so they run across workers.
 func (t *Tree) BottomUpSemijoin() bool {
+	t.ensureSels()
 	if t.Workers <= 1 {
 		for _, j := range t.Forest.Order {
 			if t.stopped("bottomup-semijoin") {
@@ -426,6 +454,7 @@ func (t *Tree) projSchema(j, u int) relation.Schema {
 // and the caller must read the typed error from the meter (or context)
 // instead of using the result.
 func (t *Tree) JoinProject() *relation.Relation {
+	t.ensureSels()
 	if t.Workers <= 1 {
 		for _, j := range t.Forest.Order {
 			if t.stopped("join-project") {
@@ -435,7 +464,8 @@ func (t *Tree) JoinProject() *relation.Relation {
 			if u < 0 {
 				continue
 			}
-			t.Rels[u] = relation.NaturalJoin(t.Rels[u], relation.Project(t.Rels[j], t.projSchema(j, u)))
+			t.Rels[u] = relation.NaturalJoin(t.cur(u), relation.Project(t.cur(j), t.projSchema(j, u)))
+			t.sels[u] = nil
 			t.charge(t.Rels[u], "join-project")
 		}
 	} else {
@@ -457,7 +487,8 @@ func (t *Tree) JoinProject() *relation.Relation {
 					if t.tripped() {
 						return
 					}
-					t.Rels[u] = relation.NaturalJoinPar(t.Rels[u], relation.Project(t.Rels[c], t.projSchema(c, u)), inner)
+					t.Rels[u] = relation.NaturalJoinPar(t.cur(u), relation.Project(t.cur(c), t.projSchema(c, u)), inner)
+					t.sels[u] = nil
 					t.charge(t.Rels[u], "join-project")
 				}
 			})
@@ -467,6 +498,7 @@ func (t *Tree) JoinProject() *relation.Relation {
 		return nil
 	}
 	root := t.Forest.Roots[0]
+	t.Rels[root] = t.cur(root)
 	zs := make(relation.Schema, 0, len(t.HeadVars))
 	for v := range t.HeadVars {
 		zs = append(zs, relation.Attr(v))
@@ -502,10 +534,9 @@ func HeadTuples(q *query.CQ, pstar *relation.Relation) *relation.Relation {
 	}
 	tuple := make([]relation.Value, len(q.Head))
 	for r := 0; r < pstar.Len(); r++ {
-		row := pstar.Row(r)
 		for i, t := range q.Head {
 			if pos[i] >= 0 {
-				tuple[i] = row[pos[i]]
+				tuple[i] = pstar.At(pos[i], r)
 			} else {
 				tuple[i] = t.Const
 			}

@@ -520,11 +520,12 @@ func (p *Prepared) ForEach(ctx context.Context, fn func(tuple []Value) bool, arg
 	if err != nil {
 		return err
 	}
+	buf := make([]Value, res.Width())
 	for i := 0; i < res.Len(); i++ {
 		if err := parallel.CtxErr(ectx); err != nil {
 			return err
 		}
-		if !fn(res.Row(i)) {
+		if !fn(res.RowTo(buf, i)) {
 			return nil
 		}
 	}
@@ -774,8 +775,9 @@ func (p *Prepared) Refresh(ctx context.Context) (added, removed *Relation, err e
 	pos := relation.NewTupleMapSized(w, res.Len())
 	added = query.NewTable(w)
 	removed = query.NewTable(w)
+	diffBuf := make([]Value, w)
 	for i := 0; i < res.Len(); i++ {
-		row := res.Row(i)
+		row := res.RowTo(diffBuf, i)
 		pos.Set(row, int32(i))
 		if p.reportedPos == nil {
 			added.Append(row...)
@@ -785,7 +787,7 @@ func (p *Prepared) Refresh(ctx context.Context) (added, removed *Relation, err e
 	}
 	if p.reported != nil {
 		for i := 0; i < p.reported.Len(); i++ {
-			row := p.reported.Row(i)
+			row := p.reported.RowTo(diffBuf, i)
 			if _, ok := pos.Get(row); !ok {
 				removed.Append(row...)
 			}
