@@ -1,4 +1,4 @@
-// Benchmarks, one per experiment of EXPERIMENTS.md (E1–E12, A1–A6) plus
+// Benchmarks, one per experiment of EXPERIMENTS.md (E1–E13, A1–A6) plus
 // engine micro-benchmarks. cmd/benchrunner produces the full sweep tables;
 // these targets pin each experiment's workload into `go test -bench`.
 package pyquery_test
@@ -6,7 +6,9 @@ package pyquery_test
 import (
 	"context"
 	"fmt"
+	"sync"
 	"testing"
+	"time"
 
 	"pyquery"
 	"pyquery/internal/core"
@@ -15,9 +17,11 @@ import (
 	"pyquery/internal/governor"
 	"pyquery/internal/graph"
 	"pyquery/internal/order"
+	"pyquery/internal/parser"
 	"pyquery/internal/query"
 	"pyquery/internal/reductions"
 	"pyquery/internal/relation"
+	"pyquery/internal/server"
 	"pyquery/internal/stats"
 	"pyquery/internal/workload"
 	"pyquery/internal/yannakakis"
@@ -459,6 +463,72 @@ func BenchmarkE12_Columnar(b *testing.B) {
 			})
 		})
 	}
+}
+
+// --- E13: service layer, registry exec and batching ------------------------
+
+// BenchmarkE13_Server prices one registry execution through the service
+// layer — admission, fingerprint lookup, frozen-plan exec — against the
+// same prepared statement called directly, and the batched path under a
+// small hot-key fan-in. cmd/benchrunner -exp E13 produces the sustained
+// HTTP load and full batching A/B.
+func BenchmarkE13_Server(b *testing.B) {
+	db := workload.GraphDB(150, 150*10, 131)
+	src := "Q(y) :- E($src, x), E(x, y)."
+	params := map[string]pyquery.Value{"src": 7}
+	ctx := context.Background()
+	b.Run("registry", func(b *testing.B) {
+		s := server.New(db, server.Config{Parallelism: 1, NoBatch: true})
+		if _, err := s.Register("adj", src); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := s.Exec(ctx, "adj", params, server.ExecOpts{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("direct", func(b *testing.B) {
+		q, err := parser.New().ParseCQ(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := pyquery.Prepare(q, db, pyquery.Options{Parallelism: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Exec(ctx, pyquery.Bind("src", 7)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("batched-fanin", func(b *testing.B) {
+		s := server.New(db, server.Config{Parallelism: 1, BatchWindow: 50 * time.Microsecond})
+		if _, err := s.Register("adj", src); err != nil {
+			b.Fatal(err)
+		}
+		const fanin = 4
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			for c := 0; c < fanin; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if _, _, err := s.Exec(ctx, "adj", params, server.ExecOpts{}); err != nil {
+						panic(err)
+					}
+				}()
+			}
+			wg.Wait()
+		}
+	})
 }
 
 // --- Ablations ---------------------------------------------------------------

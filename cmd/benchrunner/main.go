@@ -6,7 +6,8 @@
 // low-width decomposition workload (E8), the prepared-statement
 // amortization (E9), the worst-case-optimal join workload (E10), the
 // incremental-view-maintenance update workload (E11), the columnar
-// substrate A/B (E12), and the ablations A1–A7.
+// substrate A/B (E12), the service-layer sustained-load and batching
+// experiment (E13), and the ablations A1–A7.
 //
 // Usage:
 //
@@ -29,7 +30,7 @@ type experiment struct {
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E12, A1..A7, PAR) or 'all'")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E13, A1..A7, PAR) or 'all'")
 	quick := flag.Bool("quick", false, "smaller sweeps (CI-sized)")
 	flag.Parse()
 
@@ -46,6 +47,7 @@ func main() {
 		{"E10", "Dense cyclic queries: worst-case-optimal leapfrog triejoin vs backtracker", runE10},
 		{"E11", "Incremental view maintenance: 1-row update, delta Refresh vs full re-exec", runE11},
 		{"E12", "Columnar substrate: narrow int32 codes vs wide cells on scan/semijoin/join", runE12},
+		{"E13", "Service layer: sustained mixed-load QPS/p99 over HTTP; batching A/B on hot-key flood", runE13},
 		{"A1", "Ablation: I2 pushdown vs all-hashed inequalities", runA1},
 		{"A2", "Ablation: Yannakakis full reducer on/off", runA2},
 		{"A3", "Ablation: join-order heuristic on/off", runA3},

@@ -12,15 +12,30 @@
 // it against the loaded relation, applies the exact tuple deltas, and
 // incrementally refreshes the answer — printing only the rows that appeared
 // (+) or disappeared (-).
+//
+// With -serve the command becomes a qserved client: it loads any -rel CSVs
+// into the server, registers -query under the -stmt name (registration is
+// the compile-once step — skip -query to execute an already registered
+// statement), and executes it with the -arg NAME=VALUE bindings:
+//
+//	qeval -serve localhost:7347 -stmt bypop -rel City=cities.csv \
+//	      -query 'Q(c) :- City(c,p), p > 1000000.'
+//	qeval -serve localhost:7347 -stmt bypop
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/signal"
+	"sort"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -60,8 +75,20 @@ func main() {
 	degrade := flag.Bool("degrade", false, "when a decomposition blows the budget at prepare time, fall back to the backtracker instead of failing")
 	watch := flag.Bool("watch", false, "keep running: poll the -rel files, apply tuple deltas on change, and refresh the answer incrementally")
 	interval := flag.Duration("interval", 500*time.Millisecond, "poll interval for -watch")
+	serve := flag.String("serve", "", "qserved address (host:port): run against a server instead of in-process")
+	stmtName := flag.String("stmt", "", "with -serve: statement name to register (-query) and/or execute")
+	var stmtArgs relFlags
+	flag.Var(&stmtArgs, "arg", "with -serve: NAME=VALUE parameter binding (repeatable)")
 	flag.Var(&rels, "rel", "NAME=FILE.csv (repeatable)")
 	flag.Parse()
+
+	if *serve != "" {
+		if *stmtName == "" {
+			fatal(errors.New("-serve requires -stmt (the statement name to register or execute)"))
+		}
+		runClient(*serve, *stmtName, *queryText, rels, stmtArgs, *boolOnly)
+		return
+	}
 
 	govOpts = pyquery.Options{Parallelism: *par, Timeout: *timeout,
 		MaxRows: *maxRows, MemoryLimit: *memLimit, Degrade: *degrade}
@@ -394,6 +421,135 @@ func printBool(ok bool) {
 	} else {
 		fmt.Println("false")
 	}
+}
+
+// runClient drives a qserved instance end-to-end: load -rel CSVs, register
+// the -query under -stmt (when given), then execute the named statement
+// with the -arg bindings and render the rows the same way the in-process
+// paths do. Argument values parse as integers when they look numeric and
+// travel as strings otherwise — the server interns them with the same
+// Literal semantics its CSV loader uses, so client and server always agree
+// on constants.
+func runClient(addr, name, queryText string, rels, args []string, boolOnly bool) {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	for _, spec := range rels {
+		parts := strings.SplitN(spec, "=", 2)
+		if len(parts) != 2 {
+			fatal(fmt.Errorf("bad -rel %q (want NAME=FILE)", spec))
+		}
+		f, err := os.Open(parts[1])
+		if err != nil {
+			fatal(err)
+		}
+		_, err = clientCall("POST", base+"/rel/"+parts[0], f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if queryText != "" {
+		body, _ := json.Marshal(map[string]string{"query": queryText})
+		info, err := clientCall("PUT", base+"/stmt/"+name, bytes.NewReader(body))
+		if err != nil {
+			fatal(err)
+		}
+		var reg struct {
+			Engine string   `json:"engine"`
+			Params []string `json:"params"`
+		}
+		if err := json.Unmarshal(info, &reg); err == nil {
+			line := "registered " + name + " [engine=" + reg.Engine
+			if len(reg.Params) > 0 {
+				line += ", params=" + strings.Join(reg.Params, ",")
+			}
+			fmt.Fprintln(os.Stderr, line+"]")
+		}
+	}
+	params := make(map[string]any, len(args))
+	for _, a := range args {
+		parts := strings.SplitN(a, "=", 2)
+		if len(parts) != 2 {
+			fatal(fmt.Errorf("bad -arg %q (want NAME=VALUE)", a))
+		}
+		if n, err := strconv.ParseInt(parts[1], 10, 64); err == nil {
+			params[parts[0]] = n
+		} else {
+			params[parts[0]] = parts[1]
+		}
+	}
+	body, _ := json.Marshal(map[string]any{"params": params})
+	raw, err := clientCall("POST", base+"/stmt/"+name+"/exec", bytes.NewReader(body))
+	if err != nil {
+		fatal(err)
+	}
+	var res struct {
+		Rows  [][]any `json:"rows"`
+		N     int     `json:"n"`
+		Width int     `json:"width"`
+		Bool  bool    `json:"bool"`
+	}
+	if err := json.Unmarshal(raw, &res); err != nil {
+		fatal(fmt.Errorf("bad exec response: %w", err))
+	}
+	if boolOnly || res.Width == 0 {
+		printBool(res.Bool)
+		return
+	}
+	fmt.Printf("%d tuple(s)\n", res.N)
+	lines := make([]string, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		fields := make([]string, len(row))
+		for j, v := range row {
+			switch t := v.(type) {
+			case string:
+				fields[j] = t
+			case float64:
+				fields[j] = strconv.FormatInt(int64(t), 10)
+			default:
+				fields[j] = fmt.Sprint(t)
+			}
+		}
+		lines = append(lines, strings.Join(fields, ","))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+}
+
+// clientCall performs one line-protocol request, decoding the typed error
+// envelope on non-2xx statuses.
+func clientCall(method, url string, body io.Reader) ([]byte, error) {
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		var pe struct {
+			Error string `json:"error"`
+			Kind  string `json:"kind"`
+		}
+		if json.Unmarshal(raw, &pe) == nil && pe.Error != "" {
+			if pe.Kind != "" {
+				return nil, fmt.Errorf("%s [%s, http %d]", pe.Error, pe.Kind, resp.StatusCode)
+			}
+			return nil, fmt.Errorf("%s [http %d]", pe.Error, resp.StatusCode)
+		}
+		return nil, fmt.Errorf("http %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	return raw, nil
 }
 
 // govOpts carries the governor flags (-timeout, -max-rows, -mem-limit,

@@ -1,0 +1,120 @@
+// Command qserved serves queries over HTTP: a long-running process
+// wrapping a shared database and a named prepared-statement registry,
+// with admission control and same-statement request batching
+// (internal/server). Statements are registered once — paying the
+// query-dependent planning cost up front — and then executed by name, so
+// per-request work is data complexity only.
+//
+//	qserved -addr :8080 -rel E=edges.csv
+//
+//	curl -X PUT localhost:8080/stmt/tri \
+//	     -d '{"query": "T(x,y,z) :- E(x,y), E(y,z), E(x,z)."}'
+//	curl -X POST localhost:8080/stmt/tri/exec -d '{}'
+//	curl -X POST localhost:8080/rel/E/insert -d '{"rows": [[1, 7]]}'
+//	curl -X POST localhost:8080/stmt/tri/refresh -d ''
+//	curl localhost:8080/stats
+//
+// SIGTERM/SIGINT drain gracefully: new requests are rejected, in-flight
+// ones finish (bounded by -drain-wait), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"pyquery/internal/server"
+)
+
+type relFlags []string
+
+func (r *relFlags) String() string { return strings.Join(*r, ",") }
+func (r *relFlags) Set(s string) error {
+	*r = append(*r, s)
+	return nil
+}
+
+func main() {
+	var rels relFlags
+	addr := flag.String("addr", "127.0.0.1:7347", "listen address")
+	par := flag.Int("par", 0, "per-execution parallelism (0 = GOMAXPROCS, 1 = serial)")
+	inflight := flag.Int("inflight", 0, "max concurrently running executions (0 = worker budget)")
+	queueDepth := flag.Int("queue-depth", 0, "max requests queued for a slot (0 = 4x inflight, -1 = no queue)")
+	queueWait := flag.Duration("queue-wait", 0, "max time a request queues before typed overload rejection (0 = 100ms)")
+	batchWindow := flag.Duration("batch-window", 0, "coalescing window for identical requests (0 = 200us)")
+	noBatch := flag.Bool("no-batch", false, "disable same-statement request batching")
+	timeout := flag.Duration("timeout", 0, "per-execution governor timeout (0 = none)")
+	maxRows := flag.Int64("max-rows", 0, "per-execution row limit (0 = none)")
+	memLimit := flag.Int64("mem-limit", 0, "per-execution memory limit in bytes (0 = none)")
+	drainWait := flag.Duration("drain-wait", 10*time.Second, "max time to wait for in-flight requests on shutdown")
+	flag.Var(&rels, "rel", "NAME=FILE.csv loaded at startup (repeatable)")
+	flag.Parse()
+
+	srv := server.New(nil, server.Config{
+		Parallelism: *par,
+		MaxInflight: *inflight,
+		QueueDepth:  *queueDepth,
+		QueueWait:   *queueWait,
+		BatchWindow: *batchWindow,
+		NoBatch:     *noBatch,
+		Timeout:     *timeout,
+		MaxRows:     *maxRows,
+		MemoryLimit: *memLimit,
+	})
+	for _, spec := range rels {
+		parts := strings.SplitN(spec, "=", 2)
+		if len(parts) != 2 {
+			fatal(fmt.Errorf("bad -rel %q (want NAME=FILE)", spec))
+		}
+		f, err := os.Open(parts[1])
+		if err != nil {
+			fatal(err)
+		}
+		err = srv.LoadCSV(parts[0], f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "qserved: listening on %s\n", *addr)
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Drain: stop accepting, let in-flight requests finish, then close the
+	// listener. The server rejects new work with 503 the moment Shutdown
+	// is called, so the HTTP shutdown below only waits for stragglers.
+	fmt.Fprintln(os.Stderr, "qserved: draining")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	drainErr := srv.Shutdown(dctx)
+	if err := hs.Shutdown(dctx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	if drainErr != nil && !errors.Is(drainErr, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "qserved: drain incomplete: %v\n", drainErr)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "qserved: drained")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qserved:", err)
+	os.Exit(1)
+}

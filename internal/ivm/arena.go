@@ -1,0 +1,62 @@
+package ivm
+
+import "pyquery/internal/relation"
+
+// The delta arena recycles the short-lived ± delta relations a refresh
+// builds and drops: reduceDelta materializes one plus/minus pair per atom
+// occurrence per Refresh, and since the columnar substrate (PR 9) each
+// relation.New pays a schema clone plus per-column slice construction —
+// which for the common single-row update costs more than the delta join
+// itself (the BENCH_9 E11_Refresh note: ~0.80x, +13 allocs/op). Refreshes
+// are serialized by the prepared layer and the pairs never escape one
+// Refresh call (runRule reads them, fold copies out of them), so each atom
+// occurrence can own a cleared, capacity-retaining scratch pair instead.
+const (
+	// arenaMaxWidth bounds which schemas the arena serves: delta relations
+	// wider than this allocate fresh (reduced atoms that wide are rare and
+	// their scratch would pin proportionally more capacity).
+	arenaMaxWidth = 4
+	// arenaMaxRows drops a scratch relation that just carried a large delta
+	// so one bulk update cannot pin its capacity for the rest of the
+	// maintainer's life.
+	arenaMaxRows = 1024
+)
+
+// deltaArena hands out per-atom-occurrence scratch pairs. It is owned by
+// one Maint and inherits its no-concurrent-use contract.
+type deltaArena struct {
+	pairs []deltaPair
+}
+
+type deltaPair struct{ plus, minus *relation.Relation }
+
+// pair returns cleared plus/minus scratch relations for atom occurrence i
+// over schema, recycling the previous refresh's pair when the width is
+// arena-eligible and the schema still matches (a rebuild can change the
+// reduced schema; mismatches simply reallocate).
+func (a *deltaArena) pair(i int, schema relation.Schema) (plus, minus *relation.Relation) {
+	if len(schema) > arenaMaxWidth {
+		return relation.New(schema), relation.New(schema)
+	}
+	for len(a.pairs) <= i {
+		a.pairs = append(a.pairs, deltaPair{})
+	}
+	p := &a.pairs[i]
+	if p.plus == nil || !p.plus.Schema().Equal(schema) {
+		p.plus = relation.New(schema)
+		p.minus = relation.New(schema)
+	}
+	return p.plus.Clear(), p.minus.Clear()
+}
+
+// release retires scratch that just carried an oversized delta. Call after
+// the refresh is done with occurrence i's pair.
+func (a *deltaArena) release(i int) {
+	if i >= len(a.pairs) {
+		return
+	}
+	p := &a.pairs[i]
+	if p.plus != nil && (p.plus.Len() > arenaMaxRows || p.minus.Len() > arenaMaxRows) {
+		p.plus, p.minus = nil, nil
+	}
+}

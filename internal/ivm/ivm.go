@@ -67,7 +67,22 @@ type Maint struct {
 	ineqs      []ineqCheck
 	cmps       []cmpCheck
 
-	atoms  []*atomState
+	atoms []*atomState
+	arena deltaArena // recycled per-atom delta scratch (arena.go)
+
+	// Per-refresh scratch recycled across calls (Maint is single-threaded):
+	// net-delta counters keyed by relation, the touched set, the ± relation
+	// pointer slices, the compiled rule steps (invalidated by rebuild), and
+	// the serial rule-runner. All oversized pieces are dropped after a bulk
+	// batch so one large delta cannot pin capacity (see arenaMaxRows).
+	net      map[string]*relation.TupleCounter
+	netBuf   []relation.Value
+	touched  *relation.TupleCounter
+	plusBuf  []*relation.Relation
+	minusBuf []*relation.Relation
+	steps    [][]ruleStep
+	serial   *ruleRun
+
 	counts *relation.TupleCounter // result tuple → derivation count
 	result *relation.Relation     // last reported result (set)
 	resPos *relation.TupleMap     // result tuple → row in result
@@ -98,6 +113,14 @@ type atomState struct {
 	atom  query.Atom
 	vars  []query.Var
 	slots []int // assignment slot per reduced column
+
+	// Precompiled delta-reduction tables (pure functions of the atom,
+	// built once at rebuild so reduceDelta allocates nothing per refresh):
+	// firstArg[j] is the first arg position holding arg j's variable (−1
+	// for constant args), varArg[k] the arg position reduced column k reads.
+	firstArg []int
+	varArg   []int
+	redBuf   []relation.Value // reusable reduced-tuple buffer
 
 	rel  *relation.Relation
 	dead []bool
@@ -206,7 +229,19 @@ func (m *Maint) Refresh(ctx context.Context, meter *governor.Meter, workers int)
 	// Consolidate the batch into one signed tuple counter per relation,
 	// then push each net delta through every dependent atom's selection
 	// and projection. Net counts are ±1 (the DB enforces set semantics).
-	net := make(map[string]*relation.TupleCounter)
+	// The counters are recycled across refreshes; clearing every retained
+	// entry up front keeps a previous batch's nets out of this one.
+	if m.net == nil {
+		m.net = make(map[string]*relation.TupleCounter, len(m.names))
+	}
+	for rel, c := range m.net {
+		if c.Len() > arenaMaxRows {
+			delete(m.net, rel)
+			continue
+		}
+		c.Clear()
+	}
+	net := m.net
 	for _, d := range ds {
 		c := net[d.Rel]
 		if c == nil {
@@ -219,7 +254,10 @@ func (m *Maint) Refresh(ctx context.Context, meter *governor.Meter, workers int)
 			c = relation.NewTupleCounter(w)
 			net[d.Rel] = c
 		}
-		buf := make([]relation.Value, c.Width())
+		if cap(m.netBuf) < c.Width() {
+			m.netBuf = make([]relation.Value, c.Width())
+		}
+		buf := m.netBuf[:c.Width()]
 		if d.Added != nil {
 			for i := 0; i < d.Added.Len(); i++ {
 				c.Add(d.Added.RowTo(buf, i), 1)
@@ -231,18 +269,33 @@ func (m *Maint) Refresh(ctx context.Context, meter *governor.Meter, workers int)
 			}
 		}
 	}
-	plus := make([]*relation.Relation, len(m.atoms))
-	minus := make([]*relation.Relation, len(m.atoms))
+	if cap(m.plusBuf) < len(m.atoms) {
+		m.plusBuf = make([]*relation.Relation, len(m.atoms))
+		m.minusBuf = make([]*relation.Relation, len(m.atoms))
+	}
+	plus := m.plusBuf[:len(m.atoms)]
+	minus := m.minusBuf[:len(m.atoms)]
 	deltaVolume := 0.0
 	for i, st := range m.atoms {
-		plus[i], minus[i] = st.reduceDelta(net[st.atom.Rel])
+		plus[i], minus[i] = m.arena.pair(i, st.rel.Schema())
+		st.reduceDelta(net[st.atom.Rel], plus[i], minus[i])
 		deltaVolume += float64(plus[i].Len()+minus[i].Len()) * m.price.RuleCost[i]
 	}
+	defer func() {
+		for i := range m.atoms {
+			m.arena.release(i)
+		}
+	}()
 	if deltaVolume > m.price.ReexecCost {
 		return m.rebuild(ctx, meter, workers)
 	}
 
-	touched := relation.NewTupleCounter(m.width)
+	if m.touched == nil || m.touched.Len() > arenaMaxRows {
+		m.touched = relation.NewTupleCounter(m.width)
+	} else {
+		m.touched.Clear()
+	}
+	touched := m.touched
 	for i := range m.atoms {
 		if plus[i].Len() == 0 && minus[i].Len() == 0 {
 			continue
@@ -316,6 +369,23 @@ func (m *Maint) rebuild(ctx context.Context, meter *governor.Meter, workers int)
 		for k, v := range vars {
 			st.slots[k] = m.slotOf[v]
 		}
+		first := make(map[query.Var]int, len(a.Args))
+		st.firstArg = make([]int, len(a.Args))
+		for j, t := range a.Args {
+			st.firstArg[j] = -1
+			if t.IsVar {
+				if f, ok := first[t.Var]; ok {
+					st.firstArg[j] = f
+				} else {
+					first[t.Var] = j
+					st.firstArg[j] = j
+				}
+			}
+		}
+		st.varArg = make([]int, len(vars))
+		for k, v := range vars {
+			st.varArg[k] = first[v]
+		}
 		st.rel = rel
 		st.live = rel.Len()
 		st.dead = make([]bool, rel.Len())
@@ -331,6 +401,7 @@ func (m *Maint) rebuild(ctx context.Context, meter *governor.Meter, workers int)
 		return nil, nil, err
 	}
 	m.atoms = atoms
+	m.steps = nil // compiled against the old atom states
 	m.counts = relation.NewTupleCounter(m.width)
 	m.price = plan.Maintenance(m.planInputs(), m.q.HeadVars())
 	// Initialize the counts by running the last atom's delta rule with its
@@ -388,10 +459,13 @@ func (m *Maint) rebuild(ctx context.Context, meter *governor.Meter, workers int)
 	return added, removed, nil
 }
 
-func atomMatches(a query.Atom, firstPos map[query.Var]int, row []relation.Value) bool {
-	for j, t := range a.Args {
-		if t.IsVar {
-			if row[firstPos[t.Var]] != row[j] {
+// matches applies the atom's selection (constant args agree, repeated
+// variables agree) to one base tuple, through the tables precompiled at
+// rebuild.
+func (s *atomState) matches(row []relation.Value) bool {
+	for j, t := range s.atom.Args {
+		if fa := s.firstArg[j]; fa >= 0 {
+			if row[fa] != row[j] {
 				return false
 			}
 		} else if row[j] != t.Const {
@@ -402,38 +476,30 @@ func atomMatches(a query.Atom, firstPos map[query.Var]int, row []relation.Value)
 }
 
 // reduceDelta maps a signed base-relation delta through the atom's
-// selection and projection. Because the projection is injective on the
-// selected tuples, each base change yields at most one reduced change.
-func (s *atomState) reduceDelta(net *relation.TupleCounter) (plus, minus *relation.Relation) {
-	plus = relation.New(s.rel.Schema())
-	minus = relation.New(s.rel.Schema())
+// selection and projection into the caller's (arena-recycled) plus/minus
+// relations. Because the projection is injective on the selected tuples,
+// each base change yields at most one reduced change.
+func (s *atomState) reduceDelta(net *relation.TupleCounter, plus, minus *relation.Relation) {
 	if net == nil {
-		return plus, minus
+		return
 	}
-	firstPos := make(map[query.Var]int, len(s.atom.Args))
-	for i, t := range s.atom.Args {
-		if t.IsVar {
-			if _, ok := firstPos[t.Var]; !ok {
-				firstPos[t.Var] = i
-			}
-		}
+	if s.redBuf == nil {
+		s.redBuf = make([]relation.Value, len(s.vars))
 	}
-	buf := make([]relation.Value, len(s.vars))
 	net.Each(func(row []relation.Value, n int64) bool {
-		if n == 0 || !atomMatches(s.atom, firstPos, row) {
+		if n == 0 || !s.matches(row) {
 			return true
 		}
-		for j, v := range s.vars {
-			buf[j] = row[firstPos[v]]
+		for j, fa := range s.varArg {
+			s.redBuf[j] = row[fa]
 		}
 		if n > 0 {
-			plus.Append(buf...)
+			plus.Append(s.redBuf...)
 		} else {
-			minus.Append(buf...)
+			minus.Append(s.redBuf...)
 		}
 		return true
 	})
-	return plus, minus
 }
 
 // fold applies the atom's own delta to its state: removed tuples are
@@ -441,7 +507,10 @@ func (s *atomState) reduceDelta(net *relation.TupleCounter) (plus, minus *relati
 // index. It reports false when the delta contradicts the state (a remove
 // of an unknown tuple or an add of a present one) — the caller rebuilds.
 func (s *atomState) fold(plus, minus *relation.Relation) bool {
-	buf := make([]relation.Value, s.rel.Width())
+	if s.redBuf == nil {
+		s.redBuf = make([]relation.Value, s.rel.Width())
+	}
+	buf := s.redBuf
 	for i := 0; i < minus.Len(); i++ {
 		row := minus.RowTo(buf, i)
 		id, ok := s.loc.Get(row)
@@ -517,42 +586,60 @@ func (s *atomState) index(cols []int) *relation.TupleIndex {
 }
 
 // ruleStep is one probe of rule i's join: against atom st, on the columns
-// bound so far (keyCols, fed from keySlots), binding the rest.
+// bound so far (keyCols, fed from keySlots), binding the rest. keyBuf is
+// the serial path's recycled probe-key buffer; parallel workers allocate
+// private ones (steps are shared read-only across workers).
 type ruleStep struct {
 	st        *atomState
 	ix        *relation.TupleIndex
+	keyCols   []int
 	keySlots  []int
 	bindCols  []int
 	bindSlots []int
+	keyBuf    []relation.Value
 }
 
 // ruleSteps compiles rule i: the join order over the other atoms comes
-// from the maintenance pricing, and each step's probe index is built
-// eagerly (serially) so parallel workers only read.
+// from the maintenance pricing. The compiled steps are cached until the
+// next rebuild (slot layouts and join orders are fixed in between); only
+// each step's probe index is re-resolved here — eagerly and serially, so
+// parallel workers only read — because folds and compactions can drop and
+// rebuild indexes between refreshes.
 func (m *Maint) ruleSteps(i int) []ruleStep {
-	bound := make([]bool, m.nslots)
-	for _, sl := range m.atoms[i].slots {
-		bound[sl] = true
+	if m.steps == nil {
+		m.steps = make([][]ruleStep, len(m.atoms))
 	}
-	order := m.price.Orders[i]
-	steps := make([]ruleStep, 0, len(order))
-	for _, j := range order {
-		st := m.atoms[j]
-		var keyCols, keySlots, bindCols, bindSlots []int
-		for c, sl := range st.slots {
-			if bound[sl] {
-				keyCols = append(keyCols, c)
-				keySlots = append(keySlots, sl)
-			} else {
-				bindCols = append(bindCols, c)
-				bindSlots = append(bindSlots, sl)
-				bound[sl] = true
-			}
+	steps := m.steps[i]
+	if steps == nil {
+		bound := make([]bool, m.nslots)
+		for _, sl := range m.atoms[i].slots {
+			bound[sl] = true
 		}
-		steps = append(steps, ruleStep{
-			st: st, ix: st.index(keyCols),
-			keySlots: keySlots, bindCols: bindCols, bindSlots: bindSlots,
-		})
+		order := m.price.Orders[i]
+		steps = make([]ruleStep, 0, len(order))
+		for _, j := range order {
+			st := m.atoms[j]
+			var keyCols, keySlots, bindCols, bindSlots []int
+			for c, sl := range st.slots {
+				if bound[sl] {
+					keyCols = append(keyCols, c)
+					keySlots = append(keySlots, sl)
+				} else {
+					bindCols = append(bindCols, c)
+					bindSlots = append(bindSlots, sl)
+					bound[sl] = true
+				}
+			}
+			steps = append(steps, ruleStep{
+				st: st, keyCols: keyCols,
+				keySlots: keySlots, bindCols: bindCols, bindSlots: bindSlots,
+				keyBuf: make([]relation.Value, len(keySlots)),
+			})
+		}
+		m.steps[i] = steps
+	}
+	for s := range steps {
+		steps[s].ix = steps[s].st.index(steps[s].keyCols)
 	}
 	return steps
 }
@@ -570,6 +657,18 @@ func (m *Maint) runRule(steps []ruleStep, at *atomState, delta *relation.Relatio
 	if workers > n/parallelThreshold {
 		workers = n/parallelThreshold + 1
 	}
+	if workers <= 1 {
+		// Serial fast path: recycle the maintainer's worker state (the
+		// assignment, head, and probe-key buffers plus the local counter)
+		// across refreshes instead of rebuilding it per rule.
+		r := m.serialRun(steps, sign, meter)
+		r.scan(at, delta, 0, n)
+		if r.err != nil {
+			return r.err
+		}
+		m.merge(r.local, touched)
+		return nil
+	}
 	locals := make([]*relation.TupleCounter, workers)
 	var errSlot atomic.Pointer[error]
 	run := func(w, lo, hi int) {
@@ -583,27 +682,13 @@ func (m *Maint) runRule(steps []ruleStep, at *atomState, delta *relation.Relatio
 		for s := range steps {
 			r.keys[s] = make([]relation.Value, len(steps[s].keySlots))
 		}
-		for i := lo; i < hi; i++ {
-			for c, sl := range at.slots {
-				r.assign[sl] = delta.At(c, i)
-			}
-			if !r.rec(0) {
-				break
-			}
-		}
-		if r.err == nil && r.pend > 0 {
-			r.err = meter.Charge(r.pend, governor.RelBytes(int(r.pend), m.width), "delta-join")
-		}
+		r.scan(at, delta, lo, hi)
 		if r.err != nil {
 			errSlot.CompareAndSwap(nil, &r.err)
 		}
 		locals[w] = r.local
 	}
-	if workers <= 1 {
-		run(0, 0, n)
-	} else {
-		parallel.Chunks(workers, n, run)
-	}
+	parallel.Chunks(workers, n, run)
 	if ep := errSlot.Load(); ep != nil {
 		return *ep
 	}
@@ -611,15 +696,70 @@ func (m *Maint) runRule(steps []ruleStep, at *atomState, delta *relation.Relatio
 		if local == nil {
 			continue
 		}
-		local.Each(func(row []relation.Value, d int64) bool {
-			if d != 0 {
-				m.counts.Add(row, d)
-				touched.Add(row, d)
-			}
-			return true
-		})
+		m.merge(local, touched)
 	}
 	return nil
+}
+
+// serialRun readies the maintainer's recycled single-worker rule state for
+// one runRule call. The local counter is cleared (or dropped after an
+// oversized delta) and the probe-key views point at the compiled steps'
+// own buffers — safe because the serial path has no sharing.
+func (m *Maint) serialRun(steps []ruleStep, sign int64, meter *governor.Meter) *ruleRun {
+	r := m.serial
+	if r == nil {
+		r = &ruleRun{
+			m:      m,
+			assign: make([]relation.Value, m.nslots),
+			head:   make([]relation.Value, m.width),
+			local:  relation.NewTupleCounter(m.width),
+		}
+		m.serial = r
+	}
+	if r.local.Len() > arenaMaxRows {
+		r.local = relation.NewTupleCounter(m.width)
+	} else {
+		r.local.Clear()
+	}
+	r.steps, r.sign, r.meter = steps, sign, meter
+	r.pend, r.err = 0, nil
+	if cap(r.keys) < len(steps) {
+		r.keys = make([][]relation.Value, len(steps))
+	}
+	r.keys = r.keys[:len(steps)]
+	for s := range steps {
+		r.keys[s] = steps[s].keyBuf
+	}
+	return r
+}
+
+// scan binds each delta tuple of atom at into the assignment and
+// enumerates the rule's remaining steps, settling any outstanding governor
+// charge at the end.
+func (r *ruleRun) scan(at *atomState, delta *relation.Relation, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		for c, sl := range at.slots {
+			r.assign[sl] = delta.At(c, i)
+		}
+		if !r.rec(0) {
+			break
+		}
+	}
+	if r.err == nil && r.pend > 0 {
+		r.err = r.meter.Charge(r.pend, governor.RelBytes(int(r.pend), r.m.width), "delta-join")
+	}
+}
+
+// merge folds one rule execution's signed derivation counts into the
+// maintainer's counts and the refresh's touched set.
+func (m *Maint) merge(local, touched *relation.TupleCounter) {
+	local.Each(func(row []relation.Value, d int64) bool {
+		if d != 0 {
+			m.counts.Add(row, d)
+			touched.Add(row, d)
+		}
+		return true
+	})
 }
 
 // ruleRun is one worker's mutable state for one rule execution.

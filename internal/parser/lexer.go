@@ -19,6 +19,7 @@ const (
 	tokIdent
 	tokNumber
 	tokString
+	tokParam // $name — prepared-statement placeholder
 	tokLParen
 	tokRParen
 	tokComma
@@ -45,6 +46,8 @@ func (k tokenKind) String() string {
 		return "number"
 	case tokString:
 		return "string"
+	case tokParam:
+		return "parameter"
 	case tokLParen:
 		return "'('"
 	case tokRParen:
@@ -155,6 +158,17 @@ func lex(src string) ([]token, error) {
 				end++
 			}
 			l.toks = append(l.toks, token{tokNumber, l.src[l.pos:end], l.pos})
+			l.pos = end
+		case c == '$':
+			end := l.pos + 1
+			if end >= len(l.src) || !isIdentStart(rune(l.src[end])) {
+				return nil, fmt.Errorf("parser: '$' must start a parameter name at offset %d", l.pos)
+			}
+			for end < len(l.src) && isIdentPart(rune(l.src[end])) {
+				end++
+			}
+			// The token text is the bare name; Term.String re-adds the '$'.
+			l.toks = append(l.toks, token{tokParam, l.src[l.pos+1 : end], l.pos})
 			l.pos = end
 		case isIdentStart(rune(c)):
 			end := l.pos

@@ -227,6 +227,11 @@ func (p *Parser) parseTermOrAtomStart(ts *tokenStream, q *query.CQ) (*query.Term
 }
 
 func appendIneq(q *query.CQ, l, r query.Term) error {
+	if l.IsParam() || r.IsParam() {
+		// Ineq atoms carry variables and constants only (query.Ineq);
+		// reject rather than miscompile a placeholder as the constant 0.
+		return fmt.Errorf("parser: parameters are not supported in '!=' atoms (use them in relational atoms, the head, or comparisons)")
+	}
 	switch {
 	case l.IsVar && r.IsVar:
 		q.Ineqs = append(q.Ineqs, query.NeqVars(l.Var, r.Var))
@@ -304,6 +309,10 @@ func (p *Parser) parseTerm(ts *tokenStream) (query.Term, error) {
 		return query.C(relation.Value(n)), nil
 	case tokString:
 		return query.C(p.Syms.Value(t.text)), nil
+	case tokParam:
+		// $name placeholders make the rule a prepared-statement template;
+		// they bind to constants at execution time (query.P).
+		return query.P(t.text), nil
 	}
 	return query.Term{}, fmt.Errorf("parser: expected a term, found %v at offset %d", t.kind, t.pos)
 }

@@ -235,6 +235,20 @@ func (c *TupleCounter) Count(row []Value) int64 {
 	}
 }
 
+// Clear removes every entry in place, retaining table and arena capacity,
+// and returns c. It is the reuse hook for the short-lived scratch counters
+// an IVM refresh builds per batch — see internal/ivm's delta arena.
+func (c *TupleCounter) Clear() *TupleCounter {
+	for i := range c.slots {
+		c.slots[i] = emptySlot
+	}
+	c.hashes = c.hashes[:0]
+	c.keys = c.keys[:0]
+	c.counts = c.counts[:0]
+	c.n = 0
+	return c
+}
+
 // Each calls fn with every touched tuple and its current count (including
 // zeros), in first-touch order, stopping early if fn returns false. The
 // yielded slice is a view into the arena — copy it to retain it.

@@ -229,6 +229,19 @@ func (r *Relation) AppendRowOf(src *Relation, i int) {
 	r.n++
 }
 
+// Clear removes every tuple in place, retaining column capacity (and each
+// column's narrow/wide representation), and returns r. It is the reuse hook
+// for short-lived scratch relations — see internal/ivm's delta arena —
+// where per-refresh relation.New calls would pay schema cloning and
+// per-column slice construction for a handful of rows.
+func (r *Relation) Clear() *Relation {
+	for c := range r.cols {
+		r.cols[c].truncate(0)
+	}
+	r.n = 0
+	return r
+}
+
 // SwapRemove deletes the i-th tuple in O(width): the last tuple moves into
 // position i (set semantics — row order is not meaningful) and the relation
 // shrinks by one. Callers holding row ids into r (frozen indexes) must

@@ -1,0 +1,89 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// admission is the execution gate: a fixed pool of slots plus a bounded
+// wait queue. A request either takes a free slot immediately, waits in
+// the queue (up to the wait deadline), or is rejected fast with a typed
+// OverloadError — the server never builds an unbounded backlog, it sheds
+// load the moment the queue is full, which keeps p99 bounded under
+// overload instead of collapsing into queueing delay.
+type admission struct {
+	slots     chan struct{}
+	depth     int           // max waiters beyond the slots
+	wait      time.Duration // max time a waiter queues
+	waiting   atomic.Int64
+	running   atomic.Int64
+	overloads atomic.Int64
+}
+
+// OverloadError reports why admission rejected a request. It unwraps to
+// ErrOverloaded so callers can errors.Is against the sentinel.
+type OverloadError struct {
+	// QueueFull is true when the wait queue had no room; false when the
+	// request queued but its wait deadline expired.
+	QueueFull bool
+	Waited    time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	if e.QueueFull {
+		return "server: overloaded (admission queue full)"
+	}
+	return fmt.Sprintf("server: overloaded (no execution slot within %v)", e.Waited)
+}
+
+func (e *OverloadError) Unwrap() error { return ErrOverloaded }
+
+func newAdmission(inflight, depth int, wait time.Duration) *admission {
+	a := &admission{
+		slots: make(chan struct{}, inflight),
+		depth: depth,
+		wait:  wait,
+	}
+	for i := 0; i < inflight; i++ {
+		a.slots <- struct{}{}
+	}
+	return a
+}
+
+// acquire obtains an execution slot, queueing up to the wait deadline.
+// The returned release must be called exactly once. Errors are either a
+// typed *OverloadError or the context's own error.
+func (a *admission) acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case <-a.slots:
+		a.running.Add(1)
+		return a.release, nil
+	default:
+	}
+	// No free slot: join the queue if it has room.
+	if a.waiting.Add(1) > int64(a.depth) {
+		a.waiting.Add(-1)
+		a.overloads.Add(1)
+		return nil, &OverloadError{QueueFull: true}
+	}
+	defer a.waiting.Add(-1)
+	t := time.NewTimer(a.wait)
+	defer t.Stop()
+	select {
+	case <-a.slots:
+		a.running.Add(1)
+		return a.release, nil
+	case <-t.C:
+		a.overloads.Add(1)
+		return nil, &OverloadError{Waited: a.wait}
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (a *admission) release() {
+	a.running.Add(-1)
+	a.slots <- struct{}{}
+}

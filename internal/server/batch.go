@@ -1,0 +1,69 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"pyquery"
+)
+
+// batcher coalesces identical requests — same statement, same parameter
+// bindings — onto one execution of the shared frozen plan, the same shape
+// as request batching in an inference server. The first request of a key
+// becomes the leader: it waits one batch window for identical requests to
+// pile on, then executes once; every rider shares the (read-only) result
+// relation. Coalescing happens BEFORE admission, so a flood of identical
+// point lookups costs one queue slot and one execution, not N.
+//
+// Semantics: all requests of one flight observe the database snapshot the
+// leader's execution reads. Requests that need their own deadline or
+// their own snapshot opt out per request (ExecOpts) or server-wide
+// (Config.NoBatch).
+type batcher struct {
+	window  time.Duration
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+type flight struct {
+	done chan struct{} // closed once res/err are set
+	res  *pyquery.Relation
+	err  error
+}
+
+func newBatcher(window time.Duration) *batcher {
+	return &batcher{window: window, flights: make(map[string]*flight)}
+}
+
+// do returns the result of exec for key, either by running it (leader) or
+// by riding an in-progress flight (shared=true). A rider whose ctx
+// expires before the flight lands returns the ctx error.
+func (b *batcher) do(ctx context.Context, key string, exec func() (*pyquery.Relation, error)) (res *pyquery.Relation, shared bool, err error) {
+	b.mu.Lock()
+	if f, ok := b.flights[key]; ok {
+		b.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.res, true, f.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	b.flights[key] = f
+	b.mu.Unlock()
+
+	// Leader: hold the window open so identical requests can join, then
+	// run once. The window is a sleep on the request goroutine — no
+	// background timer goroutines to leak on drain.
+	if b.window > 0 {
+		time.Sleep(b.window)
+	}
+	f.res, f.err = exec()
+	b.mu.Lock()
+	delete(b.flights, key)
+	b.mu.Unlock()
+	close(f.done)
+	return f.res, false, f.err
+}

@@ -1,0 +1,115 @@
+package server
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"pyquery"
+)
+
+// latRing is how many recent latencies each statement retains for the
+// percentile estimates — a fixed window so /stats reflects current
+// behavior, not the lifetime average.
+const latRing = 512
+
+// stmtMetrics accumulates one statement's counters and a ring of recent
+// latencies. A plain mutex is fine at service request rates; the lock is
+// held for a few stores per request.
+type stmtMetrics struct {
+	mu        sync.Mutex
+	execs     int64 // requests served (including batched riders)
+	batched   int64 // of those, served by another request's execution
+	errs      int64
+	govTrips  int64 // errors that were governor limit trips
+	overloads int64 // admission rejections attributed to this statement
+	rows      int64 // total result rows returned
+	lat       [latRing]time.Duration
+	latN      int // valid entries
+	latIdx    int // next write position
+}
+
+func newStmtMetrics() *stmtMetrics { return &stmtMetrics{} }
+
+func (m *stmtMetrics) record(d time.Duration, rows int, batched bool, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.execs++
+	if batched {
+		m.batched++
+	}
+	if err != nil {
+		m.errs++
+		var le *pyquery.LimitError
+		if errors.As(err, &le) {
+			m.govTrips++
+		}
+		return
+	}
+	m.rows += int64(rows)
+	m.lat[m.latIdx] = d
+	m.latIdx = (m.latIdx + 1) % latRing
+	if m.latN < latRing {
+		m.latN++
+	}
+}
+
+func (m *stmtMetrics) overload() {
+	m.mu.Lock()
+	m.overloads++
+	m.mu.Unlock()
+}
+
+// StmtStats is one statement's /stats entry. Latency quantiles are over
+// the last latRing successful requests (batched riders included — a rider
+// 's latency is what its client saw, wait and all).
+type StmtStats struct {
+	Execs     int64 `json:"execs"`
+	Batched   int64 `json:"batched"`
+	Errs      int64 `json:"errs"`
+	GovTrips  int64 `json:"gov_trips"`
+	Overloads int64 `json:"overloads"`
+	Rows      int64 `json:"rows"`
+	P50Micros int64 `json:"p50_us"`
+	P99Micros int64 `json:"p99_us"`
+}
+
+func (m *stmtMetrics) snapshot() StmtStats {
+	m.mu.Lock()
+	st := StmtStats{
+		Execs: m.execs, Batched: m.batched, Errs: m.errs,
+		GovTrips: m.govTrips, Overloads: m.overloads, Rows: m.rows,
+	}
+	lats := make([]time.Duration, m.latN)
+	copy(lats, m.lat[:m.latN])
+	m.mu.Unlock()
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		st.P50Micros = lats[len(lats)/2].Microseconds()
+		st.P99Micros = lats[len(lats)*99/100].Microseconds()
+	}
+	return st
+}
+
+// Stats is the whole-server /stats snapshot.
+type Stats struct {
+	Stmts      map[string]StmtStats `json:"stmts"`
+	QueueDepth int64                `json:"queue_depth"` // requests waiting for a slot now
+	Inflight   int64                `json:"inflight"`    // executions running now
+	Overloads  int64                `json:"overloads"`   // admission rejections, lifetime
+}
+
+// Stats snapshots the service metrics.
+func (s *Server) Stats() Stats {
+	out := Stats{
+		Stmts:      make(map[string]StmtStats),
+		QueueDepth: s.adm.waiting.Load(),
+		Inflight:   s.adm.running.Load(),
+		Overloads:  s.adm.overloads.Load(),
+	}
+	s.reg.each(func(st *stmt) {
+		out.Stmts[st.name] = st.met.snapshot()
+	})
+	return out
+}

@@ -1,0 +1,280 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"pyquery"
+	"pyquery/internal/parser"
+)
+
+// The line protocol: every request and response body is one JSON object.
+// Values travel as JSON integers (numeric domain) or strings (interned
+// through the server's symbol table, so "paris" on the wire and paris in
+// a CSV load name the same constant). Errors are {"error": "...",
+// "kind": "..."} with the HTTP status carrying the class:
+//
+//	400 malformed request / parse error     404 unknown statement or relation
+//	408 client deadline while queued        422 governor limit trip
+//	429 admission overload (retryable)      503 draining
+//
+// Endpoints (Go 1.22 pattern syntax):
+//
+//	PUT    /stmt/{name}          {"query": "Q(x) :- E(x,y)."} → statement info
+//	GET    /stmt                 list registered statements
+//	DELETE /stmt/{name}          drop a statement
+//	POST   /stmt/{name}/exec     {"params": {...}, "timeout_ms": n, "no_batch": b}
+//	POST   /stmt/{name}/refresh  incremental view refresh → {"added": .., "removed": ..}
+//	POST   /rel/{name}           CSV body → (re)load a relation
+//	POST   /rel/{name}/insert    {"rows": [[..], ..]} → {"changed": n}
+//	POST   /rel/{name}/delete    {"rows": [[..], ..]} → {"changed": n}
+//	GET    /stats                metrics snapshot
+//	GET    /healthz              "ok" (503 once draining)
+type protoError struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind,omitempty"`
+}
+
+type execRequest struct {
+	Params    map[string]json.RawMessage `json:"params"`
+	TimeoutMS int64                      `json:"timeout_ms"`
+	NoBatch   bool                       `json:"no_batch"`
+}
+
+type execResponse struct {
+	Rows    [][]any `json:"rows"`
+	N       int     `json:"n"`
+	Width   int     `json:"width"`
+	Bool    bool    `json:"bool"` // nonempty result (the decision-problem answer)
+	Engine  string  `json:"engine"`
+	Batched bool    `json:"batched,omitempty"`
+	Micros  int64   `json:"us"`
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /stmt/{name}", s.handleRegister)
+	mux.HandleFunc("GET /stmt", s.handleList)
+	mux.HandleFunc("DELETE /stmt/{name}", s.handleDrop)
+	mux.HandleFunc("POST /stmt/{name}/exec", s.handleExec)
+	mux.HandleFunc("POST /stmt/{name}/refresh", s.handleRefresh)
+	mux.HandleFunc("POST /rel/{name}", s.handleLoadCSV)
+	mux.HandleFunc("POST /rel/{name}/insert", s.handleMutate)
+	mux.HandleFunc("POST /rel/{name}/delete", s.handleMutate)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Query string `json:"query"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Query == "" {
+		writeError(w, fmt.Errorf("body must be {\"query\": \"...\"}"))
+		return
+	}
+	info, err := s.Register(r.PathValue("name"), req.Query)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"stmts": s.Stmts()})
+}
+
+func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
+	if err := s.Drop(r.PathValue("name")); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"dropped": r.PathValue("name")})
+}
+
+func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
+	var req execRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, fmt.Errorf("bad exec body: %w", err))
+			return
+		}
+	}
+	params := make(map[string]pyquery.Value, len(req.Params))
+	for name, raw := range req.Params {
+		v, err := s.decodeValue(raw)
+		if err != nil {
+			writeError(w, fmt.Errorf("param %q: %w", name, err))
+			return
+		}
+		params[name] = v
+	}
+	res, meta, err := s.Exec(r.Context(), r.PathValue("name"), params, ExecOpts{
+		Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
+		NoBatch: req.NoBatch,
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, execResponse{
+		Rows: s.renderRows(res), N: res.Len(), Width: res.Width(), Bool: res.Bool(),
+		Engine: meta.Engine.String(), Batched: meta.Batched,
+		Micros: meta.Dur.Microseconds(),
+	})
+}
+
+func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
+	added, removed, err := s.Refresh(r.Context(), r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"added": s.renderRows(added), "removed": s.renderRows(removed),
+	})
+}
+
+func (s *Server) handleLoadCSV(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.LoadCSV(name, r.Body); err != nil {
+		writeError(w, err)
+		return
+	}
+	s.dbMu.RLock()
+	rel, _ := s.db.Rel(name)
+	n := rel.Len()
+	s.dbMu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{"rel": name, "rows": n})
+}
+
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Rows [][]json.RawMessage `json:"rows"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("bad mutation body: %w", err))
+		return
+	}
+	rows := make([][]pyquery.Value, len(req.Rows))
+	for i, raw := range req.Rows {
+		rows[i] = make([]pyquery.Value, len(raw))
+		for j, f := range raw {
+			v, err := s.decodeValue(f)
+			if err != nil {
+				writeError(w, fmt.Errorf("row %d: %w", i, err))
+				return
+			}
+			rows[i][j] = v
+		}
+	}
+	name := r.PathValue("name")
+	var changed int
+	var err error
+	if r.URL.Path == "/rel/"+name+"/insert" {
+		changed, err = s.Insert(name, rows)
+	} else {
+		changed, err = s.Delete(name, rows)
+	}
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"changed": changed})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+// decodeValue maps one JSON value onto the engine's numeric domain: JSON
+// integers pass through, JSON strings intern through the symbol table
+// with parser.Literal semantics ("7" is the number 7, "paris" an interned
+// symbol — matching the CSV loader, so wire values and loaded values
+// always agree).
+func (s *Server) decodeValue(raw json.RawMessage) (pyquery.Value, error) {
+	var n int64
+	if err := json.Unmarshal(raw, &n); err == nil {
+		return pyquery.Value(n), nil
+	}
+	var str string
+	if err := json.Unmarshal(raw, &str); err != nil {
+		return 0, fmt.Errorf("want an integer or a string, got %s", raw)
+	}
+	s.symMu.Lock()
+	v, err := s.syms.Literal(str)
+	s.symMu.Unlock()
+	return v, err
+}
+
+// renderRows materializes a result for the wire, converting interned
+// symbols back to strings. The whole render holds the symbol lock once.
+func (s *Server) renderRows(rel *pyquery.Relation) [][]any {
+	out := make([][]any, rel.Len())
+	buf := make([]pyquery.Value, rel.Width())
+	s.symMu.Lock()
+	defer s.symMu.Unlock()
+	for i := 0; i < rel.Len(); i++ {
+		rel.RowTo(buf, i)
+		row := make([]any, len(buf))
+		for j, v := range buf {
+			if v >= parser.StringBase {
+				row[j] = s.syms.String(v)
+			} else {
+				row[j] = int64(v)
+			}
+		}
+		out[i] = row
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// writeError maps a service error onto the protocol's status classes.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	kind := ""
+	var le *pyquery.LimitError
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		status, kind = http.StatusTooManyRequests, "overloaded"
+	case errors.Is(err, ErrDraining):
+		status, kind = http.StatusServiceUnavailable, "draining"
+	case errors.Is(err, ErrUnknownStmt), errors.Is(err, ErrUnknownRel):
+		status, kind = http.StatusNotFound, "unknown"
+	case errors.As(err, &le):
+		if errors.Is(err, pyquery.ErrTimeout) || errors.Is(err, pyquery.ErrCanceled) {
+			status, kind = http.StatusRequestTimeout, le.Kind.Error()
+		} else {
+			status, kind = http.StatusUnprocessableEntity, le.Kind.Error()
+		}
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		status, kind = http.StatusRequestTimeout, "deadline"
+	}
+	var ie *pyquery.InternalError
+	if errors.As(err, &ie) {
+		status, kind = http.StatusInternalServerError, "internal"
+	}
+	writeJSON(w, status, protoError{Error: err.Error(), Kind: kind})
+}

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"sort"
+	"sync"
+
+	"pyquery"
+)
+
+// stmt is one registered statement: the source text, the compiled
+// template, and its metrics. The Prepared inside is safe for concurrent
+// executions and revalidates its frozen snapshot itself; the registry
+// only guards the name → statement map.
+type stmt struct {
+	name string
+	src  string
+	prep *pyquery.Prepared
+	met  *stmtMetrics
+}
+
+// StmtInfo is the externally visible description of a registered
+// statement.
+type StmtInfo struct {
+	Name        string   `json:"name"`
+	Query       string   `json:"query"`
+	Params      []string `json:"params,omitempty"`
+	Engine      string   `json:"engine"`
+	Fingerprint string   `json:"fingerprint"`
+}
+
+func (st *stmt) info() *StmtInfo {
+	return &StmtInfo{
+		Name:        st.name,
+		Query:       st.src,
+		Params:      st.prep.Params(),
+		Engine:      st.prep.Engine().String(),
+		Fingerprint: st.prep.Fingerprint(),
+	}
+}
+
+// registry is the named prepared-statement table. Registration replaces
+// atomically; executions that already resolved the old statement finish
+// on its (still valid) frozen plan.
+type registry struct {
+	mu    sync.RWMutex
+	stmts map[string]*stmt
+}
+
+func newRegistry() *registry {
+	return &registry{stmts: make(map[string]*stmt)}
+}
+
+func (r *registry) put(st *stmt) {
+	r.mu.Lock()
+	// Re-registration keeps the existing metrics so /stats survives a
+	// statement being redefined under the same name.
+	if old, ok := r.stmts[st.name]; ok {
+		st.met = old.met
+	}
+	r.stmts[st.name] = st
+	r.mu.Unlock()
+}
+
+func (r *registry) get(name string) (*stmt, bool) {
+	r.mu.RLock()
+	st, ok := r.stmts[name]
+	r.mu.RUnlock()
+	return st, ok
+}
+
+func (r *registry) drop(name string) bool {
+	r.mu.Lock()
+	_, ok := r.stmts[name]
+	delete(r.stmts, name)
+	r.mu.Unlock()
+	return ok
+}
+
+func (r *registry) list() []*StmtInfo {
+	r.mu.RLock()
+	infos := make([]*StmtInfo, 0, len(r.stmts))
+	for _, st := range r.stmts {
+		infos = append(infos, st.info())
+	}
+	r.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}
+
+// each visits every statement (read-locked) — the /stats snapshot.
+func (r *registry) each(fn func(*stmt)) {
+	r.mu.RLock()
+	for _, st := range r.stmts {
+		fn(st)
+	}
+	r.mu.RUnlock()
+}

@@ -1,0 +1,396 @@
+// Package server is the query service layer: a long-running process
+// wrapping one shared query.DB and a named prepared-statement registry
+// behind the facade's compile-once/execute-many contract. The split
+// mirrors the paper's complexity structure — registration pays the
+// query-dependent cost (classification, decomposition search, index
+// construction) exactly once, and every subsequent request is data
+// complexity only — which is exactly the amortization a service makes
+// profitable: the same frozen plan serves many requests, and requests
+// that are literally identical coalesce onto one execution (batch.go).
+//
+// Concurrency contract: executions share the database under a read lock;
+// mutations (Insert/Delete/CSV load) take the write lock, so they never
+// overlap an execution — the DB's one-writer rule lifted to the service.
+// Admission control (admission.go) bounds how many executions run at
+// once, with a typed fast-reject (ErrOverloaded) once the queue is full.
+// Symbol interning is serialized by its own lock; parser.Symbols is not
+// goroutine-safe.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pyquery"
+	"pyquery/internal/parallel"
+	"pyquery/internal/parser"
+)
+
+// Typed service errors. Handlers map these onto HTTP statuses
+// (protocol.go); embedded callers test them with errors.Is.
+var (
+	// ErrOverloaded rejects a request the admission queue cannot hold:
+	// every execution slot is busy and the queue is full (or the queue
+	// wait deadline passed). Clients should back off and retry.
+	ErrOverloaded = errors.New("server: overloaded")
+	// ErrDraining rejects requests arriving after shutdown began.
+	ErrDraining = errors.New("server: draining")
+	// ErrUnknownStmt names a statement that was never registered (or was
+	// dropped).
+	ErrUnknownStmt = errors.New("server: unknown statement")
+	// ErrUnknownRel names a relation the database does not hold.
+	ErrUnknownRel = errors.New("server: unknown relation")
+)
+
+// Config sizes the service. Zero values mean defaults: execution
+// parallelism and the in-flight budget resolve through parallel.Workers
+// (GOMAXPROCS), the queue holds 4× the in-flight budget for up to 100ms,
+// and batching is on with a 200µs window.
+type Config struct {
+	// Parallelism is the per-execution worker budget frozen into every
+	// registered plan (0 = GOMAXPROCS, 1 = serial).
+	Parallelism int
+	// MaxInflight bounds concurrently running executions. 0 resolves
+	// through parallel.Workers(Parallelism): with intra-query parallelism
+	// the engines already saturate the cores, so the default admits as
+	// many executions as workers.
+	MaxInflight int
+	// QueueDepth bounds requests waiting for an execution slot
+	// (0 = 4×MaxInflight; negative = no queue, reject when slots busy).
+	QueueDepth int
+	// QueueWait bounds time spent waiting for a slot (0 = 100ms).
+	QueueWait time.Duration
+	// BatchWindow is how long the first request of a batch waits for
+	// identical requests to coalesce onto its execution
+	// (0 = 200µs; negative = batching off).
+	BatchWindow time.Duration
+	// NoBatch disables same-fingerprint coalescing entirely.
+	NoBatch bool
+
+	// Governor limits frozen into every registered statement.
+	Timeout     time.Duration
+	MaxRows     int64
+	MemoryLimit int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = parallel.Workers(c.Parallelism)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 4 * c.MaxInflight
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 100 * time.Millisecond
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = 200 * time.Microsecond
+	}
+	if c.BatchWindow < 0 || c.NoBatch {
+		c.BatchWindow = 0
+	}
+	return c
+}
+
+func (c Config) options() pyquery.Options {
+	return pyquery.Options{
+		Parallelism: c.Parallelism,
+		Timeout:     c.Timeout,
+		MaxRows:     c.MaxRows,
+		MemoryLimit: c.MemoryLimit,
+	}
+}
+
+// Server is one service instance over one database. All methods are safe
+// for concurrent use.
+type Server struct {
+	cfg Config
+
+	dbMu sync.RWMutex // executions read-lock; mutations write-lock
+	db   *pyquery.DB
+
+	symMu sync.Mutex // parser.Symbols and the shared Parser are not goroutine-safe
+	syms  *parser.Symbols
+	prs   *parser.Parser
+
+	reg *registry
+	adm *admission
+	bat *batcher
+
+	inflight sync.WaitGroup // requests between admission and response
+	draining atomic.Bool
+	drained  chan struct{}
+	drainOne sync.Once
+}
+
+// New builds a server over db (nil starts an empty database) with cfg's
+// knobs resolved to their defaults.
+func New(db *pyquery.DB, cfg Config) *Server {
+	if db == nil {
+		db = pyquery.NewDB()
+	}
+	cfg = cfg.withDefaults()
+	syms := parser.NewSymbols()
+	return &Server{
+		cfg:     cfg,
+		db:      db,
+		syms:    syms,
+		prs:     parser.NewWithSymbols(syms),
+		reg:     newRegistry(),
+		adm:     newAdmission(cfg.MaxInflight, cfg.QueueDepth, cfg.QueueWait),
+		bat:     newBatcher(cfg.BatchWindow),
+		drained: make(chan struct{}),
+	}
+}
+
+// DB exposes the served database for embedded callers (tests, the
+// benchrunner). HTTP clients go through the /rel endpoints, which take the
+// server's locks; direct DB mutation bypasses them and is only safe
+// before the server starts taking traffic.
+func (s *Server) DB() *pyquery.DB { return s.db }
+
+// Register parses src as a conjunctive query in rule syntax, compiles it
+// against the current database snapshot, and installs it under name,
+// replacing any previous statement of that name.
+func (s *Server) Register(name, src string) (*StmtInfo, error) {
+	if s.draining.Load() {
+		return nil, ErrDraining
+	}
+	s.symMu.Lock()
+	q, err := s.prs.ParseCQ(src)
+	s.symMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	s.dbMu.RLock()
+	prep, err := pyquery.Prepare(q, s.db, s.cfg.options())
+	s.dbMu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	st := &stmt{name: name, src: src, prep: prep, met: newStmtMetrics()}
+	s.reg.put(st)
+	return st.info(), nil
+}
+
+// Drop removes a named statement. Executions already holding it finish.
+func (s *Server) Drop(name string) error {
+	if !s.reg.drop(name) {
+		return fmt.Errorf("%w: %q", ErrUnknownStmt, name)
+	}
+	return nil
+}
+
+// Stmts lists the registered statements, sorted by name.
+func (s *Server) Stmts() []*StmtInfo { return s.reg.list() }
+
+// ExecOpts tunes one execution.
+type ExecOpts struct {
+	// Timeout caps this request's execution (on top of the server-wide
+	// governor Timeout). A request with its own deadline never batches —
+	// batched executions share one run and one budget.
+	Timeout time.Duration
+	// NoBatch opts this request out of same-fingerprint coalescing.
+	NoBatch bool
+}
+
+// ExecMeta describes how one request was served.
+type ExecMeta struct {
+	Engine  pyquery.Engine
+	Rows    int
+	Batched bool // served by another request's execution (shared flight)
+	Dur     time.Duration
+}
+
+// Exec runs the named statement with the given parameter bindings and
+// returns its result relation. The relation may be shared with coalesced
+// requests — callers must treat it as read-only.
+func (s *Server) Exec(ctx context.Context, name string, params map[string]pyquery.Value, o ExecOpts) (*pyquery.Relation, ExecMeta, error) {
+	var meta ExecMeta
+	if s.draining.Load() {
+		return nil, meta, ErrDraining
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	st, ok := s.reg.get(name)
+	if !ok {
+		return nil, meta, fmt.Errorf("%w: %q", ErrUnknownStmt, name)
+	}
+	args, key, err := bindArgs(st, params)
+	if err != nil {
+		return nil, meta, err
+	}
+	meta.Engine = st.prep.Engine()
+
+	start := time.Now()
+	var res *pyquery.Relation
+	if s.bat.window > 0 && !o.NoBatch && o.Timeout <= 0 {
+		// Coalesce before admission: a flood of identical requests takes
+		// one queue slot and runs once; followers ride the leader's run.
+		// The leader executes under a server-owned context so one rider's
+		// disconnect cannot poison the shared result — the governor
+		// Timeout frozen into the statement still bounds the run.
+		var shared bool
+		res, shared, err = s.bat.do(ctx, key, func() (*pyquery.Relation, error) {
+			return s.execAdmitted(context.WithoutCancel(ctx), st, args)
+		})
+		meta.Batched = shared
+	} else {
+		ectx := ctx
+		if o.Timeout > 0 {
+			var cancel context.CancelFunc
+			ectx, cancel = context.WithTimeout(ctx, o.Timeout)
+			defer cancel()
+		}
+		res, err = s.execAdmitted(ectx, st, args)
+	}
+	meta.Dur = time.Since(start)
+	if err != nil {
+		st.met.record(meta.Dur, 0, meta.Batched, err)
+		return nil, meta, err
+	}
+	meta.Rows = res.Len()
+	st.met.record(meta.Dur, res.Len(), meta.Batched, nil)
+	return res, meta, nil
+}
+
+// execAdmitted waits for an execution slot, then runs the frozen plan
+// under the database read lock.
+func (s *Server) execAdmitted(ctx context.Context, st *stmt, args []pyquery.Arg) (*pyquery.Relation, error) {
+	release, err := s.adm.acquire(ctx)
+	if err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			st.met.overload()
+		}
+		return nil, err
+	}
+	defer release()
+	s.dbMu.RLock()
+	defer s.dbMu.RUnlock()
+	return st.prep.Exec(ctx, args...)
+}
+
+// Refresh incrementally brings the named statement's materialized result
+// up to date with the database (PR 8 semantics) and returns the tuple
+// deltas.
+func (s *Server) Refresh(ctx context.Context, name string) (added, removed *pyquery.Relation, err error) {
+	if s.draining.Load() {
+		return nil, nil, ErrDraining
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	st, ok := s.reg.get(name)
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownStmt, name)
+	}
+	s.dbMu.RLock()
+	defer s.dbMu.RUnlock()
+	return st.prep.Refresh(ctx)
+}
+
+// LoadCSV replaces the named relation with the CSV stream's rows
+// (integers stay numeric, other fields intern through the server's symbol
+// table).
+func (s *Server) LoadCSV(name string, r io.Reader) error {
+	if s.draining.Load() {
+		return ErrDraining
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	s.symMu.Lock()
+	defer s.symMu.Unlock()
+	s.dbMu.Lock()
+	defer s.dbMu.Unlock()
+	return parser.LoadCSV(s.db, name, r, s.syms)
+}
+
+// Insert adds rows to the named relation through the changelog, so
+// registered statements can Refresh in O(Δ). It returns how many rows
+// were actually new.
+func (s *Server) Insert(name string, rows [][]pyquery.Value) (int, error) {
+	return s.mutate(name, rows, (*pyquery.DB).Insert)
+}
+
+// Delete removes rows from the named relation through the changelog and
+// returns how many were present.
+func (s *Server) Delete(name string, rows [][]pyquery.Value) (int, error) {
+	return s.mutate(name, rows, (*pyquery.DB).Delete)
+}
+
+func (s *Server) mutate(name string, rows [][]pyquery.Value, op func(*pyquery.DB, string, ...[]pyquery.Value) int) (int, error) {
+	if s.draining.Load() {
+		return 0, ErrDraining
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	s.dbMu.Lock()
+	defer s.dbMu.Unlock()
+	rel, ok := s.db.Rel(name)
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownRel, name)
+	}
+	for _, row := range rows {
+		if len(row) != rel.Width() {
+			return 0, fmt.Errorf("server: %s: row has %d values, want %d", name, len(row), rel.Width())
+		}
+	}
+	return op(s.db, name, rows...), nil
+}
+
+// Shutdown drains the server: new requests are rejected with ErrDraining,
+// and it returns once every in-flight request has finished or ctx
+// expires. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.drainOne.Do(func() {
+		go func() {
+			s.inflight.Wait()
+			close(s.drained)
+		}()
+	})
+	select {
+	case <-s.drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// bindArgs turns the parameter map into the facade's Arg list (sorted by
+// name for determinism) plus the batching key: statement name and bound
+// values — two requests with equal keys run the same frozen plan on the
+// same bindings, so they may share one execution.
+func bindArgs(st *stmt, params map[string]pyquery.Value) ([]pyquery.Arg, string, error) {
+	want := st.prep.Params()
+	if len(params) != len(want) {
+		return nil, "", fmt.Errorf("server: %s: got %d parameter(s), want %d (%s)",
+			st.name, len(params), len(want), strings.Join(want, ", "))
+	}
+	names := make([]string, 0, len(params))
+	for n := range params {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	args := make([]pyquery.Arg, 0, len(names))
+	var key strings.Builder
+	key.WriteString(st.name)
+	for _, n := range names {
+		args = append(args, pyquery.Bind(n, params[n]))
+		key.WriteByte(0)
+		key.WriteString(n)
+		key.WriteByte('=')
+		key.WriteString(strconv.FormatInt(int64(params[n]), 10))
+	}
+	return args, key.String(), nil
+}

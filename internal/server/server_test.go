@@ -1,0 +1,465 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pyquery"
+	"pyquery/internal/leakcheck"
+	"pyquery/internal/parser"
+	"pyquery/internal/relation"
+	"pyquery/internal/workload"
+)
+
+// directExec is the ground truth: parse src exactly like the server does
+// and run the facade's prepared path directly.
+func directExec(t *testing.T, src string, db *pyquery.DB, opts pyquery.Options, args ...pyquery.Arg) *pyquery.Relation {
+	t.Helper()
+	q, err := parser.New().ParseCQ(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	p, err := pyquery.Prepare(q, db, opts)
+	if err != nil {
+		t.Fatalf("prepare %q: %v", src, err)
+	}
+	res, err := p.Exec(context.Background(), args...)
+	if err != nil {
+		t.Fatalf("direct exec %q: %v", src, err)
+	}
+	return res
+}
+
+// TestRegistryExecEquivalence pins registry exec ≡ direct Prepared.Exec
+// set-equality across all six engine classes.
+func TestRegistryExecEquivalence(t *testing.T) {
+	cases := []struct {
+		name   string
+		src    string
+		db     *pyquery.DB
+		engine pyquery.Engine
+	}{
+		{"yannakakis", "Q(x, z) :- E(x, y), E(y, z).",
+			workload.GraphDB(200, 900, 1), pyquery.EngineYannakakis},
+		{"colorcoding", "Q(x, z) :- E(x, y), E(y, z), x != z.",
+			workload.GraphDB(200, 900, 2), pyquery.EngineColorCoding},
+		{"comparisons", "Q(x, z) :- E(x, y), E(y, z), x < z.",
+			workload.GraphDB(200, 900, 3), pyquery.EngineComparisons},
+		{"generic", "T(x, y, z) :- E(x, y), E(y, z), E(z, x), x != y.",
+			workload.GraphDB(150, 700, 4), pyquery.EngineGeneric},
+		{"decomp", workload.CycleQuery(4).String(),
+			workload.GraphDB(250, 1100, 5), pyquery.EngineDecomp},
+		{"wcoj", workload.TriangleQuery().String(),
+			workload.HubGraphDB(140, 5), pyquery.EngineWCOJ},
+	}
+	covered := make(map[pyquery.Engine]bool)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := New(tc.db, Config{Parallelism: 1})
+			info, err := s.Register(tc.name, tc.src)
+			if err != nil {
+				t.Fatalf("register: %v", err)
+			}
+			// The decomposition class is structural; the database-dependent
+			// cost gate may still keep the backtracker, and the direct path
+			// below gates identically — so assert the query-level class for
+			// decomp and the frozen engine for everything else.
+			if tc.engine == pyquery.EngineDecomp {
+				q, err := parser.New().ParseCQ(tc.src)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := pyquery.Plan(q); got != pyquery.EngineDecomp {
+					t.Fatalf("Plan = %v, want decomp class", got)
+				}
+			} else if info.Engine != tc.engine.String() {
+				t.Fatalf("engine %q, want %q", info.Engine, tc.engine.String())
+			}
+			covered[tc.engine] = true
+			got, meta, err := s.Exec(context.Background(), tc.name, nil, ExecOpts{})
+			if err != nil {
+				t.Fatalf("server exec: %v", err)
+			}
+			want := directExec(t, tc.src, tc.db, s.cfg.options())
+			if !relation.EqualSet(got, want) {
+				t.Fatalf("server result (%d rows) differs from direct exec (%d rows)",
+					got.Len(), want.Len())
+			}
+			if meta.Rows != want.Len() {
+				t.Fatalf("meta.Rows = %d, want %d", meta.Rows, want.Len())
+			}
+		})
+	}
+	if len(covered) != 6 {
+		t.Fatalf("engine classes covered: %d, want all 6", len(covered))
+	}
+}
+
+// TestParamExecEquivalence pins parameterized registry execution against
+// direct Bind+Exec, across distinct bindings.
+func TestParamExecEquivalence(t *testing.T) {
+	db := workload.GraphDB(100, 500, 7)
+	s := New(db, Config{Parallelism: 1})
+	src := "Q(y) :- E($src, y)."
+	if _, err := s.Register("adj", src); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	for v := pyquery.Value(0); v < 20; v++ {
+		got, _, err := s.Exec(context.Background(), "adj",
+			map[string]pyquery.Value{"src": v}, ExecOpts{})
+		if err != nil {
+			t.Fatalf("exec src=%d: %v", v, err)
+		}
+		want := directExec(t, src, db, s.cfg.options(), pyquery.Bind("src", v))
+		if !relation.EqualSet(got, want) {
+			t.Fatalf("src=%d: server %d rows, direct %d rows", v, got.Len(), want.Len())
+		}
+	}
+	// Wrong parameter sets are typed errors, not panics.
+	if _, _, err := s.Exec(context.Background(), "adj", nil, ExecOpts{}); err == nil {
+		t.Fatal("exec with missing params succeeded")
+	}
+	if _, _, err := s.Exec(context.Background(), "adj",
+		map[string]pyquery.Value{"src": 1, "extra": 2}, ExecOpts{}); err == nil {
+		t.Fatal("exec with extra params succeeded")
+	}
+}
+
+// TestBatchedMatchesUnbatched runs a concurrent flood of identical and
+// opted-out requests and requires every response to equal the direct
+// answer; under -race this also exercises the flight sharing.
+func TestBatchedMatchesUnbatched(t *testing.T) {
+	leakcheck.Check(t)
+	db := workload.GraphDB(150, 700, 11)
+	s := New(db, Config{Parallelism: 1, BatchWindow: 2 * time.Millisecond,
+		QueueDepth: 64, QueueWait: 5 * time.Second})
+	src := "Q(x, z) :- E(x, y), E(y, z)."
+	if _, err := s.Register("hop", src); err != nil {
+		t.Fatal(err)
+	}
+	want := directExec(t, src, db, s.cfg.options())
+
+	const clients = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	sawBatched := make(chan bool, clients)
+	for i := 0; i < clients; i++ {
+		noBatch := i%4 == 0
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, meta, err := s.Exec(context.Background(), "hop", nil, ExecOpts{NoBatch: noBatch})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if noBatch && meta.Batched {
+				errs <- errors.New("NoBatch request reported batched")
+				return
+			}
+			if !relation.EqualSet(res, want) {
+				errs <- fmt.Errorf("concurrent result drifted (%d rows, want %d)", res.Len(), want.Len())
+				return
+			}
+			sawBatched <- meta.Batched
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	close(sawBatched)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	batched := 0
+	for b := range sawBatched {
+		if b {
+			batched++
+		}
+	}
+	if batched == 0 {
+		t.Fatal("no request coalesced despite the batch window")
+	}
+	st := s.Stats().Stmts["hop"]
+	if st.Batched != int64(batched) || st.Execs != clients {
+		t.Fatalf("stats: execs=%d batched=%d, want execs=%d batched=%d",
+			st.Execs, st.Batched, clients, batched)
+	}
+}
+
+// TestOverloadTyped pins the admission queue's fast rejection: with one
+// slot held and no queue, execution returns the typed sentinel (and the
+// HTTP layer maps it to 429).
+func TestOverloadTyped(t *testing.T) {
+	leakcheck.Check(t)
+	db := workload.GraphDB(50, 200, 13)
+	s := New(db, Config{Parallelism: 1, MaxInflight: 1, QueueDepth: -1, NoBatch: true})
+	if _, err := s.Register("hop", "Q(x, z) :- E(x, y), E(y, z)."); err != nil {
+		t.Fatal(err)
+	}
+	release, err := s.adm.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = s.Exec(context.Background(), "hop", nil, ExecOpts{})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("exec under full admission: %v, want ErrOverloaded", err)
+	}
+	var oe *OverloadError
+	if !errors.As(err, &oe) || !oe.QueueFull {
+		t.Fatalf("want *OverloadError with QueueFull, got %#v", err)
+	}
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/stmt/hop/exec", strings.NewReader("{}"))
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("http status %d, want 429", rec.Code)
+	}
+	release()
+
+	// With a queue but a tiny wait deadline, the waiter times out typed.
+	s2 := New(db, Config{Parallelism: 1, MaxInflight: 1, QueueDepth: 4,
+		QueueWait: time.Millisecond, NoBatch: true})
+	if _, err := s2.Register("hop", "Q(x, z) :- E(x, y), E(y, z)."); err != nil {
+		t.Fatal(err)
+	}
+	release2, err := s2.adm.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = s2.Exec(context.Background(), "hop", nil, ExecOpts{})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("queued exec: %v, want ErrOverloaded after wait deadline", err)
+	}
+	release2()
+	if s2.Stats().Overloads == 0 {
+		t.Fatal("overload not counted")
+	}
+}
+
+// TestMutationRefresh drives the session loop: mutate through the server,
+// refresh the registered statement, and check the view converges to a
+// from-scratch execution.
+func TestMutationRefresh(t *testing.T) {
+	db := workload.GraphDB(80, 300, 17)
+	s := New(db, Config{Parallelism: 1})
+	src := "Q(x, z) :- E(x, y), E(y, z)."
+	if _, err := s.Register("hop", src); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Refresh(context.Background(), "hop"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.Insert("E", [][]pyquery.Value{{9001, 9002}, {9002, 9003}})
+	if err != nil || n != 2 {
+		t.Fatalf("insert: n=%d err=%v", n, err)
+	}
+	added, removed, err := s.Refresh(context.Background(), "hop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added.Len() == 0 || removed.Len() != 0 {
+		t.Fatalf("refresh after insert: added=%d removed=%d", added.Len(), removed.Len())
+	}
+	if _, err := s.Delete("E", [][]pyquery.Value{{9001, 9002}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Refresh(context.Background(), "hop"); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := s.Exec(context.Background(), "hop", nil, ExecOpts{NoBatch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := directExec(t, src, db, s.cfg.options())
+	if !relation.EqualSet(got, want) {
+		t.Fatal("post-mutation exec differs from direct exec")
+	}
+	// Typed errors for unknown names and arity mismatches.
+	if _, err := s.Insert("nosuch", nil); !errors.Is(err, ErrUnknownRel) {
+		t.Fatalf("insert unknown rel: %v", err)
+	}
+	if _, err := s.Insert("E", [][]pyquery.Value{{1}}); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if _, _, err := s.Exec(context.Background(), "nosuch", nil, ExecOpts{}); !errors.Is(err, ErrUnknownStmt) {
+		t.Fatalf("exec unknown stmt: %v", err)
+	}
+}
+
+// TestHTTPSessionDrain runs the whole line protocol over a real listener —
+// CSV load, registration, parameterized exec with symbolic constants,
+// mutation, refresh, stats — then drains; leakcheck requires the server
+// to leave no goroutines behind.
+func TestHTTPSessionDrain(t *testing.T) {
+	leakcheck.Check(t)
+	s := New(nil, Config{Parallelism: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(path, body string) map[string]any {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %s: %d %s", path, resp.StatusCode, raw)
+		}
+		var out map[string]any
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatalf("POST %s: bad json %q", path, raw)
+		}
+		return out
+	}
+
+	// Load a relation whose values are interned symbols.
+	if out := post("/rel/City", "paris,france\nlyon,france\nberlin,germany"); out["rows"].(float64) != 3 {
+		t.Fatalf("csv load: %v", out)
+	}
+	req, _ := http.NewRequest("PUT", ts.URL+"/stmt/in",
+		strings.NewReader(`{"query": "Q(c) :- City(c, $country)."}`))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register: %d", resp.StatusCode)
+	}
+
+	out := post("/stmt/in/exec", `{"params": {"country": "france"}}`)
+	rows := out["rows"].([]any)
+	if len(rows) != 2 {
+		t.Fatalf("exec rows: %v", out)
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		seen[r.([]any)[0].(string)] = true
+	}
+	if !seen["paris"] || !seen["lyon"] {
+		t.Fatalf("symbol round-trip failed: %v", rows)
+	}
+
+	// A parameterized template is not incrementally maintainable, so the
+	// refresh leg uses a constant-free statement over the same relation.
+	req2, _ := http.NewRequest("PUT", ts.URL+"/stmt/pairs",
+		strings.NewReader(`{"query": "Q(c, k) :- City(c, k)."}`))
+	resp, err = http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register pairs: %d", resp.StatusCode)
+	}
+	post("/stmt/pairs/refresh", "")
+
+	post("/rel/City/insert", `{"rows": [["marseille", "france"]]}`)
+	ref := post("/stmt/pairs/refresh", "")
+	if len(ref["added"].([]any)) == 0 {
+		t.Fatalf("refresh after insert: %v", ref)
+	}
+	out = post("/stmt/in/exec", `{"params": {"country": "france"}}`)
+	if out["n"].(float64) != 3 {
+		t.Fatalf("post-insert exec: %v", out)
+	}
+
+	// Stats reflect the traffic.
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if stats.Stmts["in"].Execs < 2 {
+		t.Fatalf("stats: %+v", stats.Stmts["in"])
+	}
+
+	// Drain: subsequent requests are rejected as draining (503), and
+	// Shutdown returns once in-flight work is done.
+	dctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(dctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	resp2, err := http.Post(ts.URL+"/stmt/in/exec", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("exec after drain: %d, want 503", resp2.StatusCode)
+	}
+	if _, _, err := s.Exec(context.Background(), "in", nil, ExecOpts{}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("core exec after drain: %v", err)
+	}
+}
+
+// TestConcurrentMixedTraffic hammers one server with concurrent execs,
+// mutations, and refreshes — the RWMutex exclusion contract under -race.
+func TestConcurrentMixedTraffic(t *testing.T) {
+	leakcheck.Check(t)
+	db := workload.GraphDB(100, 400, 23)
+	s := New(db, Config{Parallelism: 1, BatchWindow: 500 * time.Microsecond})
+	if _, err := s.Register("hop", "Q(x, z) :- E(x, y), E(y, z)."); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Register("tri", workload.TriangleQuery().String()); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				switch (w + i) % 4 {
+				case 0, 1:
+					name := "hop"
+					if i%2 == 0 {
+						name = "tri"
+					}
+					if _, _, err := s.Exec(context.Background(), name, nil, ExecOpts{}); err != nil && !errors.Is(err, ErrOverloaded) {
+						errc <- err
+						return
+					}
+				case 2:
+					v := pyquery.Value(10000 + w*100 + i)
+					if _, err := s.Insert("E", [][]pyquery.Value{{v, v + 1}}); err != nil {
+						errc <- err
+						return
+					}
+				case 3:
+					if _, _, err := s.Refresh(context.Background(), "hop"); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}

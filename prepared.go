@@ -161,6 +161,12 @@ func (p *Prepared) Engine() Engine { return p.state.Load().engine }
 // Params returns the template's parameter names in binding order.
 func (p *Prepared) Params() []string { return append([]string(nil), p.params...) }
 
+// Fingerprint returns the canonical text of the compiled template — the
+// same string the plan cache keys on. Two Prepared statements with equal
+// fingerprints (and equal Options) share a frozen plan, which is what lets
+// a service layer coalesce same-statement requests onto one execution.
+func (p *Prepared) Fingerprint() string { return p.q.String() }
+
 // compile builds a fresh prepState from the current database snapshot.
 func (p *Prepared) compile() (*prepState, error) {
 	q, db, opts := p.q, p.db, p.opts
